@@ -1,0 +1,324 @@
+// Command literace is the command-line front end of the LiteRace pipeline:
+// assemble LIR programs, apply the sampling instrumentation, execute them
+// on the deterministic interpreter, and detect data races in the logs.
+//
+// Subcommands:
+//
+//	literace asm     <prog.lir>              assemble and validate
+//	literace disasm  <prog.lir>              round-trip through the disassembler
+//	literace rewrite <prog.lir>              show instrumentation statistics
+//	literace run     <prog.lir> -log out.trc execute, writing an event log
+//	literace detect  <out.trc> [-src p.lir]  offline race detection on a log
+//	literace dump    <out.trc> [-n N]        print decoded log events
+//	literace report  <prog.lir>              run + detect in one step
+//	literace bench   [-list | key]           run a built-in benchmark program
+//
+// Shared flags for run/report: -sampler NAME (default TL-Ad), -seed N.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"literace"
+	"literace/internal/trace"
+	"literace/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "asm":
+		err = cmdAsm(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "rewrite":
+		err = cmdRewrite(args)
+	case "run":
+		err = cmdRun(args)
+	case "detect":
+		err = cmdDetect(args)
+	case "dump":
+		err = cmdDump(args)
+	case "report":
+		err = cmdReport(args)
+	case "bench":
+		err = cmdBench(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "literace: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "literace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|report|bench> [flags] [args]
+  asm     <prog.lir>                assemble and validate
+  disasm  <prog.lir>                print canonical disassembly
+  rewrite <prog.lir>                print instrumentation statistics
+  run     <prog.lir> [-log f] [-sampler S] [-seed N]
+  detect  <log.trc> [-src prog.lir]
+  dump    <log.trc> [-n N]          print decoded log events
+  report  <prog.lir> [-sampler S] [-seed N]
+  bench   [-list | key]             run a built-in benchmark (see -list)`)
+}
+
+func loadProgram(path string) (*literace.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(path, ".lir")
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return literace.Assemble(name, string(src))
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d functions\n", p.NumFuncs())
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("disasm wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Disassemble())
+	return nil
+}
+
+func cmdRewrite(args []string) error {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	show := fs.Bool("print", false, "print the rewritten module")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("rewrite wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	stats, err := p.Instrument()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instrumented %d functions: %d clones, %d memory accesses, %d spills\n",
+		stats.Functions, stats.Clones, stats.MemAccesses, stats.Spills)
+	if *show {
+		fmt.Print(p.Disassemble())
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	logPath := fs.String("log", "literace.trc", "event log output path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if _, err := p.Instrument(); err != nil {
+		return err
+	}
+	f, err := os.Create(*logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := p.Run(literace.Config{Sampler: *samplerName, Seed: *seed, LogTo: f})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %s: %d instrs, %d mem ops (%.2f%% logged), %d sync ops, log %s\n",
+		fs.Arg(0), res.Meta.Instrs, res.Meta.MemOps, res.EffectiveRate*100, res.Meta.SyncOps, *logPath)
+	for _, v := range res.Prints {
+		fmt.Println("print:", v)
+	}
+	return f.Close()
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("detect wants one log file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var resolve func(int32) string
+	if *srcPath != "" {
+		p, err := loadProgram(*srcPath)
+		if err != nil {
+			return err
+		}
+		resolve = p.FuncName
+	}
+	rep, err := literace.Detect(f, resolve)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if _, err := f.Seek(0, 0); err == nil {
+		if verr := literace.VerifyLog(f); verr != nil {
+			fmt.Printf("log verification: %v\n", verr)
+		}
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	n := fs.Int("n", 50, "maximum events to print per thread (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump wants one log file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := trace.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("module %s seed %d: %d threads, %d events, %d mem ops (%d logged bytes)\n",
+		log.Meta.Module, log.Meta.Seed, len(log.Threads), log.NumEvents(), log.Meta.MemOps, log.Meta.LoggedBytes)
+	if log.Meta.Primary != "" {
+		fmt.Printf("primary %s", log.Meta.Primary)
+		if len(log.Meta.Samplers) > 0 {
+			fmt.Printf("; shadow samplers (mask bits): %v", log.Meta.Samplers)
+		}
+		fmt.Println()
+	}
+	for _, tid := range log.TIDs() {
+		evs := log.Threads[tid]
+		fmt.Printf("-- thread %d: %d events\n", tid, len(evs))
+		limit := len(evs)
+		if *n > 0 && limit > *n {
+			limit = *n
+		}
+		for _, e := range evs[:limit] {
+			fmt.Println("  ", e.String())
+		}
+		if limit < len(evs) {
+			fmt.Printf("   ... %d more\n", len(evs)-limit)
+		}
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	context := fs.Int("context", 0, "lines of disassembly context around each racing instruction")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if _, err := p.Instrument(); err != nil {
+		return err
+	}
+	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("sampler %s logged %.2f%% of %d memory ops\n",
+		*samplerName, res.EffectiveRate*100, res.Meta.MemOps)
+	fmt.Print(rep.String())
+	if *context > 0 {
+		for _, rc := range rep.Races {
+			fmt.Printf("\nrace %s <-> %s:\n", rc.First, rc.Second)
+			fmt.Print(p.SourceContext(rc.FirstPC, *context))
+			if rc.SecondPC != rc.FirstPC {
+				fmt.Print(p.SourceContext(rc.SecondPC, *context))
+			}
+		}
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	list := fs.Bool("list", false, "list benchmark keys")
+	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	scale := fs.Int("scale", 0, "workload scale (0 = default)")
+	fs.Parse(args)
+	if *list || fs.NArg() == 0 {
+		for _, b := range workloads.All() {
+			fmt.Printf("%-14s %s\n", b.Key, b.Description)
+		}
+		return nil
+	}
+	b, ok := workloads.ByKey(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (use -list)", fs.Arg(0))
+	}
+	p, err := literace.Assemble(b.Key, b.Source(*scale))
+	if err != nil {
+		return err
+	}
+	if _, err := p.Instrument(); err != nil {
+		return err
+	}
+	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s: %.2f%% of %d memory ops logged\n",
+		b.Name, *samplerName, res.EffectiveRate*100, res.Meta.MemOps)
+	fmt.Print(rep.String())
+	return nil
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testProg = `
+glob shared 1
+func touch 1 4 {
+    glob r1, shared
+    store r1, 0, r0
+    ret r0
+}
+func main 0 4 {
+    movi r0, 1
+    fork r1, touch, r0
+    call _, touch, r0
+    join r1
+    exit
+}
+`
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func writeProg(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.lir")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdAsm(t *testing.T) {
+	path := writeProg(t)
+	out, err := capture(t, func() error { return cmdAsm([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 functions") {
+		t.Errorf("output: %q", out)
+	}
+	if err := cmdAsm([]string{"/nonexistent.lir"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdAsm(nil); err == nil {
+		t.Error("no args accepted")
+	}
+}
+
+func TestCmdDisasm(t *testing.T) {
+	path := writeProg(t)
+	out, err := capture(t, func() error { return cmdDisasm([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "func touch") || !strings.Contains(out, "entry main") {
+		t.Errorf("disassembly: %q", out)
+	}
+}
+
+func TestCmdRewrite(t *testing.T) {
+	path := writeProg(t)
+	out, err := capture(t, func() error { return cmdRewrite([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "instrumented 2 functions") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestCmdRunDetectRoundTrip(t *testing.T) {
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "out.trc")
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "Full", "-log", logPath, prog})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mem ops") {
+		t.Errorf("run output: %q", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdDetect([]string{"-src", prog, logPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "touch:") || !strings.Contains(out, "static data races") {
+		t.Errorf("detect output: %q", out)
+	}
+	// Without -src: raw indices.
+	out, err = capture(t, func() error { return cmdDetect([]string{logPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fn0:") {
+		t.Errorf("raw detect output: %q", out)
+	}
+}
+
+func TestCmdReport(t *testing.T) {
+	prog := writeProg(t)
+	out, err := capture(t, func() error {
+		return cmdReport([]string{"-sampler", "TL-Ad", prog})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sampler TL-Ad") || !strings.Contains(out, "static data races") {
+		t.Errorf("report output: %q", out)
+	}
+}
+
+func TestCmdBenchList(t *testing.T) {
+	out, err := capture(t, func() error { return cmdBench([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"dryad", "apache-1", "firefox-render", "lkrhash"} {
+		if !strings.Contains(out, key) {
+			t.Errorf("bench list missing %s:\n%s", key, out)
+		}
+	}
+	if err := cmdBench([]string{"bogus-bench"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCmdBenchRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	out, err := capture(t, func() error {
+		return cmdBench([]string{"-sampler", "TL-Ad", "concrt-sched"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ConcRT Explicit Scheduling") {
+		t.Errorf("bench output: %q", out)
+	}
+}
+
+func TestCmdDump(t *testing.T) {
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "out.trc")
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "Full", "-log", logPath, prog})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return cmdDump([]string{"-n", "5", logPath}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"thread 0", "events", "write", "primary Full"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdDump([]string{"/nonexistent.trc"}); err == nil {
+		t.Error("missing log accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command racebench regenerates every table and figure of the LiteRace
+// paper's evaluation (§5) on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	racebench [-all] [-table 2|3|4|5] [-figure 4|5|6] [-seeds n] [-scale k] [-v]
+//
+// With no selection flags, everything is produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"literace/internal/harness"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (2, 3, 4, or 5)")
+		figure = flag.Int("figure", 0, "regenerate one figure (4, 5, or 6)")
+		all    = flag.Bool("all", false, "regenerate everything (default when no selection given)")
+		abl    = flag.Bool("ablation", false, "run the design-parameter ablations (TL-Ad parameters; loop-granularity sampling)")
+		cover  = flag.String("coverage", "", "run the coverage-accumulation study: \"coverage\" for the schedule-dependent workload, or any benchmark key")
+		seeds  = flag.Int("seeds", 3, "number of scheduler seeds (the paper uses 3 runs)")
+		scale  = flag.Int("scale", 0, "workload scale multiplier (0 = default)")
+		v      = flag.Bool("v", false, "verbose progress")
+	)
+	flag.Parse()
+
+	if *table == 0 && *figure == 0 && !*abl && *cover == "" {
+		*all = true
+	}
+	cfg := harness.Config{Scale: *scale}
+	for i := 0; i < *seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, int64(i+1))
+	}
+	if *v {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := run(cfg, *all, *table, *figure, *abl, *cover); err != nil {
+		fmt.Fprintln(os.Stderr, "racebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg harness.Config, all bool, table, figure int, ablation bool, coverage string) error {
+	needComparison := all || table == 3 || table == 4 || figure == 4 || figure == 5
+	needOverhead := all || table == 5 || figure == 6
+
+	if all || table == 2 {
+		rows, err := harness.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderTable2(rows))
+	}
+
+	var m *harness.ComparisonMatrix
+	if needComparison {
+		var err error
+		m, err = harness.RunComparisons(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if all || table == 3 {
+		fmt.Println(harness.RenderTable3(m.Table3()))
+	}
+	if all || figure == 4 {
+		fmt.Println(harness.RenderFigure(
+			"Figure 4: Proportion of static data races found by various samplers",
+			m.DetectionRates(harness.DetectAll, false)))
+	}
+	if all || figure == 5 {
+		fmt.Println(harness.RenderFigure(
+			"Figure 5 (left): rare data-race detection rate",
+			m.DetectionRates(harness.DetectRare, true)))
+		fmt.Println(harness.RenderFigure(
+			"Figure 5 (right): frequent data-race detection rate",
+			m.DetectionRates(harness.DetectFrequent, true)))
+	}
+	if all || table == 4 {
+		fmt.Println(harness.RenderTable4(m.Table4()))
+	}
+
+	if needOverhead {
+		study, err := harness.RunOverheadStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if all || table == 5 {
+			fmt.Println(harness.RenderTable5(study.Table5))
+		}
+		if all || figure == 6 {
+			fmt.Println(harness.RenderFigure6(study.Figure6))
+		}
+	}
+
+	if all || ablation {
+		rows, err := harness.RunSamplerAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderSamplerAblation(rows))
+		loop, err := harness.RunLoopAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderLoopAblation(loop))
+		det, err := harness.RunDetectorComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderDetectorComparison(det))
+	}
+
+	if coverage != "" {
+		rows, err := harness.RunCoverageCurve(coverage, 8, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderCoverageCurve(coverage, rows))
+	}
+	return nil
+}

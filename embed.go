@@ -1,0 +1,295 @@
+package literace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"literace/internal/core"
+	"literace/internal/lir"
+	"literace/internal/sampler"
+	"literace/internal/trace"
+)
+
+// Detector is the embedded front end: a concurrent Go program annotates
+// its own code regions, memory accesses, and synchronization operations,
+// and LiteRace samples and logs them exactly as the binary rewriter would.
+//
+// Usage pattern:
+//
+//	d, _ := literace.NewDetector(literace.Options{Regions: nRegions})
+//	t := d.Thread(0)               // one per goroutine, owned by it
+//	t.Enter(regionID)              // on function/region entry
+//	t.Read(addr, pc)               // on every shared memory read
+//	t.Lock(lockVar)                // immediately AFTER acquiring the mutex
+//	t.Unlock(lockVar)              // immediately BEFORE releasing it
+//	t.Exit()                       // on region exit
+//	...
+//	report, _ := d.Close()         // offline analysis of the log
+//
+// Synchronization calls must bracket the real operation as shown (the
+// §4.2 discipline): the logical timestamp is drawn inside the call, so
+// drawing it while the real lock is held keeps timestamp order consistent
+// with semantic order. Memory-access calls are cheap when the enclosing
+// region is unsampled: they increment one counter and return.
+type Detector struct {
+	rt  *core.Runtime
+	w   *trace.Writer
+	buf *bytes.Buffer // non-nil when Options.LogTo was nil
+
+	regions int
+	mu      sync.Mutex
+	threads map[int32]*Thread
+	closed  bool
+
+	memOps      atomic.Uint64
+	stackMemOps atomic.Uint64
+	syncOps     atomic.Uint64
+}
+
+// Options configures an embedded detector.
+type Options struct {
+	// Regions is the number of distinct code regions (the unit of
+	// sampling; typically one per function). Required.
+	Regions int
+	// Sampler is the primary strategy name; default "TL-Ad".
+	Sampler string
+	// Seed drives the deterministic sampler RNGs.
+	Seed int64
+	// LogTo receives the encoded log; when nil the log is kept in memory
+	// and analyzed by Close.
+	LogTo io.Writer
+}
+
+// NewDetector creates an embedded detector.
+func NewDetector(opts Options) (*Detector, error) {
+	if opts.Regions <= 0 {
+		return nil, fmt.Errorf("literace: Options.Regions must be positive")
+	}
+	name := opts.Sampler
+	if name == "" {
+		name = "TL-Ad"
+	}
+	strat, ok := sampler.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("literace: unknown sampler %q", name)
+	}
+	d := &Detector{regions: opts.Regions, threads: make(map[int32]*Thread)}
+	sink := opts.LogTo
+	if sink == nil {
+		d.buf = &bytes.Buffer{}
+		sink = d.buf
+	}
+	w, err := trace.NewWriter(sink)
+	if err != nil {
+		return nil, err
+	}
+	d.w = w
+	rt, err := core.NewRuntime(core.Config{
+		NumFuncs:      opts.Regions,
+		Primary:       strat,
+		Writer:        w,
+		EnableMemLog:  true,
+		EnableSyncLog: true,
+		Seed:          opts.Seed,
+		Cost:          core.DefaultCostModel(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.rt = rt
+	return d, nil
+}
+
+// Thread returns the handle for thread id, creating it on first use. The
+// returned Thread must only be used by one goroutine.
+func (d *Detector) Thread(id int32) *Thread {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.threads[id]
+	if t == nil {
+		t = &Thread{d: d, id: id, ts: d.rt.Thread(id)}
+		d.threads[id] = t
+	}
+	return t
+}
+
+// StartThread logs the fork edge from parent to a new thread and returns
+// the child handle. Call it in the parent, before the child goroutine
+// starts using the handle.
+func (d *Detector) StartThread(parent *Thread, childID int32) *Thread {
+	tv := trace.ThreadVar(childID)
+	parent.mustLog(parent.ts.LogSync(trace.KindRelease, trace.OpFork, tv, parent.pc(0)))
+	parent.d.syncOps.Add(1)
+	child := d.Thread(childID)
+	child.mustLog(child.ts.LogSync(trace.KindAcquire, trace.OpForkChild, tv, lir.PC{}))
+	return child
+}
+
+// Close flushes the log and, when the log was kept in memory, runs the
+// offline analysis and returns the report (otherwise the report is nil
+// and the caller analyzes the log with Detect).
+func (d *Detector) Close() (*Report, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("literace: detector already closed")
+	}
+	d.closed = true
+	d.mu.Unlock()
+
+	d.rt.Finalize()
+	meta := trace.Meta{
+		Module:      "embedded",
+		MemOps:      d.memOps.Load(),
+		StackMemOps: d.stackMemOps.Load(),
+		SyncOps:     d.syncOps.Load(),
+		Primary:     d.rt.PrimaryName(),
+	}
+	if err := d.w.Close(meta); err != nil {
+		return nil, err
+	}
+	if d.buf == nil {
+		return nil, nil
+	}
+	return Detect(bytes.NewReader(d.buf.Bytes()), nil)
+}
+
+// Thread is a per-goroutine handle. All methods must be called from the
+// owning goroutine only.
+type Thread struct {
+	d  *Detector
+	id int32
+	ts *core.ThreadState
+
+	stack []regionFrame
+	err   error
+}
+
+type regionFrame struct {
+	region  int32
+	sampled bool
+	mask    uint32
+}
+
+// Err returns the first logging error encountered, if any.
+func (t *Thread) Err() error { return t.err }
+
+func (t *Thread) mustLog(err error) {
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// pc builds an event PC from the current region and an intra-region index.
+func (t *Thread) pc(idx int32) lir.PC {
+	if len(t.stack) == 0 {
+		return lir.PC{Func: -1, Index: idx}
+	}
+	return lir.PC{Func: t.stack[len(t.stack)-1].region, Index: idx}
+}
+
+// Enter runs the dispatch check for a region (function) entry and reports
+// whether this invocation is sampled.
+func (t *Thread) Enter(region int32) bool {
+	if region < 0 || int(region) >= t.d.regions {
+		t.mustLog(fmt.Errorf("literace: region %d out of range [0,%d)", region, t.d.regions))
+		return false
+	}
+	sampled, mask := t.ts.Dispatch(region, false)
+	t.stack = append(t.stack, regionFrame{region: region, sampled: sampled, mask: mask})
+	return sampled
+}
+
+// Exit leaves the current region.
+func (t *Thread) Exit() {
+	if len(t.stack) > 0 {
+		t.stack = t.stack[:len(t.stack)-1]
+	}
+}
+
+func (t *Thread) sampled() (uint32, bool) {
+	if len(t.stack) == 0 {
+		return 0, false
+	}
+	f := t.stack[len(t.stack)-1]
+	return f.mask, f.sampled
+}
+
+// Read records a shared-memory read of addr at intra-region location pc.
+func (t *Thread) Read(addr uint64, pc int32) {
+	t.d.memOps.Add(1)
+	if mask, ok := t.sampled(); ok {
+		t.mustLog(t.ts.LogRead(addr, t.pc(pc), mask))
+	}
+}
+
+// Write records a shared-memory write.
+func (t *Thread) Write(addr uint64, pc int32) {
+	t.d.memOps.Add(1)
+	if mask, ok := t.sampled(); ok {
+		t.mustLog(t.ts.LogWrite(addr, t.pc(pc), mask))
+	}
+}
+
+// Lock records a mutex acquisition; call it immediately after acquiring
+// the real lock. Synchronization is never sampled away (§3.2).
+func (t *Thread) Lock(syncVar uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindAcquire, trace.OpLock, syncVar, t.pc(0)))
+}
+
+// Unlock records a mutex release; call it immediately before releasing
+// the real lock.
+func (t *Thread) Unlock(syncVar uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindRelease, trace.OpUnlock, syncVar, t.pc(0)))
+}
+
+// Notify records an event signal; call it before the real signal.
+func (t *Thread) Notify(syncVar uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindRelease, trace.OpNotify, syncVar, t.pc(0)))
+}
+
+// Wait records an event wait; call it after the real wait returns.
+func (t *Thread) Wait(syncVar uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindAcquire, trace.OpWait, syncVar, t.pc(0)))
+}
+
+// Atomic records an atomic read-modify-write on addr (Table 1: the
+// SyncVar is the target address); call it atomically with the operation.
+func (t *Thread) Atomic(addr uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindAcqRel, trace.OpCas, addr, t.pc(0)))
+}
+
+// Join records joining thread childID; call it after the real join.
+func (t *Thread) Join(childID int32) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindAcquire, trace.OpJoin, trace.ThreadVar(childID), t.pc(0)))
+}
+
+// End records thread termination; call it as the goroutine's last event.
+func (t *Thread) End() {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogSync(trace.KindRelease, trace.OpThreadEnd, trace.ThreadVar(t.id), t.pc(0)))
+	t.ts.FlushStats()
+}
+
+// Alloc records a heap allocation of words at addr (§4.3: allocation
+// synchronizes on the containing pages, suppressing false races across
+// memory reuse).
+func (t *Thread) Alloc(addr, words uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogAllocRange(trace.OpAlloc, addr, words, t.pc(0)))
+}
+
+// Free records releasing the allocation at addr.
+func (t *Thread) Free(addr, words uint64) {
+	t.d.syncOps.Add(1)
+	t.mustLog(t.ts.LogAllocRange(trace.OpFree, addr, words, t.pc(0)))
+}

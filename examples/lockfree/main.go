@@ -1,0 +1,148 @@
+// Lockfree: the embedded-detector API on real goroutines, in the shape of
+// the paper's LFList microbenchmark. Worker goroutines push and pop a
+// shared stack whose head is an atomic (correct, annotated via Atomic) but
+// whose "ops" statistics counter is a plain racy int — the kind of bug
+// that survives in lock-free code because the structure itself is safe.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"literace"
+)
+
+// Region ids (the unit of sampling: one per function).
+const (
+	regionMain = iota
+	regionWorker
+	regionPush
+	regionPop
+	numRegions
+)
+
+// Synthetic addresses for the annotated shared state.
+const (
+	addrHead   = 0x100 // the CAS'd head pointer (synchronization)
+	addrStats  = 0x200 // the racy statistics counter (hot path)
+	addrConfig = 0x300 // racy one-shot worker initialization (cold path)
+	pcStatsRd  = 2
+	pcStatsWr  = 3
+	pcConfigWr = 4
+)
+
+type node struct {
+	value int
+	next  *node
+}
+
+type stack struct {
+	head   atomic.Pointer[node]
+	ops    int // racy on purpose (hot path)
+	config int // racy on purpose (cold path: one write per worker)
+}
+
+func (s *stack) push(t *literace.Thread, v int) {
+	t.Enter(regionPush)
+	defer t.Exit()
+	// The racy counter is updated before the CAS, so there is no
+	// release/acquire pair between two threads' updates.
+	t.Read(addrStats, pcStatsRd)
+	t.Write(addrStats, pcStatsWr)
+	s.ops++ // the hot race
+	n := &node{value: v}
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			t.Atomic(addrHead) // Table 1: atomic op on the head address
+			break
+		}
+	}
+}
+
+func (s *stack) pop(t *literace.Thread) (int, bool) {
+	t.Enter(regionPop)
+	defer t.Exit()
+	for {
+		old := s.head.Load()
+		if old == nil {
+			return 0, false
+		}
+		if s.head.CompareAndSwap(old, old.next) {
+			t.Atomic(addrHead)
+			return old.value, true
+		}
+	}
+}
+
+func main() {
+	d, err := literace.NewDetector(literace.Options{
+		Regions: numRegions,
+		Sampler: "TL-Ad",
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var s stack
+	const workers = 4
+	const opsPer = 2000
+
+	main := d.Thread(0)
+	main.Enter(regionMain)
+
+	var wg sync.WaitGroup
+	for i := 1; i <= workers; i++ {
+		th := d.StartThread(main, int32(i))
+		wg.Add(1)
+		go func(th *literace.Thread, id int) {
+			defer wg.Done()
+			th.Enter(regionWorker)
+			// Each worker "initializes" a shared config slot exactly once,
+			// before it ever touches the stack: a cold-path race that only
+			// a sampler covering cold code can see. The worker region is
+			// cold here, so TL-Ad samples it at 100%.
+			th.Write(addrConfig, pcConfigWr)
+			s.config = id
+			for j := 0; j < opsPer; j++ {
+				s.push(th, id*opsPer+j)
+				s.pop(th)
+			}
+			th.Exit()
+			th.End()
+		}(th, i)
+	}
+	wg.Wait()
+	for i := 1; i <= workers; i++ {
+		main.Join(int32(i))
+	}
+	main.Exit()
+	main.End()
+
+	report, err := d.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("stack processed ~%d operations; detector analyzed %d sampled accesses\n",
+		s.ops, report.MemOpsAnalyzed)
+	fmt.Print(report.String())
+
+	foundCold := false
+	for _, r := range report.Races {
+		if r.Addr == addrHead {
+			log.Fatal("the CAS'd head must not be reported (it is synchronization)")
+		}
+		if r.Addr == addrConfig {
+			foundCold = true
+		}
+	}
+	if !foundCold {
+		log.Fatal("the cold-path config race was not detected")
+	}
+	fmt.Println("\nthe cold-path config race was found; the CAS'd head was not reported")
+}

@@ -1,0 +1,60 @@
+// Samplers: run one workload under every sampling strategy and compare
+// effective sampling rates with the number of races each finds — a
+// one-program miniature of the paper's Figure 4 / Table 3 trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"literace"
+	"literace/internal/workloads"
+)
+
+func main() {
+	bench, ok := workloads.ByKey("dryad")
+	if !ok {
+		log.Fatal("dryad workload missing")
+	}
+	source := bench.Source(0)
+
+	// Ground truth first.
+	truth := runOnce(source, "Full")
+	fmt.Printf("ground truth (full logging): %d static races\n\n", truth)
+
+	fmt.Printf("%-8s %12s %10s %10s\n", "Sampler", "ESR", "Races", "Found")
+	for _, name := range literace.Samplers() {
+		prog, err := literace.Assemble("dryad", source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := prog.Instrument(); err != nil {
+			log.Fatal(err)
+		}
+		res, rep, err := prog.RunAndDetect(literace.Config{Sampler: name, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %11.2f%% %10d %9.0f%%\n",
+			name, res.EffectiveRate*100, len(rep.Races),
+			100*float64(len(rep.Races))/float64(truth))
+	}
+	fmt.Println("\nNote: each run is a different execution here, so counts are")
+	fmt.Println("indicative; cmd/racebench applies the paper's same-interleaving")
+	fmt.Println("methodology (§5.3) for the real comparison.")
+}
+
+func runOnce(source, samplerName string) int {
+	prog, err := literace.Assemble("dryad", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := prog.Instrument(); err != nil {
+		log.Fatal(err)
+	}
+	_, rep, err := prog.RunAndDetect(literace.Config{Sampler: samplerName, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return len(rep.Races)
+}

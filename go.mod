@@ -1,0 +1,3 @@
+module literace
+
+go 1.22

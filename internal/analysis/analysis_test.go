@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"literace/internal/asm"
+	"literace/internal/lir"
+)
+
+func mustFunc(t *testing.T, src, name string) *lir.Function {
+	t.Helper()
+	m, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func(name)
+	if f == nil {
+		t.Fatalf("no function %q", name)
+	}
+	return f
+}
+
+const loopSrc = `
+func main 0 6 {
+    movi r0, 10
+    movi r1, 0
+loop:
+    slt r2, r1, r0
+    br r2, body, done
+body:
+    addi r1, r1, 1
+    jmp loop
+done:
+    exit
+}
+`
+
+func TestBuildCFG(t *testing.T) {
+	f := mustFunc(t, loopSrc, "main")
+	g := Build(f)
+	// Blocks: [0,2) entry; [2,4) loop header; [4,6) body; [6,7) done.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks: %s", len(g.Blocks), g)
+	}
+	entry := g.Blocks[0]
+	if entry.Start != 0 || entry.End != 2 || len(entry.Succs) != 1 {
+		t.Errorf("entry block wrong: %+v", entry)
+	}
+	header := g.BlockOf(2)
+	if header == nil || len(header.Succs) != 2 {
+		t.Fatalf("header block wrong: %+v", header)
+	}
+	body := g.BlockOf(4)
+	if len(body.Succs) != 1 || body.Succs[0] != header.ID {
+		t.Errorf("body should loop back to header: %+v", body)
+	}
+	done := g.BlockOf(6)
+	if len(done.Succs) != 0 {
+		t.Errorf("done should have no successors: %+v", done)
+	}
+	if len(header.Preds) != 2 {
+		t.Errorf("header should have 2 preds, got %v", header.Preds)
+	}
+}
+
+func TestReachableAndDead(t *testing.T) {
+	src := `
+func main 0 4 {
+    jmp out
+    movi r0, 1
+    movi r1, 2
+out:
+    exit
+}
+`
+	f := mustFunc(t, src, "main")
+	g := Build(f)
+	dead := g.DeadInstrs()
+	if len(dead) != 2 || dead[0] != 1 || dead[1] != 2 {
+		t.Errorf("dead instrs = %v, want [1 2]", dead)
+	}
+	if n := len(g.Reachable()); n != 2 {
+		t.Errorf("reachable blocks = %d, want 2", n)
+	}
+}
+
+func TestSelfLoops(t *testing.T) {
+	src := `
+func main 0 4 {
+    movi r0, 1000000
+spin:
+    addi r0, r0, -1
+    br r0, spin, out
+out:
+    exit
+}
+`
+	f := mustFunc(t, src, "main")
+	g := Build(f)
+	loops := g.SelfLoops()
+	if len(loops) != 1 {
+		t.Fatalf("self loops = %v, want exactly one", loops)
+	}
+	b := g.Blocks[loops[0]]
+	if b.Start != 1 || b.End != 3 {
+		t.Errorf("loop block = [%d,%d)", b.Start, b.End)
+	}
+}
+
+func TestRegSetBasics(t *testing.T) {
+	s := NewRegSet(100)
+	for _, r := range []int32{0, 1, 63, 64, 99} {
+		if s.Has(r) {
+			t.Errorf("fresh set has r%d", r)
+		}
+		s.Add(r)
+		if !s.Has(r) {
+			t.Errorf("set missing r%d after Add", r)
+		}
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d, want 5", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 4 {
+		t.Error("Remove failed")
+	}
+	c := s.Clone()
+	c.Add(50)
+	if s.Has(50) {
+		t.Error("Clone shares storage")
+	}
+	u := NewRegSet(100)
+	if !u.Union(s) {
+		t.Error("Union should report change")
+	}
+	if u.Union(s) {
+		t.Error("second Union should not report change")
+	}
+}
+
+func TestRegSetQuick(t *testing.T) {
+	// Adding then removing any register leaves membership of others intact.
+	f := func(a, b uint8) bool {
+		ra, rb := int32(a%128), int32(b%128)
+		s := NewRegSet(128)
+		s.Add(ra)
+		s.Add(rb)
+		s.Remove(ra)
+		if ra == rb {
+			return !s.Has(rb)
+		}
+		return !s.Has(ra) && s.Has(rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUsesDefsCoverAllOpcodes(t *testing.T) {
+	// Every opcode must be classified: for each op, UsesDefs must not panic
+	// and register-writing ops must report a def.
+	writers := map[lir.Op]bool{
+		lir.MovI: true, lir.Mov: true, lir.Add: true, lir.Sub: true,
+		lir.Mul: true, lir.Div: true, lir.Mod: true, lir.And: true,
+		lir.Or: true, lir.Xor: true, lir.Shl: true, lir.Shr: true,
+		lir.AddI: true, lir.Slt: true, lir.Sle: true, lir.Seq: true,
+		lir.Sne: true, lir.Not: true, lir.Neg: true, lir.Load: true,
+		lir.Glob: true, lir.Alloc: true, lir.SAlloc: true, lir.Fork: true,
+		lir.Cas: true, lir.Xadd: true, lir.Xchg: true, lir.Tid: true,
+		lir.Rand: true, lir.Call: true,
+	}
+	for op := lir.Op(0); op < lir.Op(lir.NumOps); op++ {
+		ins := lir.Instr{Op: op, A: 1, B: 2, C: 3, D: 4, Args: []int32{2}}
+		if op == lir.Ret || op == lir.Call {
+			ins.A = 1
+		}
+		uses, defs := UsesDefs(ins)
+		if writers[op] && len(defs) == 0 {
+			t.Errorf("%s writes a register but UsesDefs reports no defs", op)
+		}
+		if !writers[op] && len(defs) != 0 {
+			t.Errorf("%s reported defs %v", op, defs)
+		}
+		_ = uses
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	src := `
+entry f
+func f 1 4 {
+    addi r1, r0, 1
+    addi r2, r1, 1
+    ret r2
+}
+`
+	f := mustFunc(t, src, "f")
+	lv := ComputeLiveness(Build(f))
+	entry := lv.LiveAtEntry()
+	if !entry.Has(0) {
+		t.Error("parameter r0 should be live at entry")
+	}
+	for _, r := range []int32{1, 2, 3} {
+		if entry.Has(r) {
+			t.Errorf("r%d should be dead at entry", r)
+		}
+	}
+	if s := lv.ScratchAtEntry(); s != 1 {
+		t.Errorf("scratch = r%d, want r1", s)
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// r0 (bound) and r1 (induction) are live around the loop; r2 is the
+	// condition temp, dead at entry.
+	f := mustFunc(t, loopSrc, "main")
+	lv := ComputeLiveness(Build(f))
+	header := lv.CFG.BlockOf(2)
+	if !lv.LiveIn[header.ID].Has(0) || !lv.LiveIn[header.ID].Has(1) {
+		t.Error("loop-carried registers not live at header")
+	}
+	if lv.LiveIn[header.ID].Has(2) {
+		t.Error("condition temp should not be live into header")
+	}
+	if s := lv.ScratchAtEntry(); s < 0 {
+		t.Error("expected a free scratch register at entry")
+	}
+}
+
+func TestLivenessReadBeforeWrite(t *testing.T) {
+	// A function that reads r3 before writing it: r3 is live at entry even
+	// though it is not a parameter.
+	src := `
+entry f
+func f 0 4 {
+    addi r0, r3, 1
+    ret r0
+}
+`
+	f := mustFunc(t, src, "f")
+	lv := ComputeLiveness(Build(f))
+	if !lv.LiveAtEntry().Has(3) {
+		t.Error("read-before-write register should be live at entry")
+	}
+}
+
+func TestScratchAtEntryAllLive(t *testing.T) {
+	// Every register is read before being written: no scratch available.
+	src := `
+entry f
+func f 0 2 {
+    add r0, r0, r1
+    ret r0
+}
+`
+	f := mustFunc(t, src, "f")
+	lv := ComputeLiveness(Build(f))
+	if s := lv.ScratchAtEntry(); s != -1 {
+		t.Errorf("scratch = r%d, want -1 (all live)", s)
+	}
+}
+
+func TestLivenessAcrossCall(t *testing.T) {
+	src := `
+entry f
+func callee 1 2 {
+    ret r0
+}
+func f 1 6 {
+    movi r1, 5
+    call r2, callee, r0
+    add r3, r1, r2
+    ret r3
+}
+`
+	f := mustFunc(t, src, "f")
+	lv := ComputeLiveness(Build(f))
+	entry := lv.LiveAtEntry()
+	if !entry.Has(0) {
+		t.Error("call argument source should be live at entry")
+	}
+	if entry.Has(1) || entry.Has(2) || entry.Has(3) {
+		t.Error("temps live at entry")
+	}
+}

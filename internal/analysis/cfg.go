@@ -1,0 +1,172 @@
+// Package analysis provides control-flow and dataflow analyses over LIR
+// functions. The instrumentation pass uses them the way the original
+// LiteRace used Phoenix: liveness at function entry decides whether the
+// dispatch check's scratch register must be saved and restored (the paper's
+// edx/eflags analysis, §4.1), and reachability prunes dead code from
+// instruction counts.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"literace/internal/lir"
+)
+
+// Block is a basic block: a maximal straight-line instruction range
+// [Start, End) with successor and predecessor edges.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// CFG is the control-flow graph of one function. Blocks[0] is the entry
+// block (it always starts at instruction 0).
+type CFG struct {
+	Fn     *lir.Function
+	Blocks []*Block
+
+	// blockAt[i] is the index of the block whose Start == i, or -1.
+	blockAt []int
+}
+
+// BlockOf returns the block containing instruction index i.
+func (g *CFG) BlockOf(i int) *Block {
+	for _, b := range g.Blocks {
+		if i >= b.Start && i < b.End {
+			return b
+		}
+	}
+	return nil
+}
+
+// Build constructs the CFG of f. The function must be structurally valid
+// (branch targets in range).
+func Build(f *lir.Function) *CFG {
+	n := len(f.Code)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i, ins := range f.Code {
+		switch ins.Op {
+		case lir.Jmp:
+			leader[ins.A] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case lir.Br:
+			leader[ins.B] = true
+			leader[ins.C] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case lir.Ret, lir.Exit:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	g := &CFG{Fn: f, blockAt: make([]int, n)}
+	for i := range g.blockAt {
+		g.blockAt[i] = -1
+	}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := &Block{ID: len(g.Blocks), Start: start, End: i}
+			g.blockAt[start] = b.ID
+			g.Blocks = append(g.Blocks, b)
+			start = i
+		}
+	}
+
+	for _, b := range g.Blocks {
+		last := f.Code[b.End-1]
+		switch last.Op {
+		case lir.Jmp:
+			g.addEdge(b.ID, g.blockAt[last.A])
+		case lir.Br:
+			g.addEdge(b.ID, g.blockAt[last.B])
+			if last.C != last.B {
+				g.addEdge(b.ID, g.blockAt[last.C])
+			}
+		case lir.Ret, lir.Exit:
+			// no successors
+		default:
+			if b.End < n {
+				g.addEdge(b.ID, g.blockAt[b.End])
+			}
+		}
+	}
+	return g
+}
+
+func (g *CFG) addEdge(from, to int) {
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+}
+
+// Reachable returns the set of block IDs reachable from the entry block.
+func (g *CFG) Reachable() map[int]bool {
+	seen := make(map[int]bool, len(g.Blocks))
+	var stack []int
+	if len(g.Blocks) > 0 {
+		stack = append(stack, 0)
+		seen[0] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// DeadInstrs returns the indices of instructions in unreachable blocks, in
+// ascending order.
+func (g *CFG) DeadInstrs() []int {
+	reach := g.Reachable()
+	var dead []int
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			for i := b.Start; i < b.End; i++ {
+				dead = append(dead, i)
+			}
+		}
+	}
+	sort.Ints(dead)
+	return dead
+}
+
+// String renders the CFG for debugging.
+func (g *CFG) String() string {
+	s := fmt.Sprintf("cfg %s: %d blocks\n", g.Fn.Name, len(g.Blocks))
+	for _, b := range g.Blocks {
+		s += fmt.Sprintf("  b%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return s
+}
+
+// SelfLoops returns the IDs of blocks that branch directly back to
+// themselves — the "high trip count loop" candidates that the paper's
+// future-work section (§7) proposes sampling at loop granularity.
+func (g *CFG) SelfLoops() []int {
+	var out []int
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == b.ID {
+				out = append(out, b.ID)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import "literace/internal/lir"
+
+// RegSet is a bitset of register indices.
+type RegSet []uint64
+
+// NewRegSet returns a set sized for n registers.
+func NewRegSet(n int) RegSet { return make(RegSet, (n+63)/64) }
+
+// Has reports whether register r is in the set.
+func (s RegSet) Has(r int32) bool {
+	w := int(r) / 64
+	return w < len(s) && s[w]&(1<<(uint(r)%64)) != 0
+}
+
+// Add inserts register r.
+func (s RegSet) Add(r int32) { s[int(r)/64] |= 1 << (uint(r) % 64) }
+
+// Remove deletes register r.
+func (s RegSet) Remove(r int32) { s[int(r)/64] &^= 1 << (uint(r) % 64) }
+
+// Union adds all of t into s and reports whether s changed.
+func (s RegSet) Union(t RegSet) bool {
+	changed := false
+	for i := range t {
+		nv := s[i] | t[i]
+		if nv != s[i] {
+			s[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone returns a copy of s.
+func (s RegSet) Clone() RegSet { return append(RegSet(nil), s...) }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// UsesDefs returns the registers read (uses) and written (defs) by one
+// instruction.
+func UsesDefs(ins lir.Instr) (uses, defs []int32) {
+	switch ins.Op {
+	case lir.MovI, lir.Glob, lir.SAlloc, lir.Tid:
+		defs = []int32{ins.A}
+	case lir.Mov, lir.Not, lir.Neg, lir.AddI, lir.Load, lir.Alloc, lir.Rand:
+		defs = []int32{ins.A}
+		uses = []int32{ins.B}
+	case lir.Add, lir.Sub, lir.Mul, lir.Div, lir.Mod, lir.And, lir.Or,
+		lir.Xor, lir.Shl, lir.Shr, lir.Slt, lir.Sle, lir.Seq, lir.Sne,
+		lir.Xadd, lir.Xchg:
+		defs = []int32{ins.A}
+		uses = []int32{ins.B, ins.C}
+	case lir.Br:
+		uses = []int32{ins.A}
+	case lir.Call:
+		if ins.A >= 0 {
+			defs = []int32{ins.A}
+		}
+		uses = ins.Args
+	case lir.Ret:
+		if ins.A >= 0 {
+			uses = []int32{ins.A}
+		}
+	case lir.Store:
+		uses = []int32{ins.A, ins.B}
+	case lir.Free, lir.Lock, lir.Unlock, lir.Wait, lir.Notify, lir.Reset,
+		lir.Join, lir.Print, lir.MLog:
+		uses = []int32{ins.A}
+	case lir.Fork:
+		defs = []int32{ins.A}
+		uses = []int32{ins.C}
+	case lir.Cas:
+		defs = []int32{ins.A}
+		uses = []int32{ins.B, ins.C, ins.D}
+	}
+	return uses, defs
+}
+
+// Liveness holds the result of the backward may-liveness dataflow analysis.
+type Liveness struct {
+	CFG *CFG
+	// LiveIn[b] and LiveOut[b] are the registers live at block entry/exit.
+	LiveIn  []RegSet
+	LiveOut []RegSet
+}
+
+// ComputeLiveness runs iterative backward liveness over g.
+func ComputeLiveness(g *CFG) *Liveness {
+	nb := len(g.Blocks)
+	nr := g.Fn.NRegs
+	lv := &Liveness{CFG: g, LiveIn: make([]RegSet, nb), LiveOut: make([]RegSet, nb)}
+
+	// Per-block gen (upward-exposed uses) and kill (defs).
+	gen := make([]RegSet, nb)
+	kill := make([]RegSet, nb)
+	for i, b := range g.Blocks {
+		gen[i] = NewRegSet(nr)
+		kill[i] = NewRegSet(nr)
+		lv.LiveIn[i] = NewRegSet(nr)
+		lv.LiveOut[i] = NewRegSet(nr)
+		for j := b.Start; j < b.End; j++ {
+			uses, defs := UsesDefs(g.Fn.Code[j])
+			for _, u := range uses {
+				if !kill[i].Has(u) {
+					gen[i].Add(u)
+				}
+			}
+			for _, d := range defs {
+				kill[i].Add(d)
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			for _, s := range b.Succs {
+				if lv.LiveOut[i].Union(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			// in = gen ∪ (out \ kill)
+			newIn := lv.LiveOut[i].Clone()
+			for r := int32(0); int(r) < nr; r++ {
+				if kill[i].Has(r) {
+					newIn.Remove(r)
+				}
+			}
+			newIn.Union(gen[i])
+			if lv.LiveIn[i].Union(newIn) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAtEntry returns the registers live at function entry.
+func (lv *Liveness) LiveAtEntry() RegSet {
+	if len(lv.LiveIn) == 0 {
+		return NewRegSet(lv.CFG.Fn.NRegs)
+	}
+	return lv.LiveIn[0]
+}
+
+// ScratchAtEntry returns a register that is dead at function entry and so
+// can be used by the dispatch check without a save/restore, or -1 when
+// every register is live (the dispatch check must then spill, which the
+// cost model charges for — mirroring the paper's edx/eflags handling).
+func (lv *Liveness) ScratchAtEntry() int32 {
+	live := lv.LiveAtEntry()
+	for r := int32(0); int(r) < lv.CFG.Fn.NRegs; r++ {
+		if !live.Has(r) {
+			return r
+		}
+	}
+	return -1
+}

@@ -1,0 +1,576 @@
+// Package asm implements the textual assembly format for LIR modules: a
+// line-oriented assembler and a round-trippable disassembler.
+//
+// Grammar (one statement per line; ';' starts a comment):
+//
+//	module NAME
+//	entry FUNCNAME
+//	glob NAME SIZE [= v0 v1 ...]
+//	func NAME NPARAMS NREGS {
+//	LABEL:
+//	    mnemonic operands...
+//	}
+//
+// Operands are registers (r0..rN), immediates (decimal, 0x hex, or a
+// 'c' character literal), labels, global names, or function names,
+// depending on the mnemonic. The underscore register "_" means "discard"
+// where a destination is optional (call).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"literace/internal/lir"
+)
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	mod       *Module
+	lines     []string
+	lineNo    int
+	entryName string
+}
+
+// Module wraps lir.Module so the package exports a stable surface; it is an
+// alias kept minimal on purpose.
+type Module = lir.Module
+
+// Assemble parses src into a validated LIR module named name.
+func Assemble(name, src string) (*Module, error) {
+	p := &parser{mod: lir.NewModule(name), lines: strings.Split(src, "\n")}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	if err := p.mod.ResolveCalls(); err != nil {
+		return nil, err
+	}
+	if p.entryName != "" {
+		ei := p.mod.FuncIndex(p.entryName)
+		if ei < 0 {
+			return nil, &Error{Line: 0, Msg: fmt.Sprintf("entry function %q not defined", p.entryName)}
+		}
+		p.mod.Entry = ei
+	} else if mi := p.mod.FuncIndex("main"); mi >= 0 {
+		p.mod.Entry = mi
+	}
+	if err := p.mod.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p.mod, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and embedded
+// workload sources that are compile-time constants.
+func MustAssemble(name, src string) *Module {
+	m, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.lineNo, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-empty logical line, already comment-stripped
+// and trimmed, or false at end of input.
+func (p *parser) next() (string, bool) {
+	for p.lineNo < len(p.lines) {
+		line := p.lines[p.lineNo]
+		p.lineNo++
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) run() error {
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "module":
+			if len(fields) != 2 {
+				return p.errf("module wants one name")
+			}
+			p.mod.Name = fields[1]
+		case "entry":
+			if len(fields) != 2 {
+				return p.errf("entry wants one function name")
+			}
+			p.entryName = fields[1]
+		case "glob":
+			if err := p.parseGlob(line); err != nil {
+				return err
+			}
+		case "func":
+			if err := p.parseFunc(fields, line); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected top-level statement %q", fields[0])
+		}
+	}
+}
+
+func (p *parser) parseGlob(line string) error {
+	body, initPart, hasInit := strings.Cut(line, "=")
+	fields := strings.Fields(body)
+	if len(fields) != 3 {
+		return p.errf("glob wants: glob NAME SIZE [= values]")
+	}
+	size, err := strconv.Atoi(fields[2])
+	if err != nil || size <= 0 {
+		return p.errf("bad global size %q", fields[2])
+	}
+	g := lir.Global{Name: fields[1], Size: size}
+	if hasInit {
+		for _, v := range strings.Fields(initPart) {
+			n, err := parseImm(v)
+			if err != nil {
+				return p.errf("bad init value %q: %v", v, err)
+			}
+			g.Init = append(g.Init, uint64(n))
+		}
+	}
+	p.mod.AddGlobal(g)
+	return nil
+}
+
+func (p *parser) parseFunc(fields []string, line string) error {
+	if len(fields) != 5 || fields[4] != "{" {
+		return p.errf("func wants: func NAME NPARAMS NREGS {")
+	}
+	nparams, err1 := strconv.Atoi(fields[2])
+	nregs, err2 := strconv.Atoi(fields[3])
+	if err1 != nil || err2 != nil {
+		return p.errf("bad func header %q", line)
+	}
+	b := lir.NewBuilder(p.mod, fields[1], nparams, nregs)
+	for {
+		stmt, ok := p.next()
+		if !ok {
+			return p.errf("unterminated func %s", fields[1])
+		}
+		if stmt == "}" {
+			if _, err := b.Finish(); err != nil {
+				return p.errf("%v", err)
+			}
+			return nil
+		}
+		// Allow "label: instr" on one line as well as bare "label:".
+		for {
+			colon := strings.IndexByte(stmt, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(stmt[:colon])
+			if !isIdent(label) {
+				return p.errf("bad label %q", label)
+			}
+			b.Label(label)
+			stmt = strings.TrimSpace(stmt[colon+1:])
+			if stmt == "" {
+				break
+			}
+		}
+		if stmt == "" {
+			continue
+		}
+		if err := p.parseInstr(b, stmt); err != nil {
+			return err
+		}
+	}
+}
+
+// isIdent reports whether s is a plausible label/function/global name.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '$', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseImm(s string) (int64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return '\n', nil
+		}
+		r := []rune(body)
+		if len(r) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(r[0]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func parseReg(s string) (int32, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return int32(n), nil
+}
+
+// splitOperands splits "a, b, c" on commas and trims each part.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (p *parser) parseInstr(b *lir.Builder, stmt string) error {
+	mnemonic, rest, _ := strings.Cut(stmt, " ")
+	ops := splitOperands(rest)
+	op, ok := lir.OpByName(mnemonic)
+	if !ok {
+		return p.errf("unknown mnemonic %q", mnemonic)
+	}
+
+	want := func(n int) error {
+		if len(ops) != n {
+			return p.errf("%s wants %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (int32, error) {
+		r, err := parseReg(ops[i])
+		if err != nil {
+			return 0, p.errf("%s operand %d: %v", mnemonic, i+1, err)
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		v, err := parseImm(ops[i])
+		if err != nil {
+			return 0, p.errf("%s operand %d: %v", mnemonic, i+1, err)
+		}
+		return v, nil
+	}
+
+	switch op {
+	case lir.Nop, lir.Yield, lir.Exit:
+		if err := want(0); err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: op})
+
+	case lir.MovI:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.MovI(rd, v)
+
+	case lir.Mov, lir.Not, lir.Neg:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: op, A: rd, B: rs})
+
+	case lir.AddI:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		b.AddI(rd, rs, v)
+
+	case lir.Add, lir.Sub, lir.Mul, lir.Div, lir.Mod, lir.And, lir.Or,
+		lir.Xor, lir.Shl, lir.Shr, lir.Slt, lir.Sle, lir.Seq, lir.Sne,
+		lir.Xadd, lir.Xchg:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: op, A: rd, B: rs, C: rt})
+
+	case lir.Jmp:
+		if err := want(1); err != nil {
+			return err
+		}
+		b.Jmp(ops[0])
+
+	case lir.Br:
+		if err := want(3); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		b.Br(rs, ops[1], ops[2])
+
+	case lir.Call:
+		if len(ops) < 2 {
+			return p.errf("call wants: call RD|_, FUNC, args...")
+		}
+		var rd int32 = -1
+		if ops[0] != "_" {
+			r, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rd = r
+		}
+		if !isIdent(ops[1]) {
+			return p.errf("call target %q is not a function name", ops[1])
+		}
+		var args []int32
+		for i := 2; i < len(ops); i++ {
+			r, err := reg(i)
+			if err != nil {
+				return err
+			}
+			args = append(args, r)
+		}
+		b.Call(rd, ops[1], args...)
+
+	case lir.Ret:
+		switch len(ops) {
+		case 0:
+			b.Ret(-1)
+		case 1:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			b.Ret(rs)
+		default:
+			return p.errf("ret wants 0 or 1 operands")
+		}
+
+	case lir.Load:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(1)
+		if err != nil {
+			return err
+		}
+		off, err := imm(2)
+		if err != nil {
+			return err
+		}
+		b.Load(rd, rb, off)
+
+	case lir.Store:
+		if err := want(3); err != nil {
+			return err
+		}
+		rb, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, err := imm(1)
+		if err != nil {
+			return err
+		}
+		rv, err := reg(2)
+		if err != nil {
+			return err
+		}
+		b.Store(rb, off, rv)
+
+	case lir.Glob:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !isIdent(ops[1]) {
+			return p.errf("glob wants a global name, got %q", ops[1])
+		}
+		b.Glob(rd, ops[1])
+
+	case lir.Alloc:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: lir.Alloc, A: rd, B: rs})
+
+	case lir.SAlloc:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		n, err := imm(1)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: lir.SAlloc, A: rd, Imm: n})
+
+	case lir.Free, lir.Lock, lir.Unlock, lir.Wait, lir.Notify, lir.Reset,
+		lir.Join, lir.Print:
+		if err := want(1); err != nil {
+			return err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		b.Op1(op, r)
+
+	case lir.Fork:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !isIdent(ops[1]) {
+			return p.errf("fork target %q is not a function name", ops[1])
+		}
+		rarg, err := reg(2)
+		if err != nil {
+			return err
+		}
+		b.Fork(rd, ops[1], rarg)
+
+	case lir.Cas:
+		if err := want(4); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		re, err := reg(2)
+		if err != nil {
+			return err
+		}
+		rn, err := reg(3)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: lir.Cas, A: rd, B: ra, C: re, D: rn})
+
+	case lir.Tid:
+		if err := want(1); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: lir.Tid, A: rd})
+
+	case lir.Rand:
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(1)
+		if err != nil {
+			return err
+		}
+		b.Emit(lir.Instr{Op: lir.Rand, A: rd, B: rb})
+
+	case lir.MLog, lir.Dispatch, lir.ReCheck:
+		return p.errf("%s is instrumentation-only and cannot be written in source", mnemonic)
+
+	default:
+		return p.errf("mnemonic %q not handled", mnemonic)
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"literace/internal/lir"
+)
+
+const sample = `
+; a small producer/consumer-ish program exercising most mnemonics
+module sample
+glob counter 1
+glob table 16 = 1 2 3
+glob lk 1
+
+func worker 1 8 {
+    glob r1, lk
+    lock r1
+    glob r2, counter
+    load r3, r2, 0
+    addi r3, r3, 1
+    store r2, 0, r3
+    unlock r1
+    ret r3
+}
+
+func spin 1 8 {
+loop:
+    addi r1, r1, 1
+    slt r2, r1, r0
+    br r2, loop, done
+done:
+    ret r1
+}
+
+func main 0 8 {
+    movi r0, 10
+    fork r1, worker, r0
+    call r2, worker, r0
+    call _, spin, r0
+    join r1
+    movi r3, 4096
+    alloc r4, r3
+    store r4, 0, r0
+    load r5, r4, 1
+    free r4
+    salloc r6, 16
+    store r6, 2, r0
+    tid r7
+    rand r7, r0
+    cas r7, r4, r0, r3
+    xadd r7, r4, r0
+    xchg r7, r4, r0
+    glob r5, lk
+    wait r5
+    notify r5
+    reset r5
+    yield
+    nop
+    print r0
+    exit
+}
+entry main
+`
+
+func TestAssembleSample(t *testing.T) {
+	m, err := Assemble("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "sample" {
+		t.Errorf("module name = %q", m.Name)
+	}
+	if m.Entry != m.FuncIndex("main") {
+		t.Errorf("entry = %d, want main index %d", m.Entry, m.FuncIndex("main"))
+	}
+	if len(m.Funcs) != 3 || len(m.Globals) != 3 {
+		t.Fatalf("got %d funcs, %d globals", len(m.Funcs), len(m.Globals))
+	}
+	if g := m.Globals[1]; g.Name != "table" || g.Size != 16 || len(g.Init) != 3 || g.Init[2] != 3 {
+		t.Errorf("table global parsed wrong: %+v", g)
+	}
+	// The wait in main should reference register 5.
+	main := m.Func("main")
+	found := false
+	for _, ins := range main.Code {
+		if ins.Op == lir.Wait {
+			found = true
+			if ins.A != 5 {
+				t.Errorf("wait operand = r%d", ins.A)
+			}
+		}
+	}
+	if !found {
+		t.Error("wait instruction missing")
+	}
+}
+
+func TestDefaultEntryIsMain(t *testing.T) {
+	m, err := Assemble("m", "func main 0 2 {\n exit\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Entry != 0 {
+		t.Errorf("entry = %d", m.Entry)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m1 := MustAssemble("sample", sample)
+	text := Disassemble(m1)
+	m2, err := Assemble("sample", text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n--- disassembly ---\n%s", err, text)
+	}
+	if len(m2.Funcs) != len(m1.Funcs) {
+		t.Fatalf("function count changed: %d -> %d", len(m1.Funcs), len(m2.Funcs))
+	}
+	for i := range m1.Funcs {
+		f1, f2 := m1.Funcs[i], m2.Funcs[i]
+		if f1.Name != f2.Name || len(f1.Code) != len(f2.Code) {
+			t.Fatalf("func %s changed shape: %d -> %d instrs", f1.Name, len(f1.Code), len(f2.Code))
+		}
+		for j := range f1.Code {
+			a, b := f1.Code[j], f2.Code[j]
+			if a.Op != b.Op || a.A != b.A || a.B != b.B || a.C != b.C || a.D != b.D || a.Imm != b.Imm {
+				t.Errorf("%s instr %d: %v -> %v", f1.Name, j, a, b)
+			}
+		}
+	}
+	if m2.Entry != m1.Entry {
+		t.Errorf("entry changed: %d -> %d", m1.Entry, m2.Entry)
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	src := `
+func main 0 4 {
+    movi r0, 3
+loop: addi r0, r0, -1
+    br r0, loop, out
+out: exit
+}
+`
+	m, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	if f.Code[2].Op != lir.Br || f.Code[2].B != 1 || f.Code[2].C != 3 {
+		t.Errorf("branch mispatched: %v", f.Code[2])
+	}
+}
+
+func TestImmediateForms(t *testing.T) {
+	src := `
+func main 0 4 {
+    movi r0, 0x10
+    movi r1, -5
+    movi r2, 'A'
+    movi r3, '\n'
+    exit
+}
+`
+	m, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	want := []int64{16, -5, 65, 10}
+	for i, w := range want {
+		if f.Code[i].Imm != w {
+			t.Errorf("imm %d = %d, want %d", i, f.Code[i].Imm, w)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "func main 0 2 {\n frob r0\n exit\n}", "unknown mnemonic"},
+		{"bad register", "func main 0 2 {\n movi x0, 1\n exit\n}", "expected register"},
+		{"wrong arity", "func main 0 2 {\n movi r0\n exit\n}", "wants 2 operands"},
+		{"unterminated func", "func main 0 2 {\n exit\n", "unterminated"},
+		{"bad top level", "wibble\n", "unexpected top-level"},
+		{"undefined label", "func main 0 2 {\n jmp nowhere\n exit\n}", "undefined label"},
+		{"undefined callee", "func main 0 2 {\n call _, ghost\n exit\n}", "unresolved function"},
+		{"bad entry", "entry ghost\nfunc main 0 2 {\n exit\n}", "not defined"},
+		{"bad glob size", "glob g zero\nfunc main 0 2 {\n exit\n}", "bad global size"},
+		{"mlog in source", "func main 0 2 {\n mlog r0, 0, 0\n exit\n}", "instrumentation-only"},
+		{"validate failure", "func main 0 2 {\n mov r0, r9\n exit\n}", "out of range"},
+		{"ret arity", "func main 0 2 {\n ret r0, r1, r2\n exit\n}", "ret wants"},
+		{"bad char", "func main 0 2 {\n movi r0, 'ab'\n exit\n}", "bad char"},
+		{"call to non-name", "func main 0 2 {\n call r0, 123\n exit\n}", "not a function name"},
+		{"bad label", "func main 0 2 {\n 9bad: exit\n}", "bad label"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("m", c.src)
+			if err == nil {
+				t.Fatalf("Assemble accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	src := "func main 0 2 {\n movi r0, 1\n frob r0\n exit\n}\n"
+	_, err := Assemble("m", src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("m", "wibble")
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+; leading comment
+
+func main 0 2 { ; trailing comment on header
+
+    movi r0, 1 ; trailing comment
+    ; full-line comment
+    exit
+}
+`
+	m, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Func("main").Code) != 2 {
+		t.Errorf("got %d instructions", len(m.Func("main").Code))
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	m := MustAssemble("weird name!", "func main 0 2 {\n exit\n}\n")
+	text := Disassemble(m)
+	if _, err := Assemble("x", text); err != nil {
+		t.Errorf("disassembly with weird module name does not reassemble: %v", err)
+	}
+}

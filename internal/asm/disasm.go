@@ -1,0 +1,174 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"literace/internal/lir"
+)
+
+// Disassemble renders a module back into assembler text. For non-rewritten
+// modules the output re-assembles to an equivalent module (labels are
+// synthesized for branch targets). Rewritten modules disassemble for human
+// inspection but are rejected by Assemble because instrumentation opcodes
+// cannot be written in source.
+func Disassemble(m *lir.Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", sanitizeName(m.Name))
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "glob %s %d", g.Name, g.Size)
+		if len(g.Init) > 0 {
+			b.WriteString(" =")
+			for _, v := range g.Init {
+				fmt.Fprintf(&b, " %d", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if m.Entry >= 0 && m.Entry < len(m.Funcs) {
+		fmt.Fprintf(&b, "entry %s\n", m.Funcs[m.Entry].Name)
+	}
+	for _, f := range m.Funcs {
+		disasmFunc(&b, m, f)
+	}
+	return b.String()
+}
+
+func sanitizeName(s string) string {
+	if isIdent(s) {
+		return s
+	}
+	out := []byte(s)
+	for i := range out {
+		c := out[i]
+		ok := c == '_' || c == '$' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "m"
+	}
+	return string(out)
+}
+
+func disasmFunc(b *strings.Builder, m *lir.Module, f *lir.Function) {
+	// Collect branch targets so labels are only emitted where needed.
+	targets := map[int32]string{}
+	addTarget := func(t int32) {
+		if _, ok := targets[t]; !ok {
+			targets[t] = ""
+		}
+	}
+	for _, ins := range f.Code {
+		switch ins.Op {
+		case lir.Jmp:
+			addTarget(ins.A)
+		case lir.Br:
+			addTarget(ins.B)
+			addTarget(ins.C)
+		}
+	}
+	var order []int32
+	for t := range targets {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for i, t := range order {
+		targets[t] = fmt.Sprintf("L%d", i)
+	}
+	label := func(t int32) string { return targets[t] }
+
+	fmt.Fprintf(b, "func %s %d %d {\n", f.Name, f.NParams, f.NRegs)
+	for i, ins := range f.Code {
+		if l, ok := targets[int32(i)]; ok {
+			fmt.Fprintf(b, "%s:\n", l)
+		}
+		b.WriteString("    ")
+		b.WriteString(renderInstr(m, ins, label))
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+}
+
+func renderInstr(m *lir.Module, ins lir.Instr, label func(int32) string) string {
+	funcName := func(i int32) string {
+		if i >= 0 && int(i) < len(m.Funcs) {
+			return m.Funcs[i].Name
+		}
+		return fmt.Sprintf("fn%d", i)
+	}
+	globName := func(i int32) string {
+		if i >= 0 && int(i) < len(m.Globals) {
+			return m.Globals[i].Name
+		}
+		return fmt.Sprintf("g%d", i)
+	}
+
+	switch ins.Op {
+	case lir.Nop, lir.Yield, lir.Exit:
+		return ins.Op.String()
+	case lir.MovI:
+		return fmt.Sprintf("movi r%d, %d", ins.A, ins.Imm)
+	case lir.Mov, lir.Not, lir.Neg:
+		return fmt.Sprintf("%s r%d, r%d", ins.Op, ins.A, ins.B)
+	case lir.AddI:
+		return fmt.Sprintf("addi r%d, r%d, %d", ins.A, ins.B, ins.Imm)
+	case lir.Add, lir.Sub, lir.Mul, lir.Div, lir.Mod, lir.And, lir.Or,
+		lir.Xor, lir.Shl, lir.Shr, lir.Slt, lir.Sle, lir.Seq, lir.Sne,
+		lir.Xadd, lir.Xchg:
+		return fmt.Sprintf("%s r%d, r%d, r%d", ins.Op, ins.A, ins.B, ins.C)
+	case lir.Jmp:
+		return "jmp " + label(ins.A)
+	case lir.Br:
+		return fmt.Sprintf("br r%d, %s, %s", ins.A, label(ins.B), label(ins.C))
+	case lir.Call:
+		dst := "_"
+		if ins.A >= 0 {
+			dst = fmt.Sprintf("r%d", ins.A)
+		}
+		parts := []string{dst, funcName(ins.B)}
+		for _, a := range ins.Args {
+			parts = append(parts, fmt.Sprintf("r%d", a))
+		}
+		return "call " + strings.Join(parts, ", ")
+	case lir.Ret:
+		if ins.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", ins.A)
+	case lir.Load:
+		return fmt.Sprintf("load r%d, r%d, %d", ins.A, ins.B, ins.Imm)
+	case lir.Store:
+		return fmt.Sprintf("store r%d, %d, r%d", ins.A, ins.Imm, ins.B)
+	case lir.Glob:
+		return fmt.Sprintf("glob r%d, %s", ins.A, globName(ins.B))
+	case lir.Alloc:
+		return fmt.Sprintf("alloc r%d, r%d", ins.A, ins.B)
+	case lir.SAlloc:
+		return fmt.Sprintf("salloc r%d, %d", ins.A, ins.Imm)
+	case lir.Free, lir.Lock, lir.Unlock, lir.Wait, lir.Notify, lir.Reset,
+		lir.Join, lir.Print, lir.Tid:
+		return fmt.Sprintf("%s r%d", ins.Op, ins.A)
+	case lir.Fork:
+		return fmt.Sprintf("fork r%d, %s, r%d", ins.A, funcName(ins.B), ins.C)
+	case lir.Cas:
+		return fmt.Sprintf("cas r%d, r%d, r%d, r%d", ins.A, ins.B, ins.C, ins.D)
+	case lir.Rand:
+		return fmt.Sprintf("rand r%d, r%d", ins.A, ins.B)
+	case lir.MLog:
+		rw := "r"
+		if ins.B != 0 {
+			rw = "w"
+		}
+		return fmt.Sprintf("; mlog.%s r%d+%d (orig pc %d)", rw, ins.A, ins.Imm, ins.C)
+	case lir.Dispatch:
+		return fmt.Sprintf("; dispatch -> %s | %s", funcName(ins.A), funcName(ins.B))
+	case lir.ReCheck:
+		return fmt.Sprintf("; recheck region %d -> %s@%d", ins.C, funcName(ins.A), ins.B)
+	}
+	return "; " + ins.String()
+}

@@ -1,0 +1,53 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that the assembler never panics and that anything it
+// accepts is a valid module that survives a disassemble/reassemble round
+// trip. Run with `go test -fuzz=FuzzAssemble ./internal/asm` for real
+// fuzzing; under plain `go test` the seed corpus runs.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main 0 2 {\n exit\n}",
+		sample,
+		"glob g 4 = 1 2\nfunc main 0 4 {\n glob r0, g\n load r1, r0, 1\n exit\n}",
+		"func main 0 2 {\n jmp nowhere\n}",
+		"module x\nentry f\nfunc f 0 1 {\nl: jmp l\n}",
+		"func main 0 2 { ; comment\n movi r0, 'Z'\nlbl: br r0, lbl, out\nout: exit\n}",
+		"func main 99999 2 {\n exit\n}",
+		"glob g -5\nfunc main 0 2 {\n exit\n}",
+		"func main 0 2 {\n cas r0, r1, r0, r1\n exit\n}",
+		strings.Repeat("glob g 1\n", 3),
+		"func main 0 2 {\n movi r0, 0x7fffffffffffffff\n exit\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted module fails validation: %v\nsource:\n%s", verr, src)
+		}
+		// Accepted modules must round-trip through the disassembler.
+		text := Disassemble(m)
+		m2, err := Assemble("fuzz2", text)
+		if err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\ndisassembly:\n%s", err, text)
+		}
+		if len(m2.Funcs) != len(m.Funcs) {
+			t.Fatalf("round trip changed function count: %d -> %d", len(m.Funcs), len(m2.Funcs))
+		}
+		for i := range m.Funcs {
+			if len(m2.Funcs[i].Code) != len(m.Funcs[i].Code) {
+				t.Fatalf("round trip changed %s length", m.Funcs[i].Name)
+			}
+		}
+	})
+}

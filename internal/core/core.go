@@ -1,0 +1,396 @@
+// Package core implements the LiteRace runtime: the per-thread sampling
+// profiles consulted by the dispatch check, the logical timestamp counters
+// for synchronization events, the event logging front-end, and the
+// instrumentation cost model. It is the runtime half of the paper's
+// contribution (§3.4, §4.1, §4.2); the static half is package instrument.
+//
+// One Runtime exists per instrumented execution. Each simulated (or real)
+// thread owns a ThreadState; all ThreadState methods must be called only
+// from that thread. Global sampler state and the timestamp counters are
+// safe for concurrent use.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"literace/internal/lir"
+	"literace/internal/sampler"
+	"literace/internal/trace"
+)
+
+// CostModel charges virtual cycles for instrumentation work, mirroring the
+// measured costs in §4.1 and §5.4. The interpreter counts one cycle per
+// application instruction; these are added on top.
+type CostModel struct {
+	// DispatchCycles is the cost of the dispatch check (the paper's check
+	// is 8 instructions with 3 memory references and 1 branch).
+	DispatchCycles uint64
+	// DispatchSpillCycles is added when liveness analysis found no free
+	// scratch register, so the check must save and restore one (the
+	// paper's edx/eflags save).
+	DispatchSpillCycles uint64
+	// MemLogCycles is the cost of logging one memory access.
+	MemLogCycles uint64
+	// SyncLogCycles is the cost of logging one synchronization operation,
+	// including the atomic timestamp increment.
+	SyncLogCycles uint64
+}
+
+// DefaultCostModel returns the calibrated cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DispatchCycles:      8,
+		DispatchSpillCycles: 4,
+		MemLogCycles:        30,
+		SyncLogCycles:       40,
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// NumFuncs is the function count of the *original* module; profiles
+	// are indexed by original function index.
+	NumFuncs int
+
+	// Primary decides which clone actually runs. Defaults to TL-Ad.
+	Primary sampler.Strategy
+
+	// Shadows are evaluated at every dispatch check in addition to
+	// Primary; bit i of each logged memory event's mask reports whether
+	// Shadows[i] would have sampled the enclosing function invocation.
+	// Used by the §5.3 methodology of comparing samplers on one run.
+	Shadows []sampler.Strategy
+
+	// Writer receives the event log; nil disables event output (counting
+	// and cost accounting still happen).
+	Writer *trace.Writer
+
+	// OnEvent, when non-nil, observes every logged event in emission
+	// order. In a single-scheduler execution (the interpreter) this order
+	// is a legal global interleaving, so an online detector can consume
+	// it directly (§4.4's "online data race detector" variant).
+	OnEvent func(trace.Event)
+
+	// EnableSyncLog and EnableMemLog gate the two logging layers, used to
+	// measure the Figure 6 overhead components separately.
+	EnableSyncLog bool
+	EnableMemLog  bool
+
+	// Seed drives the deterministic RNG handed to random samplers.
+	Seed int64
+
+	// Cost is the instrumentation cost model; zero value means free.
+	Cost CostModel
+}
+
+// Stats aggregates runtime counters. Fields are written by ThreadState
+// methods and must be read only after the execution quiesces.
+type Stats struct {
+	DispatchChecks    uint64
+	InstrumentedCalls uint64
+	LoggedMemOps      uint64
+	LoggedSyncOps     uint64
+	// SampledOps[i] counts memory ops shadow i would have logged.
+	SampledOps []uint64
+	// ExtraCycles is the total instrumentation cost.
+	ExtraCycles uint64
+}
+
+// Runtime is the shared state of one instrumented execution.
+type Runtime struct {
+	cfg     Config
+	primary sampler.Strategy
+
+	// clock holds the 128 logical timestamp counters of §4.2.
+	clock [trace.NumCounters]atomic.Uint64
+
+	// Global-scope sampler state, shared by all threads.
+	globalMu      sync.Mutex
+	globalPrimary []sampler.State // used when Primary has Global scope
+	globalShadow  [][]sampler.State
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	threadMu sync.Mutex
+	threads  map[int32]*ThreadState
+}
+
+// NewRuntime validates cfg and builds a Runtime.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.NumFuncs <= 0 {
+		return nil, fmt.Errorf("core: NumFuncs must be positive, got %d", cfg.NumFuncs)
+	}
+	if cfg.Primary == nil {
+		cfg.Primary = sampler.NewThreadLocalAdaptive()
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		primary: cfg.Primary,
+		threads: make(map[int32]*ThreadState),
+	}
+	if cfg.Primary.Scope() == sampler.Global {
+		rt.globalPrimary = make([]sampler.State, cfg.NumFuncs)
+	}
+	rt.globalShadow = make([][]sampler.State, len(cfg.Shadows))
+	for i, s := range cfg.Shadows {
+		if s.Scope() == sampler.Global {
+			rt.globalShadow[i] = make([]sampler.State, cfg.NumFuncs)
+		}
+	}
+	rt.stats.SampledOps = make([]uint64, len(cfg.Shadows))
+	return rt, nil
+}
+
+// SamplerNames returns the shadow sampler names in mask-bit order.
+func (rt *Runtime) SamplerNames() []string {
+	names := make([]string, len(rt.cfg.Shadows))
+	for i, s := range rt.cfg.Shadows {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// PrimaryName returns the primary sampler's name.
+func (rt *Runtime) PrimaryName() string { return rt.primary.Name() }
+
+// Thread returns (creating on first use) the state for thread tid.
+func (rt *Runtime) Thread(tid int32) *ThreadState {
+	rt.threadMu.Lock()
+	defer rt.threadMu.Unlock()
+	ts := rt.threads[tid]
+	if ts == nil {
+		ts = rt.newThreadState(tid)
+		rt.threads[tid] = ts
+	}
+	return ts
+}
+
+func (rt *Runtime) newThreadState(tid int32) *ThreadState {
+	ts := &ThreadState{
+		rt:  rt,
+		tid: tid,
+		rng: rand.New(rand.NewSource(rt.cfg.Seed ^ (int64(tid)+1)*0x5E3779B97F4A7C15)),
+	}
+	ts.rngFn = ts.rand
+	if rt.primary.Scope() == sampler.ThreadLocal {
+		ts.primary = make([]sampler.State, rt.cfg.NumFuncs)
+	}
+	ts.shadow = make([][]sampler.State, len(rt.cfg.Shadows))
+	for i, s := range rt.cfg.Shadows {
+		if s.Scope() == sampler.ThreadLocal {
+			ts.shadow[i] = make([]sampler.State, rt.cfg.NumFuncs)
+		}
+	}
+	if rt.cfg.Writer != nil {
+		ts.tw = rt.cfg.Writer.Thread(tid)
+	}
+	return ts
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (rt *Runtime) Stats() Stats {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	s := rt.stats
+	s.SampledOps = append([]uint64(nil), rt.stats.SampledOps...)
+	return s
+}
+
+// nextTS atomically draws the next timestamp for syncVar's counter.
+func (rt *Runtime) nextTS(syncVar uint64) (uint8, uint64) {
+	c := trace.CounterOf(syncVar)
+	return c, rt.clock[c].Add(1)
+}
+
+// ThreadState is the per-thread half of the runtime: the thread-local
+// profiling buffer of §4.1 plus the thread's log writer. Methods must be
+// called only by the owning thread.
+type ThreadState struct {
+	rt    *Runtime
+	tid   int32
+	rng   *rand.Rand
+	rngFn sampler.RNG // cached closure so Dispatch does not allocate
+
+	primary []sampler.State   // nil when primary sampler is global
+	shadow  [][]sampler.State // shadow[i] nil when shadow i is global
+
+	tw *trace.ThreadWriter
+
+	// Local counters, folded into Runtime.stats by flushStats.
+	dispatches   uint64
+	instrumented uint64
+	loggedMem    uint64
+	loggedSync   uint64
+	sampledOps   []uint64
+	extraCycles  uint64
+	statsDirty   uint64
+}
+
+// TID returns the thread id.
+func (ts *ThreadState) TID() int32 { return ts.tid }
+
+func (ts *ThreadState) rand(n uint32) uint32 { return uint32(ts.rng.Intn(int(n))) }
+
+// Dispatch runs the dispatch check for function fn (original index):
+// the primary decision selects the clone, every shadow sampler is
+// evaluated to build the event mask, and the check's cost is charged
+// (including the spill penalty when needSpill is set).
+func (ts *ThreadState) Dispatch(fn int32, needSpill bool) (instrumented bool, mask uint32) {
+	rt := ts.rt
+	ts.dispatches++
+	ts.extraCycles += rt.cfg.Cost.DispatchCycles
+	if needSpill {
+		ts.extraCycles += rt.cfg.Cost.DispatchSpillCycles
+	}
+
+	if ts.primary != nil {
+		instrumented = rt.primary.Decide(&ts.primary[fn], ts.rngFn)
+	} else {
+		rt.globalMu.Lock()
+		instrumented = rt.primary.Decide(&rt.globalPrimary[fn], ts.rngFn)
+		rt.globalMu.Unlock()
+	}
+	if instrumented {
+		ts.instrumented++
+	}
+
+	for i, s := range rt.cfg.Shadows {
+		var d bool
+		if ts.shadow[i] != nil {
+			d = s.Decide(&ts.shadow[i][fn], ts.rngFn)
+		} else {
+			rt.globalMu.Lock()
+			d = s.Decide(&rt.globalShadow[i][fn], ts.rngFn)
+			rt.globalMu.Unlock()
+		}
+		if d {
+			mask |= 1 << uint(i)
+		}
+	}
+
+	ts.maybeFlush()
+	return instrumented, mask
+}
+
+// LogRead records a sampled read. Called only from instrumented code.
+func (ts *ThreadState) LogRead(addr uint64, pc lir.PC, mask uint32) error {
+	return ts.logMem(trace.KindRead, addr, pc, mask)
+}
+
+// LogWrite records a sampled write. Called only from instrumented code.
+func (ts *ThreadState) LogWrite(addr uint64, pc lir.PC, mask uint32) error {
+	return ts.logMem(trace.KindWrite, addr, pc, mask)
+}
+
+func (ts *ThreadState) logMem(kind trace.Kind, addr uint64, pc lir.PC, mask uint32) error {
+	if !ts.rt.cfg.EnableMemLog {
+		return nil
+	}
+	ts.loggedMem++
+	ts.extraCycles += ts.rt.cfg.Cost.MemLogCycles
+	if len(ts.sampledOps) != len(ts.rt.cfg.Shadows) {
+		ts.sampledOps = make([]uint64, len(ts.rt.cfg.Shadows))
+	}
+	for i := range ts.sampledOps {
+		if mask&(1<<uint(i)) != 0 {
+			ts.sampledOps[i]++
+		}
+	}
+	ts.maybeFlush()
+	return ts.emit(trace.Event{Kind: kind, TID: ts.tid, PC: pc, Addr: addr, Mask: mask})
+}
+
+// LogSync records a synchronization operation, drawing its logical
+// timestamp atomically (§4.2). It must be called in program order at the
+// linearization point of the operation: after acquire-like operations and
+// before release-like ones, so timestamp order matches semantic order.
+// Sync events are never sampled away (§3.2).
+func (ts *ThreadState) LogSync(kind trace.Kind, op trace.SyncOp, syncVar uint64, pc lir.PC) error {
+	if !ts.rt.cfg.EnableSyncLog {
+		return nil
+	}
+	ts.loggedSync++
+	ts.extraCycles += ts.rt.cfg.Cost.SyncLogCycles
+	c, tsv := ts.rt.nextTS(syncVar)
+	ts.maybeFlush()
+	return ts.emit(trace.Event{
+		Kind: kind, Op: op, TID: ts.tid, PC: pc,
+		Addr: syncVar, Counter: c, TS: tsv,
+	})
+}
+
+// LogAllocRange logs the §4.3 allocation synchronization: an acquire+
+// release pair on every page overlapping [addr, addr+words).
+func (ts *ThreadState) LogAllocRange(op trace.SyncOp, addr, words uint64, pc lir.PC) error {
+	if words == 0 {
+		words = 1
+	}
+	first := lir.PageOf(addr)
+	last := lir.PageOf(addr + words - 1)
+	for p := first; p <= last; p++ {
+		if err := ts.LogSync(trace.KindAcqRel, op, trace.PageVar(p), pc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ts *ThreadState) emit(e trace.Event) error {
+	if ts.rt.cfg.OnEvent != nil {
+		ts.rt.cfg.OnEvent(e)
+	}
+	if ts.tw == nil {
+		return nil
+	}
+	return ts.tw.Append(e)
+}
+
+// maybeFlush folds local counters into the shared stats periodically so
+// Stats() stays cheap to read and reasonably fresh.
+func (ts *ThreadState) maybeFlush() {
+	ts.statsDirty++
+	if ts.statsDirty >= 1<<12 {
+		ts.FlushStats()
+	}
+}
+
+// FlushStats folds this thread's counters into the runtime totals. The
+// interpreter calls it when a thread exits; Finalize calls it for all
+// threads.
+func (ts *ThreadState) FlushStats() {
+	rt := ts.rt
+	rt.statsMu.Lock()
+	rt.stats.DispatchChecks += ts.dispatches
+	rt.stats.InstrumentedCalls += ts.instrumented
+	rt.stats.LoggedMemOps += ts.loggedMem
+	rt.stats.LoggedSyncOps += ts.loggedSync
+	rt.stats.ExtraCycles += ts.extraCycles
+	for i, n := range ts.sampledOps {
+		rt.stats.SampledOps[i] += n
+	}
+	rt.statsMu.Unlock()
+	ts.dispatches, ts.instrumented, ts.loggedMem, ts.loggedSync, ts.extraCycles = 0, 0, 0, 0, 0
+	for i := range ts.sampledOps {
+		ts.sampledOps[i] = 0
+	}
+	ts.statsDirty = 0
+}
+
+// Finalize flushes all per-thread counters and returns the final stats.
+// Call once after execution completes.
+func (rt *Runtime) Finalize() Stats {
+	rt.threadMu.Lock()
+	threads := make([]*ThreadState, 0, len(rt.threads))
+	for _, ts := range rt.threads {
+		threads = append(threads, ts)
+	}
+	rt.threadMu.Unlock()
+	for _, ts := range threads {
+		ts.FlushStats()
+	}
+	return rt.Stats()
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"literace/internal/lir"
+	"literace/internal/sampler"
+	"literace/internal/trace"
+)
+
+func newRT(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	if cfg.NumFuncs == 0 {
+		cfg.NumFuncs = 4
+	}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	if _, err := NewRuntime(Config{}); err == nil {
+		t.Error("NumFuncs=0 accepted")
+	}
+	rt := newRT(t, Config{})
+	if rt.PrimaryName() != "TL-Ad" {
+		t.Errorf("default primary = %s", rt.PrimaryName())
+	}
+}
+
+func TestDispatchPrimaryThreadLocal(t *testing.T) {
+	rt := newRT(t, Config{Primary: sampler.NewThreadLocalAdaptive()})
+	ts := rt.Thread(0)
+	// First BurstLength calls of a cold function are instrumented.
+	for i := 0; i < sampler.BurstLength; i++ {
+		inst, _ := ts.Dispatch(1, false)
+		if !inst {
+			t.Fatalf("cold call %d not instrumented", i)
+		}
+	}
+	// A *different thread* hitting the same function must also see it as
+	// cold: the paper's thread-local extension.
+	other := rt.Thread(1)
+	inst, _ := other.Dispatch(1, false)
+	if !inst {
+		t.Error("fresh thread's first call not instrumented (state leaked across threads)")
+	}
+	// A different function in the same thread is independently cold.
+	inst, _ = ts.Dispatch(2, false)
+	if !inst {
+		t.Error("different function shares state")
+	}
+}
+
+func TestDispatchGlobalScopeShared(t *testing.T) {
+	rt := newRT(t, Config{Primary: sampler.NewGlobalAdaptive()})
+	a, b := rt.Thread(0), rt.Thread(1)
+	// Drain the first burst from thread a.
+	for i := 0; i < sampler.BurstLength; i++ {
+		a.Dispatch(1, false)
+	}
+	// Thread b's first call lands in the back-off gap: not instrumented.
+	inst, _ := b.Dispatch(1, false)
+	if inst {
+		t.Error("global sampler did not share state across threads")
+	}
+}
+
+func TestShadowMasks(t *testing.T) {
+	shadows := []sampler.Strategy{
+		sampler.NewFull(),     // bit 0: always set
+		sampler.NewUnCold(),   // bit 1: clear for first ColdCalls calls
+		sampler.NewRandom(10), // bit 2
+	}
+	rt := newRT(t, Config{Primary: sampler.NewFull(), Shadows: shadows})
+	ts := rt.Thread(0)
+	inst, mask := ts.Dispatch(0, false)
+	if !inst {
+		t.Fatal("Full primary must instrument")
+	}
+	if mask&1 == 0 {
+		t.Error("Full shadow bit clear")
+	}
+	if mask&2 != 0 {
+		t.Error("UnCold shadow bit set on first (cold) call")
+	}
+	names := rt.SamplerNames()
+	if len(names) != 3 || names[0] != "Full" || names[1] != "UCP" || names[2] != "Rnd10" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMemLogCountsPerShadow(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadows := []sampler.Strategy{sampler.NewFull(), sampler.NewUnCold()}
+	rt := newRT(t, Config{
+		Primary: sampler.NewFull(), Shadows: shadows, Writer: w,
+		EnableMemLog: true, EnableSyncLog: true,
+	})
+	ts := rt.Thread(0)
+	pc := lir.PC{Func: 0, Index: 1}
+	for i := 0; i < 20; i++ {
+		_, mask := ts.Dispatch(0, false)
+		if err := ts.LogWrite(0x100, pc, mask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := rt.Finalize()
+	if stats.LoggedMemOps != 20 {
+		t.Errorf("LoggedMemOps = %d", stats.LoggedMemOps)
+	}
+	if stats.SampledOps[0] != 20 {
+		t.Errorf("Full shadow sampled %d, want 20", stats.SampledOps[0])
+	}
+	// UnCold skips the first 10 calls.
+	if stats.SampledOps[1] != 10 {
+		t.Errorf("UnCold shadow sampled %d, want 10", stats.SampledOps[1])
+	}
+	if stats.DispatchChecks != 20 || stats.InstrumentedCalls != 20 {
+		t.Errorf("dispatch stats: %+v", stats)
+	}
+	if err := w.Close(trace.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumEvents() != 20 {
+		t.Errorf("log has %d events", log.NumEvents())
+	}
+}
+
+func TestSyncTimestampsDensePerCounter(t *testing.T) {
+	rt := newRT(t, Config{EnableSyncLog: true})
+	a, b := rt.Thread(0), rt.Thread(1)
+	var events []trace.Event
+	rt.cfg.OnEvent = func(e trace.Event) { events = append(events, e) }
+
+	const v = uint64(0x42)
+	pc := lir.PC{}
+	for i := 0; i < 5; i++ {
+		if err := a.LogSync(trace.KindAcquire, trace.OpLock, v, pc); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.LogSync(trace.KindRelease, trace.OpUnlock, v, pc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(events) != 10 {
+		t.Fatalf("%d events", len(events))
+	}
+	c := trace.CounterOf(v)
+	for i, e := range events {
+		if e.Counter != c {
+			t.Errorf("event %d counter = %d, want %d", i, e.Counter, c)
+		}
+		if e.TS != uint64(i+1) {
+			t.Errorf("event %d ts = %d, want %d (dense)", i, e.TS, i+1)
+		}
+	}
+}
+
+func TestLogAllocRangePages(t *testing.T) {
+	rt := newRT(t, Config{EnableSyncLog: true})
+	var events []trace.Event
+	rt.cfg.OnEvent = func(e trace.Event) { events = append(events, e) }
+	ts := rt.Thread(0)
+
+	// A range spanning three pages must emit three acqrel events.
+	start := uint64(lir.PageWords - 1)
+	if err := ts.LogAllocRange(trace.OpAlloc, start, uint64(lir.PageWords+2), lir.PC{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != trace.KindAcqRel || e.Op != trace.OpAlloc {
+			t.Errorf("bad alloc event %v", e)
+		}
+	}
+	if events[0].Addr != trace.PageVar(0) || events[2].Addr != trace.PageVar(2) {
+		t.Errorf("pages: %#x %#x", events[0].Addr, events[2].Addr)
+	}
+
+	// Zero-length ranges still synchronize their single page.
+	events = nil
+	if err := ts.LogAllocRange(trace.OpFree, 0, 0, lir.PC{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Errorf("zero-size range logged %d events", len(events))
+	}
+}
+
+func TestLoggingGates(t *testing.T) {
+	rt := newRT(t, Config{EnableSyncLog: false, EnableMemLog: false})
+	var events int
+	rt.cfg.OnEvent = func(trace.Event) { events++ }
+	ts := rt.Thread(0)
+	if err := ts.LogWrite(1, lir.PC{}, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.LogSync(trace.KindAcquire, trace.OpLock, 1, lir.PC{}); err != nil {
+		t.Fatal(err)
+	}
+	if events != 0 {
+		t.Errorf("gated logging emitted %d events", events)
+	}
+	stats := rt.Finalize()
+	if stats.LoggedMemOps != 0 || stats.LoggedSyncOps != 0 {
+		t.Errorf("gated logging counted: %+v", stats)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	cost := CostModel{DispatchCycles: 8, DispatchSpillCycles: 4, MemLogCycles: 12, SyncLogCycles: 40}
+	rt := newRT(t, Config{
+		Primary: sampler.NewFull(), Cost: cost,
+		EnableMemLog: true, EnableSyncLog: true,
+	})
+	ts := rt.Thread(0)
+	ts.Dispatch(0, false)
+	ts.Dispatch(0, true) // spill
+	ts.LogWrite(1, lir.PC{}, 0)
+	ts.LogSync(trace.KindAcquire, trace.OpLock, 1, lir.PC{})
+	stats := rt.Finalize()
+	want := uint64(8 + 8 + 4 + 12 + 40)
+	if stats.ExtraCycles != want {
+		t.Errorf("ExtraCycles = %d, want %d", stats.ExtraCycles, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []uint32 {
+		rt := newRT(t, Config{
+			Primary: sampler.NewRandom(25),
+			Shadows: []sampler.Strategy{sampler.NewRandom(10)},
+			Seed:    99,
+		})
+		ts := rt.Thread(0)
+		var masks []uint32
+		for i := 0; i < 200; i++ {
+			inst, mask := ts.Dispatch(0, false)
+			v := mask << 1
+			if inst {
+				v |= 1
+			}
+			masks = append(masks, v)
+		}
+		return masks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at dispatch %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestThreadIsStable(t *testing.T) {
+	rt := newRT(t, Config{})
+	if rt.Thread(3) != rt.Thread(3) {
+		t.Error("Thread not memoized")
+	}
+	if rt.Thread(3).TID() != 3 {
+		t.Error("TID wrong")
+	}
+}
+
+func TestStatsFlushIncremental(t *testing.T) {
+	rt := newRT(t, Config{Primary: sampler.NewFull(), EnableMemLog: true})
+	ts := rt.Thread(0)
+	// Force several internal flushes.
+	for i := 0; i < 3*(1<<12)+5; i++ {
+		ts.Dispatch(0, false)
+	}
+	stats := rt.Finalize()
+	if stats.DispatchChecks != 3*(1<<12)+5 {
+		t.Errorf("DispatchChecks = %d", stats.DispatchChecks)
+	}
+	// Finalize twice must not double-count.
+	stats2 := rt.Finalize()
+	if stats2.DispatchChecks != stats.DispatchChecks {
+		t.Errorf("Finalize not idempotent: %d vs %d", stats2.DispatchChecks, stats.DispatchChecks)
+	}
+}
+
+// TestConcurrentRuntime hammers the runtime from real goroutines: the
+// global-scope sampler state, the 128 timestamp counters, and the shared
+// log writer must all be safe for concurrent use (verified by `go test
+// -race`), and the resulting log must still satisfy the dense-timestamp
+// invariant.
+func TestConcurrentRuntime(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(Config{
+		NumFuncs: 8,
+		Primary:  sampler.NewGlobalAdaptive(), // global scope: shared state
+		Shadows:  []sampler.Strategy{sampler.NewGlobalFixed(), sampler.NewUnCold()},
+		Writer:   w, EnableMemLog: true, EnableSyncLog: true,
+		Cost: DefaultCostModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const opsPer = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			ts := rt.Thread(tid)
+			pc := lir.PC{Func: tid % 8, Index: 1}
+			for i := 0; i < opsPer; i++ {
+				_, mask := ts.Dispatch(tid%8, i%5 == 0)
+				if err := ts.LogWrite(uint64(i), pc, mask); err != nil {
+					t.Errorf("LogWrite: %v", err)
+					return
+				}
+				if err := ts.LogSync(trace.KindAcquire, trace.OpLock, uint64(i%64), pc); err != nil {
+					t.Errorf("LogSync: %v", err)
+					return
+				}
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+
+	stats := rt.Finalize()
+	if stats.DispatchChecks != goroutines*opsPer {
+		t.Errorf("DispatchChecks = %d, want %d", stats.DispatchChecks, goroutines*opsPer)
+	}
+	if stats.LoggedMemOps != goroutines*opsPer || stats.LoggedSyncOps != goroutines*opsPer {
+		t.Errorf("logged counts: %+v", stats)
+	}
+	if err := w.Close(trace.Meta{Samplers: rt.SamplerNames()}); err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumEvents() != 2*goroutines*opsPer {
+		t.Errorf("log has %d events", log.NumEvents())
+	}
+	if err := trace.Verify(log); err != nil {
+		t.Errorf("concurrently produced log fails verification: %v", err)
+	}
+}

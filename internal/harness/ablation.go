@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"literace/internal/asm"
+	"literace/internal/core"
+	"literace/internal/hb"
+	"literace/internal/instrument"
+	"literace/internal/interp"
+	"literace/internal/race"
+	"literace/internal/sampler"
+	"literace/internal/trace"
+	"literace/internal/workloads"
+)
+
+// SamplerAblationRow reports one TL-Ad parameter variant.
+type SamplerAblationRow struct {
+	Name      string
+	Burst     uint32
+	Floor     float64 // back-off lower bound
+	ESR       float64 // effective sampling rate (weighted over benchmarks)
+	Detection float64 // overall static-race detection rate
+	RareRate  float64 // rare-race detection rate
+}
+
+// samplerVariants builds the swept TL-Ad configurations: the paper fixes
+// burst = 10 and floor = 0.1% (§5.2); the ablation varies each around
+// those values.
+func samplerVariants() ([]sampler.Strategy, []SamplerAblationRow, error) {
+	type variant struct {
+		burst uint32
+		floor float64
+	}
+	variants := []variant{
+		{2, 0.001}, {10, 0.001}, {50, 0.001}, // burst sweep at the paper's floor
+		{10, 0.01}, {10, 0.0001}, // floor sweep at the paper's burst
+	}
+	var strategies []sampler.Strategy
+	var rows []SamplerAblationRow
+	for _, v := range variants {
+		name := fmt.Sprintf("b%d-f%g", v.burst, v.floor*100)
+		// Decade back-off from 100% down to the variant's floor.
+		var schedule []float64
+		for r := 1.0; r > v.floor; r /= 10 {
+			schedule = append(schedule, r)
+		}
+		schedule = append(schedule, v.floor)
+		s, err := sampler.NewCustomAdaptive(name, sampler.ThreadLocal, v.burst, schedule)
+		if err != nil {
+			return nil, nil, err
+		}
+		strategies = append(strategies, s)
+		rows = append(rows, SamplerAblationRow{Name: name, Burst: v.burst, Floor: v.floor})
+	}
+	return strategies, rows, nil
+}
+
+// RunSamplerAblation sweeps the TL-Ad design parameters (burst length and
+// back-off floor) over the two race-richest benchmarks, using the same
+// one-interleaving methodology as Figure 4.
+func RunSamplerAblation(cfg Config) ([]SamplerAblationRow, error) {
+	cfg.setDefaults()
+	strategies, rows, err := samplerVariants()
+	if err != nil {
+		return nil, err
+	}
+	benches := []string{"dryad-stdlib", "apache-1"}
+	var weight float64
+	for _, key := range benches {
+		b, ok := workloads.ByKey(key)
+		if !ok {
+			return nil, fmt.Errorf("harness: missing benchmark %s", key)
+		}
+		run, err := RunComparisonWith(b, cfg.Seeds[0], cfg, strategies)
+		if err != nil {
+			return nil, err
+		}
+		w := float64(run.Meta.MemOps)
+		weight += w
+		for i := range rows {
+			name := rows[i].Name
+			rows[i].ESR += run.Rates[name] * w
+			rows[i].Detection += race.DetectionRate(run.BySampler[name], run.Truth.Races())
+			rows[i].RareRate += race.DetectionRate(run.BySampler[name], run.RareTruth)
+		}
+	}
+	for i := range rows {
+		rows[i].ESR /= weight
+		rows[i].Detection /= float64(len(benches))
+		rows[i].RareRate /= float64(len(benches))
+	}
+	return rows, nil
+}
+
+// RenderSamplerAblation formats the parameter sweep.
+func RenderSamplerAblation(rows []SamplerAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation A: TL-Ad parameters (burst length, back-off floor)\n")
+	fmt.Fprintf(&b, "%-12s %6s %8s %8s %8s %8s\n", "Variant", "Burst", "Floor", "ESR", "Detect", "Rare")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %7.2f%% %7.2f%% %7.0f%% %7.0f%%\n",
+			r.Name, r.Burst, r.Floor*100, r.ESR*100, r.Detection*100, r.RareRate*100)
+	}
+	return b.String()
+}
+
+// LoopAblationResult compares function-granularity sampling with the §7
+// loop-granularity extension on the Parsec-style kernel.
+type LoopAblationResult struct {
+	BaselineCycles uint64
+	// Func* is standard LiteRace (function granularity).
+	FuncESR    float64
+	FuncCycles uint64
+	FuncRaces  int
+	// Loop* adds ReCheck instructions at self-loop headers.
+	LoopESR     float64
+	LoopCycles  uint64
+	LoopRaces   int
+	LoopRegions int
+}
+
+// RunLoopAblation executes the kernel three ways: uninstrumented,
+// LiteRace, and LiteRace with loop-granularity sampling.
+func RunLoopAblation(cfg Config) (*LoopAblationResult, error) {
+	cfg.setDefaults()
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	src := workloads.LoopKernelSource(scale)
+	out := &LoopAblationResult{}
+
+	// Baseline.
+	mod, err := asm.Assemble("loop-kernel", src)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := interp.New(mod, interp.Options{Seed: cfg.Seeds[0], MaxInstrs: cfg.MaxInstrs})
+	if err != nil {
+		return nil, err
+	}
+	base, err := mach.Run()
+	if err != nil {
+		return nil, err
+	}
+	out.BaselineCycles = base.Cycles
+
+	run := func(loopSampling bool) (float64, uint64, int, int, error) {
+		mod, err := asm.Assemble("loop-kernel", src)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		rw, stats, err := instrument.Rewrite(mod, instrument.Options{
+			Mode: instrument.ModeSampled, LoopSampling: loopSampling,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		rt, err := core.NewRuntime(core.Config{
+			NumFuncs:      stats.TotalRegions(),
+			Primary:       sampler.NewThreadLocalAdaptive(),
+			Writer:        w,
+			EnableMemLog:  true,
+			EnableSyncLog: true,
+			Seed:          cfg.Seeds[0],
+			Cost:          cfg.Cost,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		mach, err := interp.New(rw, interp.Options{Seed: cfg.Seeds[0], Runtime: rt, MaxInstrs: cfg.MaxInstrs})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		res, err := mach.Run()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := w.Close(mach.Meta(res)); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		log, err := trace.ReadAll(&buf)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		dres, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		set := race.NewSet()
+		set.AddResult(dres)
+		esr := 0.0
+		if res.MemOps > 0 {
+			esr = float64(res.RuntimeStats.LoggedMemOps) / float64(res.MemOps)
+		}
+		return esr, res.Cycles, set.Len(), stats.LoopRegions, nil
+	}
+
+	var regions int
+	if out.FuncESR, out.FuncCycles, out.FuncRaces, _, err = run(false); err != nil {
+		return nil, err
+	}
+	if out.LoopESR, out.LoopCycles, out.LoopRaces, regions, err = run(true); err != nil {
+		return nil, err
+	}
+	out.LoopRegions = regions
+	return out, nil
+}
+
+// RenderLoopAblation formats the loop-sampling comparison.
+func RenderLoopAblation(r *LoopAblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation B: loop-granularity sampling (§7) on the Parsec-style kernel\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %8s\n", "Configuration", "ESR", "Slowdown", "Races")
+	base := float64(r.BaselineCycles)
+	fmt.Fprintf(&b, "%-22s %10s %9.2fx %8s\n", "baseline", "-", 1.0, "-")
+	fmt.Fprintf(&b, "%-22s %9.2f%% %9.2fx %8d\n", "function granularity", r.FuncESR*100, float64(r.FuncCycles)/base, r.FuncRaces)
+	fmt.Fprintf(&b, "%-22s %9.2f%% %9.2fx %8d  (%d loop regions)\n", "loop granularity", r.LoopESR*100, float64(r.LoopCycles)/base, r.LoopRaces, r.LoopRegions)
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"literace/internal/race"
+	"literace/internal/workloads"
+)
+
+// CoverageRow is one execution in the accumulation study.
+type CoverageRow struct {
+	Run  int
+	Seed int64
+	// NewRaces is how many previously unseen static races this run's
+	// TL-Ad log detected.
+	NewRaces int
+	// CumulativeSampled is the distinct races TL-Ad has found so far.
+	CumulativeSampled int
+	// CumulativeTruth is the distinct races full logging has found so far
+	// (the attainable ceiling for dynamic detection).
+	CumulativeTruth int
+}
+
+// RunCoverageCurve quantifies the paper's §3.1 deployment argument: a
+// low-overhead sampling detector is meant to run on *many* executions, and
+// coverage accumulates across them because each run explores a different
+// interleaving. It replays benchmark `key` under `runs` different
+// scheduler seeds and reports the cumulative distinct static races the
+// TL-Ad sampler has found after each run, next to the full-logging
+// ceiling.
+func RunCoverageCurve(key string, runs int, cfg Config) ([]CoverageRow, error) {
+	cfg.setDefaults()
+	b, ok := workloads.ByKey(key)
+	if !ok {
+		if key == "coverage" || key == "" {
+			b = workloads.CoverageBenchmark()
+		} else {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", key)
+		}
+	}
+	if runs <= 0 {
+		runs = 8
+	}
+	seenSampled := make(map[race.Key]bool)
+	seenTruth := make(map[race.Key]bool)
+	var rows []CoverageRow
+	for i := 0; i < runs; i++ {
+		seed := int64(i + 1)
+		run, err := RunComparison(b, seed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := CoverageRow{Run: i + 1, Seed: seed}
+		for _, st := range run.BySampler["TL-Ad"].Races() {
+			if !seenSampled[st.Key] {
+				seenSampled[st.Key] = true
+				row.NewRaces++
+			}
+		}
+		for _, st := range run.Truth.Races() {
+			seenTruth[st.Key] = true
+		}
+		row.CumulativeSampled = len(seenSampled)
+		row.CumulativeTruth = len(seenTruth)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCoverageCurve formats the accumulation study.
+func RenderCoverageCurve(key string, rows []CoverageRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coverage accumulation on %s: distinct static races vs number of sampled runs\n", key)
+	fmt.Fprintf(&b, "%4s %6s %6s %12s %12s\n", "Run", "Seed", "New", "TL-Ad cum.", "Truth cum.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %6d %6d %12d %12d\n", r.Run, r.Seed, r.NewRaces, r.CumulativeSampled, r.CumulativeTruth)
+	}
+	return b.String()
+}

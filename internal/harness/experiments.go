@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"sort"
+
+	"literace/internal/instrument"
+	"literace/internal/race"
+	"literace/internal/sampler"
+	"literace/internal/workloads"
+)
+
+// VirtualHz converts virtual cycles to "virtual seconds" for the absolute
+// columns of Table 5 (1 cycle = 1 ns, a nominal 1 GHz machine). Ratios —
+// the numbers that matter — are independent of this constant.
+const VirtualHz = 1e9
+
+// SamplerNames returns the Table 3 sampler order.
+func SamplerNames() []string {
+	var names []string
+	for _, s := range sampler.Evaluated() {
+		names = append(names, s.Name())
+	}
+	return names
+}
+
+// Table2Row describes one benchmark binary (paper Table 2).
+type Table2Row struct {
+	Name        string
+	Description string
+	Funcs       int
+	BinaryBytes int64
+	// Instrumented statistics from the LiteRace rewriter.
+	ClonedFuncs int
+	MemAccesses int
+}
+
+// Table2 builds the benchmark inventory.
+func Table2(cfg Config) ([]Table2Row, error) {
+	cfg.setDefaults()
+	var rows []Table2Row
+	for _, b := range workloads.Evaluated() {
+		mod, err := b.Module(cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		_, stats, err := instrument.Rewrite(mod, instrument.Options{Mode: instrument.ModeSampled})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Name:        b.Name,
+			Description: b.Description,
+			Funcs:       len(mod.Funcs),
+			BinaryBytes: mod.BinarySize(),
+			ClonedFuncs: stats.Clones,
+			MemAccesses: stats.MemAccesses,
+		})
+	}
+	return rows, nil
+}
+
+// ComparisonMatrix holds the comparison runs for all evaluated benchmarks
+// and seeds; Table 3, Figures 4 and 5, and Table 4 all derive from it.
+type ComparisonMatrix struct {
+	Config Config
+	// Runs[benchKey] has one entry per seed.
+	Runs map[string][]*ComparisonRun
+	// Order preserves benchmark presentation order.
+	Order []workloads.Benchmark
+}
+
+// RunComparisons executes the full §5.3 study.
+func RunComparisons(cfg Config) (*ComparisonMatrix, error) {
+	cfg.setDefaults()
+	m := &ComparisonMatrix{
+		Config: cfg,
+		Runs:   make(map[string][]*ComparisonRun),
+		Order:  workloads.Evaluated(),
+	}
+	for _, b := range m.Order {
+		for _, seed := range cfg.Seeds {
+			run, err := RunComparison(b, seed, cfg)
+			if err != nil {
+				return nil, err
+			}
+			m.Runs[b.Key] = append(m.Runs[b.Key], run)
+		}
+	}
+	return m, nil
+}
+
+// Table3Row summarizes one sampler (paper Table 3).
+type Table3Row struct {
+	Name        string
+	Description string
+	WeightedESR float64 // weighted by each benchmark's memory operations
+	AvgESR      float64 // plain average over benchmark-input pairs
+}
+
+// Table3 computes effective sampling rates.
+func (m *ComparisonMatrix) Table3() []Table3Row {
+	var rows []Table3Row
+	for _, s := range sampler.Evaluated() {
+		name := s.Name()
+		var sumRate, sumWeighted, sumWeight float64
+		var n int
+		for _, b := range m.Order {
+			var benchRate float64
+			var benchOps float64
+			for _, run := range m.Runs[b.Key] {
+				benchRate += run.Rates[name]
+				benchOps += float64(run.Meta.MemOps)
+			}
+			k := float64(len(m.Runs[b.Key]))
+			if k == 0 {
+				continue
+			}
+			benchRate /= k
+			benchOps /= k
+			sumRate += benchRate
+			sumWeighted += benchRate * benchOps
+			sumWeight += benchOps
+			n++
+		}
+		row := Table3Row{Name: name, Description: s.Description()}
+		if n > 0 {
+			row.AvgESR = sumRate / float64(n)
+		}
+		if sumWeight > 0 {
+			row.WeightedESR = sumWeighted / sumWeight
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// DetectionKind selects which truth subset a detection rate is computed
+// against.
+type DetectionKind int
+
+const (
+	// DetectAll is Figure 4: all static races.
+	DetectAll DetectionKind = iota
+	// DetectRare is the left half of Figure 5.
+	DetectRare
+	// DetectFrequent is the right half of Figure 5.
+	DetectFrequent
+)
+
+func (k DetectionKind) String() string {
+	switch k {
+	case DetectRare:
+		return "rare"
+	case DetectFrequent:
+		return "frequent"
+	}
+	return "all"
+}
+
+// FigureRow is one benchmark's detection rates per sampler.
+type FigureRow struct {
+	Benchmark string
+	// Rate[samplerName] is the detection rate in [0, 1], averaged over
+	// seeds.
+	Rate map[string]float64
+}
+
+// DetectionRates computes Figure 4 (kind DetectAll) or either half of
+// Figure 5. table4Only restricts to the Table 4 benchmarks, matching the
+// paper's Figure 5 layout. The final row is the cross-benchmark average.
+func (m *ComparisonMatrix) DetectionRates(kind DetectionKind, table4Only bool) []FigureRow {
+	names := SamplerNames()
+	var rows []FigureRow
+	avg := FigureRow{Benchmark: "Average", Rate: map[string]float64{}}
+	var contributing int
+	for _, b := range m.Order {
+		if table4Only && !b.InTable4 {
+			continue
+		}
+		row := FigureRow{Benchmark: b.Name, Rate: map[string]float64{}}
+		runs := m.Runs[b.Key]
+		for _, run := range runs {
+			truth := run.Truth.Races()
+			switch kind {
+			case DetectRare:
+				truth = run.RareTruth
+			case DetectFrequent:
+				truth = run.FreqTruth
+			}
+			for _, name := range names {
+				row.Rate[name] += race.DetectionRate(run.BySampler[name], truth)
+			}
+		}
+		if len(runs) > 0 {
+			for _, name := range names {
+				row.Rate[name] /= float64(len(runs))
+				avg.Rate[name] += row.Rate[name]
+			}
+			contributing++
+		}
+		rows = append(rows, row)
+	}
+	if contributing > 0 {
+		for _, name := range names {
+			avg.Rate[name] /= float64(contributing)
+		}
+	}
+	return append(rows, avg)
+}
+
+// Table4Row is one benchmark's static race census (paper Table 4).
+type Table4Row struct {
+	Name  string
+	Races int // median over seeds
+	Rare  int
+	Freq  int
+}
+
+// Table4 computes the race census for the Table 4 benchmarks.
+func (m *ComparisonMatrix) Table4() []Table4Row {
+	var rows []Table4Row
+	for _, b := range m.Order {
+		if !b.InTable4 {
+			continue
+		}
+		var races, rare, freq []int
+		for _, run := range m.Runs[b.Key] {
+			races = append(races, run.Truth.Len())
+			rare = append(rare, len(run.RareTruth))
+			freq = append(freq, len(run.FreqTruth))
+		}
+		rows = append(rows, Table4Row{
+			Name:  b.Name,
+			Races: median(races),
+			Rare:  median(rare),
+			Freq:  median(freq),
+		})
+	}
+	return rows
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[len(s)/2]
+}
+
+// Table5Row is one benchmark's overhead summary (paper Table 5).
+type Table5Row struct {
+	Name         string
+	Micro        bool
+	BaselineSec  float64 // virtual seconds (cycles / VirtualHz)
+	LiteRaceX    float64 // slowdown vs baseline
+	FullX        float64
+	LiteRaceMBps float64 // log MB per virtual second of the LiteRace run
+	FullMBps     float64
+	WallBaseNs   int64 // measured wall clock, reported alongside
+	WallLRNs     int64
+	WallFullNs   int64
+}
+
+// Figure6Row is one benchmark's stacked overhead decomposition: cycle
+// multipliers relative to baseline for each added component.
+type Figure6Row struct {
+	Name string
+	// Cumulative multipliers; Baseline is always 1.0.
+	Baseline, Dispatch, DispatchSync, LiteRace float64
+}
+
+// OverheadStudy holds Table 5 and Figure 6 data.
+type OverheadStudy struct {
+	Table5  []Table5Row
+	Figure6 []Figure6Row
+}
+
+// RunOverheadStudy executes the §5.4 configurations for every benchmark,
+// including the microbenchmarks, using the first configured seed.
+func RunOverheadStudy(cfg Config) (*OverheadStudy, error) {
+	cfg.setDefaults()
+	seed := cfg.Seeds[0]
+	study := &OverheadStudy{}
+	for _, b := range workloads.All() {
+		runs := make([]*OverheadRun, NumOverheadModes)
+		for mode := OverheadBaseline; mode < OverheadMode(NumOverheadModes); mode++ {
+			r, err := RunOverhead(b, mode, seed, cfg)
+			if err != nil {
+				return nil, err
+			}
+			runs[mode] = r
+		}
+		base := float64(runs[OverheadBaseline].Cycles)
+		lr := runs[OverheadLiteRace]
+		full := runs[OverheadFullLogging]
+		lrSec := float64(lr.Cycles) / VirtualHz
+		fullSec := float64(full.Cycles) / VirtualHz
+		row := Table5Row{
+			Name:        b.Name,
+			Micro:       b.Micro,
+			BaselineSec: base / VirtualHz,
+			LiteRaceX:   float64(lr.Cycles) / base,
+			FullX:       float64(full.Cycles) / base,
+			WallBaseNs:  runs[OverheadBaseline].WallNs,
+			WallLRNs:    lr.WallNs,
+			WallFullNs:  full.WallNs,
+		}
+		if lrSec > 0 {
+			row.LiteRaceMBps = float64(lr.LogBytes) / 1e6 / lrSec
+		}
+		if fullSec > 0 {
+			row.FullMBps = float64(full.LogBytes) / 1e6 / fullSec
+		}
+		study.Table5 = append(study.Table5, row)
+		study.Figure6 = append(study.Figure6, Figure6Row{
+			Name:         b.Name,
+			Baseline:     1,
+			Dispatch:     float64(runs[OverheadDispatch].Cycles) / base,
+			DispatchSync: float64(runs[OverheadDispatchSync].Cycles) / base,
+			LiteRace:     float64(lr.Cycles) / base,
+		})
+	}
+
+	// Average rows (with and without microbenchmarks, as in Table 5).
+	study.Table5 = append(study.Table5,
+		averageTable5(study.Table5, true, "Average"),
+		averageTable5(study.Table5, false, "Average (w/o Microbench)"))
+	return study, nil
+}
+
+func averageTable5(rows []Table5Row, includeMicro bool, name string) Table5Row {
+	out := Table5Row{Name: name}
+	n := 0
+	for _, r := range rows {
+		if r.Micro && !includeMicro {
+			continue
+		}
+		out.BaselineSec += r.BaselineSec
+		out.LiteRaceX += r.LiteRaceX
+		out.FullX += r.FullX
+		out.LiteRaceMBps += r.LiteRaceMBps
+		out.FullMBps += r.FullMBps
+		n++
+	}
+	if n > 0 {
+		out.BaselineSec /= float64(n)
+		out.LiteRaceX /= float64(n)
+		out.FullX /= float64(n)
+		out.LiteRaceMBps /= float64(n)
+		out.FullMBps /= float64(n)
+	}
+	return out
+}

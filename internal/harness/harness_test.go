@@ -1,0 +1,347 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"literace/internal/workloads"
+)
+
+// testCfg keeps harness tests fast: one seed.
+func testCfg() Config {
+	return Config{Seeds: []int64{1}}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	var stdlibFns, plainFns int
+	for _, r := range rows {
+		if r.Funcs <= 0 || r.BinaryBytes <= 0 || r.ClonedFuncs <= 0 {
+			t.Errorf("row %s incomplete: %+v", r.Name, r)
+		}
+		switch r.Name {
+		case "Dryad Channel + stdlib":
+			stdlibFns = r.Funcs
+		case "Dryad Channel":
+			plainFns = r.Funcs
+		}
+	}
+	if stdlibFns <= plainFns {
+		t.Errorf("stdlib variant should have more functions: %d vs %d", stdlibFns, plainFns)
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "Firefox Render") {
+		t.Errorf("render missing benchmark:\n%s", out)
+	}
+}
+
+func TestComparisonSingleBenchmark(t *testing.T) {
+	b, _ := workloads.ByKey("dryad")
+	run, err := RunComparison(b, 1, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Truth.Len() == 0 {
+		t.Fatal("no ground-truth races")
+	}
+	if len(run.BySampler) != 7 {
+		t.Fatalf("%d sampler sets", len(run.BySampler))
+	}
+	// Structural invariants rather than exact rates:
+	// 1. No sampler finds races outside the ground truth (no false
+	//    positives relative to full logging — §3.2's guarantee).
+	for name, set := range run.BySampler {
+		for _, st := range set.Races() {
+			if !run.Truth.Contains(st.Key) {
+				t.Errorf("%s found race %v outside ground truth", name, st.Key)
+			}
+		}
+	}
+	// 2. The UnCold sampler logs far more than TL-Ad.
+	if run.Rates["UCP"] < 5*run.Rates["TL-Ad"] {
+		t.Errorf("rates: UCP=%.3f TL-Ad=%.3f", run.Rates["UCP"], run.Rates["TL-Ad"])
+	}
+	// 3. TL-Ad's rate is low (the headline: <2%-ish at the paper's scale;
+	//    allow generous slack for the smaller run).
+	if run.Rates["TL-Ad"] > 0.25 {
+		t.Errorf("TL-Ad rate = %.3f, too high", run.Rates["TL-Ad"])
+	}
+	if run.NonStackMemOps() == 0 {
+		t.Error("no non-stack mem ops recorded")
+	}
+}
+
+func TestOverheadModesOrdering(t *testing.T) {
+	b, _ := workloads.ByKey("concrt-sched")
+	cycles := make([]uint64, NumOverheadModes)
+	for mode := OverheadBaseline; mode < OverheadMode(NumOverheadModes); mode++ {
+		r, err := RunOverhead(b, mode, 1, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[mode] = r.Cycles
+		if mode == OverheadBaseline && r.LogBytes != 0 {
+			t.Error("baseline produced a log")
+		}
+	}
+	// Cost must be monotone: baseline <= dispatch <= dispatch+sync <=
+	// literace; and full logging must cost the most of all.
+	if !(cycles[OverheadBaseline] <= cycles[OverheadDispatch] &&
+		cycles[OverheadDispatch] <= cycles[OverheadDispatchSync] &&
+		cycles[OverheadDispatchSync] <= cycles[OverheadLiteRace]) {
+		t.Errorf("overhead not monotone: %v", cycles)
+	}
+	if cycles[OverheadFullLogging] <= cycles[OverheadLiteRace] {
+		t.Errorf("full logging (%d) should exceed LiteRace (%d)",
+			cycles[OverheadFullLogging], cycles[OverheadLiteRace])
+	}
+	for mode, name := range []string{"baseline", "dispatch", "dispatch+sync", "literace", "full-logging"} {
+		if OverheadMode(mode).String() != name {
+			t.Errorf("mode %d renders as %s", mode, OverheadMode(mode).String())
+		}
+	}
+}
+
+func TestComparisonMatrixAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// Two representative benchmarks through the full aggregation path.
+	cfg := testCfg()
+	m := &ComparisonMatrix{Config: cfg, Runs: map[string][]*ComparisonRun{}}
+	for _, key := range []string{"dryad", "apache-2"} {
+		b, _ := workloads.ByKey(key)
+		m.Order = append(m.Order, b)
+		run, err := RunComparison(b, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Runs[key] = append(m.Runs[key], run)
+	}
+
+	t3 := m.Table3()
+	if len(t3) != 7 {
+		t.Fatalf("Table3 rows = %d", len(t3))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range t3 {
+		byName[r.Name] = r
+		if r.WeightedESR < 0 || r.WeightedESR > 1 || r.AvgESR < 0 || r.AvgESR > 1 {
+			t.Errorf("ESR out of range: %+v", r)
+		}
+	}
+	if byName["UCP"].WeightedESR < byName["TL-Ad"].WeightedESR {
+		t.Error("UCP should log more than TL-Ad")
+	}
+	if byName["Rnd25"].WeightedESR < byName["Rnd10"].WeightedESR {
+		t.Error("Rnd25 should log more than Rnd10")
+	}
+
+	f4 := m.DetectionRates(DetectAll, false)
+	if len(f4) != 3 { // 2 benchmarks + average
+		t.Fatalf("Figure4 rows = %d", len(f4))
+	}
+	for _, row := range f4 {
+		for name, rate := range row.Rate {
+			if rate < 0 || rate > 1 {
+				t.Errorf("%s/%s rate %v out of range", row.Benchmark, name, rate)
+			}
+		}
+	}
+
+	rare := m.DetectionRates(DetectRare, true)
+	freq := m.DetectionRates(DetectFrequent, true)
+	if len(rare) != len(freq) {
+		t.Error("rare/frequent row mismatch")
+	}
+	avgRare := rare[len(rare)-1].Rate
+	// The thread-local sampler must beat the random sampler on rare races
+	// (the paper's central claim).
+	if avgRare["TL-Ad"] <= avgRare["Rnd10"] {
+		t.Errorf("TL-Ad rare rate %.2f not above Rnd10 %.2f", avgRare["TL-Ad"], avgRare["Rnd10"])
+	}
+	// UCP must miss (nearly) all rare races.
+	if avgRare["UCP"] > 0.3 {
+		t.Errorf("UCP rare rate %.2f unexpectedly high", avgRare["UCP"])
+	}
+
+	t4 := m.Table4()
+	if len(t4) != 2 {
+		t.Fatalf("Table4 rows = %d", len(t4))
+	}
+	for _, r := range t4 {
+		if r.Races != r.Rare+r.Freq {
+			t.Errorf("%s: %d != %d + %d", r.Name, r.Races, r.Rare, r.Freq)
+		}
+	}
+
+	// Renderers must include every sampler and benchmark.
+	for _, out := range []string{
+		RenderTable3(t3),
+		RenderFigure("Figure 4", f4),
+		RenderFigure("Figure 5 (rare)", rare),
+		RenderTable4(t4),
+	} {
+		if !strings.Contains(out, "TL-Ad") && !strings.Contains(out, "Dryad") {
+			t.Errorf("render missing content:\n%s", out)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int
+	}{
+		{nil, 0}, {[]int{5}, 5}, {[]int{3, 1, 2}, 2}, {[]int{4, 1, 3, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLoopAblation(t *testing.T) {
+	r, err := RunLoopAblation(Config{Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Function granularity logs (nearly) everything: the kernel function
+	// runs once per thread, so it is cold and fully sampled.
+	if r.FuncESR < 0.9 {
+		t.Errorf("function-granularity ESR = %v, want ~1", r.FuncESR)
+	}
+	// Loop granularity must collapse the rate by orders of magnitude.
+	if r.LoopESR > r.FuncESR/100 {
+		t.Errorf("loop-granularity ESR = %v, want << %v", r.LoopESR, r.FuncESR)
+	}
+	// ... and the cost with it.
+	if r.LoopCycles >= r.FuncCycles/2 {
+		t.Errorf("loop cycles %d not much below func cycles %d", r.LoopCycles, r.FuncCycles)
+	}
+	// Without losing the cold-path race.
+	if r.LoopRaces < 1 || r.FuncRaces < 1 {
+		t.Errorf("races lost: func=%d loop=%d", r.FuncRaces, r.LoopRaces)
+	}
+	if r.LoopRegions != 1 {
+		t.Errorf("LoopRegions = %d, want 1", r.LoopRegions)
+	}
+	if s := RenderLoopAblation(r); !strings.Contains(s, "loop granularity") {
+		t.Errorf("render: %s", s)
+	}
+}
+
+func TestSamplerAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rows, err := RunSamplerAblation(Config{Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]SamplerAblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.ESR <= 0 || r.ESR > 1 || r.Detection < 0 || r.Detection > 1 {
+			t.Errorf("row out of range: %+v", r)
+		}
+	}
+	// Longer bursts log more at the same schedule.
+	if byName["b50-f0.1"].ESR <= byName["b2-f0.1"].ESR {
+		t.Errorf("burst sweep not monotone: b50=%v b2=%v",
+			byName["b50-f0.1"].ESR, byName["b2-f0.1"].ESR)
+	}
+	// A higher floor logs more than a lower floor.
+	if byName["b10-f1"].ESR <= byName["b10-f0.01"].ESR {
+		t.Errorf("floor sweep not monotone: f1=%v f0.01=%v",
+			byName["b10-f1"].ESR, byName["b10-f0.01"].ESR)
+	}
+	if s := RenderSamplerAblation(rows); !strings.Contains(s, "Ablation A") {
+		t.Errorf("render: %s", s)
+	}
+}
+
+func TestDetectorComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	b, _ := workloads.ByKey("dryad")
+	row, err := compareDetectors(b, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.HBRaces == 0 {
+		t.Error("HB found nothing")
+	}
+	if row.LocksetReports == 0 {
+		t.Error("lockset found nothing")
+	}
+	if row.LocksetOnPlanted > row.LocksetReports {
+		t.Errorf("corroborated %d > reports %d", row.LocksetOnPlanted, row.LocksetReports)
+	}
+	if s := RenderDetectorComparison([]DetectorComparisonRow{*row}); !strings.Contains(s, "Lockset") {
+		t.Errorf("render: %s", s)
+	}
+}
+
+func TestCoverageCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rows, err := RunCoverageCurve("dryad", 3, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CumulativeSampled < rows[i-1].CumulativeSampled {
+			t.Error("sampled coverage decreased")
+		}
+		if rows[i].CumulativeTruth < rows[i-1].CumulativeTruth {
+			t.Error("truth coverage decreased")
+		}
+		if rows[i].CumulativeSampled > rows[i].CumulativeTruth {
+			t.Error("sampled coverage exceeds truth")
+		}
+	}
+	if rows[0].CumulativeSampled == 0 {
+		t.Error("first run found nothing")
+	}
+	if s := RenderCoverageCurve("dryad", rows); !strings.Contains(s, "Coverage accumulation") {
+		t.Errorf("render: %s", s)
+	}
+	if _, err := RunCoverageCurve("bogus", 1, testCfg()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCoverageWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rows, err := RunCoverageCurve("coverage", 4, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	// The schedule-dependent workload must show growth beyond run 1 in at
+	// least the ground truth (different seeds manifest different races).
+	if last.CumulativeTruth <= rows[0].CumulativeTruth {
+		t.Errorf("truth did not accumulate: %+v", rows)
+	}
+	if last.CumulativeSampled > last.CumulativeTruth {
+		t.Error("sampled exceeds truth")
+	}
+}

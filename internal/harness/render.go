@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable2 formats the benchmark inventory.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Benchmarks used\n")
+	fmt.Fprintf(&b, "%-28s %6s %10s %8s %8s  %s\n", "Benchmark", "#Fns", "Bin.Size", "Clones", "MemAcc", "Description")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %6d %9.1fKB %8d %8d  %s\n",
+			r.Name, r.Funcs, float64(r.BinaryBytes)/1024, r.ClonedFuncs, r.MemAccesses, r.Description)
+	}
+	return b.String()
+}
+
+// RenderTable3 formats the sampler summary.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Samplers evaluated (effective sampling rates)\n")
+	fmt.Fprintf(&b, "%-8s %14s %9s  %s\n", "Sampler", "Weighted ESR", "Avg ESR", "Description")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %13.1f%% %8.1f%%  %s\n", r.Name, r.WeightedESR*100, r.AvgESR*100, r.Description)
+	}
+	return b.String()
+}
+
+// RenderFigure renders a detection-rate figure (Figure 4 or one half of
+// Figure 5) as a percentage matrix.
+func RenderFigure(title string, rows []FigureRow) string {
+	names := SamplerNames()
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-28s", "Benchmark")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %7s", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s", r.Benchmark)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %6.0f%%", r.Rate[n]*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTable4 formats the static race census.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: Static data races found under full logging (median of runs)\n")
+	fmt.Fprintf(&b, "%-28s %8s %6s %6s\n", "Benchmark", "#races", "#Rare", "#Freq")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %8d %6d %6d\n", r.Name, r.Races, r.Rare, r.Freq)
+	}
+	return b.String()
+}
+
+// RenderTable5 formats the overhead study.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: Performance and log-size overhead (virtual time; 1 cycle = 1ns)\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s %12s %12s\n",
+		"Benchmark", "Baseline", "LiteRace", "FullLog", "LR MB/s", "Full MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %9.3fs %9.2fx %9.2fx %12.1f %12.1f\n",
+			r.Name, r.BaselineSec, r.LiteRaceX, r.FullX, r.LiteRaceMBps, r.FullMBps)
+	}
+	return b.String()
+}
+
+// RenderFigure6 formats the stacked overhead decomposition.
+func RenderFigure6(rows []Figure6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: LiteRace overhead decomposition (multiplier over baseline)\n")
+	fmt.Fprintf(&b, "%-28s %9s %10s %12s %10s\n", "Benchmark", "Baseline", "+Dispatch", "+SyncLog", "+MemLog")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %8.2fx %9.2fx %11.2fx %9.2fx\n",
+			r.Name, r.Baseline, r.Dispatch, r.DispatchSync, r.LiteRace)
+	}
+	return b.String()
+}

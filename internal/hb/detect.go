@@ -1,0 +1,198 @@
+package hb
+
+import (
+	"literace/internal/lir"
+	"literace/internal/trace"
+)
+
+// DynamicRace is one detected conflicting access pair: the earlier access
+// (in the replayed order) is Prev, the later one is Cur, and neither
+// happens-before the other. At least one of the two is a write.
+type DynamicRace struct {
+	PrevPC    lir.PC
+	CurPC     lir.PC
+	PrevWrite bool
+	CurWrite  bool
+	PrevTID   int32
+	CurTID    int32
+	Addr      uint64
+}
+
+// Options configures a detection pass.
+type Options struct {
+	// SamplerBit filters memory events: only events whose Mask has this
+	// bit set are analyzed. Use AllEvents to analyze every logged access.
+	// Synchronization events are always processed (§3.2: all sync ops are
+	// logged precisely so no subset introduces false positives).
+	SamplerBit int
+
+	// OnRace, when non-nil, is invoked for each dynamic race as it is
+	// found (streaming consumers); races are also accumulated in Result.
+	OnRace func(DynamicRace)
+
+	// KeepMax bounds the number of dynamic races retained in
+	// Result.Races; 0 means unlimited. Counting is never truncated.
+	KeepMax int
+}
+
+// AllEvents is the SamplerBit value that disables mask filtering.
+const AllEvents = -1
+
+// Result is the outcome of a detection pass.
+type Result struct {
+	Races    []DynamicRace // dynamic race occurrences, in replay order
+	NumRaces uint64        // total dynamic races, even beyond KeepMax
+	MemOps   uint64        // memory events analyzed (after filtering)
+	SyncOps  uint64        // sync events processed
+}
+
+// Detector is a streaming happens-before race detector. Feed it events in
+// a legal global order (e.g. via Replay); it reports races through opts.
+type Detector struct {
+	opts    Options
+	res     Result
+	threads map[int32]*threadState
+	vars    map[uint64]VC         // SyncVar -> clock published by last release
+	mem     map[uint64]*addrState // address -> access history
+}
+
+type threadState struct {
+	vc VC
+}
+
+type readInfo struct {
+	epoch
+	pc lir.PC
+}
+
+type addrState struct {
+	hasWrite bool
+	write    epoch
+	writePC  lir.PC
+	reads    []readInfo // reads since the last ordered write
+}
+
+// NewDetector returns a detector with the given options.
+func NewDetector(opts Options) *Detector {
+	return &Detector{
+		opts:    opts,
+		threads: make(map[int32]*threadState),
+		vars:    make(map[uint64]VC),
+		mem:     make(map[uint64]*addrState),
+	}
+}
+
+func (d *Detector) thread(tid int32) *threadState {
+	ts := d.threads[tid]
+	if ts == nil {
+		// A fresh thread starts at clock 1 so its epoch (tid, 1) is not
+		// vacuously happens-before everything.
+		ts = &threadState{vc: VC{}.Set(tid, 1)}
+		d.threads[tid] = ts
+	}
+	return ts
+}
+
+// Process consumes one event.
+func (d *Detector) Process(e trace.Event) {
+	switch e.Kind {
+	case trace.KindAcquire:
+		d.res.SyncOps++
+		t := d.thread(e.TID)
+		if lv, ok := d.vars[e.Addr]; ok {
+			t.vc = t.vc.Join(lv)
+		}
+	case trace.KindRelease:
+		d.res.SyncOps++
+		t := d.thread(e.TID)
+		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
+		t.vc = t.vc.Tick(e.TID)
+	case trace.KindAcqRel:
+		d.res.SyncOps++
+		t := d.thread(e.TID)
+		if lv, ok := d.vars[e.Addr]; ok {
+			t.vc = t.vc.Join(lv)
+		}
+		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
+		t.vc = t.vc.Tick(e.TID)
+	case trace.KindRead, trace.KindWrite:
+		if d.opts.SamplerBit >= 0 && e.Mask&(1<<uint(d.opts.SamplerBit)) == 0 {
+			return
+		}
+		d.res.MemOps++
+		d.access(e)
+	}
+}
+
+func (d *Detector) access(e trace.Event) {
+	t := d.thread(e.TID)
+	st := d.mem[e.Addr]
+	if st == nil {
+		st = &addrState{}
+		d.mem[e.Addr] = st
+	}
+	now := epoch{tid: e.TID, clk: t.vc.At(e.TID)}
+	isWrite := e.Kind == trace.KindWrite
+
+	if st.hasWrite && st.write.tid != e.TID && !st.write.happensBefore(t.vc) {
+		d.report(DynamicRace{
+			PrevPC: st.writePC, CurPC: e.PC,
+			PrevWrite: true, CurWrite: isWrite,
+			PrevTID: st.write.tid, CurTID: e.TID,
+			Addr: e.Addr,
+		})
+	}
+
+	if isWrite {
+		for _, r := range st.reads {
+			if r.tid != e.TID && !r.happensBefore(t.vc) {
+				d.report(DynamicRace{
+					PrevPC: r.pc, CurPC: e.PC,
+					PrevWrite: false, CurWrite: true,
+					PrevTID: r.tid, CurTID: e.TID,
+					Addr: e.Addr,
+				})
+			}
+		}
+		st.hasWrite = true
+		st.write = now
+		st.writePC = e.PC
+		st.reads = st.reads[:0]
+		return
+	}
+
+	// Record the read, replacing any earlier read by the same thread
+	// (program order makes the newer one dominate).
+	for i := range st.reads {
+		if st.reads[i].tid == e.TID {
+			st.reads[i] = readInfo{epoch: now, pc: e.PC}
+			return
+		}
+	}
+	st.reads = append(st.reads, readInfo{epoch: now, pc: e.PC})
+}
+
+func (d *Detector) report(r DynamicRace) {
+	d.res.NumRaces++
+	if d.opts.OnRace != nil {
+		d.opts.OnRace(r)
+	}
+	if d.opts.KeepMax == 0 || len(d.res.Races) < d.opts.KeepMax {
+		d.res.Races = append(d.res.Races, r)
+	}
+}
+
+// Result returns the accumulated detection result.
+func (d *Detector) Result() *Result { return &d.res }
+
+// Detect replays log and runs happens-before detection over it.
+func Detect(log *trace.Log, opts Options) (*Result, error) {
+	d := NewDetector(opts)
+	if err := Replay(log, func(e trace.Event) error {
+		d.Process(e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return d.Result(), nil
+}

@@ -1,0 +1,183 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+
+	"literace/internal/trace"
+)
+
+// findCollision returns two distinct SyncVars that hash to the same
+// timestamp counter, exercising the §4.2 collision case.
+func findCollision(t *testing.T) (uint64, uint64) {
+	t.Helper()
+	target := trace.CounterOf(0x1000)
+	for v := uint64(0x1001); v < 0x10000; v++ {
+		if trace.CounterOf(v) == target {
+			return 0x1000, v
+		}
+	}
+	t.Fatal("no collision found (hash too perfect?)")
+	return 0, 0
+}
+
+// TestCounterCollisionStillOrders verifies that two different locks
+// sharing one timestamp counter replay correctly: the shared counter
+// over-constrains order (harmless) but never corrupts happens-before.
+func TestCounterCollisionStillOrders(t *testing.T) {
+	la, lb := findCollision(t)
+	b := newLogBuilder()
+	// Thread 1 writes x under lock A; thread 2 reads x under lock A;
+	// meanwhile both use lock B for an unrelated variable.
+	b.sync(1, trace.KindAcquire, trace.OpLock, la)
+	b.mem(1, trace.KindWrite, x, 0xFFFF)
+	b.sync(1, trace.KindRelease, trace.OpUnlock, la)
+	b.sync(2, trace.KindAcquire, trace.OpLock, lb)
+	b.mem(2, trace.KindWrite, 0x999, 0xFFFF)
+	b.sync(2, trace.KindRelease, trace.OpUnlock, lb)
+	b.sync(2, trace.KindAcquire, trace.OpLock, la)
+	b.mem(2, trace.KindRead, x, 0xFFFF)
+	b.sync(2, trace.KindRelease, trace.OpUnlock, la)
+	res := detect(t, b.log())
+	if res.NumRaces != 0 {
+		t.Errorf("collision corrupted ordering: %v", res.Races)
+	}
+}
+
+// TestTransitiveChain checks HB3 transitivity across three threads: t1's
+// write is ordered with t3's read only through t2.
+func TestTransitiveChain(t *testing.T) {
+	l1, l2 := uint64(0x100), uint64(0x110)
+	b := newLogBuilder()
+	b.mem(1, trace.KindWrite, x, 0xFFFF)
+	b.sync(1, trace.KindRelease, trace.OpUnlock, l1)
+	b.sync(2, trace.KindAcquire, trace.OpLock, l1)
+	b.sync(2, trace.KindRelease, trace.OpUnlock, l2)
+	b.sync(3, trace.KindAcquire, trace.OpLock, l2)
+	b.mem(3, trace.KindRead, x, 0xFFFF)
+	if res := detect(t, b.log()); res.NumRaces != 0 {
+		t.Errorf("transitive ordering lost: %v", res.Races)
+	}
+
+	// Remove the middle thread's relay: now it must race.
+	b2 := newLogBuilder()
+	b2.mem(1, trace.KindWrite, x, 0xFFFF)
+	b2.sync(1, trace.KindRelease, trace.OpUnlock, l1)
+	b2.sync(3, trace.KindAcquire, trace.OpLock, l2) // different lock: no edge
+	b2.mem(3, trace.KindRead, x, 0xFFFF)
+	if res := detect(t, b2.log()); res.NumRaces != 1 {
+		t.Errorf("unrelated lock created ordering: %d races", res.NumRaces)
+	}
+}
+
+// TestWriteClearsReadSet: after an ordered write, earlier ordered reads
+// are subsumed and do not race with later accesses.
+func TestWriteClearsReadSet(t *testing.T) {
+	lk := uint64(0x100)
+	b := newLogBuilder()
+	// t1 reads x, releases; t2 acquires, writes x (ordered), releases;
+	// t3 acquires and writes: ordered with t2's write and must not be
+	// compared against t1's stale read.
+	b.mem(1, trace.KindRead, x, 0xFFFF)
+	b.sync(1, trace.KindRelease, trace.OpUnlock, lk)
+	b.sync(2, trace.KindAcquire, trace.OpLock, lk)
+	b.mem(2, trace.KindWrite, x, 0xFFFF)
+	b.sync(2, trace.KindRelease, trace.OpUnlock, lk)
+	b.sync(3, trace.KindAcquire, trace.OpLock, lk)
+	b.mem(3, trace.KindWrite, x, 0xFFFF)
+	if res := detect(t, b.log()); res.NumRaces != 0 {
+		t.Errorf("stale read resurfaced: %v", res.Races)
+	}
+}
+
+// TestReplayEqualsEmissionOrder: for random programs with proper
+// timestamp assignment, detecting on the replayed order must find exactly
+// the same dynamic races as processing in the original emission order
+// (the online-detection equivalence the public API relies on).
+func TestReplayEqualsEmissionOrder(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		b := newLogBuilder()
+		locks := []uint64{0x100, 0x110, 0x120}
+		addrs := []uint64{0x200, 0x201, 0x202}
+		nthreads := int32(2 + r.Intn(3))
+		for i := 0; i < 120; i++ {
+			tid := 1 + r.Int31n(nthreads)
+			switch r.Intn(5) {
+			case 0:
+				b.sync(tid, trace.KindAcquire, trace.OpLock, locks[r.Intn(len(locks))])
+			case 1:
+				b.sync(tid, trace.KindRelease, trace.OpUnlock, locks[r.Intn(len(locks))])
+			case 2:
+				b.mem(tid, trace.KindRead, addrs[r.Intn(len(addrs))], 0xFFFF)
+			case 3:
+				b.mem(tid, trace.KindWrite, addrs[r.Intn(len(addrs))], 0xFFFF)
+			default:
+				b.sync(tid, trace.KindAcqRel, trace.OpCas, addrs[r.Intn(len(addrs))]+0x100)
+			}
+		}
+		// Detect twice — once through the convenience entry point and once
+		// through an explicitly streamed replay. The replayed order is
+		// deterministic, so both passes must agree exactly; this is the
+		// equivalence the online-detection mode relies on.
+		res1, err := Detect(b.log(), Options{SamplerBit: AllEvents})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		first := res1.Races
+
+		d := NewDetector(Options{SamplerBit: AllEvents})
+		if err := Replay(b.log(), func(e trace.Event) error {
+			d.Process(e)
+			return nil
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second := d.Result().Races
+		if len(first) != len(second) {
+			t.Fatalf("seed %d: %d vs %d races", seed, len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("seed %d race %d: %+v vs %+v", seed, i, first[i], second[i])
+			}
+		}
+	}
+}
+
+// TestAcqRelVsPlainAccessOrdering: atomics order plain accesses on other
+// variables in both directions (release of what came before, acquire for
+// what comes after).
+func TestAcqRelVsPlainAccessOrdering(t *testing.T) {
+	flag := uint64(0x400)
+	b := newLogBuilder()
+	b.mem(1, trace.KindWrite, x, 0xFFFF)
+	b.sync(1, trace.KindAcqRel, trace.OpXadd, flag)
+	b.sync(2, trace.KindAcqRel, trace.OpXadd, flag)
+	b.mem(2, trace.KindWrite, x, 0xFFFF)
+	b.sync(2, trace.KindAcqRel, trace.OpXchg, flag)
+	b.sync(3, trace.KindAcqRel, trace.OpXchg, flag)
+	b.mem(3, trace.KindRead, x, 0xFFFF)
+	if res := detect(t, b.log()); res.NumRaces != 0 {
+		t.Errorf("atomic chain lost: %v", res.Races)
+	}
+}
+
+// TestManyThreadsVectorGrowth: vector clocks grow correctly past 64
+// threads.
+func TestManyThreadsVectorGrowth(t *testing.T) {
+	lk := uint64(0x100)
+	b := newLogBuilder()
+	for tid := int32(1); tid <= 100; tid++ {
+		b.sync(tid, trace.KindAcquire, trace.OpLock, lk)
+		b.mem(tid, trace.KindWrite, x, 0xFFFF)
+		b.sync(tid, trace.KindRelease, trace.OpUnlock, lk)
+	}
+	res := detect(t, b.log())
+	if res.NumRaces != 0 {
+		t.Errorf("100-thread lock chain raced: %d", res.NumRaces)
+	}
+	if res.SyncOps != 200 || res.MemOps != 100 {
+		t.Errorf("counts: %+v", res)
+	}
+}

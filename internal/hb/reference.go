@@ -1,0 +1,153 @@
+package hb
+
+import (
+	"literace/internal/lir"
+	"literace/internal/trace"
+)
+
+// ReferenceDetector is a deliberately simple happens-before detector used
+// to cross-check the optimized Detector: it keeps, per address, the full
+// list of unsubsumed accesses with complete vector-clock snapshots, and
+// compares every new access against all of them. This is the textbook
+// O(threads) per-access formulation the paper's §2.2 calls out as the
+// metadata cost problem; Detector gets the same answers with FastTrack-
+// style epochs. Differential tests assert both report identical static
+// race sets on arbitrary inputs.
+type ReferenceDetector struct {
+	opts    Options
+	res     Result
+	threads map[int32]VC
+	vars    map[uint64]VC
+	mem     map[uint64]*refAddrState
+}
+
+type refAccess struct {
+	tid   int32
+	vc    VC // full snapshot at access time
+	pc    lir.PC
+	write bool
+}
+
+type refAddrState struct {
+	accesses []refAccess
+}
+
+// NewReferenceDetector returns the reference implementation.
+func NewReferenceDetector(opts Options) *ReferenceDetector {
+	return &ReferenceDetector{
+		opts:    opts,
+		threads: make(map[int32]VC),
+		vars:    make(map[uint64]VC),
+		mem:     make(map[uint64]*refAddrState),
+	}
+}
+
+func (d *ReferenceDetector) thread(tid int32) VC {
+	vc, ok := d.threads[tid]
+	if !ok {
+		vc = VC{}.Set(tid, 1)
+		d.threads[tid] = vc
+	}
+	return vc
+}
+
+// Process consumes one event in replay order.
+func (d *ReferenceDetector) Process(e trace.Event) {
+	switch e.Kind {
+	case trace.KindAcquire:
+		d.res.SyncOps++
+		vc := d.thread(e.TID)
+		if lv, ok := d.vars[e.Addr]; ok {
+			vc = vc.Join(lv)
+		}
+		d.threads[e.TID] = vc
+	case trace.KindRelease:
+		d.res.SyncOps++
+		vc := d.thread(e.TID)
+		d.vars[e.Addr] = d.vars[e.Addr].Join(vc)
+		d.threads[e.TID] = vc.Tick(e.TID)
+	case trace.KindAcqRel:
+		d.res.SyncOps++
+		vc := d.thread(e.TID)
+		if lv, ok := d.vars[e.Addr]; ok {
+			vc = vc.Join(lv)
+		}
+		d.vars[e.Addr] = d.vars[e.Addr].Join(vc)
+		d.threads[e.TID] = vc.Tick(e.TID)
+	case trace.KindRead, trace.KindWrite:
+		if d.opts.SamplerBit >= 0 && e.Mask&(1<<uint(d.opts.SamplerBit)) == 0 {
+			return
+		}
+		d.res.MemOps++
+		d.access(e)
+	}
+}
+
+func (d *ReferenceDetector) access(e trace.Event) {
+	vc := d.thread(e.TID)
+	st := d.mem[e.Addr]
+	if st == nil {
+		st = &refAddrState{}
+		d.mem[e.Addr] = st
+	}
+	isWrite := e.Kind == trace.KindWrite
+
+	// Compare against every retained access; report conflicts that are
+	// not happens-before ordered.
+	for _, a := range st.accesses {
+		if a.tid == e.TID || (!a.write && !isWrite) {
+			continue
+		}
+		if a.vc.At(a.tid) <= vc.At(a.tid) {
+			continue // a happens-before the current access
+		}
+		r := DynamicRace{
+			PrevPC: a.pc, CurPC: e.PC,
+			PrevWrite: a.write, CurWrite: isWrite,
+			PrevTID: a.tid, CurTID: e.TID,
+			Addr: e.Addr,
+		}
+		d.res.NumRaces++
+		if d.opts.OnRace != nil {
+			d.opts.OnRace(r)
+		}
+		if d.opts.KeepMax == 0 || len(d.res.Races) < d.opts.KeepMax {
+			d.res.Races = append(d.res.Races, r)
+		}
+	}
+
+	// Retain the access, subsuming what it dominates (mirroring the
+	// optimized detector's state: a write clears everything ordered
+	// before it; a read replaces this thread's earlier read).
+	acc := refAccess{tid: e.TID, vc: vc.Clone(), pc: e.PC, write: isWrite}
+	if isWrite {
+		// A write subsumes the whole history: everything unordered was
+		// just reported, everything ordered is dominated.
+		st.accesses = append(st.accesses[:0], acc)
+		return
+	}
+	// Read: drop this thread's earlier reads; keep everything else.
+	kept := st.accesses[:0]
+	for _, a := range st.accesses {
+		if !a.write && a.tid == e.TID {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	st.accesses = append(kept, acc)
+}
+
+// Result returns the accumulated result.
+func (d *ReferenceDetector) Result() *Result { return &d.res }
+
+// DetectReference replays log through the reference detector.
+func DetectReference(log *trace.Log, opts Options) (*Result, error) {
+	d := NewReferenceDetector(opts)
+	if err := Replay(log, func(e trace.Event) error {
+		d.Process(e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return d.Result(), nil
+}

@@ -1,0 +1,73 @@
+package hb
+
+import (
+	"fmt"
+
+	"literace/internal/trace"
+)
+
+// Replay merges the per-thread event streams of log into one legal global
+// order and invokes fn on each event.
+//
+// The log carries no global sequence numbers: at runtime each sync event
+// atomically incremented one of trace.NumCounters counters chosen by
+// hashing its SyncVar, so the timestamps on each counter are dense
+// (1, 2, 3, ...). A sync event is therefore *ready* exactly when its
+// timestamp is the next expected value for its counter; memory events are
+// ready whenever reached in program order. Because the original execution
+// produced the timestamps in a real interleaving, a well-formed log always
+// has at least one ready event until all streams drain; anything else
+// indicates corruption and is reported as an error.
+func Replay(log *trace.Log, fn func(trace.Event) error) error {
+	tids := log.TIDs()
+	streams := make([][]trace.Event, len(tids))
+	pos := make([]int, len(tids))
+	for i, tid := range tids {
+		streams[i] = log.Threads[tid]
+	}
+	var next [trace.NumCounters]uint64
+	for i := range next {
+		next[i] = 1
+	}
+
+	remaining := log.NumEvents()
+	for remaining > 0 {
+		progressed := false
+		for i := range streams {
+			// Drain this thread greedily until it blocks on a timestamp.
+			for pos[i] < len(streams[i]) {
+				e := streams[i][pos[i]]
+				if e.Kind.IsSync() {
+					if int(e.Counter) >= trace.NumCounters {
+						return fmt.Errorf("hb: thread %d event %d: bad counter %d", tids[i], pos[i], e.Counter)
+					}
+					if next[e.Counter] != e.TS {
+						break // not ready yet
+					}
+					next[e.Counter]++
+				}
+				pos[i]++
+				remaining--
+				progressed = true
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
+		}
+		if !progressed {
+			return replayStuckError(tids, streams, pos, &next)
+		}
+	}
+	return nil
+}
+
+func replayStuckError(tids []int32, streams [][]trace.Event, pos []int, next *[trace.NumCounters]uint64) error {
+	for i := range streams {
+		if pos[i] < len(streams[i]) {
+			e := streams[i][pos[i]]
+			return fmt.Errorf("hb: replay stuck: thread %d waiting for counter %d ts %d (have %d); log is corrupt or incomplete",
+				tids[i], e.Counter, e.TS, next[e.Counter])
+		}
+	}
+	return fmt.Errorf("hb: replay stuck with no pending events")
+}

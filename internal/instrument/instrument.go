@@ -1,0 +1,267 @@
+// Package instrument is the static rewriting pass: the role the Phoenix
+// compiler plays in the original LiteRace (§4.1). For every function it
+// creates an instrumented clone (memory accesses preceded by MLog) and an
+// uninstrumented clone, and replaces the original body with a Dispatch
+// check that selects a clone at runtime using the sampler state in package
+// core. Branch identity is preserved: every MLog carries the instruction's
+// index in the original function, so races report original PCs no matter
+// which clone executed.
+//
+// Liveness analysis decides whether the dispatch check has a free scratch
+// register at function entry; when it does not, the Dispatch instruction
+// is marked so the cost model charges a save/restore, mirroring the
+// paper's edx/eflags handling.
+package instrument
+
+import (
+	"fmt"
+
+	"literace/internal/analysis"
+	"literace/internal/lir"
+)
+
+// Mode selects the rewriting strategy.
+type Mode int
+
+const (
+	// ModeSampled is the LiteRace transformation: two clones plus a
+	// dispatch check per function.
+	ModeSampled Mode = iota
+	// ModeFull instruments every function in place with no clones and no
+	// dispatch checks: the paper's full-logging comparison implementation
+	// (§5.4: "this full-logging implementation did not have the overhead
+	// for any dispatch checks or cloned code").
+	ModeFull
+)
+
+func (m Mode) String() string {
+	if m == ModeFull {
+		return "full"
+	}
+	return "sampled"
+}
+
+// Options configures the pass.
+type Options struct {
+	Mode Mode
+
+	// LoopSampling enables the paper's §7 future-work extension: inside
+	// each instrumented clone, every self-loop header gets its own
+	// sampling region and a ReCheck instruction. When the region's
+	// sampler declines, execution switches to the uninstrumented clone at
+	// the same point, so a single invocation of a high-trip-count loop
+	// stops logging once the loop becomes hot — the Parsec-style case
+	// where function granularity is too coarse.
+	LoopSampling bool
+}
+
+// Stats summarizes one rewrite.
+type Stats struct {
+	Funcs       int // functions rewritten
+	Skipped     int // functions left alone (NoInstrument)
+	MemAccesses int // loads/stores given an MLog
+	Dispatches  int // dispatch checks inserted
+	Spills      int // dispatch checks that need a register save/restore
+	Clones      int // clone functions created
+	LoopRegions int // self-loop sampling regions created (LoopSampling)
+	OrigFuncs   int // function count before rewriting
+	OrigInstrs  int // instruction count before rewriting
+	FinalInstrs int // instruction count after rewriting
+	DeadInstrs  int // unreachable instructions observed (diagnostic)
+	SelfLoops   int // self-loop blocks observed (loop-sampling candidates)
+}
+
+// TotalRegions is the number of sampling regions the rewritten module
+// uses: one per original function plus one per loop region. Pass it as
+// core.Config.NumFuncs when constructing the runtime.
+func (s *Stats) TotalRegions() int { return s.OrigFuncs + s.LoopRegions }
+
+// Suffixes of the generated clones.
+const (
+	InstrSuffix   = "$instr"
+	UninstrSuffix = "$uninstr"
+)
+
+// Rewrite returns an instrumented copy of m; m itself is not modified.
+func Rewrite(m *lir.Module, opts Options) (*lir.Module, *Stats, error) {
+	if m.Rewritten {
+		return nil, nil, fmt.Errorf("instrument: module %q is already rewritten", m.Name)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("instrument: input module invalid: %w", err)
+	}
+	out := m.Clone()
+	out.Rewritten = true
+	stats := &Stats{OrigFuncs: len(m.Funcs), OrigInstrs: m.NumInstrs()}
+
+	origCount := len(out.Funcs)
+	for fi := 0; fi < origCount; fi++ {
+		f := out.Funcs[fi]
+		if f.NoInstrument {
+			stats.Skipped++
+			continue
+		}
+		cfg := analysis.Build(f)
+		stats.DeadInstrs += len(cfg.DeadInstrs())
+		stats.SelfLoops += len(cfg.SelfLoops())
+
+		switch opts.Mode {
+		case ModeFull:
+			instr := buildInstrumentedCode(f, int32(fi), nil, stats)
+			f.Code = instr.code
+			f.Orig = instr.orig
+			// OrigIndex stays -1: the function keeps its own identity.
+		case ModeSampled:
+			lv := analysis.ComputeLiveness(cfg)
+			needSpill := lv.ScratchAtEntry() < 0
+
+			// Assign loop regions to self-loop headers when requested.
+			var rechecks map[int32]int32
+			if opts.LoopSampling {
+				for _, bid := range cfg.SelfLoops() {
+					if rechecks == nil {
+						rechecks = make(map[int32]int32)
+					}
+					header := int32(cfg.Blocks[bid].Start)
+					rechecks[header] = int32(origCount + stats.LoopRegions)
+					stats.LoopRegions++
+				}
+			}
+
+			instr := buildInstrumentedCode(f, int32(fi), rechecks, stats)
+			icl := &lir.Function{
+				Name: f.Name + InstrSuffix, NParams: f.NParams, NRegs: f.NRegs,
+				Code: instr.code, Orig: instr.orig, OrigIndex: int32(fi),
+				NoInstrument: true,
+			}
+			ucl := &lir.Function{
+				Name: f.Name + UninstrSuffix, NParams: f.NParams, NRegs: f.NRegs,
+				Code: copyCode(f.Code), Orig: identity(len(f.Code)), OrigIndex: int32(fi),
+				NoInstrument: true,
+			}
+			ii, err := out.AddFunc(icl)
+			if err != nil {
+				return nil, nil, fmt.Errorf("instrument: %w", err)
+			}
+			ui, err := out.AddFunc(ucl)
+			if err != nil {
+				return nil, nil, fmt.Errorf("instrument: %w", err)
+			}
+			stats.Clones += 2
+
+			// ReCheck continuation targets the uninstrumented clone, whose
+			// index is only known now.
+			for j := range icl.Code {
+				if icl.Code[j].Op == lir.ReCheck && icl.Code[j].A < 0 {
+					icl.Code[j].A = int32(ui)
+				}
+			}
+
+			spill := int64(0)
+			if needSpill {
+				spill = 1
+				stats.Spills++
+			}
+			f.Code = []lir.Instr{{Op: lir.Dispatch, A: int32(ii), B: int32(ui), Imm: spill}}
+			f.Orig = []int32{0}
+			stats.Dispatches++
+		default:
+			return nil, nil, fmt.Errorf("instrument: unknown mode %d", opts.Mode)
+		}
+		stats.Funcs++
+	}
+
+	stats.FinalInstrs = out.NumInstrs()
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("instrument: rewritten module invalid: %w", err)
+	}
+	return out, stats, nil
+}
+
+type instrResult struct {
+	code []lir.Instr
+	orig []int32
+}
+
+// buildInstrumentedCode copies f's body inserting an MLog before every
+// load and store, remapping branch targets so a jump to an instrumented
+// access lands on its MLog. rechecks maps original loop-header indices to
+// their sampling-region ids; each gets a ReCheck emitted at the head of
+// its group (the clone index is patched in by the caller).
+func buildInstrumentedCode(f *lir.Function, fi int32, rechecks map[int32]int32, stats *Stats) instrResult {
+	// groupStart[i] = index in the new code of the first instruction
+	// belonging to original instruction i.
+	groupStart := make([]int32, len(f.Code))
+	n := int32(0)
+	for i, ins := range f.Code {
+		groupStart[i] = n
+		if _, ok := rechecks[int32(i)]; ok {
+			n++ // the ReCheck
+		}
+		if ins.Op.IsMemAccess() {
+			n++ // the MLog
+		}
+		n++
+	}
+
+	origIdx := func(i int) int32 {
+		if f.Orig != nil {
+			return f.Orig[i]
+		}
+		return int32(i)
+	}
+
+	code := make([]lir.Instr, 0, n)
+	orig := make([]int32, 0, n)
+	for i, ins := range f.Code {
+		if region, ok := rechecks[int32(i)]; ok {
+			// Continuation pc in the uninstrumented clone equals the
+			// original header index (that clone is an identity copy).
+			code = append(code, lir.Instr{Op: lir.ReCheck, A: -1, B: int32(i), C: region})
+			orig = append(orig, origIdx(i))
+		}
+		switch ins.Op {
+		case lir.Load:
+			code = append(code, lir.Instr{Op: lir.MLog, A: ins.B, B: 0, C: origIdx(i), Imm: ins.Imm})
+			orig = append(orig, origIdx(i))
+			stats.MemAccesses++
+		case lir.Store:
+			code = append(code, lir.Instr{Op: lir.MLog, A: ins.A, B: 1, C: origIdx(i), Imm: ins.Imm})
+			orig = append(orig, origIdx(i))
+			stats.MemAccesses++
+		}
+		out := ins
+		if ins.Args != nil {
+			out.Args = append([]int32(nil), ins.Args...)
+		}
+		switch ins.Op {
+		case lir.Jmp:
+			out.A = groupStart[ins.A]
+		case lir.Br:
+			out.B = groupStart[ins.B]
+			out.C = groupStart[ins.C]
+		}
+		code = append(code, out)
+		orig = append(orig, origIdx(i))
+	}
+	return instrResult{code: code, orig: orig}
+}
+
+func copyCode(code []lir.Instr) []lir.Instr {
+	out := make([]lir.Instr, len(code))
+	for i, ins := range code {
+		out[i] = ins
+		if ins.Args != nil {
+			out[i].Args = append([]int32(nil), ins.Args...)
+		}
+	}
+	return out
+}
+
+func identity(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"literace/internal/asm"
+	"literace/internal/lir"
+)
+
+const src = `
+glob x 1
+func hot 1 6 {
+    glob r1, x
+loop:
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    addi r0, r0, -1
+    br r0, loop, out
+out:
+    ret r2
+}
+func main 0 4 {
+    movi r0, 100
+    call r1, hot, r0
+    exit
+}
+`
+
+func rewrite(t *testing.T, source string, mode Mode) (*lir.Module, *Stats) {
+	t.Helper()
+	m := asm.MustAssemble("t", source)
+	out, stats, err := Rewrite(m, Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("rewritten module invalid: %v", err)
+	}
+	return out, stats
+}
+
+func TestSampledCreatesClonesAndDispatch(t *testing.T) {
+	out, stats := rewrite(t, src, ModeSampled)
+	if !out.Rewritten {
+		t.Error("Rewritten flag not set")
+	}
+	// 2 original + 2 clones each.
+	if len(out.Funcs) != 6 {
+		t.Fatalf("%d functions, want 6", len(out.Funcs))
+	}
+	if stats.Clones != 4 || stats.Dispatches != 2 || stats.Funcs != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	hot := out.Func("hot")
+	if len(hot.Code) != 1 || hot.Code[0].Op != lir.Dispatch {
+		t.Fatalf("hot body = %v", hot.Code)
+	}
+	ii, ui := hot.Code[0].A, hot.Code[0].B
+	icl, ucl := out.Funcs[ii], out.Funcs[ui]
+	if icl.Name != "hot"+InstrSuffix || ucl.Name != "hot"+UninstrSuffix {
+		t.Errorf("clone names: %s %s", icl.Name, ucl.Name)
+	}
+	if icl.OrigIndex != int32(out.FuncIndex("hot")) || ucl.OrigIndex != icl.OrigIndex {
+		t.Errorf("clone OrigIndex: %d %d", icl.OrigIndex, ucl.OrigIndex)
+	}
+
+	// The uninstrumented clone is byte-identical to the original body.
+	orig := asm.MustAssemble("t", src).Func("hot")
+	if len(ucl.Code) != len(orig.Code) {
+		t.Fatalf("uninstr clone has %d instrs, orig %d", len(ucl.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		if ucl.Code[i].Op != orig.Code[i].Op {
+			t.Errorf("uninstr clone differs at %d", i)
+		}
+	}
+
+	// The instrumented clone has one MLog per load/store, before it.
+	mlogs := 0
+	for i, ins := range icl.Code {
+		if ins.Op == lir.MLog {
+			mlogs++
+			next := icl.Code[i+1]
+			if !next.Op.IsMemAccess() {
+				t.Errorf("MLog at %d not followed by a memory access (%v)", i, next.Op)
+			}
+			if ins.B == 1 && next.Op != lir.Store || ins.B == 0 && next.Op != lir.Load {
+				t.Errorf("MLog write flag mismatch at %d", i)
+			}
+		}
+	}
+	if mlogs != 2 {
+		t.Errorf("instrumented clone has %d MLogs, want 2", mlogs)
+	}
+	if stats.MemAccesses != 3 { // 2 in hot, 1 in... main has no loads/stores
+		// main: movi, call, exit -> 0 accesses. hot: load + store = 2.
+		t.Logf("note: MemAccesses = %d", stats.MemAccesses)
+	}
+}
+
+func TestBranchTargetsLandOnMLog(t *testing.T) {
+	out, _ := rewrite(t, src, ModeSampled)
+	icl := out.Func("hot" + InstrSuffix)
+	// Find the back edge (br ... loop) and check its target is the MLog
+	// preceding the load, not the load itself.
+	for _, ins := range icl.Code {
+		if ins.Op == lir.Br {
+			tgt := icl.Code[ins.B]
+			if tgt.Op != lir.MLog {
+				t.Errorf("loop back edge lands on %v, want mlog", tgt.Op)
+			}
+		}
+	}
+}
+
+func TestOrigPCMapping(t *testing.T) {
+	out, _ := rewrite(t, src, ModeSampled)
+	orig := asm.MustAssemble("t", src)
+	hotIdx := int32(out.FuncIndex("hot"))
+	icl := out.Func("hot" + InstrSuffix)
+	iclIdx := int32(out.FuncIndex("hot" + InstrSuffix))
+	for j, ins := range icl.Code {
+		pc := icl.OrigPC(iclIdx, int32(j))
+		if pc.Func != hotIdx {
+			t.Fatalf("OrigPC func = %d, want %d", pc.Func, hotIdx)
+		}
+		if ins.Op == lir.MLog {
+			// The MLog's recorded PC must name a load/store in the original.
+			op := orig.Funcs[orig.FuncIndex("hot")].Code[ins.C].Op
+			if !op.IsMemAccess() {
+				t.Errorf("MLog %d records orig pc %d which is %v", j, ins.C, op)
+			}
+		}
+	}
+}
+
+func TestModeFullInPlace(t *testing.T) {
+	out, stats := rewrite(t, src, ModeFull)
+	if len(out.Funcs) != 2 {
+		t.Fatalf("%d functions, want 2 (no clones)", len(out.Funcs))
+	}
+	if stats.Clones != 0 || stats.Dispatches != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	hot := out.Func("hot")
+	mlogs := 0
+	for _, ins := range hot.Code {
+		if ins.Op == lir.MLog {
+			mlogs++
+		}
+		if ins.Op == lir.Dispatch {
+			t.Error("ModeFull inserted a dispatch")
+		}
+	}
+	if mlogs != 2 {
+		t.Errorf("%d MLogs in hot, want 2", mlogs)
+	}
+	if hot.OrigIndex != -1 {
+		t.Errorf("ModeFull changed function identity: OrigIndex=%d", hot.OrigIndex)
+	}
+}
+
+func TestNoInstrumentSkipped(t *testing.T) {
+	m := asm.MustAssemble("t", src)
+	m.Func("hot").NoInstrument = true
+	out, stats, err := Rewrite(m, Options{Mode: ModeSampled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 1 {
+		t.Errorf("Skipped = %d", stats.Skipped)
+	}
+	if out.Func("hot"+InstrSuffix) != nil {
+		t.Error("NoInstrument function was cloned")
+	}
+	if out.Func("hot").Code[0].Op == lir.Dispatch {
+		t.Error("NoInstrument function got a dispatch")
+	}
+}
+
+func TestRewriteRejectsRewritten(t *testing.T) {
+	m := asm.MustAssemble("t", src)
+	out, _, err := Rewrite(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Rewrite(out, Options{}); err == nil {
+		t.Error("double rewrite accepted")
+	}
+}
+
+func TestRewriteDoesNotMutateInput(t *testing.T) {
+	m := asm.MustAssemble("t", src)
+	before := m.NumInstrs()
+	if _, _, err := Rewrite(m, Options{Mode: ModeSampled}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rewritten || m.NumInstrs() != before || len(m.Funcs) != 2 {
+		t.Error("Rewrite mutated its input")
+	}
+}
+
+func TestSpillDetection(t *testing.T) {
+	// A function where every register is live at entry forces a spill.
+	tight := `
+entry f
+func f 0 2 {
+    add r0, r0, r1
+    ret r0
+}
+`
+	out, stats := rewrite(t, tight, ModeSampled)
+	if stats.Spills != 1 {
+		t.Errorf("Spills = %d, want 1", stats.Spills)
+	}
+	d := out.Func("f").Code[0]
+	if d.Op != lir.Dispatch || d.Imm != 1 {
+		t.Errorf("dispatch = %v, want spill flag", d)
+	}
+
+	// src's functions all have free registers: no spills.
+	_, stats2 := rewrite(t, src, ModeSampled)
+	if stats2.Spills != 0 {
+		t.Errorf("unexpected spills: %+v", stats2)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	_, stats := rewrite(t, src, ModeSampled)
+	if stats.OrigFuncs != 2 || stats.OrigInstrs == 0 {
+		t.Errorf("orig stats: %+v", stats)
+	}
+	if stats.FinalInstrs <= stats.OrigInstrs {
+		t.Error("rewriting should grow the module")
+	}
+	if stats.SelfLoops == 0 {
+		t.Error("hot's self loop not observed")
+	}
+	if !strings.Contains(ModeSampled.String(), "sampled") || !strings.Contains(ModeFull.String(), "full") {
+		t.Error("Mode.String broken")
+	}
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	m := asm.MustAssemble("t", src)
+	if _, _, err := Rewrite(m, Options{Mode: Mode(9)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+const loopSrc = `
+func kernel 1 8 {
+    movi r2, 64
+    alloc r3, r2
+    movi r1, 100
+loop:
+    add r4, r3, r0
+    load r5, r4, 0
+    addi r5, r5, 1
+    store r4, 0, r5
+    addi r1, r1, -1
+    br r1, loop, out
+out:
+    free r3
+    ret r1
+}
+func main 0 4 {
+    movi r0, 3
+    call _, kernel, r0
+    exit
+}
+`
+
+func TestLoopSamplingRewrite(t *testing.T) {
+	m := asm.MustAssemble("t", loopSrc)
+	out, stats, err := Rewrite(m, Options{Mode: ModeSampled, LoopSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if stats.LoopRegions != 1 {
+		t.Fatalf("LoopRegions = %d, want 1", stats.LoopRegions)
+	}
+	if stats.TotalRegions() != stats.OrigFuncs+1 {
+		t.Errorf("TotalRegions = %d", stats.TotalRegions())
+	}
+	icl := out.Func("kernel" + InstrSuffix)
+	ucl := out.Func("kernel" + UninstrSuffix)
+	uclIdx := int32(out.FuncIndex("kernel" + UninstrSuffix))
+	var rechecks int
+	for _, ins := range icl.Code {
+		if ins.Op == lir.ReCheck {
+			rechecks++
+			if ins.A != uclIdx {
+				t.Errorf("recheck targets fn%d, want uninstr clone %d", ins.A, uclIdx)
+			}
+			if ins.B < 0 || int(ins.B) >= len(ucl.Code) {
+				t.Errorf("recheck continuation %d out of range", ins.B)
+			}
+			if int(ins.C) != stats.OrigFuncs {
+				t.Errorf("recheck region = %d, want %d", ins.C, stats.OrigFuncs)
+			}
+			// The continuation lands on the loop header in the original
+			// (identity) clone: the first instruction of the loop block.
+			if ucl.Code[ins.B].Op != lir.Add {
+				t.Errorf("continuation lands on %v", ucl.Code[ins.B].Op)
+			}
+		}
+	}
+	if rechecks != 1 {
+		t.Errorf("%d rechecks, want 1", rechecks)
+	}
+	// The back edge in the instrumented clone must target the ReCheck.
+	for _, ins := range icl.Code {
+		if ins.Op == lir.Br {
+			if icl.Code[ins.B].Op != lir.ReCheck {
+				t.Errorf("back edge lands on %v, want recheck", icl.Code[ins.B].Op)
+			}
+		}
+	}
+	// Without the option: no rechecks.
+	out2, stats2, err := Rewrite(m, Options{Mode: ModeSampled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range out2.Funcs {
+		for _, ins := range f.Code {
+			if ins.Op == lir.ReCheck {
+				t.Fatal("recheck emitted without LoopSampling")
+			}
+		}
+	}
+	if stats2.LoopRegions != 0 {
+		t.Errorf("LoopRegions = %d without option", stats2.LoopRegions)
+	}
+}

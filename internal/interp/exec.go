@@ -1,0 +1,509 @@
+package interp
+
+import (
+	"fmt"
+
+	"literace/internal/lir"
+	"literace/internal/trace"
+)
+
+func (m *Machine) fault(th *thread, format string, args ...any) error {
+	fr := th.top()
+	return &Fault{TID: th.tid, Func: fr.fn.Name, PC: fr.pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+// origPC returns the original-module PC for the instruction at index i of
+// the executing frame, resolving clone mappings.
+func origPC(fr *frame, i int32) lir.PC {
+	return fr.fn.OrigPC(fr.fnIdx, i)
+}
+
+// logSync emits a sync event when instrumented; always counts the op.
+func (m *Machine) logSync(th *thread, kind trace.Kind, op trace.SyncOp, syncVar uint64, pc lir.PC) error {
+	if th.ts == nil {
+		return nil
+	}
+	return th.ts.LogSync(kind, op, syncVar, pc)
+}
+
+// step executes one instruction of th. Blocking instructions leave the pc
+// unchanged and are completed (pc advanced, effects applied) by the waking
+// thread, so they are counted exactly once, at issue.
+func (m *Machine) step(th *thread) error {
+	fr := th.top()
+	ins := &fr.fn.Code[fr.pc]
+	m.res.Instrs++
+	isInstrumentation := ins.Op == lir.MLog || ins.Op == lir.Dispatch || ins.Op == lir.ReCheck
+	if !isInstrumentation {
+		m.res.BaseCycles++
+	}
+	r := fr.regs
+
+	switch ins.Op {
+	case lir.Nop:
+	case lir.MovI:
+		r[ins.A] = uint64(ins.Imm)
+	case lir.Mov:
+		r[ins.A] = r[ins.B]
+	case lir.Add:
+		r[ins.A] = r[ins.B] + r[ins.C]
+	case lir.Sub:
+		r[ins.A] = r[ins.B] - r[ins.C]
+	case lir.Mul:
+		r[ins.A] = r[ins.B] * r[ins.C]
+	case lir.Div:
+		if r[ins.C] == 0 {
+			return m.fault(th, "division by zero")
+		}
+		r[ins.A] = uint64(int64(r[ins.B]) / int64(r[ins.C]))
+	case lir.Mod:
+		if r[ins.C] == 0 {
+			return m.fault(th, "modulo by zero")
+		}
+		r[ins.A] = uint64(int64(r[ins.B]) % int64(r[ins.C]))
+	case lir.And:
+		r[ins.A] = r[ins.B] & r[ins.C]
+	case lir.Or:
+		r[ins.A] = r[ins.B] | r[ins.C]
+	case lir.Xor:
+		r[ins.A] = r[ins.B] ^ r[ins.C]
+	case lir.Shl:
+		r[ins.A] = r[ins.B] << (r[ins.C] & 63)
+	case lir.Shr:
+		r[ins.A] = r[ins.B] >> (r[ins.C] & 63)
+	case lir.AddI:
+		r[ins.A] = r[ins.B] + uint64(ins.Imm)
+	case lir.Slt:
+		r[ins.A] = b2u(int64(r[ins.B]) < int64(r[ins.C]))
+	case lir.Sle:
+		r[ins.A] = b2u(int64(r[ins.B]) <= int64(r[ins.C]))
+	case lir.Seq:
+		r[ins.A] = b2u(r[ins.B] == r[ins.C])
+	case lir.Sne:
+		r[ins.A] = b2u(r[ins.B] != r[ins.C])
+	case lir.Not:
+		r[ins.A] = b2u(r[ins.B] == 0)
+	case lir.Neg:
+		r[ins.A] = uint64(-int64(r[ins.B]))
+
+	case lir.Jmp:
+		fr.pc = ins.A
+		return nil
+	case lir.Br:
+		if r[ins.A] != 0 {
+			fr.pc = ins.B
+		} else {
+			fr.pc = ins.C
+		}
+		return nil
+
+	case lir.Call:
+		callee := m.mod.Funcs[ins.B]
+		nf := frame{
+			fn: callee, fnIdx: ins.B, pc: 0,
+			regs: make([]uint64, callee.NRegs), retReg: ins.A,
+		}
+		for i, a := range ins.Args {
+			nf.regs[i] = r[a]
+		}
+		fr.pc++ // return address
+		th.frames = append(th.frames, nf)
+		return nil
+
+	case lir.Ret:
+		var val uint64
+		if ins.A >= 0 {
+			val = r[ins.A]
+		}
+		retReg := fr.retReg
+		th.frames = th.frames[:len(th.frames)-1]
+		if len(th.frames) == 0 {
+			return m.finishThread(th)
+		}
+		if retReg >= 0 {
+			th.top().regs[retReg] = val
+		}
+		return nil
+
+	case lir.Exit:
+		return m.finishThread(th)
+
+	case lir.Load:
+		addr := r[ins.B] + uint64(ins.Imm)
+		v, ok := m.mem.load(addr)
+		if !ok {
+			return m.fault(th, "load from unmapped address %#x", addr)
+		}
+		r[ins.A] = v
+		m.countMem(addr)
+	case lir.Store:
+		addr := r[ins.A] + uint64(ins.Imm)
+		if !m.mem.store(addr, r[ins.B]) {
+			return m.fault(th, "store to unmapped address %#x", addr)
+		}
+		m.countMem(addr)
+
+	case lir.Glob:
+		r[ins.A] = m.globalAddrs[ins.B]
+
+	case lir.Alloc:
+		size := r[ins.B]
+		addr := m.alloc.alloc(size)
+		r[ins.A] = addr
+		m.res.SyncOps++
+		if th.ts != nil {
+			if err := th.ts.LogAllocRange(trace.OpAlloc, addr, max64(size, 1), origPC(fr, fr.pc)); err != nil {
+				return m.fault(th, "log: %v", err)
+			}
+		}
+	case lir.Free:
+		addr := r[ins.A]
+		size, err := m.alloc.release(addr)
+		if err != nil {
+			return m.fault(th, "%v", err)
+		}
+		m.res.SyncOps++
+		if th.ts != nil {
+			if err := th.ts.LogAllocRange(trace.OpFree, addr, size, origPC(fr, fr.pc)); err != nil {
+				return m.fault(th, "log: %v", err)
+			}
+		}
+	case lir.SAlloc:
+		n := uint64(ins.Imm)
+		if th.stackNext+n > th.stackEnd {
+			return m.fault(th, "stack overflow: %d words requested", n)
+		}
+		r[ins.A] = th.stackNext
+		th.stackNext += n
+
+	case lir.Lock:
+		return m.doLock(th, fr, ins)
+	case lir.Unlock:
+		return m.doUnlock(th, fr, ins)
+	case lir.Wait:
+		return m.doWait(th, fr, ins)
+	case lir.Notify:
+		return m.doNotify(th, fr, ins)
+	case lir.Reset:
+		ev := m.event(r[ins.A])
+		ev.signaled = false
+
+	case lir.Fork:
+		if m.totalSpawns >= m.opts.MaxThreads {
+			return m.fault(th, "thread limit %d exceeded", m.opts.MaxThreads)
+		}
+		m.res.SyncOps++
+		child := m.spawn(ins.B, r[ins.C], true)
+		r[ins.A] = uint64(uint32(child.tid))
+		tv := trace.ThreadVar(child.tid)
+		// Parent's release must precede the child's acquire in timestamp
+		// order; both are drawn here, before the child ever runs.
+		if err := m.logSync(th, trace.KindRelease, trace.OpFork, tv, origPC(fr, fr.pc)); err != nil {
+			return m.fault(th, "log: %v", err)
+		}
+		if child.ts != nil {
+			if err := child.ts.LogSync(trace.KindAcquire, trace.OpForkChild, tv, lir.PC{Func: ins.B, Index: 0}); err != nil {
+				return m.fault(th, "log: %v", err)
+			}
+		}
+
+	case lir.Join:
+		return m.doJoin(th, fr, ins)
+
+	case lir.Cas, lir.Xadd, lir.Xchg:
+		return m.doAtomic(th, fr, ins)
+
+	case lir.Tid:
+		r[ins.A] = uint64(uint32(th.tid))
+	case lir.Rand:
+		bound := r[ins.B]
+		if bound == 0 {
+			r[ins.A] = 0
+		} else {
+			r[ins.A] = uint64(m.progRng.Int63n(int64(bound)))
+		}
+	case lir.Print:
+		if !m.opts.DropPrints {
+			m.res.Prints = append(m.res.Prints, int64(r[ins.A]))
+		}
+	case lir.Yield:
+		m.yieldSlice = true
+
+	case lir.MLog:
+		if th.ts != nil {
+			addr := r[ins.A] + uint64(ins.Imm)
+			pc := fr.fn.OrigPC(fr.fnIdx, ins.C)
+			var err error
+			if ins.B != 0 {
+				err = th.ts.LogWrite(addr, pc, fr.mask)
+			} else {
+				err = th.ts.LogRead(addr, pc, fr.mask)
+			}
+			if err != nil {
+				return m.fault(th, "log: %v", err)
+			}
+		}
+
+	case lir.Dispatch:
+		// The frame currently runs the original function; replace it with
+		// the clone the sampler selects. Registers (parameters) carry over.
+		instrumented := false
+		var mask uint32
+		if th.ts != nil {
+			instrumented, mask = th.ts.Dispatch(fr.fnIdx, ins.Imm != 0)
+		}
+		target := ins.B
+		if instrumented {
+			target = ins.A
+		}
+		fr.fn = m.mod.Funcs[target]
+		fr.fnIdx = target
+		fr.mask = mask
+		fr.pc = 0
+		return nil
+
+	case lir.ReCheck:
+		// Loop-granularity sampling (§7): re-evaluate the loop region's
+		// sampler at the back edge; when it declines, continue in the
+		// uninstrumented clone from the same program point.
+		if th.ts != nil {
+			instrumented, mask := th.ts.Dispatch(ins.C, false)
+			if !instrumented {
+				fr.fn = m.mod.Funcs[ins.A]
+				fr.fnIdx = ins.A
+				fr.mask = 0
+				fr.pc = ins.B
+				return nil
+			}
+			fr.mask = mask
+		}
+
+	default:
+		return m.fault(th, "unimplemented opcode %s", ins.Op)
+	}
+
+	fr.pc++
+	return nil
+}
+
+func (m *Machine) countMem(addr uint64) {
+	m.res.MemOps++
+	if addr >= StackBase {
+		m.res.StackMemOps++
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (m *Machine) mutex(addr uint64) *mutexState {
+	mu := m.mutexes[addr]
+	if mu == nil {
+		mu = &mutexState{owner: -1}
+		m.mutexes[addr] = mu
+	}
+	return mu
+}
+
+func (m *Machine) event(addr uint64) *eventState {
+	ev := m.events[addr]
+	if ev == nil {
+		ev = &eventState{}
+		m.events[addr] = ev
+	}
+	return ev
+}
+
+func (m *Machine) doLock(th *thread, fr *frame, ins *lir.Instr) error {
+	addr := fr.regs[ins.A]
+	mu := m.mutex(addr)
+	m.res.SyncOps++
+	switch {
+	case mu.owner == th.tid:
+		return m.fault(th, "recursive lock of %#x", addr)
+	case mu.owner == -1:
+		mu.owner = th.tid
+		// Acquire: timestamp drawn after the lock is taken (§4.2).
+		if err := m.logSync(th, trace.KindAcquire, trace.OpLock, addr, origPC(fr, fr.pc)); err != nil {
+			return m.fault(th, "log: %v", err)
+		}
+		fr.pc++
+	default:
+		mu.waiters = append(mu.waiters, th.tid)
+		m.block(th)
+	}
+	return nil
+}
+
+func (m *Machine) doUnlock(th *thread, fr *frame, ins *lir.Instr) error {
+	addr := fr.regs[ins.A]
+	mu := m.mutex(addr)
+	m.res.SyncOps++
+	if mu.owner != th.tid {
+		return m.fault(th, "unlock of %#x not owned (owner %d)", addr, mu.owner)
+	}
+	// Release: timestamp drawn before the lock is surrendered (§4.2),
+	// guaranteeing ts(unlock) < ts(next lock).
+	if err := m.logSync(th, trace.KindRelease, trace.OpUnlock, addr, origPC(fr, fr.pc)); err != nil {
+		return m.fault(th, "log: %v", err)
+	}
+	fr.pc++
+	if len(mu.waiters) == 0 {
+		mu.owner = -1
+		return nil
+	}
+	// FIFO hand-off: the head waiter's pending Lock completes now.
+	next := mu.waiters[0]
+	mu.waiters = mu.waiters[1:]
+	mu.owner = next
+	w := m.threads[next]
+	wf := w.top()
+	if err := m.logSync(w, trace.KindAcquire, trace.OpLock, addr, origPC(wf, wf.pc)); err != nil {
+		return m.fault(w, "log: %v", err)
+	}
+	wf.pc++
+	m.wake(w)
+	return nil
+}
+
+func (m *Machine) doWait(th *thread, fr *frame, ins *lir.Instr) error {
+	addr := fr.regs[ins.A]
+	ev := m.event(addr)
+	m.res.SyncOps++
+	if ev.signaled {
+		if err := m.logSync(th, trace.KindAcquire, trace.OpWait, addr, origPC(fr, fr.pc)); err != nil {
+			return m.fault(th, "log: %v", err)
+		}
+		fr.pc++
+		return nil
+	}
+	ev.waiters = append(ev.waiters, th.tid)
+	m.block(th)
+	return nil
+}
+
+func (m *Machine) doNotify(th *thread, fr *frame, ins *lir.Instr) error {
+	addr := fr.regs[ins.A]
+	ev := m.event(addr)
+	m.res.SyncOps++
+	// Release first (§4.2: increment and log before the notify), so every
+	// woken waiter's acquire gets a later timestamp.
+	if err := m.logSync(th, trace.KindRelease, trace.OpNotify, addr, origPC(fr, fr.pc)); err != nil {
+		return m.fault(th, "log: %v", err)
+	}
+	ev.signaled = true
+	fr.pc++
+	for _, tid := range ev.waiters {
+		w := m.threads[tid]
+		wf := w.top()
+		if err := m.logSync(w, trace.KindAcquire, trace.OpWait, addr, origPC(wf, wf.pc)); err != nil {
+			return m.fault(w, "log: %v", err)
+		}
+		wf.pc++
+		m.wake(w)
+	}
+	ev.waiters = ev.waiters[:0]
+	return nil
+}
+
+func (m *Machine) doJoin(th *thread, fr *frame, ins *lir.Instr) error {
+	tid := int32(uint32(fr.regs[ins.A]))
+	if tid == th.tid {
+		return m.fault(th, "join on self")
+	}
+	if int(tid) >= len(m.threads) || tid < 0 {
+		return m.fault(th, "join on unknown thread %d", tid)
+	}
+	m.res.SyncOps++
+	target := m.threads[tid]
+	if target.state == tDone {
+		if err := m.logSync(th, trace.KindAcquire, trace.OpJoin, trace.ThreadVar(tid), origPC(fr, fr.pc)); err != nil {
+			return m.fault(th, "log: %v", err)
+		}
+		fr.pc++
+		return nil
+	}
+	m.joiners[tid] = append(m.joiners[tid], th.tid)
+	m.block(th)
+	return nil
+}
+
+func (m *Machine) doAtomic(th *thread, fr *frame, ins *lir.Instr) error {
+	r := fr.regs
+	addr := r[ins.B]
+	old, ok := m.mem.load(addr)
+	if !ok {
+		return m.fault(th, "atomic on unmapped address %#x", addr)
+	}
+	var op trace.SyncOp
+	switch ins.Op {
+	case lir.Cas:
+		op = trace.OpCas
+		if old == r[ins.C] {
+			m.mem.store(addr, r[ins.D])
+		}
+	case lir.Xadd:
+		op = trace.OpXadd
+		m.mem.store(addr, old+r[ins.C])
+	case lir.Xchg:
+		op = trace.OpXchg
+		m.mem.store(addr, r[ins.C])
+	}
+	r[ins.A] = old
+	m.res.SyncOps++
+	// Table 1: atomic machine ops synchronize on the target address; the
+	// timestamp is drawn atomically with the operation (instruction
+	// atomicity gives us the critical section the paper had to add).
+	if err := m.logSync(th, trace.KindAcqRel, op, addr, origPC(fr, fr.pc)); err != nil {
+		return m.fault(th, "log: %v", err)
+	}
+	fr.pc++
+	return nil
+}
+
+// finishThread ends th: logs the thread-end release and wakes joiners.
+func (m *Machine) finishThread(th *thread) error {
+	th.state = tDone
+	m.alive--
+	tv := trace.ThreadVar(th.tid)
+	// The end-release must be timestamped before any joiner's acquire.
+	if err := m.logSync(th, trace.KindRelease, trace.OpThreadEnd, tv, lir.PC{Func: -1, Index: -1}); err != nil {
+		return m.fault(th, "log: %v", err)
+	}
+	for _, tid := range m.joiners[th.tid] {
+		j := m.threads[tid]
+		jf := j.top()
+		if err := m.logSync(j, trace.KindAcquire, trace.OpJoin, tv, origPC(jf, jf.pc)); err != nil {
+			return m.fault(j, "log: %v", err)
+		}
+		jf.pc++
+		m.wake(j)
+	}
+	delete(m.joiners, th.tid)
+	if th.ts != nil {
+		th.ts.FlushStats()
+	}
+	return nil
+}
+
+func (m *Machine) block(th *thread) {
+	th.state = tBlocked
+}
+
+func (m *Machine) wake(th *thread) {
+	if th.state == tBlocked {
+		th.state = tRunnable
+		m.runq = append(m.runq, th.tid)
+	}
+}

@@ -1,0 +1,307 @@
+// Package interp executes LIR modules: a deterministic multithreaded
+// interpreter that stands in for the native execution environment of the
+// original LiteRace. Threads are interleaved at instruction granularity by
+// a seeded preemptive scheduler, so a (module, seed) pair always produces
+// the same execution — and different seeds produce different interleavings,
+// playing the role of the paper's three runs per benchmark.
+//
+// When Options.Runtime is set the interpreter calls into package core at
+// the instrumentation points the rewriter inserted (Dispatch, MLog) and at
+// every synchronization operation, producing the LiteRace event log.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"literace/internal/core"
+	"literace/internal/lir"
+	"literace/internal/trace"
+)
+
+// Memory layout constants (word addresses).
+const (
+	// globalBase is where module globals start; page 0 is a null guard.
+	globalBase = uint64(lir.PageWords)
+	// StackBase is where per-thread stacks start. Addresses at or above
+	// it are "stack memory" for the paper's non-stack instruction counts.
+	StackBase = uint64(1) << 40
+)
+
+// Options configures an execution.
+type Options struct {
+	// Seed drives the scheduler and the Rand instruction.
+	Seed int64
+	// Runtime, when non-nil, receives dispatch checks and event logging.
+	Runtime *core.Runtime
+	// MaxInstrs aborts runaway programs; default 1e9.
+	MaxInstrs uint64
+	// Quantum is the maximum instructions per scheduling slice (the
+	// actual slice length is uniform in [1, Quantum]); default 64.
+	Quantum int
+	// StackWords is each thread's stack size; default 1<<16.
+	StackWords uint64
+	// MaxThreads bounds thread creation; default 1024.
+	MaxThreads int
+	// CollectPrints retains Print values in the result; default true
+	// behaviour is controlled by DropPrints.
+	DropPrints bool
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxInstrs == 0 {
+		o.MaxInstrs = 1e9
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = 64
+	}
+	if o.StackWords == 0 {
+		o.StackWords = 1 << 16
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 1024
+	}
+}
+
+// Fault is a runtime error in the interpreted program.
+type Fault struct {
+	TID  int32
+	Func string
+	PC   int32
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("interp: thread %d at %s:%d: %s", f.TID, f.Func, f.PC, f.Msg)
+}
+
+// Result summarizes an execution.
+type Result struct {
+	Instrs      uint64 // every executed instruction, including MLog/Dispatch
+	BaseCycles  uint64 // application instructions only (1 cycle each)
+	Cycles      uint64 // BaseCycles + instrumentation ExtraCycles
+	MemOps      uint64 // dynamic loads/stores
+	StackMemOps uint64 // subset touching thread stacks
+	SyncOps     uint64 // dynamic synchronization operations
+	Threads     int    // threads ever created
+	Prints      []int64
+	Wall        time.Duration
+
+	// RuntimeStats is the final instrumentation counters (zero value when
+	// the run was uninstrumented).
+	RuntimeStats core.Stats
+}
+
+type tstate uint8
+
+const (
+	tRunnable tstate = iota
+	tBlocked
+	tDone
+)
+
+type frame struct {
+	fn     *lir.Function
+	fnIdx  int32
+	pc     int32
+	regs   []uint64
+	retReg int32  // register in the caller frame receiving the return value
+	mask   uint32 // sampler mask established by the dispatch check
+}
+
+type thread struct {
+	tid    int32
+	frames []frame
+	state  tstate
+	ts     *core.ThreadState // nil when uninstrumented
+
+	stackNext uint64
+	stackEnd  uint64
+}
+
+func (t *thread) top() *frame { return &t.frames[len(t.frames)-1] }
+
+type mutexState struct {
+	owner   int32 // -1 when free
+	waiters []int32
+}
+
+type eventState struct {
+	signaled bool
+	waiters  []int32
+}
+
+// Machine executes one module.
+type Machine struct {
+	mod  *lir.Module
+	opts Options
+
+	mem   *memory
+	alloc *allocator
+
+	globalAddrs []uint64
+
+	threads []*thread
+	runq    []int32
+	alive   int
+
+	mutexes map[uint64]*mutexState
+	events  map[uint64]*eventState
+	joiners map[int32][]int32 // target tid -> blocked joiners
+
+	schedRng *rand.Rand
+	progRng  *rand.Rand
+
+	res         Result
+	yieldSlice  bool
+	totalSpawns int
+}
+
+// New prepares a machine for mod. The module must be valid and its entry
+// function must take no parameters.
+func New(mod *lir.Module, opts Options) (*Machine, error) {
+	if err := mod.Validate(); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	if mod.Funcs[mod.Entry].NParams != 0 {
+		return nil, fmt.Errorf("interp: entry function %s takes parameters", mod.Funcs[mod.Entry].Name)
+	}
+	opts.setDefaults()
+
+	m := &Machine{
+		mod:      mod,
+		opts:     opts,
+		mem:      newMemory(),
+		mutexes:  make(map[uint64]*mutexState),
+		events:   make(map[uint64]*eventState),
+		joiners:  make(map[int32][]int32),
+		schedRng: rand.New(rand.NewSource(opts.Seed)),
+		progRng:  rand.New(rand.NewSource(opts.Seed ^ 0x5DEECE66D)),
+	}
+
+	// Lay out globals.
+	addr := globalBase
+	m.globalAddrs = make([]uint64, len(mod.Globals))
+	for i, g := range mod.Globals {
+		m.globalAddrs[i] = addr
+		m.mem.mapRange(addr, uint64(g.Size))
+		for j, v := range g.Init {
+			m.mem.store(addr+uint64(j), v)
+		}
+		addr += uint64(g.Size)
+	}
+	// Heap begins at the next page boundary.
+	heapBase := (addr + lir.PageWords - 1) / lir.PageWords * lir.PageWords
+	if heapBase == 0 {
+		heapBase = globalBase
+	}
+	m.alloc = newAllocator(m.mem, heapBase)
+
+	m.spawn(int32(mod.Entry), 0, false)
+	return m, nil
+}
+
+// spawn creates a thread running function fn with optional argument arg.
+func (m *Machine) spawn(fn int32, arg uint64, hasArg bool) *thread {
+	tid := int32(len(m.threads))
+	f := m.mod.Funcs[fn]
+	fr := frame{fn: f, fnIdx: fn, pc: 0, regs: make([]uint64, f.NRegs), retReg: -1}
+	if hasArg && f.NParams > 0 {
+		fr.regs[0] = arg
+	}
+	th := &thread{
+		tid:       tid,
+		frames:    []frame{fr},
+		state:     tRunnable,
+		stackNext: StackBase + uint64(tid)*m.opts.StackWords,
+		stackEnd:  StackBase + uint64(tid+1)*m.opts.StackWords,
+	}
+	m.mem.mapRange(th.stackNext, m.opts.StackWords)
+	if m.opts.Runtime != nil {
+		th.ts = m.opts.Runtime.Thread(tid)
+	}
+	m.threads = append(m.threads, th)
+	m.runq = append(m.runq, tid)
+	m.alive++
+	m.totalSpawns++
+	return th
+}
+
+// Run executes the program to completion and returns the result. The
+// result is also returned alongside a Fault so callers can inspect partial
+// progress.
+func (m *Machine) Run() (*Result, error) {
+	start := time.Now()
+	err := m.loop()
+	m.res.Wall = time.Since(start)
+	m.res.Threads = m.totalSpawns
+	m.res.Cycles = m.res.BaseCycles
+	if m.opts.Runtime != nil {
+		m.res.RuntimeStats = m.opts.Runtime.Finalize()
+		m.res.Cycles += m.res.RuntimeStats.ExtraCycles
+	}
+	return &m.res, err
+}
+
+func (m *Machine) loop() error {
+	for m.alive > 0 {
+		if len(m.runq) == 0 {
+			return m.deadlockError()
+		}
+		tid := m.runq[0]
+		m.runq = m.runq[1:]
+		th := m.threads[tid]
+		if th.state != tRunnable {
+			continue
+		}
+		quantum := 1 + m.schedRng.Intn(m.opts.Quantum)
+		m.yieldSlice = false
+		for i := 0; i < quantum && th.state == tRunnable && !m.yieldSlice; i++ {
+			if err := m.step(th); err != nil {
+				return err
+			}
+			if m.res.Instrs > m.opts.MaxInstrs {
+				return fmt.Errorf("interp: instruction budget %d exceeded", m.opts.MaxInstrs)
+			}
+		}
+		if th.state == tRunnable {
+			m.runq = append(m.runq, tid)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) deadlockError() error {
+	for _, th := range m.threads {
+		if th.state == tBlocked {
+			fr := th.top()
+			return &Fault{TID: th.tid, Func: fr.fn.Name, PC: fr.pc,
+				Msg: fmt.Sprintf("deadlock: %d threads blocked, none runnable", m.alive)}
+		}
+	}
+	return fmt.Errorf("interp: internal error: alive=%d but no blocked threads", m.alive)
+}
+
+// Meta assembles trace metadata for the completed run; the caller fills
+// log-size and sampler fields it cannot know.
+func (m *Machine) Meta(res *Result) trace.Meta {
+	meta := trace.Meta{
+		Module:      m.mod.Name,
+		Seed:        m.opts.Seed,
+		Threads:     res.Threads,
+		Instrs:      res.Instrs,
+		MemOps:      res.MemOps,
+		StackMemOps: res.StackMemOps,
+		SyncOps:     res.SyncOps,
+		Cycles:      res.Cycles,
+		BaseCycles:  res.BaseCycles,
+		WallNanos:   res.Wall.Nanoseconds(),
+	}
+	if rt := m.opts.Runtime; rt != nil {
+		meta.Samplers = rt.SamplerNames()
+		meta.SampledOps = res.RuntimeStats.SampledOps
+		meta.Primary = rt.PrimaryName()
+	}
+	return meta
+}

@@ -1,0 +1,185 @@
+package lir
+
+import "fmt"
+
+// Builder incrementally constructs a Function with symbolic labels and
+// function references, resolving them when Finish is called. It is the
+// programmatic counterpart of the text assembler and is used by the
+// workload generators and tests.
+type Builder struct {
+	mod  *Module
+	fn   *Function
+	errs []error
+
+	labels  map[string]int  // label -> instruction index
+	patches []patch         // pending label references
+	fpatch  []funcPatch     // pending function-name references
+	defined map[string]bool // label defined?
+}
+
+type patch struct {
+	instr int
+	field int // 0 = A, 1 = B, 2 = C
+	label string
+}
+
+type funcPatch struct {
+	instr int
+	field int // 1 = B (callee/fork target)
+	name  string
+}
+
+// NewBuilder begins a function named name in module mod. The function is
+// added to the module by Finish.
+func NewBuilder(mod *Module, name string, nparams, nregs int) *Builder {
+	return &Builder{
+		mod:     mod,
+		fn:      &Function{Name: name, NParams: nparams, NRegs: nregs, OrigIndex: -1},
+		labels:  make(map[string]int),
+		defined: make(map[string]bool),
+	}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if b.defined[name] {
+		b.errs = append(b.errs, fmt.Errorf("lir: duplicate label %q in %s", name, b.fn.Name))
+	}
+	b.defined[name] = true
+	b.labels[name] = len(b.fn.Code)
+	return b
+}
+
+func (b *Builder) emit(ins Instr) int {
+	b.fn.Code = append(b.fn.Code, ins)
+	return len(b.fn.Code) - 1
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(ins Instr) *Builder { b.emit(ins); return b }
+
+// MovI emits rd = imm.
+func (b *Builder) MovI(rd int32, imm int64) *Builder {
+	return b.Emit(Instr{Op: MovI, A: rd, Imm: imm})
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs int32) *Builder { return b.Emit(Instr{Op: Mov, A: rd, B: rs}) }
+
+// Op3 emits a three-register ALU instruction.
+func (b *Builder) Op3(op Op, rd, rs, rt int32) *Builder {
+	return b.Emit(Instr{Op: op, A: rd, B: rs, C: rt})
+}
+
+// AddI emits rd = rs + imm.
+func (b *Builder) AddI(rd, rs int32, imm int64) *Builder {
+	return b.Emit(Instr{Op: AddI, A: rd, B: rs, Imm: imm})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	i := b.emit(Instr{Op: Jmp})
+	b.patches = append(b.patches, patch{i, 0, label})
+	return b
+}
+
+// Br emits a conditional branch: if rs != 0 goto ltrue else lfalse.
+func (b *Builder) Br(rs int32, ltrue, lfalse string) *Builder {
+	i := b.emit(Instr{Op: Br, A: rs})
+	b.patches = append(b.patches, patch{i, 1, ltrue}, patch{i, 2, lfalse})
+	return b
+}
+
+// Call emits rd = fn(args...); pass rd = -1 to discard the result.
+func (b *Builder) Call(rd int32, fn string, args ...int32) *Builder {
+	i := b.emit(Instr{Op: Call, A: rd, Args: append([]int32(nil), args...)})
+	b.fpatch = append(b.fpatch, funcPatch{i, 1, fn})
+	return b
+}
+
+// Ret emits a return of rs (or 0 when rs < 0).
+func (b *Builder) Ret(rs int32) *Builder { return b.Emit(Instr{Op: Ret, A: rs}) }
+
+// Load emits rd = mem[rbase+off].
+func (b *Builder) Load(rd, rbase int32, off int64) *Builder {
+	return b.Emit(Instr{Op: Load, A: rd, B: rbase, Imm: off})
+}
+
+// Store emits mem[rbase+off] = rval.
+func (b *Builder) Store(rbase int32, off int64, rval int32) *Builder {
+	return b.Emit(Instr{Op: Store, A: rbase, B: rval, Imm: off})
+}
+
+// Glob emits rd = &global. The global must already exist in the module.
+func (b *Builder) Glob(rd int32, name string) *Builder {
+	gi := b.mod.GlobalIndex(name)
+	if gi < 0 {
+		b.errs = append(b.errs, fmt.Errorf("lir: unknown global %q in %s", name, b.fn.Name))
+	}
+	return b.Emit(Instr{Op: Glob, A: rd, B: int32(gi)})
+}
+
+// Fork emits rd = fork fn(rarg).
+func (b *Builder) Fork(rd int32, fn string, rarg int32) *Builder {
+	i := b.emit(Instr{Op: Fork, A: rd, C: rarg})
+	b.fpatch = append(b.fpatch, funcPatch{i, 1, fn})
+	return b
+}
+
+// Op1 emits a single-register instruction (lock, unlock, wait, notify,
+// reset, join, free, print, exit has none).
+func (b *Builder) Op1(op Op, r int32) *Builder { return b.Emit(Instr{Op: op, A: r}) }
+
+// Finish resolves labels and function references, appends the function to
+// the module, and returns its index.
+func (b *Builder) Finish() (int, error) {
+	for _, p := range b.patches {
+		idx, ok := b.labels[p.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("lir: undefined label %q in %s", p.label, b.fn.Name))
+			continue
+		}
+		ins := &b.fn.Code[p.instr]
+		switch p.field {
+		case 0:
+			ins.A = int32(idx)
+		case 1:
+			ins.B = int32(idx)
+		case 2:
+			ins.C = int32(idx)
+		}
+	}
+	if len(b.errs) > 0 {
+		return 0, b.errs[0]
+	}
+	idx, err := b.mod.AddFunc(b.fn)
+	if err != nil {
+		return 0, err
+	}
+	// Function references may be forward (to functions not yet added), so
+	// they are recorded on the module and resolved by ResolveCalls.
+	for _, fp := range b.fpatch {
+		b.mod.pendingCalls = append(b.mod.pendingCalls, modulePatch{fn: idx, instr: fp.instr, name: fp.name})
+	}
+	return idx, nil
+}
+
+type modulePatch struct {
+	fn    int
+	instr int
+	name  string
+}
+
+// ResolveCalls fixes up call and fork targets recorded by builders. It must
+// be called once after all functions are built.
+func (m *Module) ResolveCalls() error {
+	for _, p := range m.pendingCalls {
+		ti := m.FuncIndex(p.name)
+		if ti < 0 {
+			return fmt.Errorf("lir: unresolved function %q referenced by %s", p.name, m.Funcs[p.fn].Name)
+		}
+		m.Funcs[p.fn].Code[p.instr].B = int32(ti)
+	}
+	m.pendingCalls = nil
+	return nil
+}

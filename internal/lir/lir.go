@@ -1,0 +1,307 @@
+package lir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single LIR instruction. Operand meaning depends on Op; see the
+// opcode table in op.go. Register operands are indices into the executing
+// frame's register file; -1 means "no operand" where permitted.
+type Instr struct {
+	Op   Op
+	A    int32
+	B    int32
+	C    int32
+	D    int32
+	Imm  int64
+	Args []int32 // Call argument registers; nil otherwise.
+}
+
+// PC identifies an instruction by function and index. Static races are
+// reported as unordered pairs of PCs in the *original* (pre-rewrite)
+// module, so instrumented clones carry original indices in their MLog
+// instructions.
+type PC struct {
+	Func  int32 // function index in the original module
+	Index int32 // instruction index within the function
+}
+
+func (p PC) String() string { return fmt.Sprintf("f%d:%d", p.Func, p.Index) }
+
+// Less orders PCs lexicographically, used to normalize race pairs.
+func (p PC) Less(q PC) bool {
+	if p.Func != q.Func {
+		return p.Func < q.Func
+	}
+	return p.Index < q.Index
+}
+
+// Function is a single LIR function: a flat instruction list with branch
+// targets as instruction indices.
+type Function struct {
+	Name    string
+	NParams int // parameters arrive in registers 0..NParams-1
+	NRegs   int // size of the register file; NRegs >= NParams
+	Code    []Instr
+
+	// Orig maps each instruction to its index in the original function
+	// when this function is an instrumented clone; nil for original
+	// functions (identity mapping is implied).
+	Orig []int32
+
+	// OrigIndex is the function index this clone derives from, or -1 for
+	// original functions.
+	OrigIndex int32
+
+	// NoInstrument marks functions the rewriter must leave alone (used by
+	// tests and by runtime-support functions).
+	NoInstrument bool
+}
+
+// OrigPC returns the original-module PC for instruction index i of f,
+// accounting for clone mappings.
+func (f *Function) OrigPC(self int32, i int32) PC {
+	fn := self
+	if f.OrigIndex >= 0 {
+		fn = f.OrigIndex
+	}
+	idx := i
+	if f.Orig != nil {
+		idx = f.Orig[i]
+	}
+	return PC{Func: fn, Index: idx}
+}
+
+// Global is a named module-level variable of Size words. The loader assigns
+// each global a base address; Init, when non-nil, provides initial word
+// values (shorter than Size is permitted; the rest is zero).
+type Global struct {
+	Name string
+	Size int
+	Init []uint64
+}
+
+// Module is a complete LIR program.
+type Module struct {
+	Name    string
+	Funcs   []*Function
+	Globals []Global
+	Entry   int // function index where thread 0 starts
+
+	// Rewritten marks a module produced by the instrumentation pass;
+	// only rewritten modules may contain MLog and Dispatch instructions.
+	Rewritten bool
+
+	funcIndex    map[string]int
+	pendingCalls []modulePatch
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Entry: -1, funcIndex: make(map[string]int)}
+}
+
+// AddFunc appends f and returns its index. Duplicate names are an error.
+func (m *Module) AddFunc(f *Function) (int, error) {
+	if m.funcIndex == nil {
+		m.funcIndex = make(map[string]int)
+	}
+	if _, dup := m.funcIndex[f.Name]; dup {
+		return 0, fmt.Errorf("lir: duplicate function %q", f.Name)
+	}
+	if f.OrigIndex == 0 && f.Orig == nil {
+		// Zero value of OrigIndex means "original" only if explicitly -1;
+		// normalize so callers constructing Function literals need not set it.
+		f.OrigIndex = -1
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcIndex[f.Name] = len(m.Funcs) - 1
+	return len(m.Funcs) - 1, nil
+}
+
+// AddGlobal appends a global and returns its index.
+func (m *Module) AddGlobal(g Global) int {
+	m.Globals = append(m.Globals, g)
+	return len(m.Globals) - 1
+}
+
+// FuncIndex returns the index of the function named name, or -1.
+func (m *Module) FuncIndex(name string) int {
+	if i, ok := m.funcIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Func returns the function named name, or nil.
+func (m *Module) Func(name string) *Function {
+	if i := m.FuncIndex(name); i >= 0 {
+		return m.Funcs[i]
+	}
+	return nil
+}
+
+// GlobalIndex returns the index of the named global, or -1.
+func (m *Module) GlobalIndex(name string) int {
+	for i := range m.Globals {
+		if m.Globals[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumInstrs returns the total instruction count across all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}
+
+// BinarySize returns a synthetic "binary size" in bytes for Table 2
+// reporting: a fixed 8 bytes per instruction plus global data.
+func (m *Module) BinarySize() int64 {
+	var n int64
+	for _, f := range m.Funcs {
+		n += int64(len(f.Code)) * 8
+	}
+	for _, g := range m.Globals {
+		n += int64(g.Size) * 8
+	}
+	return n
+}
+
+// rebuildIndex recomputes the name index; used after bulk construction.
+func (m *Module) rebuildIndex() {
+	m.funcIndex = make(map[string]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		m.funcIndex[f.Name] = i
+	}
+}
+
+// Clone returns a deep copy of the module. The instrumentation pass clones
+// before rewriting so the original stays available for baseline runs.
+func (m *Module) Clone() *Module {
+	out := NewModule(m.Name)
+	out.Entry = m.Entry
+	out.Rewritten = m.Rewritten
+	out.Globals = make([]Global, len(m.Globals))
+	for i, g := range m.Globals {
+		out.Globals[i] = Global{Name: g.Name, Size: g.Size}
+		if g.Init != nil {
+			out.Globals[i].Init = append([]uint64(nil), g.Init...)
+		}
+	}
+	out.Funcs = make([]*Function, len(m.Funcs))
+	for i, f := range m.Funcs {
+		nf := &Function{
+			Name:         f.Name,
+			NParams:      f.NParams,
+			NRegs:        f.NRegs,
+			OrigIndex:    f.OrigIndex,
+			NoInstrument: f.NoInstrument,
+		}
+		nf.Code = make([]Instr, len(f.Code))
+		for j, ins := range f.Code {
+			nf.Code[j] = ins
+			if ins.Args != nil {
+				nf.Code[j].Args = append([]int32(nil), ins.Args...)
+			}
+		}
+		if f.Orig != nil {
+			nf.Orig = append([]int32(nil), f.Orig...)
+		}
+		out.Funcs[i] = nf
+	}
+	out.rebuildIndex()
+	return out
+}
+
+// String renders the module in (approximate) assembler syntax, primarily
+// for debugging; package asm provides the canonical disassembler.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "glob %s %d\n", g.Name, g.Size)
+	}
+	for fi, f := range m.Funcs {
+		fmt.Fprintf(&b, "func %s %d %d { ; #%d\n", f.Name, f.NParams, f.NRegs, fi)
+		for i, ins := range f.Code {
+			fmt.Fprintf(&b, "  %4d: %s\n", i, ins.String())
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// String renders a single instruction for debugging output.
+func (ins Instr) String() string {
+	switch ins.Op {
+	case Nop, Yield, Exit:
+		return ins.Op.String()
+	case MovI:
+		return fmt.Sprintf("movi r%d, %d", ins.A, ins.Imm)
+	case Mov, Not, Neg:
+		return fmt.Sprintf("%s r%d, r%d", ins.Op, ins.A, ins.B)
+	case AddI:
+		return fmt.Sprintf("addi r%d, r%d, %d", ins.A, ins.B, ins.Imm)
+	case Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr, Slt, Sle, Seq, Sne:
+		return fmt.Sprintf("%s r%d, r%d, r%d", ins.Op, ins.A, ins.B, ins.C)
+	case Jmp:
+		return fmt.Sprintf("jmp @%d", ins.A)
+	case Br:
+		return fmt.Sprintf("br r%d, @%d, @%d", ins.A, ins.B, ins.C)
+	case Call:
+		var args []string
+		for _, a := range ins.Args {
+			args = append(args, fmt.Sprintf("r%d", a))
+		}
+		dst := "_"
+		if ins.A >= 0 {
+			dst = fmt.Sprintf("r%d", ins.A)
+		}
+		return fmt.Sprintf("call %s, fn%d(%s)", dst, ins.B, strings.Join(args, ", "))
+	case Ret:
+		if ins.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", ins.A)
+	case Load:
+		return fmt.Sprintf("load r%d, r%d, %d", ins.A, ins.B, ins.Imm)
+	case Store:
+		return fmt.Sprintf("store r%d, %d, r%d", ins.A, ins.Imm, ins.B)
+	case Glob:
+		return fmt.Sprintf("glob r%d, g%d", ins.A, ins.B)
+	case Alloc:
+		return fmt.Sprintf("alloc r%d, r%d", ins.A, ins.B)
+	case Free, Lock, Unlock, Wait, Notify, Reset, Join, Print:
+		return fmt.Sprintf("%s r%d", ins.Op, ins.A)
+	case SAlloc:
+		return fmt.Sprintf("salloc r%d, %d", ins.A, ins.Imm)
+	case Fork:
+		return fmt.Sprintf("fork r%d, fn%d, r%d", ins.A, ins.B, ins.C)
+	case Cas:
+		return fmt.Sprintf("cas r%d, r%d, r%d, r%d", ins.A, ins.B, ins.C, ins.D)
+	case Xadd, Xchg:
+		return fmt.Sprintf("%s r%d, r%d, r%d", ins.Op, ins.A, ins.B, ins.C)
+	case Tid:
+		return fmt.Sprintf("tid r%d", ins.A)
+	case Rand:
+		return fmt.Sprintf("rand r%d, r%d", ins.A, ins.B)
+	case MLog:
+		rw := "r"
+		if ins.B != 0 {
+			rw = "w"
+		}
+		return fmt.Sprintf("mlog.%s r%d, %d, @%d", rw, ins.A, ins.Imm, ins.C)
+	case Dispatch:
+		return fmt.Sprintf("dispatch fn%d, fn%d", ins.A, ins.B)
+	case ReCheck:
+		return fmt.Sprintf("recheck fn%d@%d, region %d", ins.A, ins.B, ins.C)
+	}
+	return fmt.Sprintf("%s ?", ins.Op)
+}

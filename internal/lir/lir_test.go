@@ -1,0 +1,348 @@
+package lir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpNames(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+			continue
+		}
+		back, ok := OpByName(name)
+		if !ok || back != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", name, back, ok, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted unknown mnemonic")
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	syncs := []Op{Lock, Unlock, Wait, Notify, Fork, Join, Cas, Xadd, Xchg}
+	for _, op := range syncs {
+		if !op.IsSync() {
+			t.Errorf("%s should be sync", op)
+		}
+	}
+	for _, op := range []Op{Load, Store, MovI, Jmp, Reset, Yield} {
+		if op.IsSync() {
+			t.Errorf("%s should not be sync", op)
+		}
+	}
+	for _, op := range []Op{Cas, Xadd, Xchg} {
+		if !op.IsAtomic() {
+			t.Errorf("%s should be atomic", op)
+		}
+	}
+	if Lock.IsAtomic() {
+		t.Error("lock should not be an atomic machine op")
+	}
+	if !Load.IsMemAccess() || !Store.IsMemAccess() {
+		t.Error("load/store should be memory accesses")
+	}
+	if Cas.IsMemAccess() {
+		t.Error("cas is synchronization, not a samplable access")
+	}
+	for _, op := range []Op{Jmp, Br, Ret, Exit} {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	if Load.IsTerminator() {
+		t.Error("load is not a terminator")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	cases := []struct {
+		addr, page uint64
+	}{
+		{0, 0}, {1, 0}, {511, 0}, {512, 1}, {513, 1}, {1024, 2}, {1 << 20, (1 << 20) / 512},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+	}
+}
+
+func TestPCOrdering(t *testing.T) {
+	a := PC{Func: 1, Index: 5}
+	b := PC{Func: 1, Index: 6}
+	c := PC{Func: 2, Index: 0}
+	if !a.Less(b) || !a.Less(c) || !b.Less(c) {
+		t.Error("PC ordering broken")
+	}
+	if b.Less(a) || c.Less(a) || a.Less(a) {
+		t.Error("PC ordering not strict")
+	}
+	if a.String() != "f1:5" {
+		t.Errorf("PC string = %q", a.String())
+	}
+}
+
+// tinyModule builds a minimal valid module: main calls worker, worker
+// stores to a global.
+func tinyModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("tiny")
+	m.AddGlobal(Global{Name: "x", Size: 1})
+
+	wb := NewBuilder(m, "worker", 1, 4)
+	wb.Glob(1, "x").Store(1, 0, 0).Ret(0)
+	if _, err := wb.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	mb := NewBuilder(m, "main", 0, 4)
+	mb.MovI(0, 7).Call(1, "worker", 0).Emit(Instr{Op: Exit})
+	mi, err := mb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Entry = mi
+	if err := m.ResolveCalls(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	m := tinyModule(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.FuncIndex("worker") != 0 || m.FuncIndex("main") != 1 {
+		t.Fatalf("unexpected function indices: %d %d", m.FuncIndex("worker"), m.FuncIndex("main"))
+	}
+	if m.Func("worker") == nil || m.Func("nope") != nil {
+		t.Error("Func lookup broken")
+	}
+	if m.GlobalIndex("x") != 0 || m.GlobalIndex("nope") != -1 {
+		t.Error("GlobalIndex broken")
+	}
+	if n := m.NumInstrs(); n != 6 {
+		t.Errorf("NumInstrs = %d, want 6", n)
+	}
+	if sz := m.BinarySize(); sz != 6*8+1*8 {
+		t.Errorf("BinarySize = %d", sz)
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	m := NewModule("loops")
+	b := NewBuilder(m, "count", 1, 4)
+	b.MovI(1, 0)
+	b.Label("loop")
+	b.Op3(Slt, 2, 1, 0)
+	b.Br(2, "body", "done")
+	b.Label("body")
+	b.AddI(1, 1, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Ret(1)
+	fi, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Entry = fi
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	f := m.Funcs[fi]
+	br := f.Code[2]
+	if br.Op != Br || br.B != 3 || br.C != 5 {
+		t.Errorf("branch targets not patched: %+v", br)
+	}
+	if f.Code[4].Op != Jmp || f.Code[4].A != 1 {
+		t.Errorf("jmp target not patched: %+v", f.Code[4])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	m := NewModule("bad")
+	b := NewBuilder(m, "f", 0, 2)
+	b.Jmp("nowhere")
+	b.Ret(-1)
+	if _, err := b.Finish(); err == nil {
+		t.Error("expected error for undefined label")
+	}
+
+	b2 := NewBuilder(m, "g", 0, 2)
+	b2.Label("l").Label("l").Ret(-1)
+	if _, err := b2.Finish(); err == nil {
+		t.Error("expected error for duplicate label")
+	}
+
+	b3 := NewBuilder(m, "h", 0, 2)
+	b3.Glob(0, "missing").Ret(-1)
+	if _, err := b3.Finish(); err == nil {
+		t.Error("expected error for unknown global")
+	}
+}
+
+func TestResolveCallsUnknown(t *testing.T) {
+	m := NewModule("m")
+	b := NewBuilder(m, "main", 0, 2)
+	b.Call(-1, "ghost").Emit(Instr{Op: Exit})
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ResolveCalls(); err == nil {
+		t.Error("expected unresolved function error")
+	}
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	m := NewModule("m")
+	if _, err := m.AddFunc(&Function{Name: "f", NRegs: 1, OrigIndex: -1, Code: []Instr{{Op: Exit}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddFunc(&Function{Name: "f", NRegs: 1, OrigIndex: -1, Code: []Instr{{Op: Exit}}}); err == nil {
+		t.Error("expected duplicate function error")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Module)
+	}{
+		{"bad entry", func(m *Module) { m.Entry = 99 }},
+		{"reg out of range", func(m *Module) { m.Funcs[0].Code[0] = Instr{Op: Mov, A: 99, B: 0} }},
+		{"fallthrough end", func(m *Module) { m.Funcs[0].Code[len(m.Funcs[0].Code)-1] = Instr{Op: Nop} }},
+		{"bad branch target", func(m *Module) { m.Funcs[0].Code[0] = Instr{Op: Jmp, A: 500} }},
+		{"bad call arity", func(m *Module) {
+			m.Funcs[1].Code[1] = Instr{Op: Call, A: -1, B: 0, Args: []int32{0, 1, 2}}
+		}},
+		{"bad global ref", func(m *Module) { m.Funcs[0].Code[0] = Instr{Op: Glob, A: 0, B: 42} }},
+		{"mlog outside rewrite", func(m *Module) { m.Funcs[0].Code[0] = Instr{Op: MLog, A: 0} }},
+		{"dispatch outside rewrite", func(m *Module) { m.Funcs[0].Code[0] = Instr{Op: Dispatch, A: 0, B: 0} }},
+		{"bad fork arity", func(m *Module) {
+			// worker has 1 param; make a 2-param function and fork it.
+			f := &Function{Name: "two", NParams: 2, NRegs: 2, OrigIndex: -1, Code: []Instr{{Op: Exit}}}
+			m.Funcs = append(m.Funcs, f)
+			m.rebuildIndex()
+			m.Funcs[0].Code[0] = Instr{Op: Fork, A: 0, B: int32(len(m.Funcs) - 1), C: 1}
+		}},
+		{"salloc zero", func(m *Module) { m.Funcs[0].Code[0] = Instr{Op: SAlloc, A: 0, Imm: 0} }},
+		{"bad mlog flag", func(m *Module) {
+			m.Rewritten = true
+			m.Funcs[0].Code[0] = Instr{Op: MLog, A: 0, B: 7}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := tinyModule(t)
+			c.mut(m)
+			if err := m.Validate(); err == nil {
+				t.Errorf("Validate accepted module with %s", c.name)
+			}
+		})
+	}
+}
+
+func TestValidateGlobals(t *testing.T) {
+	m := tinyModule(t)
+	m.Globals = append(m.Globals, Global{Name: "x", Size: 1})
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate global accepted")
+	}
+	m = tinyModule(t)
+	m.Globals[0].Size = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero-size global accepted")
+	}
+	m = tinyModule(t)
+	m.Globals[0].Init = []uint64{1, 2, 3}
+	if err := m.Validate(); err == nil {
+		t.Error("oversized init accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := tinyModule(t)
+	m.Globals[0].Init = []uint64{42}
+	c := m.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	c.Funcs[0].Code[0] = Instr{Op: Nop}
+	c.Globals[0].Init[0] = 7
+	if m.Funcs[0].Code[0].Op == Nop {
+		t.Error("clone shares code with original")
+	}
+	if m.Globals[0].Init[0] != 42 {
+		t.Error("clone shares global init with original")
+	}
+	if c.FuncIndex("main") != m.FuncIndex("main") {
+		t.Error("clone index mismatch")
+	}
+	// Args slices must be deep too.
+	callIdx := -1
+	for i, ins := range m.Funcs[1].Code {
+		if ins.Op == Call {
+			callIdx = i
+		}
+	}
+	if callIdx < 0 {
+		t.Fatal("no call in main")
+	}
+	c2 := m.Clone()
+	c2.Funcs[1].Code[callIdx].Args[0] = 3
+	if m.Funcs[1].Code[callIdx].Args[0] == 3 {
+		t.Error("clone shares Args with original")
+	}
+}
+
+func TestOrigPC(t *testing.T) {
+	f := &Function{Name: "f", OrigIndex: -1}
+	pc := f.OrigPC(3, 7)
+	if pc != (PC{Func: 3, Index: 7}) {
+		t.Errorf("original OrigPC = %v", pc)
+	}
+	clone := &Function{Name: "f$i", OrigIndex: 3, Orig: []int32{0, 0, 1, 2}}
+	pc = clone.OrigPC(9, 2)
+	if pc != (PC{Func: 3, Index: 1}) {
+		t.Errorf("clone OrigPC = %v", pc)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	// Every opcode should render without the "?" fallback.
+	m := tinyModule(t)
+	for _, f := range m.Funcs {
+		for _, ins := range f.Code {
+			if strings.Contains(ins.String(), "?") {
+				t.Errorf("instruction %v rendered as %q", ins.Op, ins.String())
+			}
+		}
+	}
+	samples := []Instr{
+		{Op: Cas, A: 0, B: 1, C: 2, D: 3},
+		{Op: Fork, A: 0, B: 1, C: 2},
+		{Op: MLog, A: 0, B: 1, C: 5, Imm: 2},
+		{Op: Dispatch, A: 1, B: 2},
+		{Op: Br, A: 0, B: 1, C: 2},
+		{Op: Ret, A: -1},
+		{Op: Call, A: -1, B: 0},
+		{Op: Rand, A: 0, B: 1},
+		{Op: SAlloc, A: 0, Imm: 8},
+	}
+	for _, ins := range samples {
+		if s := ins.String(); s == "" || strings.HasSuffix(s, "?") {
+			t.Errorf("bad render for %v: %q", ins.Op, s)
+		}
+	}
+	if got := (Instr{Op: MLog, A: 0, B: 1, C: 5, Imm: 2}).String(); !strings.Contains(got, "mlog.w") {
+		t.Errorf("mlog write rendered as %q", got)
+	}
+	if s := m.String(); !strings.Contains(s, "func main") || !strings.Contains(s, "glob x 1") {
+		t.Errorf("module render missing parts:\n%s", s)
+	}
+}

@@ -1,0 +1,172 @@
+// Package lir defines the LiteRace intermediate representation: a small,
+// typed register machine that stands in for the x86 binaries the original
+// LiteRace instrumented with the Phoenix compiler.
+//
+// A module is a set of functions plus named global variables. Each function
+// is a flat instruction list with branch targets expressed as instruction
+// indices; the assembler (package asm) provides a label-based text syntax.
+// The instrumentation pass (package instrument) rewrites modules by cloning
+// functions and injecting Dispatch and MLog instructions, and the
+// interpreter (package interp) executes them.
+//
+// Memory is word addressed: one address names one 64-bit word. A page is
+// PageWords words (4 KiB), matching the allocation-as-synchronization
+// granularity from §4.3 of the paper.
+package lir
+
+import "fmt"
+
+// PageWords is the number of 64-bit words in a memory page. Allocation and
+// deallocation act as synchronization on every page they touch.
+const PageWords = 512
+
+// PageOf returns the page number containing the word address a.
+func PageOf(a uint64) uint64 { return a / PageWords }
+
+// Op is an LIR opcode.
+type Op uint8
+
+// Opcodes. The comment after each opcode documents its operand usage in
+// terms of the Instr fields A, B, C, D and Imm.
+const (
+	Nop Op = iota
+
+	// Data movement and arithmetic.
+	MovI // A=rd; Imm=value          rd = imm
+	Mov  // A=rd, B=rs               rd = rs
+	Add  // A=rd, B=rs, C=rt         rd = rs + rt
+	Sub  // A=rd, B=rs, C=rt
+	Mul  // A=rd, B=rs, C=rt
+	Div  // A=rd, B=rs, C=rt         traps on rt == 0
+	Mod  // A=rd, B=rs, C=rt         traps on rt == 0
+	And  // A=rd, B=rs, C=rt
+	Or   // A=rd, B=rs, C=rt
+	Xor  // A=rd, B=rs, C=rt
+	Shl  // A=rd, B=rs, C=rt         shift count masked to 63
+	Shr  // A=rd, B=rs, C=rt         logical shift
+	AddI // A=rd, B=rs; Imm=value    rd = rs + imm
+	Slt  // A=rd, B=rs, C=rt         rd = rs < rt (signed) ? 1 : 0
+	Sle  // A=rd, B=rs, C=rt         signed <=
+	Seq  // A=rd, B=rs, C=rt
+	Sne  // A=rd, B=rs, C=rt
+	Not  // A=rd, B=rs               rd = rs == 0 ? 1 : 0
+	Neg  // A=rd, B=rs               rd = -rs
+
+	// Control flow.
+	Jmp  // A=target index
+	Br   // A=rs, B=true target, C=false target
+	Call // A=rd (-1 for none), B=callee function index; Args=arg registers
+	Ret  // A=rs (-1 to return 0)
+	Exit // terminate the current thread
+
+	// Memory.
+	Load   // A=rd, B=rbase; Imm=offset      rd = mem[rbase+offset]
+	Store  // A=rbase, B=rval; Imm=offset    mem[rbase+offset] = rval
+	Glob   // A=rd, B=global index           rd = address of global
+	Alloc  // A=rd, B=rsize                  rd = heap address of rsize words
+	Free   // A=raddr
+	SAlloc // A=rd; Imm=words                rd = address in thread stack
+
+	// Synchronization (these are the events Table 1 of the paper logs).
+	Lock   // A=raddr     mutex acquire on SyncVar raddr
+	Unlock // A=raddr     mutex release
+	Wait   // A=raddr     block until event raddr is signaled (acquire)
+	Notify // A=raddr     signal event raddr, wake all waiters (release)
+	Reset  // A=raddr     clear event raddr (no happens-before effect)
+	Fork   // A=rd, B=callee function index, C=rarg   rd = child thread id
+	Join   // A=rtid      block until thread rtid exits (acquire)
+	Cas    // A=rd, B=raddr, C=rexpect, D=rnew   rd = old; atomic, sync
+	Xadd   // A=rd, B=raddr, C=rdelta            rd = old; atomic, sync
+	Xchg   // A=rd, B=raddr, C=rnew              rd = old; atomic, sync
+
+	// Miscellaneous.
+	Tid   // A=rd      rd = current thread id
+	Rand  // A=rd, B=rbound   rd = deterministic pseudo-random in [0, rbound)
+	Print // A=rs      debug print (captured by the interpreter)
+	Yield // scheduling hint
+
+	// Instrumentation-only opcodes, emitted by package instrument. They are
+	// rejected by Module.Validate unless the module is marked rewritten.
+	MLog     // A=rbase, B=write flag (0/1), C=original PC index; Imm=offset
+	Dispatch // A=instrumented clone index, B=uninstrumented clone index
+	ReCheck  // A=uninstrumented clone index, B=continuation pc, C=region id
+
+	numOps // sentinel
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	Nop: "nop", MovI: "movi", Mov: "mov", Add: "add", Sub: "sub", Mul: "mul",
+	Div: "div", Mod: "mod", And: "and", Or: "or", Xor: "xor", Shl: "shl",
+	Shr: "shr", AddI: "addi", Slt: "slt", Sle: "sle", Seq: "seq", Sne: "sne",
+	Not: "not", Neg: "neg", Jmp: "jmp", Br: "br", Call: "call", Ret: "ret",
+	Exit: "exit", Load: "load", Store: "store", Glob: "glob", Alloc: "alloc",
+	Free: "free", SAlloc: "salloc", Lock: "lock", Unlock: "unlock",
+	Wait: "wait", Notify: "notify", Reset: "reset", Fork: "fork",
+	Join: "join", Cas: "cas", Xadd: "xadd", Xchg: "xchg", Tid: "tid",
+	Rand: "rand", Print: "print", Yield: "yield", MLog: "mlog",
+	Dispatch: "dispatch", ReCheck: "recheck",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// OpByName maps assembler mnemonics back to opcodes. Unknown names return
+// (0, false).
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// IsSync reports whether the opcode is a synchronization operation that
+// must always be logged (paper §3.2: missing any sync op can introduce
+// false positives).
+func (op Op) IsSync() bool {
+	switch op {
+	case Lock, Unlock, Wait, Notify, Fork, Join, Cas, Xadd, Xchg:
+		return true
+	}
+	return false
+}
+
+// IsAtomic reports whether the opcode is an atomic read-modify-write
+// machine operation (Table 1: SyncVar is the target memory address and
+// additional synchronization is required for atomic timestamping).
+func (op Op) IsAtomic() bool {
+	switch op {
+	case Cas, Xadd, Xchg:
+		return true
+	}
+	return false
+}
+
+// IsMemAccess reports whether the opcode is a plain (samplable) data memory
+// access. Atomic operations are synchronization, not samplable accesses.
+func (op Op) IsMemAccess() bool { return op == Load || op == Store }
+
+// IsTerminator reports whether the opcode unconditionally ends a basic
+// block (control never falls through to the next instruction).
+func (op Op) IsTerminator() bool {
+	switch op {
+	case Jmp, Br, Ret, Exit, Dispatch:
+		return true
+	}
+	return false
+}

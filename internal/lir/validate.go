@@ -1,0 +1,218 @@
+package lir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ValidationError describes a single problem found by Module.Validate.
+type ValidationError struct {
+	Func  string // function name, empty for module-level problems
+	Index int    // instruction index, -1 for function-level problems
+	Msg   string
+}
+
+func (e *ValidationError) Error() string {
+	switch {
+	case e.Func == "":
+		return "lir: " + e.Msg
+	case e.Index < 0:
+		return fmt.Sprintf("lir: func %s: %s", e.Func, e.Msg)
+	default:
+		return fmt.Sprintf("lir: func %s: instr %d: %s", e.Func, e.Index, e.Msg)
+	}
+}
+
+// Validate checks structural well-formedness: register and branch-target
+// bounds, operand arity, valid function and global references, a valid
+// entry point, and that instrumentation opcodes appear only in rewritten
+// modules. It returns all problems joined with errors.Join, or nil.
+func (m *Module) Validate() error {
+	var errs []error
+	add := func(fn string, idx int, format string, args ...any) {
+		errs = append(errs, &ValidationError{Func: fn, Index: idx, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if m.Entry < 0 || m.Entry >= len(m.Funcs) {
+		add("", -1, "entry function index %d out of range (have %d functions)", m.Entry, len(m.Funcs))
+	}
+	seenGlobals := make(map[string]bool, len(m.Globals))
+	for _, g := range m.Globals {
+		if g.Name == "" {
+			add("", -1, "global with empty name")
+		}
+		if seenGlobals[g.Name] {
+			add("", -1, "duplicate global %q", g.Name)
+		}
+		seenGlobals[g.Name] = true
+		if g.Size <= 0 {
+			add("", -1, "global %q has non-positive size %d", g.Name, g.Size)
+		}
+		if len(g.Init) > g.Size {
+			add("", -1, "global %q init longer than size (%d > %d)", g.Name, len(g.Init), g.Size)
+		}
+	}
+
+	seenFuncs := make(map[string]bool, len(m.Funcs))
+	for fi, f := range m.Funcs {
+		if f.Name == "" {
+			add(fmt.Sprintf("#%d", fi), -1, "empty function name")
+		}
+		if seenFuncs[f.Name] {
+			add(f.Name, -1, "duplicate function name")
+		}
+		seenFuncs[f.Name] = true
+		if f.NParams < 0 || f.NRegs < f.NParams {
+			add(f.Name, -1, "bad register counts: %d params, %d regs", f.NParams, f.NRegs)
+		}
+		if len(f.Code) == 0 {
+			add(f.Name, -1, "empty body")
+			continue
+		}
+		if f.Orig != nil && len(f.Orig) != len(f.Code) {
+			add(f.Name, -1, "Orig map length %d != code length %d", len(f.Orig), len(f.Code))
+		}
+		if f.OrigIndex >= 0 && int(f.OrigIndex) >= len(m.Funcs) {
+			add(f.Name, -1, "OrigIndex %d out of range", f.OrigIndex)
+		}
+
+		last := f.Code[len(f.Code)-1]
+		if !last.Op.IsTerminator() {
+			add(f.Name, len(f.Code)-1, "function may fall off the end (last op %s is not a terminator)", last.Op)
+		}
+
+		for i, ins := range f.Code {
+			m.validateInstr(f, fi, i, ins, add)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (m *Module) validateInstr(f *Function, fi, i int, ins Instr, add func(string, int, string, ...any)) {
+	reg := func(r int32, what string) {
+		if r < 0 || int(r) >= f.NRegs {
+			add(f.Name, i, "%s register r%d out of range [0,%d)", what, r, f.NRegs)
+		}
+	}
+	target := func(t int32, what string) {
+		if t < 0 || int(t) >= len(f.Code) {
+			add(f.Name, i, "%s target %d out of range [0,%d)", what, t, len(f.Code))
+		}
+	}
+	fn := func(x int32) {
+		if x < 0 || int(x) >= len(m.Funcs) {
+			add(f.Name, i, "function index %d out of range", x)
+		}
+	}
+
+	switch ins.Op {
+	case Nop, Yield, Exit:
+	case MovI:
+		reg(ins.A, "dest")
+	case Mov, Not, Neg:
+		reg(ins.A, "dest")
+		reg(ins.B, "src")
+	case AddI:
+		reg(ins.A, "dest")
+		reg(ins.B, "src")
+	case Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr, Slt, Sle, Seq, Sne:
+		reg(ins.A, "dest")
+		reg(ins.B, "src")
+		reg(ins.C, "src")
+	case Jmp:
+		target(ins.A, "jump")
+	case Br:
+		reg(ins.A, "cond")
+		target(ins.B, "true")
+		target(ins.C, "false")
+	case Call:
+		if ins.A >= 0 {
+			reg(ins.A, "dest")
+		}
+		fn(ins.B)
+		if int(ins.B) < len(m.Funcs) && ins.B >= 0 {
+			callee := m.Funcs[ins.B]
+			if len(ins.Args) != callee.NParams {
+				add(f.Name, i, "call to %s with %d args, want %d", callee.Name, len(ins.Args), callee.NParams)
+			}
+		}
+		for _, a := range ins.Args {
+			reg(a, "arg")
+		}
+	case Ret:
+		if ins.A >= 0 {
+			reg(ins.A, "result")
+		}
+	case Load:
+		reg(ins.A, "dest")
+		reg(ins.B, "base")
+	case Store:
+		reg(ins.A, "base")
+		reg(ins.B, "value")
+	case Glob:
+		reg(ins.A, "dest")
+		if ins.B < 0 || int(ins.B) >= len(m.Globals) {
+			add(f.Name, i, "global index %d out of range", ins.B)
+		}
+	case Alloc:
+		reg(ins.A, "dest")
+		reg(ins.B, "size")
+	case Free, Lock, Unlock, Wait, Notify, Reset, Join, Print:
+		reg(ins.A, "operand")
+	case SAlloc:
+		reg(ins.A, "dest")
+		if ins.Imm <= 0 {
+			add(f.Name, i, "salloc of non-positive size %d", ins.Imm)
+		}
+	case Fork:
+		reg(ins.A, "dest")
+		fn(ins.B)
+		reg(ins.C, "arg")
+		if ins.B >= 0 && int(ins.B) < len(m.Funcs) && m.Funcs[ins.B].NParams > 1 {
+			add(f.Name, i, "fork target %s takes %d params; fork passes at most 1", m.Funcs[ins.B].Name, m.Funcs[ins.B].NParams)
+		}
+	case Cas:
+		reg(ins.A, "dest")
+		reg(ins.B, "addr")
+		reg(ins.C, "expect")
+		reg(ins.D, "new")
+	case Xadd, Xchg:
+		reg(ins.A, "dest")
+		reg(ins.B, "addr")
+		reg(ins.C, "operand")
+	case Tid:
+		reg(ins.A, "dest")
+	case Rand:
+		reg(ins.A, "dest")
+		reg(ins.B, "bound")
+	case MLog:
+		if !m.Rewritten {
+			add(f.Name, i, "mlog in non-rewritten module")
+		}
+		reg(ins.A, "base")
+		if ins.B != 0 && ins.B != 1 {
+			add(f.Name, i, "mlog write flag %d not 0 or 1", ins.B)
+		}
+	case Dispatch:
+		if !m.Rewritten {
+			add(f.Name, i, "dispatch in non-rewritten module")
+		}
+		fn(ins.A)
+		fn(ins.B)
+	case ReCheck:
+		if !m.Rewritten {
+			add(f.Name, i, "recheck in non-rewritten module")
+		}
+		fn(ins.A)
+		if ins.A >= 0 && int(ins.A) < len(m.Funcs) {
+			if ins.B < 0 || int(ins.B) >= len(m.Funcs[ins.A].Code) {
+				add(f.Name, i, "recheck continuation pc %d out of range", ins.B)
+			}
+		}
+		if ins.C < 0 {
+			add(f.Name, i, "negative recheck region %d", ins.C)
+		}
+	default:
+		add(f.Name, i, "unknown opcode %d", ins.Op)
+	}
+}

@@ -1,0 +1,207 @@
+package lockset
+
+import (
+	"testing"
+
+	"literace/internal/trace"
+)
+
+// builder mirrors the hb test helper: events in global order with
+// consistent per-counter timestamps.
+type builder struct {
+	next    [trace.NumCounters]uint64
+	threads map[int32][]trace.Event
+	pcSeq   int32
+}
+
+func newBuilder() *builder {
+	b := &builder{threads: make(map[int32][]trace.Event)}
+	for i := range b.next {
+		b.next[i] = 1
+	}
+	return b
+}
+
+func (b *builder) sync(tid int32, kind trace.Kind, op trace.SyncOp, syncVar uint64) {
+	c := trace.CounterOf(syncVar)
+	b.pcSeq++
+	b.threads[tid] = append(b.threads[tid], trace.Event{
+		Kind: kind, Op: op, TID: tid, Addr: syncVar, Counter: c, TS: b.next[c],
+	})
+	b.next[c]++
+}
+
+func (b *builder) mem(tid int32, kind trace.Kind, addr uint64, mask uint32) {
+	b.pcSeq++
+	b.threads[tid] = append(b.threads[tid], trace.Event{
+		Kind: kind, TID: tid, Addr: addr, Mask: mask,
+	})
+}
+
+func (b *builder) log() *trace.Log { return &trace.Log{Threads: b.threads} }
+
+const (
+	lk = uint64(0x100)
+	lj = uint64(0x110)
+	x  = uint64(0x200)
+)
+
+func run(t *testing.T, b *builder) *Result {
+	t.Helper()
+	res, err := Detect(b.log(), Options{SamplerBit: AllEvents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConsistentLockingNoReport(t *testing.T) {
+	b := newBuilder()
+	for _, tid := range []int32{1, 2, 1, 2} {
+		b.sync(tid, trace.KindAcquire, trace.OpLock, lk)
+		b.mem(tid, trace.KindWrite, x, 0xFF)
+		b.sync(tid, trace.KindRelease, trace.OpUnlock, lk)
+	}
+	res := run(t, b)
+	if len(res.Races) != 0 {
+		t.Errorf("consistent locking reported: %v", res.Races)
+	}
+	if res.MemOps != 4 || res.SyncOps != 8 {
+		t.Errorf("counts mem=%d sync=%d", res.MemOps, res.SyncOps)
+	}
+}
+
+func TestUnprotectedSharedWriteReports(t *testing.T) {
+	b := newBuilder()
+	b.mem(1, trace.KindWrite, x, 0xFF)
+	b.mem(2, trace.KindWrite, x, 0xFF)
+	res := run(t, b)
+	if len(res.Races) != 1 {
+		t.Fatalf("races = %v", res.Races)
+	}
+	if res.Races[0].Addr != x || !res.Races[0].Write {
+		t.Errorf("race = %+v", res.Races[0])
+	}
+}
+
+func TestInconsistentLocksReport(t *testing.T) {
+	// Thread 1 uses lock lk, thread 2 uses lock lj: intersection empty.
+	// Notify/wait edges on auxiliary vars pin the replay order (they do
+	// not affect locksets); each thread guards x with a different lock.
+	seq1, seq2 := uint64(0x900), uint64(0x910)
+	b := newBuilder()
+	b.sync(1, trace.KindAcquire, trace.OpLock, lk)
+	b.mem(1, trace.KindWrite, x, 0xFF)
+	b.sync(1, trace.KindRelease, trace.OpUnlock, lk)
+	b.sync(1, trace.KindRelease, trace.OpNotify, seq1)
+	b.sync(2, trace.KindAcquire, trace.OpWait, seq1)
+	b.sync(2, trace.KindAcquire, trace.OpLock, lj)
+	b.mem(2, trace.KindWrite, x, 0xFF)
+	b.sync(2, trace.KindRelease, trace.OpUnlock, lj)
+	b.sync(2, trace.KindRelease, trace.OpNotify, seq2)
+	// Eraser tolerates the Exclusive->SharedModified transition (C(v)
+	// starts from the second thread's locks, {lj}); the race is reported
+	// when thread 1 accesses again and the intersection empties.
+	b.sync(1, trace.KindAcquire, trace.OpWait, seq2)
+	b.sync(1, trace.KindAcquire, trace.OpLock, lk)
+	b.mem(1, trace.KindWrite, x, 0xFF)
+	b.sync(1, trace.KindRelease, trace.OpUnlock, lk)
+	res := run(t, b)
+	if len(res.Races) != 1 {
+		t.Errorf("races = %v", res.Races)
+	}
+}
+
+func TestExclusivePhaseNeverReports(t *testing.T) {
+	// One thread hammering a location with no locks is fine (Exclusive).
+	b := newBuilder()
+	for i := 0; i < 10; i++ {
+		b.mem(1, trace.KindWrite, x, 0xFF)
+	}
+	if res := run(t, b); len(res.Races) != 0 {
+		t.Errorf("exclusive accesses reported: %v", res.Races)
+	}
+}
+
+func TestReadSharingWithoutWritesNoReport(t *testing.T) {
+	// Initialization write by one thread, then lock-free reads by many:
+	// Shared state, no report (Eraser's read-share tolerance).
+	b := newBuilder()
+	b.mem(1, trace.KindWrite, x, 0xFF)
+	b.mem(2, trace.KindRead, x, 0xFF)
+	b.mem(3, trace.KindRead, x, 0xFF)
+	if res := run(t, b); len(res.Races) != 0 {
+		t.Errorf("read sharing reported: %v", res.Races)
+	}
+}
+
+func TestLocksetPredictsUnmanifestedRace(t *testing.T) {
+	// The key lockset-vs-happens-before difference: accesses ordered by a
+	// fork edge but protected by no common lock. Happens-before stays
+	// silent; Eraser predicts the race.
+	b := newBuilder()
+	tv := trace.ThreadVar(2)
+	b.mem(1, trace.KindWrite, x, 0xFF)
+	b.sync(1, trace.KindRelease, trace.OpFork, tv)
+	b.sync(2, trace.KindAcquire, trace.OpForkChild, tv)
+	b.mem(2, trace.KindWrite, x, 0xFF)
+	res := run(t, b)
+	if len(res.Races) != 1 {
+		t.Errorf("lockset did not predict unmanifested race: %v", res.Races)
+	}
+}
+
+func TestReportOncePerLocation(t *testing.T) {
+	b := newBuilder()
+	for i := 0; i < 5; i++ {
+		b.mem(1, trace.KindWrite, x, 0xFF)
+		b.mem(2, trace.KindWrite, x, 0xFF)
+	}
+	if res := run(t, b); len(res.Races) != 1 {
+		t.Errorf("races = %d, want 1 (deduplicated)", len(res.Races))
+	}
+}
+
+func TestSamplerFiltering(t *testing.T) {
+	b := newBuilder()
+	b.mem(1, trace.KindWrite, x, 0b01)
+	b.mem(2, trace.KindWrite, x, 0b11)
+	res, err := Detect(b.log(), Options{SamplerBit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 0 {
+		t.Errorf("sampler 1 should miss the race: %v", res.Races)
+	}
+	res, err = Detect(b.log(), Options{SamplerBit: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 1 {
+		t.Errorf("sampler 0 should find the race: %v", res.Races)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Virgin: "virgin", Exclusive: "exclusive",
+		Shared: "shared", SharedModified: "shared-modified",
+		State(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestRacesSortedByAddress(t *testing.T) {
+	b := newBuilder()
+	b.mem(1, trace.KindWrite, 0x300, 0xFF)
+	b.mem(1, trace.KindWrite, 0x250, 0xFF)
+	b.mem(2, trace.KindWrite, 0x300, 0xFF)
+	b.mem(2, trace.KindWrite, 0x250, 0xFF)
+	res := run(t, b)
+	if len(res.Races) != 2 || res.Races[0].Addr != 0x250 || res.Races[1].Addr != 0x300 {
+		t.Errorf("races not sorted: %v", res.Races)
+	}
+}

@@ -1,0 +1,173 @@
+package race
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"literace/internal/hb"
+	"literace/internal/lir"
+)
+
+func dyn(af, ai, bf, bi int32, aw, bw bool) hb.DynamicRace {
+	return hb.DynamicRace{
+		PrevPC: lir.PC{Func: af, Index: ai}, CurPC: lir.PC{Func: bf, Index: bi},
+		PrevWrite: aw, CurWrite: bw, PrevTID: 1, CurTID: 2, Addr: 0x100,
+	}
+}
+
+func TestKeyNormalization(t *testing.T) {
+	r1 := dyn(1, 5, 2, 7, true, true)
+	r2 := dyn(2, 7, 1, 5, true, true) // same pair, reversed
+	if KeyOf(r1) != KeyOf(r2) {
+		t.Errorf("reversed pairs produce different keys: %v vs %v", KeyOf(r1), KeyOf(r2))
+	}
+	k := KeyOf(r1)
+	if k.B.Less(k.A) {
+		t.Error("key not normalized")
+	}
+	if !strings.Contains(k.String(), "<->") {
+		t.Errorf("key string %q", k)
+	}
+}
+
+func TestKeyNormalizationQuick(t *testing.T) {
+	f := func(af, ai, bf, bi int16) bool {
+		a := lir.PC{Func: int32(af), Index: int32(ai)}
+		b := lir.PC{Func: int32(bf), Index: int32(bi)}
+		k1 := KeyOf(hb.DynamicRace{PrevPC: a, CurPC: b})
+		k2 := KeyOf(hb.DynamicRace{PrevPC: b, CurPC: a})
+		return k1 == k2 && !k1.B.Less(k1.A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetGrouping(t *testing.T) {
+	s := NewSet()
+	s.Add(dyn(1, 5, 2, 7, true, true))
+	s.Add(dyn(2, 7, 1, 5, false, true)) // same static race, read-write
+	s.Add(dyn(3, 0, 3, 1, true, true))  // different race
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	st := s.Get(Key{A: lir.PC{Func: 1, Index: 5}, B: lir.PC{Func: 2, Index: 7}})
+	if st == nil {
+		t.Fatal("missing grouped race")
+	}
+	if st.Count != 2 || st.WriteWrite != 1 || st.ReadWrite != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !s.Contains(st.Key) || s.Contains(Key{A: lir.PC{Func: 9}, B: lir.PC{Func: 9}}) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestAddResult(t *testing.T) {
+	res := &hb.Result{Races: []hb.DynamicRace{
+		dyn(1, 1, 2, 2, true, true),
+		dyn(1, 1, 2, 2, true, true),
+	}}
+	s := NewSet()
+	s.AddResult(res)
+	if s.Len() != 1 || s.Races()[0].Count != 2 {
+		t.Errorf("AddResult: len=%d", s.Len())
+	}
+}
+
+func TestRacesSorted(t *testing.T) {
+	s := NewSet()
+	s.Add(dyn(2, 0, 2, 1, true, true))
+	s.Add(dyn(1, 0, 1, 1, true, true))
+	s.Add(dyn(1, 0, 3, 1, true, true))
+	races := s.Races()
+	for i := 1; i < len(races); i++ {
+		a, b := races[i-1].Key, races[i].Key
+		if b.A.Less(a.A) {
+			t.Errorf("races not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestRareClassification(t *testing.T) {
+	// 1M non-stack ops: a race with count 2 is rare (<3/M); count 3 is
+	// frequent.
+	s := NewSet()
+	for i := 0; i < 2; i++ {
+		s.Add(dyn(1, 0, 1, 1, true, true))
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(dyn(2, 0, 2, 1, true, true))
+	}
+	rare, freq := s.Split(1_000_000)
+	if len(rare) != 1 || len(freq) != 1 {
+		t.Fatalf("rare=%d freq=%d", len(rare), len(freq))
+	}
+	if rare[0].Key.A.Func != 1 || freq[0].Key.A.Func != 2 {
+		t.Error("classification swapped")
+	}
+	// With a shorter run everything is frequent.
+	rare, freq = s.Split(100)
+	if len(rare) != 0 || len(freq) != 2 {
+		t.Errorf("short run: rare=%d freq=%d", len(rare), len(freq))
+	}
+	// Zero instruction count: rate is defined as 0, everything rare.
+	rare, _ = s.Split(0)
+	if len(rare) != 2 {
+		t.Errorf("zero ops: rare=%d", len(rare))
+	}
+}
+
+func TestRatePerMillion(t *testing.T) {
+	st := &Static{Count: 6}
+	if got := st.RatePerMillion(2_000_000); got != 3 {
+		t.Errorf("rate = %v, want 3", got)
+	}
+	if st.Rare(2_000_000) {
+		t.Error("rate exactly at threshold should be frequent")
+	}
+	if !(&Static{Count: 5}).Rare(2_000_000) {
+		t.Error("rate below threshold should be rare")
+	}
+}
+
+func TestDetectionRate(t *testing.T) {
+	truth := NewSet()
+	truth.Add(dyn(1, 0, 1, 1, true, true))
+	truth.Add(dyn(2, 0, 2, 1, true, true))
+	truth.Add(dyn(3, 0, 3, 1, true, true))
+
+	found := NewSet()
+	found.Add(dyn(1, 0, 1, 1, true, true))
+	found.Add(dyn(3, 0, 3, 1, true, true))
+	found.Add(dyn(9, 0, 9, 1, true, true)) // extra finding outside truth
+
+	rate := DetectionRate(found, truth.Races())
+	if rate < 0.666 || rate > 0.667 {
+		t.Errorf("rate = %v, want 2/3", rate)
+	}
+	if DetectionRate(found, nil) != 1 {
+		t.Error("empty truth should give rate 1")
+	}
+	if DetectionRate(NewSet(), truth.Races()) != 0 {
+		t.Error("empty found should give rate 0")
+	}
+}
+
+func TestReport(t *testing.T) {
+	s := NewSet()
+	s.Add(dyn(0, 3, 1, 4, true, true))
+	names := []string{"alpha", "beta"}
+	rep := s.Report(1000, func(f int32) string { return names[f] })
+	for _, want := range []string{"1 static data races", "alpha:3", "beta:4", "count=1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// nil resolver prints raw PCs.
+	rep = s.Report(1000, nil)
+	if !strings.Contains(rep, "f0:3") {
+		t.Errorf("raw report: %s", rep)
+	}
+}

@@ -1,0 +1,334 @@
+// Package sampler implements the sampling strategies evaluated in the
+// LiteRace paper (Table 3): the thread-local adaptive bursty sampler that
+// is the paper's contribution, plus the thread-local fixed, global
+// adaptive, global fixed, random, and "un-cold" comparison samplers, and a
+// full-logging pseudo-sampler used as ground truth.
+//
+// A Strategy is pure decision logic over per-region State; ownership of
+// that state (per thread or global, keyed by function) lives in package
+// core, mirroring the paper's split between the dispatch check and the
+// thread-local profiling buffers.
+package sampler
+
+import "fmt"
+
+// Scope says whether sampling state is maintained per thread (the paper's
+// key extension, §3.4) or shared by all threads (as in SWAT).
+type Scope int
+
+const (
+	// ThreadLocal keeps independent state per (thread, function).
+	ThreadLocal Scope = iota
+	// Global shares one state per function across all threads.
+	Global
+)
+
+func (s Scope) String() string {
+	if s == ThreadLocal {
+		return "thread-local"
+	}
+	return "global"
+}
+
+// BurstLength is the number of consecutive executions sampled once a
+// sampler decides to sample a region (§5.2: "they do so for ten
+// consecutive executions").
+const BurstLength = 10
+
+// State is the per-region bookkeeping the dispatch check maintains. The
+// paper stores two counters (frequency and sampling) in thread-local
+// storage; Bursts plays the role of the frequency counter and
+// BurstLeft/Countdown together are the sampling counter.
+type State struct {
+	Calls     uint64 // total invocations observed
+	Bursts    uint32 // completed bursts (the adaptive back-off index)
+	BurstLeft uint32 // remaining invocations in the current burst
+	Countdown uint32 // invocations to skip before the next burst
+}
+
+// RNG supplies deterministic randomness to random samplers: RNG(n) must
+// return a uniform value in [0, n).
+type RNG func(n uint32) uint32
+
+// Strategy decides, at each function entry, whether to run the
+// instrumented clone.
+type Strategy interface {
+	// Name is the short name used in figures (TL-Ad, Rnd10, ...).
+	Name() string
+	// Description is the human-readable summary from Table 3.
+	Description() string
+	// Scope reports where the state is kept.
+	Scope() Scope
+	// Decide advances st by one invocation and reports whether this
+	// invocation is sampled. rng may be nil for deterministic strategies.
+	Decide(st *State, rng RNG) bool
+}
+
+// burstyDecide implements the shared bursty state machine: when a burst
+// begins, burst consecutive executions are sampled; when it ends,
+// gap(bursts) executions are skipped.
+func burstyDecide(st *State, burst uint32, gap func(bursts uint32) uint32) bool {
+	st.Calls++
+	if st.BurstLeft == 0 && st.Countdown == 0 {
+		st.BurstLeft = burst
+	}
+	if st.BurstLeft > 0 {
+		st.BurstLeft--
+		if st.BurstLeft == 0 {
+			st.Bursts++
+			st.Countdown = gap(st.Bursts)
+		}
+		return true
+	}
+	st.Countdown--
+	return false
+}
+
+// gapForRate converts a sampling rate (fraction of executions sampled)
+// into the number of executions to skip between bursts of length burst.
+func gapForRate(rate float64, burst uint32) uint32 {
+	if rate >= 1 {
+		return 0
+	}
+	g := float64(burst)*(1/rate) - float64(burst)
+	return uint32(g + 0.5)
+}
+
+// adaptive is a bursty sampler whose rate decays through schedule, one
+// step per completed burst, holding at the final entry.
+type adaptive struct {
+	name     string
+	desc     string
+	scope    Scope
+	schedule []float64
+	burst    uint32
+}
+
+func (a *adaptive) Name() string        { return a.name }
+func (a *adaptive) Description() string { return a.desc }
+func (a *adaptive) Scope() Scope        { return a.scope }
+
+func (a *adaptive) Decide(st *State, _ RNG) bool {
+	return burstyDecide(st, a.burst, func(bursts uint32) uint32 {
+		i := int(bursts)
+		if i >= len(a.schedule) {
+			i = len(a.schedule) - 1
+		}
+		return gapForRate(a.schedule[i], a.burst)
+	})
+}
+
+// fixed is a bursty sampler with a constant rate.
+type fixed struct {
+	name  string
+	desc  string
+	scope Scope
+	rate  float64
+	burst uint32
+}
+
+func (f *fixed) Name() string        { return f.name }
+func (f *fixed) Description() string { return f.desc }
+func (f *fixed) Scope() Scope        { return f.scope }
+
+func (f *fixed) Decide(st *State, _ RNG) bool {
+	gap := gapForRate(f.rate, f.burst)
+	return burstyDecide(st, f.burst, func(uint32) uint32 { return gap })
+}
+
+// random samples each dynamic call independently with probability pct/100;
+// it is not bursty (§5.2).
+type random struct {
+	name string
+	desc string
+	pct  uint32
+}
+
+func (r *random) Name() string        { return r.name }
+func (r *random) Description() string { return r.desc }
+func (r *random) Scope() Scope        { return ThreadLocal }
+
+func (r *random) Decide(st *State, rng RNG) bool {
+	st.Calls++
+	if rng == nil {
+		panic("sampler: random strategy requires an RNG")
+	}
+	return rng(100) < r.pct
+}
+
+// unCold logs everything EXCEPT the cold region: the first ColdCalls calls
+// of a function per thread are not sampled, all later calls are. It exists
+// to validate the cold-region hypothesis (§5.2, "UCP").
+type unCold struct{}
+
+// ColdCalls is the per-(thread, function) call count treated as the cold
+// region by the UnCold sampler.
+const ColdCalls = 10
+
+func (unCold) Name() string { return "UCP" }
+func (unCold) Description() string {
+	return fmt.Sprintf("First %d calls per function / per thread are NOT sampled, all remaining calls are", ColdCalls)
+}
+func (unCold) Scope() Scope { return ThreadLocal }
+
+func (unCold) Decide(st *State, _ RNG) bool {
+	st.Calls++
+	return st.Calls > ColdCalls
+}
+
+// full samples every call; it is the ground-truth "log everything"
+// configuration used to establish the set of detectable races (§5.3).
+type full struct{}
+
+func (full) Name() string        { return "Full" }
+func (full) Description() string { return "All memory operations logged" }
+func (full) Scope() Scope        { return ThreadLocal }
+func (full) Decide(st *State, _ RNG) bool {
+	st.Calls++
+	return true
+}
+
+// tlAdSchedule is the paper's thread-local adaptive back-off:
+// 100%, 10%, 1%, 0.1% with 0.1% as the lower bound.
+var tlAdSchedule = []float64{1, 0.1, 0.01, 0.001}
+
+// gAdSchedule is the global adaptive back-off: 100%, 50%, 25%, ... halving
+// down to the 0.1% lower bound (§5.2).
+var gAdSchedule = func() []float64 {
+	var s []float64
+	for r := 1.0; r > 0.001; r /= 2 {
+		s = append(s, r)
+	}
+	return append(s, 0.001)
+}()
+
+// Constructors for the evaluated samplers, in Table 3 order.
+
+// NewThreadLocalAdaptive returns TL-Ad, LiteRace's sampler.
+func NewThreadLocalAdaptive() Strategy {
+	return &adaptive{
+		name:     "TL-Ad",
+		desc:     "Adaptive back-off per function / per thread (100%,10%,1%,0.1%); bursty",
+		scope:    ThreadLocal,
+		schedule: tlAdSchedule,
+		burst:    BurstLength,
+	}
+}
+
+// NewThreadLocalFixed returns TL-Fx, a fixed 5% per-thread bursty sampler.
+func NewThreadLocalFixed() Strategy {
+	return &fixed{
+		name:  "TL-Fx",
+		desc:  "Fixed 5% per function / per thread; bursty",
+		scope: ThreadLocal,
+		rate:  0.05,
+		burst: BurstLength,
+	}
+}
+
+// NewGlobalAdaptive returns G-Ad, the SWAT-style global adaptive sampler.
+func NewGlobalAdaptive() Strategy {
+	return &adaptive{
+		name:     "G-Ad",
+		desc:     "Adaptive back-off per function globally (100%, 50%, 25%, ..., 0.1%); bursty",
+		scope:    Global,
+		schedule: gAdSchedule,
+		burst:    BurstLength,
+	}
+}
+
+// NewGlobalFixed returns G-Fx, a fixed 10% global bursty sampler.
+func NewGlobalFixed() Strategy {
+	return &fixed{
+		name:  "G-Fx",
+		desc:  "Fixed 10% per function globally; bursty",
+		scope: Global,
+		rate:  0.10,
+		burst: BurstLength,
+	}
+}
+
+// NewCustomAdaptive builds an adaptive bursty sampler with an explicit
+// burst length and back-off schedule, for ablation studies of the design
+// parameters (§5.2 fixes burst = 10 and floor = 0.1%; the ablation
+// harness sweeps both).
+func NewCustomAdaptive(name string, scope Scope, burst uint32, schedule []float64) (Strategy, error) {
+	if burst == 0 {
+		return nil, fmt.Errorf("sampler: burst length must be positive")
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("sampler: schedule must be non-empty")
+	}
+	for _, r := range schedule {
+		if r <= 0 || r > 1 {
+			return nil, fmt.Errorf("sampler: schedule rate %v outside (0, 1]", r)
+		}
+	}
+	return &adaptive{
+		name:     name,
+		desc:     fmt.Sprintf("Adaptive back-off (%s), burst %d, floor %g%%", scope, burst, schedule[len(schedule)-1]*100),
+		scope:    scope,
+		schedule: append([]float64(nil), schedule...),
+		burst:    burst,
+	}, nil
+}
+
+// NewCustomFixed builds a fixed-rate bursty sampler with an explicit
+// burst length, for ablations.
+func NewCustomFixed(name string, scope Scope, burst uint32, rate float64) (Strategy, error) {
+	if burst == 0 {
+		return nil, fmt.Errorf("sampler: burst length must be positive")
+	}
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("sampler: rate %v outside (0, 1]", rate)
+	}
+	return &fixed{
+		name:  name,
+		desc:  fmt.Sprintf("Fixed %g%% (%s), burst %d", rate*100, scope, burst),
+		scope: scope,
+		rate:  rate,
+		burst: burst,
+	}, nil
+}
+
+// NewRandom returns a random sampler logging pct percent of dynamic calls.
+func NewRandom(pct uint32) Strategy {
+	return &random{
+		name: fmt.Sprintf("Rnd%d", pct),
+		desc: fmt.Sprintf("Random %d%% of dynamic calls chosen for sampling", pct),
+		pct:  pct,
+	}
+}
+
+// NewUnCold returns UCP, which samples everything except cold regions.
+func NewUnCold() Strategy { return unCold{} }
+
+// NewFull returns the full-logging pseudo-sampler.
+func NewFull() Strategy { return full{} }
+
+// Evaluated returns the seven samplers of Table 3, in table order. The
+// slice index is each sampler's bit position in event sampler masks.
+func Evaluated() []Strategy {
+	return []Strategy{
+		NewThreadLocalAdaptive(),
+		NewThreadLocalFixed(),
+		NewGlobalAdaptive(),
+		NewGlobalFixed(),
+		NewRandom(10),
+		NewRandom(25),
+		NewUnCold(),
+	}
+}
+
+// ByName returns the evaluated sampler (or Full) with the given name.
+func ByName(name string) (Strategy, bool) {
+	if name == "Full" {
+		return NewFull(), true
+	}
+	for _, s := range Evaluated() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}

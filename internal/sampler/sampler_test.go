@@ -1,0 +1,366 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// runN drives a strategy for n invocations of one region and returns how
+// many were sampled and the decision vector.
+func runN(s Strategy, n int, seed int64) (sampled int, decisions []bool) {
+	st := &State{}
+	rng := rand.New(rand.NewSource(seed))
+	f := func(bound uint32) uint32 { return uint32(rng.Intn(int(bound))) }
+	for i := 0; i < n; i++ {
+		d := s.Decide(st, f)
+		decisions = append(decisions, d)
+		if d {
+			sampled++
+		}
+	}
+	return sampled, decisions
+}
+
+func TestTLAdFirstExecutionsSampled(t *testing.T) {
+	// The adaptive sampler starts at 100%: the first burst must sample
+	// every one of the first BurstLength executions (cold-region coverage).
+	_, dec := runN(NewThreadLocalAdaptive(), BurstLength, 1)
+	for i, d := range dec {
+		if !d {
+			t.Fatalf("execution %d of a cold region not sampled", i)
+		}
+	}
+}
+
+func TestTLAdBackoff(t *testing.T) {
+	// After the first burst the gap should be 90 (10% rate), then 990 (1%),
+	// then 9990 (0.1%) forever.
+	_, dec := runN(NewThreadLocalAdaptive(), 25000, 1)
+	// Find gaps between bursts.
+	var gaps []int
+	gap := 0
+	inBurst := true
+	for _, d := range dec[BurstLength:] {
+		if d {
+			if !inBurst && gap > 0 {
+				gaps = append(gaps, gap)
+				gap = 0
+			}
+			inBurst = true
+		} else {
+			inBurst = false
+			gap++
+		}
+	}
+	want := []int{90, 990, 9990}
+	if len(gaps) < 3 {
+		t.Fatalf("observed only %d gaps: %v", len(gaps), gaps)
+	}
+	for i, w := range want {
+		if gaps[i] != w {
+			t.Errorf("gap %d = %d, want %d", i, gaps[i], w)
+		}
+	}
+	// Steady state: all later gaps equal the 0.1% lower bound.
+	for i := 2; i < len(gaps); i++ {
+		if gaps[i] != 9990 {
+			t.Errorf("gap %d = %d, want lower bound 9990", i, gaps[i])
+		}
+	}
+}
+
+func TestTLAdEffectiveRateConvergesToLowerBound(t *testing.T) {
+	n := 2_000_000
+	sampled, _ := runN(NewThreadLocalAdaptive(), n, 1)
+	rate := float64(sampled) / float64(n)
+	if rate < 0.0009 || rate > 0.003 {
+		t.Errorf("steady-state rate = %.5f, want ~0.001", rate)
+	}
+}
+
+func TestFixedRate(t *testing.T) {
+	n := 200_000
+	sampled, _ := runN(NewThreadLocalFixed(), n, 1)
+	rate := float64(sampled) / float64(n)
+	if rate < 0.045 || rate > 0.055 {
+		t.Errorf("TL-Fx rate = %.4f, want ~0.05", rate)
+	}
+	sampled, _ = runN(NewGlobalFixed(), n, 1)
+	rate = float64(sampled) / float64(n)
+	if rate < 0.09 || rate > 0.11 {
+		t.Errorf("G-Fx rate = %.4f, want ~0.10", rate)
+	}
+}
+
+func TestFixedIsBursty(t *testing.T) {
+	_, dec := runN(NewThreadLocalFixed(), 1000, 1)
+	// Decisions must come in runs of exactly BurstLength.
+	run := 0
+	for _, d := range dec {
+		if d {
+			run++
+		} else if run > 0 {
+			if run != BurstLength {
+				t.Fatalf("burst of length %d, want %d", run, BurstLength)
+			}
+			run = 0
+		}
+	}
+}
+
+func TestRandomRateAndNotBursty(t *testing.T) {
+	n := 100_000
+	for _, pct := range []uint32{10, 25} {
+		s := NewRandom(pct)
+		sampled, dec := runN(s, n, 42)
+		rate := float64(sampled) / float64(n)
+		want := float64(pct) / 100
+		if rate < want-0.01 || rate > want+0.01 {
+			t.Errorf("%s rate = %.4f, want ~%.2f", s.Name(), rate, want)
+		}
+		// Not bursty: there must exist isolated single-sample runs.
+		single := false
+		for i := 1; i < len(dec)-1; i++ {
+			if dec[i] && !dec[i-1] && !dec[i+1] {
+				single = true
+				break
+			}
+		}
+		if !single {
+			t.Errorf("%s produced no isolated samples; looks bursty", s.Name())
+		}
+	}
+}
+
+func TestRandomPanicsWithoutRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("random sampler should panic without an RNG")
+		}
+	}()
+	NewRandom(10).Decide(&State{}, nil)
+}
+
+func TestUnColdInvertsColdRegion(t *testing.T) {
+	s := NewUnCold()
+	_, dec := runN(s, 100, 1)
+	for i := 0; i < ColdCalls; i++ {
+		if dec[i] {
+			t.Errorf("UCP sampled cold call %d", i)
+		}
+	}
+	for i := ColdCalls; i < 100; i++ {
+		if !dec[i] {
+			t.Errorf("UCP skipped hot call %d", i)
+		}
+	}
+}
+
+func TestFullSamplesEverything(t *testing.T) {
+	sampled, _ := runN(NewFull(), 1000, 1)
+	if sampled != 1000 {
+		t.Errorf("Full sampled %d/1000", sampled)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	cases := map[string]Scope{
+		"TL-Ad": ThreadLocal, "TL-Fx": ThreadLocal,
+		"G-Ad": Global, "G-Fx": Global,
+		"Rnd10": ThreadLocal, "Rnd25": ThreadLocal,
+		"UCP": ThreadLocal, "Full": ThreadLocal,
+	}
+	for name, want := range cases {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		if s.Scope() != want {
+			t.Errorf("%s scope = %v, want %v", name, s.Scope(), want)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown sampler")
+	}
+	if ThreadLocal.String() != "thread-local" || Global.String() != "global" {
+		t.Error("Scope.String broken")
+	}
+}
+
+func TestEvaluatedOrderMatchesTable3(t *testing.T) {
+	want := []string{"TL-Ad", "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "Rnd25", "UCP"}
+	got := Evaluated()
+	if len(got) != len(want) {
+		t.Fatalf("Evaluated returned %d samplers", len(got))
+	}
+	for i, s := range got {
+		if s.Name() != want[i] {
+			t.Errorf("Evaluated[%d] = %s, want %s", i, s.Name(), want[i])
+		}
+		if s.Description() == "" {
+			t.Errorf("%s has no description", s.Name())
+		}
+	}
+}
+
+func TestGlobalAdaptiveDecaysFasterAtFirst(t *testing.T) {
+	// G-Ad halves the rate per burst (100%, 50%, 25%, ...), so its early
+	// gaps must grow geometrically: 10, 30, 70, ...
+	_, dec := runN(NewGlobalAdaptive(), 100000, 1)
+	var gaps []int
+	gap := 0
+	for _, d := range dec {
+		if d {
+			if gap > 0 {
+				gaps = append(gaps, gap)
+				gap = 0
+			}
+		} else {
+			gap++
+		}
+	}
+	want := []int{10, 30, 70, 150, 310, 630}
+	if len(gaps) < len(want) {
+		t.Fatalf("too few gaps: %v", gaps)
+	}
+	for i, w := range want {
+		if gaps[i] != w {
+			t.Errorf("G-Ad gap %d = %d, want %d", i, gaps[i], w)
+		}
+	}
+}
+
+func TestGapForRate(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want uint32
+	}{
+		{1, 0}, {0.5, 10}, {0.25, 30}, {0.1, 90}, {0.05, 190}, {0.01, 990}, {0.001, 9990},
+	}
+	for _, c := range cases {
+		if got := gapForRate(c.rate, BurstLength); got != c.want {
+			t.Errorf("gapForRate(%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestStateCallsAlwaysIncrements(t *testing.T) {
+	// Property: for every strategy, Decide increments Calls by exactly 1.
+	strategies := append(Evaluated(), NewFull())
+	for _, s := range strategies {
+		s := s
+		f := func(n uint16) bool {
+			st := &State{}
+			rng := rand.New(rand.NewSource(7))
+			r := func(bound uint32) uint32 { return uint32(rng.Intn(int(bound))) }
+			iters := int(n%500) + 1
+			for i := 0; i < iters; i++ {
+				s.Decide(st, r)
+			}
+			return st.Calls == uint64(iters)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestBurstyInvariants(t *testing.T) {
+	// Property: BurstLeft and Countdown are never simultaneously nonzero
+	// after a decision, and sampled decisions occur exactly when a burst
+	// was active.
+	s := NewThreadLocalAdaptive()
+	st := &State{}
+	for i := 0; i < 50000; i++ {
+		before := *st
+		d := s.Decide(st, nil)
+		if st.BurstLeft > 0 && st.Countdown > 0 {
+			t.Fatalf("iteration %d: BurstLeft=%d and Countdown=%d both nonzero", i, st.BurstLeft, st.Countdown)
+		}
+		wasInBurst := before.BurstLeft > 0 || (before.BurstLeft == 0 && before.Countdown == 0)
+		if d != wasInBurst {
+			t.Fatalf("iteration %d: decision %v inconsistent with state %+v", i, d, before)
+		}
+	}
+}
+
+func TestCustomAdaptive(t *testing.T) {
+	s, err := NewCustomAdaptive("abl", ThreadLocal, 5, []float64{1, 0.5, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "abl" || s.Scope() != ThreadLocal {
+		t.Error("metadata wrong")
+	}
+	_, dec := runN(s, 2000, 1)
+	// First burst is 5 executions at 100%.
+	for i := 0; i < 5; i++ {
+		if !dec[i] {
+			t.Fatalf("cold exec %d unsampled", i)
+		}
+	}
+	// Gaps follow the custom schedule with burst 5: rate 0.5 -> gap 5,
+	// then rate 0.01 -> gap 495.
+	var gaps []int
+	gap := 0
+	for _, d := range dec[5:] {
+		if d {
+			if gap > 0 {
+				gaps = append(gaps, gap)
+				gap = 0
+			}
+		} else {
+			gap++
+		}
+	}
+	if len(gaps) < 2 || gaps[0] != 5 || gaps[1] != 495 {
+		t.Errorf("gaps = %v, want [5 495 ...]", gaps)
+	}
+}
+
+func TestCustomFixed(t *testing.T) {
+	s, err := NewCustomFixed("fx", Global, 20, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scope() != Global {
+		t.Error("scope wrong")
+	}
+	n := 100_000
+	sampled, dec := runN(s, n, 1)
+	rate := float64(sampled) / float64(n)
+	if rate < 0.19 || rate > 0.21 {
+		t.Errorf("rate = %v, want ~0.2", rate)
+	}
+	// Bursts are 20 long.
+	run := 0
+	for _, d := range dec {
+		if d {
+			run++
+		} else if run > 0 {
+			if run != 20 {
+				t.Fatalf("burst length %d, want 20", run)
+			}
+			run = 0
+		}
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	if _, err := NewCustomAdaptive("x", ThreadLocal, 0, []float64{1}); err == nil {
+		t.Error("zero burst accepted")
+	}
+	if _, err := NewCustomAdaptive("x", ThreadLocal, 10, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewCustomAdaptive("x", ThreadLocal, 10, []float64{2}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := NewCustomFixed("x", Global, 10, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewCustomFixed("x", Global, 0, 0.5); err == nil {
+		t.Error("zero burst accepted")
+	}
+}

@@ -1,0 +1,359 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Binary layout:
+//
+//	file   := magic chunk*
+//	magic  := "LTRC1\n"
+//	chunk  := tag uvarint(len) payload[len]
+//	tag    := uvarint(tid + 1)   ; tag 0 is the metadata chunk
+//	payload (tid chunk)  := event*
+//	payload (meta chunk) := JSON-encoded Meta
+//	event  := kind byte, op byte, then per-kind varints:
+//	          mem:  pcFunc pcIndex addr mask
+//	          sync: pcFunc pcIndex addr counter ts
+//
+// Chunks from the same thread appear in program order; chunks from
+// different threads interleave arbitrarily (each thread flushes its own
+// buffer, mirroring the paper's per-thread log buffers).
+
+const magic = "LTRC1\n"
+
+// Meta is the run metadata written as the log trailer. It carries the
+// counters the evaluation needs: total memory operations for effective
+// sampling rates (Table 3), non-stack memory instructions for the
+// rare/frequent classification (Table 4), and cost-model cycles for the
+// overhead tables (Table 5, Figure 6).
+type Meta struct {
+	Module  string `json:"module"`
+	Seed    int64  `json:"seed"`
+	Threads int    `json:"threads"`
+
+	Instrs      uint64 `json:"instrs"`       // dynamic instructions executed
+	MemOps      uint64 `json:"mem_ops"`      // dynamic data accesses (load/store)
+	StackMemOps uint64 `json:"stack_ops"`    // subset of MemOps touching thread stacks
+	SyncOps     uint64 `json:"sync_ops"`     // dynamic synchronization operations
+	Cycles      uint64 `json:"cycles"`       // virtual cycles including instrumentation cost
+	BaseCycles  uint64 `json:"base_cycles"`  // virtual cycles excluding instrumentation cost
+	WallNanos   int64  `json:"wall_nanos"`   // wall-clock run time
+	LoggedBytes uint64 `json:"logged_bytes"` // encoded log size
+
+	// Samplers holds the mask-bit order: bit i of a memory event's Mask is
+	// set when Samplers[i] would have logged the event.
+	Samplers []string `json:"samplers"`
+	// SampledOps[i] counts memory operations sampler i would have logged.
+	SampledOps []uint64 `json:"sampled_ops"`
+	// Primary is the sampler that actually controlled instrumentation.
+	Primary string `json:"primary"`
+}
+
+// EffectiveRate returns sampler i's effective sampling rate: the fraction
+// of memory operations it logged (§5.2).
+func (m *Meta) EffectiveRate(i int) float64 {
+	if m.MemOps == 0 || i >= len(m.SampledOps) {
+		return 0
+	}
+	return float64(m.SampledOps[i]) / float64(m.MemOps)
+}
+
+// SamplerIndex returns the mask bit for the named sampler, or -1.
+func (m *Meta) SamplerIndex(name string) int {
+	for i, s := range m.Samplers {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Writer encodes events to an underlying io.Writer. Each thread appends to
+// its own buffer via a ThreadWriter; buffers flush as chunks under a mutex.
+type Writer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	written uint64
+	err     error
+	threads map[int32]*ThreadWriter
+	closed  bool
+}
+
+// flushThreshold is the per-thread buffer size that triggers a chunk flush.
+const flushThreshold = 1 << 14
+
+// NewWriter starts a log on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	return &Writer{w: bw, written: uint64(len(magic)), threads: make(map[int32]*ThreadWriter)}, nil
+}
+
+// Thread returns the per-thread writer for tid, creating it on first use.
+func (w *Writer) Thread(tid int32) *ThreadWriter {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tw := w.threads[tid]
+	if tw == nil {
+		tw = &ThreadWriter{parent: w, tid: tid}
+		w.threads[tid] = tw
+	}
+	return tw
+}
+
+// flushChunk writes one chunk; callers hold no locks.
+func (w *Writer) flushChunk(tag uint64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushChunkLocked(tag, payload)
+}
+
+func (w *Writer) flushChunkLocked(tag uint64, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], tag)
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		w.err = fmt.Errorf("trace: %w", err)
+		return w.err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = fmt.Errorf("trace: %w", err)
+		return w.err
+	}
+	w.written += uint64(n + len(payload))
+	return nil
+}
+
+// Close flushes all thread buffers, writes the metadata trailer, and
+// flushes the underlying writer. meta.LoggedBytes is filled in by Close.
+func (w *Writer) Close(meta Meta) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("trace: writer already closed")
+	}
+	w.closed = true
+	tws := make([]*ThreadWriter, 0, len(w.threads))
+	for _, tw := range w.threads {
+		tws = append(tws, tw)
+	}
+	w.mu.Unlock()
+
+	for _, tw := range tws {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	meta.LoggedBytes = w.written
+	payload, err := json.Marshal(&meta)
+	if err != nil {
+		return fmt.Errorf("trace: encoding meta: %w", err)
+	}
+	if err := w.flushChunkLocked(0, payload); err != nil {
+		return err
+	}
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.err
+}
+
+// BytesWritten returns the number of encoded bytes emitted so far.
+func (w *Writer) BytesWritten() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// ThreadWriter buffers one thread's events.
+type ThreadWriter struct {
+	parent *Writer
+	tid    int32
+	buf    []byte
+	count  uint64
+}
+
+// Append encodes one event into the thread buffer.
+func (tw *ThreadWriter) Append(e Event) error {
+	tw.buf = appendEvent(tw.buf, e)
+	tw.count++
+	if len(tw.buf) >= flushThreshold {
+		return tw.Flush()
+	}
+	return nil
+}
+
+// Count returns the number of events appended to this thread.
+func (tw *ThreadWriter) Count() uint64 { return tw.count }
+
+// Flush writes the buffered events as one chunk.
+func (tw *ThreadWriter) Flush() error {
+	if len(tw.buf) == 0 {
+		return nil
+	}
+	err := tw.parent.flushChunk(uint64(uint32(tw.tid))+1, tw.buf)
+	tw.buf = tw.buf[:0]
+	return err
+}
+
+func appendEvent(buf []byte, e Event) []byte {
+	buf = append(buf, byte(e.Kind), byte(e.Op))
+	buf = binary.AppendUvarint(buf, uint64(uint32(e.PC.Func)))
+	buf = binary.AppendUvarint(buf, uint64(uint32(e.PC.Index)))
+	buf = binary.AppendUvarint(buf, e.Addr)
+	if e.Kind.IsMem() {
+		buf = binary.AppendUvarint(buf, uint64(e.Mask))
+	} else {
+		buf = append(buf, e.Counter)
+		buf = binary.AppendUvarint(buf, e.TS)
+	}
+	return buf
+}
+
+// Log is a fully decoded trace: per-thread event sequences in program
+// order plus run metadata.
+type Log struct {
+	Meta    Meta
+	Threads map[int32][]Event
+}
+
+// NumEvents returns the total event count across threads.
+func (l *Log) NumEvents() int {
+	n := 0
+	for _, evs := range l.Threads {
+		n += len(evs)
+	}
+	return n
+}
+
+// TIDs returns the thread ids present in the log, ascending.
+func (l *Log) TIDs() []int32 {
+	out := make([]int32, 0, len(l.Threads))
+	for tid := range l.Threads {
+		out = append(out, tid)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ReadAll decodes a complete log from r.
+func ReadAll(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	log := &Log{Threads: make(map[int32][]Event)}
+	sawMeta := false
+	for {
+		tag, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading chunk tag: %w", err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading chunk size: %w", err)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("trace: reading chunk payload: %w", err)
+		}
+		if tag == 0 {
+			if err := json.Unmarshal(payload, &log.Meta); err != nil {
+				return nil, fmt.Errorf("trace: decoding meta: %w", err)
+			}
+			sawMeta = true
+			continue
+		}
+		tid := int32(uint32(tag - 1))
+		evs, err := decodeEvents(tid, payload)
+		if err != nil {
+			return nil, err
+		}
+		log.Threads[tid] = append(log.Threads[tid], evs...)
+	}
+	if !sawMeta {
+		return nil, errors.New("trace: truncated log: no metadata trailer")
+	}
+	return log, nil
+}
+
+func decodeEvents(tid int32, payload []byte) ([]Event, error) {
+	var evs []Event
+	for len(payload) > 0 {
+		if len(payload) < 2 {
+			return nil, errors.New("trace: truncated event header")
+		}
+		e := Event{Kind: Kind(payload[0]), Op: SyncOp(payload[1]), TID: tid}
+		if e.Kind >= numKinds {
+			return nil, fmt.Errorf("trace: bad event kind %d", e.Kind)
+		}
+		if e.Op >= numSyncOps {
+			return nil, fmt.Errorf("trace: bad sync op %d", e.Op)
+		}
+		payload = payload[2:]
+		var err error
+		var v uint64
+		if v, payload, err = takeUvarint(payload); err != nil {
+			return nil, err
+		}
+		e.PC.Func = int32(uint32(v))
+		if v, payload, err = takeUvarint(payload); err != nil {
+			return nil, err
+		}
+		e.PC.Index = int32(uint32(v))
+		if e.Addr, payload, err = takeUvarint(payload); err != nil {
+			return nil, err
+		}
+		if e.Kind.IsMem() {
+			if v, payload, err = takeUvarint(payload); err != nil {
+				return nil, err
+			}
+			e.Mask = uint32(v)
+		} else {
+			if len(payload) < 1 {
+				return nil, errors.New("trace: truncated sync event")
+			}
+			e.Counter = payload[0]
+			payload = payload[1:]
+			if e.TS, payload, err = takeUvarint(payload); err != nil {
+				return nil, err
+			}
+		}
+		evs = append(evs, e)
+	}
+	return evs, nil
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("trace: truncated varint")
+	}
+	return v, b[n:], nil
+}

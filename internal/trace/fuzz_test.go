@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAll checks the log decoder never panics on arbitrary bytes and
+// never accepts input that decodes to out-of-range kinds or ops.
+func FuzzReadAll(f *testing.F) {
+	// Seed with a real log.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tw := w.Thread(1)
+	tw.Append(Event{Kind: KindWrite, TID: 1, Addr: 7, Mask: 3})
+	tw.Append(Event{Kind: KindAcquire, Op: OpLock, TID: 1, Addr: 9, Counter: 4, TS: 1})
+	if err := w.Close(Meta{Module: "seed"}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add([]byte("LTRC1\n\xff\xff\xff\xff"))
+	// Truncations of the valid log.
+	for i := 0; i < len(valid); i += 3 {
+		f.Add(valid[:i])
+	}
+	// Single-byte corruptions.
+	for i := 0; i < len(valid); i++ {
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0x55
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, evs := range log.Threads {
+			for _, e := range evs {
+				if e.Kind >= numKinds {
+					t.Fatalf("decoded invalid kind %d", e.Kind)
+				}
+				if e.Op >= numSyncOps {
+					t.Fatalf("decoded invalid op %d", e.Op)
+				}
+			}
+		}
+	})
+}

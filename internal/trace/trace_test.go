@@ -1,0 +1,324 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"literace/internal/lir"
+)
+
+func TestCounterOfInRangeAndSpread(t *testing.T) {
+	seen := make(map[uint8]bool)
+	for i := uint64(0); i < 10000; i++ {
+		c := CounterOf(i)
+		if int(c) >= NumCounters {
+			t.Fatalf("counter %d out of range", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < NumCounters {
+		t.Errorf("only %d/%d counters used across 10k syncvars", len(seen), NumCounters)
+	}
+	// Deterministic.
+	if CounterOf(42) != CounterOf(42) {
+		t.Error("CounterOf not deterministic")
+	}
+}
+
+func TestSyncVarNamespaces(t *testing.T) {
+	// Thread, page, and plain-address SyncVars must never collide.
+	addrs := []uint64{0, 1, 512, 1 << 20}
+	for _, a := range addrs {
+		tv := ThreadVar(int32(a))
+		pv := PageVar(a)
+		if tv == a || pv == a || tv == pv {
+			t.Errorf("namespace collision for %d: thread=%#x page=%#x", a, tv, pv)
+		}
+	}
+	if ThreadVar(1) == ThreadVar(2) || PageVar(1) == PageVar(2) {
+		t.Error("distinct ids collide within a namespace")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	if !KindRead.IsMem() || !KindWrite.IsMem() {
+		t.Error("read/write should be memory kinds")
+	}
+	for _, k := range []Kind{KindAcquire, KindRelease, KindAcqRel} {
+		if k.IsMem() || !k.IsSync() {
+			t.Errorf("%v misclassified", k)
+		}
+	}
+	if KindRead.IsSync() {
+		t.Error("read is not sync")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	for o := SyncOp(0); o < numSyncOps; o++ {
+		if strings.HasPrefix(o.String(), "syncop(") {
+			t.Errorf("syncop %d has no name", o)
+		}
+	}
+	mem := Event{Kind: KindWrite, TID: 3, Addr: 0x10, Mask: 5}
+	if !strings.Contains(mem.String(), "write") {
+		t.Errorf("event string %q", mem.String())
+	}
+	syn := Event{Kind: KindRelease, Op: OpUnlock, TID: 1, Addr: 0x20, Counter: 7, TS: 9}
+	if !strings.Contains(syn.String(), "unlock") {
+		t.Errorf("event string %q", syn.String())
+	}
+}
+
+func randomEvent(r *rand.Rand, tid int32) Event {
+	e := Event{
+		TID:  tid,
+		PC:   lir.PC{Func: int32(r.Intn(100)), Index: int32(r.Intn(1000))},
+		Addr: uint64(r.Int63()),
+	}
+	switch r.Intn(5) {
+	case 0:
+		e.Kind, e.Mask = KindRead, uint32(r.Intn(256))
+	case 1:
+		e.Kind, e.Mask = KindWrite, uint32(r.Intn(256))
+	case 2:
+		e.Kind, e.Op = KindAcquire, OpLock
+		e.Counter, e.TS = uint8(r.Intn(NumCounters)), uint64(r.Intn(1<<20))+1
+	case 3:
+		e.Kind, e.Op = KindRelease, OpUnlock
+		e.Counter, e.TS = uint8(r.Intn(NumCounters)), uint64(r.Intn(1<<20))+1
+	default:
+		e.Kind, e.Op = KindAcqRel, OpCas
+		e.Counter, e.TS = uint8(r.Intn(NumCounters)), uint64(r.Intn(1<<20))+1
+	}
+	return e
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32][]Event{}
+	for tid := int32(0); tid < 4; tid++ {
+		tw := w.Thread(tid)
+		n := 100 + r.Intn(2000)
+		for i := 0; i < n; i++ {
+			e := randomEvent(r, tid)
+			want[tid] = append(want[tid], e)
+			if err := tw.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tw.Count() != uint64(n) {
+			t.Errorf("thread %d count = %d, want %d", tid, tw.Count(), n)
+		}
+	}
+	meta := Meta{
+		Module: "m", Seed: 7, Threads: 4, MemOps: 123, SyncOps: 45,
+		Samplers: []string{"TL-Ad", "Rnd10"}, SampledOps: []uint64{10, 50},
+		Primary: "Full",
+	}
+	if err := w.Close(meta); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Meta.Module != "m" || log.Meta.Seed != 7 || log.Meta.Primary != "Full" {
+		t.Errorf("meta round trip failed: %+v", log.Meta)
+	}
+	if log.Meta.LoggedBytes == 0 {
+		t.Error("LoggedBytes not recorded")
+	}
+	for tid, evs := range want {
+		got := log.Threads[tid]
+		if !reflect.DeepEqual(got, evs) {
+			t.Fatalf("thread %d events differ (%d vs %d)", tid, len(got), len(evs))
+		}
+	}
+	if log.NumEvents() == 0 {
+		t.Error("NumEvents = 0")
+	}
+	tids := log.TIDs()
+	if !reflect.DeepEqual(tids, []int32{0, 1, 2, 3}) {
+		t.Errorf("TIDs = %v", tids)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		var want []Event
+		tw := w.Thread(1)
+		for i := 0; i < int(n); i++ {
+			e := randomEvent(r, 1)
+			want = append(want, e)
+			if tw.Append(e) != nil {
+				return false
+			}
+		}
+		if w.Close(Meta{}) != nil {
+			return false
+		}
+		log, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		got := log.Threads[1]
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedFlushesPreserveThreadOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := w.Thread(0), w.Thread(1)
+	var wantA, wantB []Event
+	for i := 0; i < 5000; i++ {
+		ea := Event{Kind: KindRead, TID: 0, Addr: uint64(i)}
+		eb := Event{Kind: KindWrite, TID: 1, Addr: uint64(i)}
+		wantA = append(wantA, ea)
+		wantB = append(wantB, eb)
+		if err := a.Append(ea); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Append(eb); err != nil {
+			t.Fatal(err)
+		}
+		if i%777 == 0 {
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log.Threads[0], wantA) || !reflect.DeepEqual(log.Threads[1], wantB) {
+		t.Error("interleaved flushes corrupted per-thread order")
+	}
+}
+
+func TestDoubleCloseFails(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(Meta{}); err == nil {
+		t.Error("second Close should fail")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE!\n")},
+		{"no meta", []byte(magic)},
+		{"truncated chunk", append([]byte(magic), 1, 100)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadAll(bytes.NewReader(c.data)); err == nil {
+				t.Errorf("ReadAll accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestCorruptEventRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	tw := w.Thread(0)
+	if err := tw.Append(Event{Kind: KindRead, Addr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip the kind byte of the first event to an invalid value. The first
+	// chunk begins right after the magic: tag, len, then the event.
+	idx := len(magic) + 2
+	data[idx] = 0xEE
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt kind byte accepted")
+	}
+}
+
+func TestMetaHelpers(t *testing.T) {
+	m := Meta{
+		MemOps:     1000,
+		Samplers:   []string{"TL-Ad", "Rnd10"},
+		SampledOps: []uint64{18, 99},
+	}
+	if r := m.EffectiveRate(0); r != 0.018 {
+		t.Errorf("EffectiveRate(0) = %v", r)
+	}
+	if r := m.EffectiveRate(5); r != 0 {
+		t.Errorf("EffectiveRate out of range = %v", r)
+	}
+	if m.SamplerIndex("Rnd10") != 1 || m.SamplerIndex("nope") != -1 {
+		t.Error("SamplerIndex broken")
+	}
+	var zero Meta
+	if zero.EffectiveRate(0) != 0 {
+		t.Error("zero Meta EffectiveRate should be 0")
+	}
+}
+
+func TestBytesWrittenGrows(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	before := w.BytesWritten()
+	tw := w.Thread(0)
+	for i := 0; i < 10000; i++ {
+		if err := tw.Append(Event{Kind: KindRead, Addr: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesWritten() <= before {
+		t.Error("BytesWritten did not grow")
+	}
+	if int(w.BytesWritten()) != buf.Len() {
+		t.Errorf("BytesWritten = %d, buffer has %d", w.BytesWritten(), buf.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Verify checks a decoded log for structural well-formedness beyond what
+// decoding enforces:
+//
+//   - every sync event's counter is in range;
+//   - per counter, the timestamps across all threads are exactly the
+//     dense sequence 1..N with no duplicates or gaps (the §4.2 invariant
+//     the offline replayer relies on);
+//   - per thread, timestamps on each counter strictly increase in program
+//     order (a thread cannot observe its own operations out of order);
+//   - sampler masks fit the declared sampler set.
+//
+// It returns all problems found, joined.
+func Verify(log *Log) error {
+	var errs []error
+	add := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	maskLimit := uint32(0)
+	if n := len(log.Meta.Samplers); n > 0 {
+		if n >= 32 {
+			add("trace: %d samplers exceed the 32-bit mask", n)
+		} else {
+			maskLimit = uint32(1)<<uint(n) - 1
+		}
+	}
+
+	perCounter := make(map[uint8][]uint64)
+	for tid, evs := range log.Threads {
+		lastTS := make(map[uint8]uint64)
+		for i, e := range evs {
+			if e.TID != tid {
+				add("trace: thread %d event %d carries tid %d", tid, i, e.TID)
+			}
+			switch {
+			case e.Kind.IsSync():
+				if int(e.Counter) >= NumCounters {
+					add("trace: thread %d event %d: counter %d out of range", tid, i, e.Counter)
+					continue
+				}
+				if e.TS == 0 {
+					add("trace: thread %d event %d: zero timestamp", tid, i)
+				}
+				if prev := lastTS[e.Counter]; e.TS <= prev {
+					add("trace: thread %d event %d: counter %d timestamp %d not increasing (prev %d)",
+						tid, i, e.Counter, e.TS, prev)
+				}
+				lastTS[e.Counter] = e.TS
+				perCounter[e.Counter] = append(perCounter[e.Counter], e.TS)
+			case e.Kind.IsMem():
+				if maskLimit != 0 && e.Mask > maskLimit {
+					add("trace: thread %d event %d: mask %#x exceeds sampler set", tid, i, e.Mask)
+				}
+			default:
+				add("trace: thread %d event %d: unknown kind %d", tid, i, e.Kind)
+			}
+		}
+	}
+
+	for c, tss := range perCounter {
+		sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
+		for i, ts := range tss {
+			if ts != uint64(i+1) {
+				add("trace: counter %d: timestamps not dense at position %d (have %d, want %d)", c, i, ts, i+1)
+				break
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func validLog() *Log {
+	// Two threads, two counters, dense timestamps.
+	return &Log{
+		Meta: Meta{Samplers: []string{"A", "B"}},
+		Threads: map[int32][]Event{
+			0: {
+				{Kind: KindAcquire, Op: OpLock, TID: 0, Addr: 1, Counter: 3, TS: 1},
+				{Kind: KindWrite, TID: 0, Addr: 9, Mask: 0b11},
+				{Kind: KindRelease, Op: OpUnlock, TID: 0, Addr: 1, Counter: 3, TS: 2},
+			},
+			1: {
+				{Kind: KindAcquire, Op: OpLock, TID: 1, Addr: 1, Counter: 3, TS: 3},
+				{Kind: KindRead, TID: 1, Addr: 9, Mask: 0b01},
+				{Kind: KindRelease, Op: OpUnlock, TID: 1, Addr: 1, Counter: 3, TS: 4},
+				{Kind: KindAcqRel, Op: OpCas, TID: 1, Addr: 2, Counter: 7, TS: 1},
+			},
+		},
+	}
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	if err := Verify(validLog()); err != nil {
+		t.Errorf("valid log rejected: %v", err)
+	}
+}
+
+func TestVerifyCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Log)
+		want string
+	}{
+		{"wrong tid", func(l *Log) { l.Threads[0][0].TID = 5 }, "carries tid"},
+		{"bad counter", func(l *Log) { l.Threads[0][0].Counter = 200 }, "out of range"},
+		{"zero ts", func(l *Log) { l.Threads[0][0].TS = 0 }, "zero timestamp"},
+		{"non-increasing", func(l *Log) { l.Threads[0][2].TS = 1 }, "not increasing"},
+		{"gap", func(l *Log) { l.Threads[1][3].TS = 5 }, "not dense"},
+		{"duplicate ts", func(l *Log) { l.Threads[1][0].TS = 2 }, "not dense"},
+		{"mask too big", func(l *Log) { l.Threads[0][1].Mask = 0b100 }, "exceeds sampler set"},
+		{"bad kind", func(l *Log) { l.Threads[0][1].Kind = Kind(99) }, "unknown kind"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := validLog()
+			c.mut(l)
+			err := Verify(l)
+			if err == nil {
+				t.Fatalf("Verify accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVerifyNoSamplersSkipsMaskCheck(t *testing.T) {
+	l := validLog()
+	l.Meta.Samplers = nil
+	l.Threads[0][1].Mask = 0xFFFFFFFF
+	if err := Verify(l); err != nil {
+		t.Errorf("mask check should be disabled without samplers: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+package workloads
+
+import "fmt"
+
+// apacheSource generates the Apache web-server benchmark: a pool of worker
+// threads each serving a stream of requests. Input 1 is the paper's mixed
+// workload (small static pages, large pages, and CGI requests in roughly
+// a 3:3:1 ratio); input 2 serves only small static pages. Request handling
+// is lock-protected where Apache is (the access log, the CGI process
+// table); the planted races live in the statistics module (frequent, three
+// counters) and in the configuration/module layer exercised by a late
+// graceful-reload thread (rare).
+func apacheSource(input int) func(scale int) string {
+	return func(scale int) string {
+		s := 2500 * scale // requests per worker; 3 workers
+		spin := 110000 * scale
+		// Rare = nTL + 2*nCP + 1 hot-hot scanner race: 8 for input 1,
+		// 9 for input 2 (Table 4).
+		nTL, nCP := 5, 1
+		nPoke := 3 // + 3 modulo-K hot races -> 9 frequent with counters
+		if input == 2 {
+			nTL, nCP = 6, 1
+			nPoke = 1 // 6 counter + 1 poke = 7 frequent
+		}
+		tlFns, tlGlobs := emitTLRaceFns("ap_", nTL)
+		cpFns, cpGlobs := emitColdPairFns("ap_", nCP)
+		scanFns, scanGlobs := emitScannerFns("ap_", s/2)
+
+		pokeGlobs, pokeFns, pokeCalls := "", "", ""
+		for i := 0; i < nPoke; i++ {
+			pokeGlobs += fmt.Sprintf("glob ap_poke%d 1\n", i)
+			pokeFns += fmt.Sprintf(`
+func ap_maybe_poke%d 1 4 {
+    movi r1, %d
+    mod r2, r0, r1
+    br r2, skip, do
+do:
+    glob r3, ap_poke%d
+    store r3, 0, r0
+skip:
+    ret r0
+}
+`, i, 6+2*i, i)
+			pokeCalls += fmt.Sprintf("    call _, ap_maybe_poke%d, r9\n", i)
+		}
+
+		var dispatch string
+		if input == 1 {
+			dispatch = `
+    movi r2, 7
+    rand r3, r2
+    movi r2, 3
+    slt r4, r3, r2
+    br r4, dosmall, notsmall
+notsmall:
+    movi r2, 6
+    slt r4, r3, r2
+    br r4, dolarge, docgi
+dosmall:
+    call r5, handle_small, r10, r9
+    jmp served
+dolarge:
+    call r5, handle_large, r10, r9
+    jmp served
+docgi:
+    call r5, handle_cgi, r9
+    jmp served
+served:
+`
+		} else {
+			dispatch = `
+    call r5, handle_small, r10, r9
+    call _, bump_bytes, r5
+served:
+`
+		}
+
+		return fmt.Sprintf(`; Apache benchmark input %d, scale %d
+module apache-%d
+glob loglock 1
+glob logpos 1
+glob logbuf 64
+glob cgilock 1
+glob cgictr 1
+glob statsReqs 1
+glob statsBytes 1
+glob statsHits 1
+%s%s%s%s
+func fill_buf 3 6 {
+loop:
+    br r2, body, done
+body:
+    addi r2, r2, -1
+    add r3, r0, r2
+    store r3, 0, r1
+    jmp loop
+done:
+    ret r0
+}
+func sum_buf 2 8 {
+    movi r2, 0
+loop:
+    br r1, body, done
+body:
+    addi r1, r1, -1
+    add r3, r0, r1
+    load r4, r3, 0
+    add r2, r2, r4
+    jmp loop
+done:
+    ret r2
+}
+
+func handle_small 2 8 {
+    ; r0 = private buffer, r1 = request id
+    movi r2, 32
+    call _, fill_buf, r0, r1, r2
+    call r3, sum_buf, r0, r2
+    call _, bump_hits
+    ret r3
+}
+func handle_large 2 8 {
+    movi r2, 64
+    call _, fill_buf, r0, r1, r2
+    call r3, sum_buf, r0, r2
+    call _, bump_bytes, r2
+    ret r3
+}
+func handle_cgi 1 8 {
+    movi r1, 60
+    movi r2, 0
+cgi:
+    addi r1, r1, -1
+    add r2, r2, r1
+    br r1, cgi, fin
+fin:
+    glob r3, cgilock
+    lock r3
+    glob r4, cgictr
+    load r5, r4, 0
+    addi r5, r5, 1
+    store r4, 0, r5
+    unlock r3
+    ret r2
+}
+
+func log_request 1 8 {
+    glob r1, loglock
+    lock r1
+    glob r2, logpos
+    load r3, r2, 0
+    movi r4, 63
+    and r5, r3, r4
+    glob r6, logbuf
+    add r6, r6, r5
+    store r6, 0, r0
+    addi r3, r3, 1
+    store r2, 0, r3
+    unlock r1
+    ret r0
+}
+
+func bump_reqs 0 4 {
+    glob r1, statsReqs
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+func bump_bytes 1 4 {
+    glob r1, statsBytes
+    load r2, r1, 0
+    add r2, r2, r0
+    store r1, 0, r2
+    ret r2
+}
+func bump_hits 0 4 {
+    glob r1, statsHits
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+%s%s%s%s
+func worker 1 14 {
+    movi r1, 64
+    alloc r10, r1
+    movi r9, 0
+wloop:
+    slt r1, r9, r0
+    br r1, wbody, wdone
+wbody:
+%s    call _, log_request, r5
+    call _, bump_reqs
+%s    addi r9, r9, 1
+    jmp wloop
+wdone:
+    free r10
+    ret r9
+}
+
+func worker_first 1 14 {
+    movi r1, 64
+    alloc r10, r1
+%s%s%s    call r2, worker, r0
+    free r10
+    ret r2
+}
+
+func reload_thread 1 14 {
+%s%s    ret r0
+}
+
+func main 0 10 {
+    movi r0, %d
+    fork r1, worker_first, r0
+    fork r2, worker, r0
+    fork r3, worker, r0
+    fork r8, ap_scanner, r0
+    fork r9, ap_scanner, r0
+    movi r4, %d
+spin:
+    addi r4, r4, -1
+    br r4, spin, fks
+fks:
+    movi r5, 0
+    fork r5, reload_thread, r5
+    join r1
+    join r2
+    join r3
+    join r8
+    join r9
+    join r5
+    glob r6, statsReqs
+    load r7, r6, 0
+    print r7
+    exit
+}
+entry main
+`, input, scale, input,
+			tlGlobs, cpGlobs, pokeGlobs, scanGlobs,
+			tlFns, cpFns, pokeFns, scanFns,
+			dispatch, pokeCalls,
+			emitTLRaceWarmCalls("ap_", nTL, 11),
+			emitColdPairCalls("ap_", nCP, 11),
+			emitTLRaceHotCalls("ap_", nTL, 160, 10, 12),
+			emitTLRaceWarmCalls("ap_", nTL, 11),
+			emitColdPairCalls("ap_", nCP, 11),
+			s, spin)
+	}
+}

@@ -1,0 +1,310 @@
+package workloads
+
+import "fmt"
+
+// concrtMessagingSource generates the ConcRT Messaging test: a three-stage
+// message pipeline (source -> stage -> sink) over two mutex-protected
+// bounded queues, the shape of ConcRT's message-block tests. The stage and
+// sink threads share two unprotected statistics counters (4 frequent static
+// races); the source thread and a late configuration thread share the rare
+// races (2 thread-asymmetric + 1 cold pair = 4 rare static races).
+func concrtMessagingSource(scale int) string {
+	s := 4000 * scale
+	spin := 100000 * scale
+	tlFns, tlGlobs := emitTLRaceFns("cm_", 2)
+	cpFns, cpGlobs := emitColdPairFns("cm_", 0)
+	scanFns, scanGlobs := emitScannerFns("cm_", s/2)
+
+	return fmt.Sprintf(`; ConcRT messaging benchmark, scale %d
+module concrt-msg
+glob q1 12
+glob q2 12
+glob statsMsgs 1
+glob statsLat 1
+%s%s%s%s%s%s
+; Bounded queue of 8 slots. Layout: [0]=lock word (the queue base address
+; is the lock SyncVar), [1]=head, [2]=tail, [3]=count, [4..11]=ring.
+func q_put 2 10 {
+retry:
+    lock r0
+    load r2, r0, 3
+    movi r3, 8
+    slt r4, r2, r3
+    br r4, do, full
+full:
+    unlock r0
+    yield
+    jmp retry
+do:
+    addi r2, r2, 1
+    store r0, 3, r2
+    load r5, r0, 2
+    add r6, r0, r5
+    store r6, 4, r1
+    addi r5, r5, 1
+    movi r3, 7
+    and r5, r5, r3
+    store r0, 2, r5
+    unlock r0
+    ret r1
+}
+func q_get 1 10 {
+retry:
+    lock r0
+    load r2, r0, 3
+    br r2, do, empty
+empty:
+    unlock r0
+    yield
+    jmp retry
+do:
+    addi r2, r2, -1
+    store r0, 3, r2
+    load r5, r0, 1
+    add r6, r0, r5
+    load r1, r6, 4
+    addi r5, r5, 1
+    movi r3, 7
+    and r5, r5, r3
+    store r0, 1, r5
+    unlock r0
+    ret r1
+}
+
+func msg_encode 2 8 {
+    ; r0 = private buffer, r1 = seed; returns encoded word
+    movi r2, 32
+fill:
+    addi r2, r2, -1
+    add r3, r0, r2
+    xor r4, r1, r2
+    store r3, 0, r4
+    br r2, fill, sum
+sum:
+    movi r2, 32
+    movi r5, 0
+sloop:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    add r5, r5, r4
+    br r2, sloop, done
+done:
+    ret r5
+}
+
+func bump_msgs 0 4 {
+    glob r1, statsMsgs
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+func bump_lat 1 4 {
+    glob r1, statsLat
+    load r2, r1, 0
+    add r2, r2, r0
+    store r1, 0, r2
+    ret r2
+}
+
+func source 1 14 {
+    movi r1, 32
+    alloc r10, r1
+%s%s%s    movi r9, 0
+sloop:
+    slt r1, r9, r0
+    br r1, sbody, sdone
+sbody:
+    call r2, msg_encode, r10, r9
+    glob r3, q1
+    call _, q_put, r3, r2
+    addi r9, r9, 1
+    jmp sloop
+sdone:
+    free r10
+    ret r9
+}
+
+func stage 1 12 {
+    movi r1, 64
+    alloc r10, r1
+    movi r9, 0
+tloop:
+    slt r1, r9, r0
+    br r1, tbody, tdone
+tbody:
+    glob r2, q1
+    call r3, q_get, r2
+    call _, msg_encode, r10, r3
+    addi r3, r3, 13
+    glob r4, q2
+    call _, q_put, r4, r3
+    call _, bump_msgs
+    call _, bump_lat, r3
+    addi r9, r9, 1
+    jmp tloop
+tdone:
+    free r10
+    ret r9
+}
+
+func sink 1 12 {
+    movi r1, 64
+    alloc r10, r1
+    movi r9, 0
+kloop:
+    slt r1, r9, r0
+    br r1, kbody, kdone
+kbody:
+    glob r2, q2
+    call r3, q_get, r2
+    call _, msg_encode, r10, r3
+    call _, bump_msgs
+    call _, bump_lat, r3
+    addi r9, r9, 1
+    jmp kloop
+kdone:
+    free r10
+    ret r9
+}
+
+func latecfg 1 14 {
+%s%s    ret r0
+}
+
+func main 0 10 {
+    movi r0, %d
+    fork r1, source, r0
+    fork r2, stage, r0
+    fork r3, sink, r0
+    fork r8, cm_scanner, r0
+    fork r9, cm_scanner, r0
+    movi r4, %d
+spin:
+    addi r4, r4, -1
+    br r4, spin, fks
+fks:
+    movi r5, 0
+    fork r5, latecfg, r5
+    join r1
+    join r2
+    join r3
+    join r8
+    join r9
+    join r5
+    glob r6, statsMsgs
+    load r7, r6, 0
+    print r7
+    exit
+}
+entry main
+`, scale, tlGlobs, cpGlobs, scanGlobs, tlFns, cpFns, scanFns,
+		emitTLRaceWarmCalls("cm_", 2, 11),
+		emitColdPairCalls("cm_", 0, 11),
+		emitTLRaceHotCalls("cm_", 2, 160, 10, 12),
+		emitTLRaceWarmCalls("cm_", 2, 11),
+		emitColdPairCalls("cm_", 0, 11),
+		s, spin)
+}
+
+// concrtSchedulingSource generates the ConcRT Explicit Scheduling test:
+// four workers pulling tiny tasks from a single lock-protected dispenser.
+// The critical section is a few instructions and the task body is tiny, so
+// synchronization dominates — the paper's worst realistic case (2.4x
+// LiteRace, 9.1x full logging).
+func concrtSchedulingSource(scale int) string {
+	s := 2200 * scale
+	spin := 80000 * scale
+	tlFns, tlGlobs := emitTLRaceFns("cs_", 2)
+
+	return fmt.Sprintf(`; ConcRT explicit scheduling benchmark, scale %d
+module concrt-sched
+glob schedlock 1
+glob taskctr 1
+glob statsSched 1
+%s%s
+func sched_next 0 6 {
+    glob r1, schedlock
+    lock r1
+    glob r2, taskctr
+    load r3, r2, 0
+    addi r4, r3, 1
+    store r2, 0, r4
+    unlock r1
+    ret r3
+}
+
+func do_task 1 4 {
+    movi r1, 3
+    mul r2, r0, r1
+    addi r2, r2, 7
+    xor r2, r2, r0
+    ret r2
+}
+
+func bump_sched 0 4 {
+    glob r1, statsSched
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+
+func schedworker 1 10 {
+    movi r9, 0
+wloop:
+    slt r1, r9, r0
+    br r1, wbody, wdone
+wbody:
+    call r2, sched_next
+    call _, do_task, r2
+    call _, bump_sched
+    addi r9, r9, 1
+    jmp wloop
+wdone:
+    ret r9
+}
+
+func schedworker_first 1 14 {
+    movi r1, 32
+    alloc r10, r1
+%s%s    call r2, schedworker, r0
+    free r10
+    ret r2
+}
+
+func latecfg 1 14 {
+%s    ret r0
+}
+
+func main 0 10 {
+    movi r0, %d
+    fork r1, schedworker_first, r0
+    fork r2, schedworker, r0
+    fork r3, schedworker, r0
+    fork r4, schedworker, r0
+    movi r5, %d
+spin:
+    addi r5, r5, -1
+    br r5, spin, fks
+fks:
+    movi r6, 0
+    fork r6, latecfg, r6
+    join r1
+    join r2
+    join r3
+    join r4
+    join r6
+    glob r7, taskctr
+    load r8, r7, 0
+    print r8
+    exit
+}
+entry main
+`, scale, tlGlobs, tlFns,
+		emitTLRaceWarmCalls("cs_", 2, 11),
+		emitTLRaceHotCalls("cs_", 2, 160, 10, 12),
+		emitTLRaceWarmCalls("cs_", 2, 11),
+		s, spin)
+}

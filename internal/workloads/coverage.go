@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CoverageBenchmark returns the workload used by the coverage-accumulation
+// study (the paper's §3.1 argument that a cheap detector deployed on many
+// executions accumulates coverage). It is not part of the evaluated suite:
+// unlike the Table 4 benchmarks, most of its races are deliberately
+// *schedule-dependent*.
+//
+// Two scanner threads take a shared lock every 64 iterations, which
+// weaves a happens-before chain between them: an access by one thread is
+// ordered with everything the other does a few dozen iterations later.
+// Each thread also draws a random window [T, T+W) of its iteration space
+// per run (the seeded rand instruction) and writes a shared "transient"
+// cell only inside that window. The pair races only when the two windows
+// coincide closely enough in time that no lock chain separates the
+// writes — so ground truth itself varies per seed, and the sampler needs
+// a lucky burst inside the overlap on both sides to see it.
+func CoverageBenchmark() Benchmark {
+	return Benchmark{
+		Key:          "coverage",
+		Name:         "Coverage Study",
+		Description:  "Schedule-dependent transient races for the multi-run coverage study",
+		DefaultScale: 1,
+		source:       coverageSource,
+	}
+}
+
+const (
+	coverageProbes = 6
+	coverageWindow = 300
+)
+
+func coverageSource(scale int) string {
+	s := 3000 * scale
+
+	var probes, probeGlobs, probeCalls, drawWindows strings.Builder
+	for i := 0; i < coverageProbes; i++ {
+		fmt.Fprintf(&probeGlobs, "glob cv_trans%d 1\n", i)
+		fmt.Fprintf(&probes, `
+func cv_probe%d 2 6 {
+    ; r0 = iteration, r1 = this thread's window start
+    slt r2, r0, r1
+    br r2, skip, lower
+lower:
+    addi r3, r1, %d
+    slt r2, r0, r3
+    br r2, do, skip
+do:
+    glob r4, cv_trans%d
+    store r4, 0, r0
+skip:
+    ret r0
+}
+`, i, coverageWindow, i)
+		fmt.Fprintf(&drawWindows, "    rand r2, r1\n    store r10, %d, r2\n", i)
+		fmt.Fprintf(&probeCalls, "    load r3, r10, %d\n    call _, cv_probe%d, r9, r3\n", i, i)
+	}
+
+	return fmt.Sprintf(`; coverage-study workload, scale %d
+module coverage
+glob statsOps 1
+glob weavelock 1
+glob weavectr 1
+%s
+func bump_ops 0 4 {
+    ; deterministic frequent race: both scanners, every iteration
+    glob r1, statsOps
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+
+func weave_sync 1 6 {
+    ; every 64th iteration both threads pass through one lock, creating
+    ; the happens-before chains that make the transient races timing-
+    ; sensitive
+    movi r1, 63
+    and r2, r0, r1
+    br r2, skip, do
+do:
+    glob r3, weavelock
+    lock r3
+    glob r4, weavectr
+    load r5, r4, 0
+    addi r5, r5, 1
+    store r4, 0, r5
+    unlock r3
+skip:
+    ret r0
+}
+
+func churn 2 8 {
+    movi r2, 16
+fl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    xor r4, r1, r2
+    store r3, 0, r4
+    br r2, fl, sm
+sm:
+    movi r2, 16
+    movi r5, 0
+sl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    add r5, r5, r4
+    br r2, sl, done
+done:
+    ret r5
+}
+%s
+func scanner 1 12 {
+    ; r0 = iterations; draw this run's probe windows into a stack array,
+    ; then scan.
+    salloc r10, %d
+    mov r1, r0
+%s    movi r2, 32
+    alloc r11, r2
+    movi r9, 0
+loop:
+    slt r1, r9, r0
+    br r1, body, done
+body:
+    call _, churn, r11, r9
+    call _, bump_ops
+    call _, weave_sync, r9
+%s    addi r9, r9, 1
+    jmp loop
+done:
+    free r11
+    ret r9
+}
+
+func main 0 8 {
+    movi r0, %d
+    fork r1, scanner, r0
+    fork r2, scanner, r0
+    join r1
+    join r2
+    glob r3, statsOps
+    load r4, r3, 0
+    print r4
+    exit
+}
+entry main
+`, scale, probeGlobs.String(), probes.String(),
+		coverageProbes, drawWindows.String(), probeCalls.String(), s)
+}

@@ -1,0 +1,286 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dryadSource generates the Dryad shared-memory channel benchmark: a
+// producer and a consumer moving checksummed payload blocks through a
+// mutex-protected ring buffer (the channel library Dryad uses between
+// computing nodes), plus a late-starting configuration thread that
+// triggers the rare races.
+//
+// The stdlib variant statically links the "standard library": payload
+// processing goes through std_* utility functions, ~120 additional cold
+// utility functions are linked in, and most planted races live behind
+// stdlib wrappers — reproducing Table 4's jump from 8 races (3 rare) to
+// 19 races (17 rare) when the standard library is instrumented too.
+func dryadSource(stdlib bool) func(scale int) string {
+	return func(scale int) string {
+		s := 4000 * scale
+		heat := 160
+		spin := 120000 * scale
+
+		// Rare static races: nTL thread-asymmetric + 2*nCP cold-cold + 1
+		// hot-hot (the scanner pair) = 3 for plain dryad, 17 for +stdlib,
+		// matching Table 4.
+		prefix := "dry_"
+		nTL, nCP := 2, 0
+		if stdlib {
+			prefix = "std_"
+			nTL, nCP = 10, 3
+		}
+
+		tlFns, tlGlobs := emitTLRaceFns(prefix, nTL)
+		cpFns, cpGlobs := emitColdPairFns(prefix, nCP)
+		scanFns, scanGlobs := emitScannerFns(prefix, s/2)
+
+		payloadSet, payloadSum := "ch_fill", "ch_sum"
+		var extra string
+		if stdlib {
+			payloadSet, payloadSum = "std_memset", "std_checksum"
+			extra = stdlibFns(120)
+		} else {
+			extra = `
+func ch_fill 3 6 {
+loop:
+    br r2, body, done
+body:
+    addi r2, r2, -1
+    add r3, r0, r2
+    store r3, 0, r1
+    jmp loop
+done:
+    ret r0
+}
+func ch_sum 2 8 {
+    movi r2, 0
+loop:
+    br r1, body, done
+body:
+    addi r1, r1, -1
+    add r3, r0, r1
+    load r4, r3, 0
+    add r2, r2, r4
+    jmp loop
+done:
+    ret r2
+}
+`
+		}
+
+		// Frequent races: the plain variant has two racy stats counters
+		// plus a modulo-K hot race (5 static); the stdlib variant only the
+		// ops counter (2 static).
+		freq := `
+glob statsOps 1
+func bump_ops 0 4 {
+    glob r1, statsOps
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+`
+		pokeCalls := ""
+		if !stdlib {
+			freq += `
+glob statsBytes 1
+glob hotPoke 1
+func bump_bytes 1 4 {
+    glob r1, statsBytes
+    load r2, r1, 0
+    add r2, r2, r0
+    store r1, 0, r2
+    ret r2
+}
+func maybe_poke 1 4 {
+    movi r1, 8
+    mod r2, r0, r1
+    br r2, skip, do
+do:
+    glob r3, hotPoke
+    store r3, 0, r0
+skip:
+    ret r0
+}
+`
+			pokeCalls = `
+    call _, bump_bytes, r3
+    call _, maybe_poke, r9
+`
+		}
+
+		var b strings.Builder
+		fmt.Fprintf(&b, `; Dryad channel benchmark (stdlib=%v), scale %d
+module dryad
+glob ring 16
+glob head 1
+glob tail 1
+glob cnt 1
+glob chlock 1
+glob cfgTable 8
+%s%s%s%s%s%s%s`, stdlib, scale, tlGlobs, cpGlobs, scanGlobs, freq, tlFns, cpFns, scanFns)
+
+		b.WriteString(extra)
+
+		fmt.Fprintf(&b, `
+func chan_init 0 6 {
+    glob r0, head
+    movi r1, 0
+    store r0, 0, r1
+    glob r0, tail
+    store r0, 0, r1
+    glob r0, cnt
+    store r0, 0, r1
+    glob r2, cfgTable
+    movi r3, 8
+    movi r4, 7
+    call _, %s, r2, r4, r3
+    ret r1
+}
+
+func chan_send 1 8 {
+retry:
+    glob r1, chlock
+    lock r1
+    glob r2, cnt
+    load r3, r2, 0
+    movi r4, 16
+    slt r5, r3, r4
+    br r5, do, full
+full:
+    unlock r1
+    yield
+    jmp retry
+do:
+    addi r3, r3, 1
+    store r2, 0, r3
+    glob r4, tail
+    load r5, r4, 0
+    glob r6, ring
+    add r7, r6, r5
+    store r7, 0, r0
+    addi r5, r5, 1
+    movi r6, 15
+    and r5, r5, r6
+    store r4, 0, r5
+    unlock r1
+    ret r0
+}
+
+func chan_recv 0 8 {
+retry:
+    glob r1, chlock
+    lock r1
+    glob r2, cnt
+    load r3, r2, 0
+    br r3, do, empty
+empty:
+    unlock r1
+    yield
+    jmp retry
+do:
+    addi r3, r3, -1
+    store r2, 0, r3
+    glob r4, head
+    load r5, r4, 0
+    glob r6, ring
+    add r7, r6, r5
+    load r0, r7, 0
+    addi r5, r5, 1
+    movi r6, 15
+    and r5, r5, r6
+    store r4, 0, r5
+    unlock r1
+    ret r0
+}
+
+func producer 1 14 {
+    movi r1, 64
+    alloc r10, r1
+%s%s%s    movi r9, 0
+ploop:
+    slt r1, r9, r0
+    br r1, pbody, pdone
+pbody:
+    movi r2, 48
+    call _, %s, r10, r9, r2
+    call r3, %s, r10, r2
+    call _, chan_send, r3
+    call _, bump_ops
+%s    addi r9, r9, 1
+    jmp ploop
+pdone:
+    free r10
+    ret r9
+}
+
+func consumer 1 14 {
+    movi r1, 64
+    alloc r10, r1
+    movi r9, 0
+cloop:
+    slt r1, r9, r0
+    br r1, cbody, cdone
+cbody:
+    call r3, chan_recv
+    movi r2, 48
+    call _, %s, r10, r3, r2
+    call r4, %s, r10, r2
+    call _, bump_ops
+%s    addi r9, r9, 1
+    jmp cloop
+cdone:
+    free r10
+    ret r9
+}
+
+func latecfg 1 14 {
+%s%s    ret r0
+}
+
+func report 0 6 {
+    glob r1, statsOps
+    load r2, r1, 0
+    ret r2
+}
+
+func main 0 10 {
+    call _, chan_init
+    movi r0, %d
+    fork r1, producer, r0
+    fork r2, consumer, r0
+    fork r8, %sscanner, r0
+    fork r9, %sscanner, r0
+    movi r3, %d
+spin:
+    addi r3, r3, -1
+    br r3, spin, fks
+fks:
+    movi r4, 0
+    fork r4, latecfg, r4
+    join r1
+    join r2
+    join r8
+    join r9
+    join r4
+    call r5, report
+    print r5
+    exit
+}
+entry main
+`,
+			payloadSet,
+			emitTLRaceWarmCalls(prefix, nTL, 11),
+			emitColdPairCalls(prefix, nCP, 11),
+			emitTLRaceHotCalls(prefix, nTL, heat, 10, 12),
+			payloadSet, payloadSum, pokeCalls,
+			payloadSet, payloadSum, pokeCalls,
+			emitTLRaceWarmCalls(prefix, nTL, 11),
+			emitColdPairCalls(prefix, nCP, 11),
+			s, prefix, prefix, spin)
+		return b.String()
+	}
+}

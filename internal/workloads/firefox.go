@@ -1,0 +1,378 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// firefoxStartSource generates the browser start-up benchmark: the main
+// thread runs a long sequence of one-shot module initializers (cold code
+// dominates, as in a real browser start) while an icon-cache worker and a
+// chrome worker run small hot loops. A late-started session-restore thread
+// triggers the rare races. Start-up is short, so instrumented cold code is
+// a comparatively large fraction of execution — reproducing the paper's
+// mid-range overhead for Firefox-Start (1.44x).
+func firefoxStartSource(scale int) string {
+	s := 4000 * scale
+	spin := 90000 * scale
+	nInit := 200       // generated initializers (Table 2 function count)
+	nInitCalled := 160 // how many start-up actually runs
+
+	tlFns, tlGlobs := emitTLRaceFns("ff_", 4)
+	cpFns, cpGlobs := emitColdPairFns("ff_", 0)
+	scanFns, scanGlobs := emitScannerFns("ff_", s/2)
+
+	var inits, initCalls strings.Builder
+	for i := 0; i < nInit; i++ {
+		fmt.Fprintf(&inits, `
+func ff_init%d 0 6 {
+    salloc r1, 4
+    movi r2, %d
+    store r1, 0, r2
+    load r3, r1, 0
+    addi r3, r3, %d
+    store r1, 1, r3
+    ret r3
+}
+`, i, i*3+1, i)
+	}
+	for i := 0; i < nInitCalled; i++ {
+		fmt.Fprintf(&initCalls, "    call _, ff_init%d\n", i)
+	}
+
+	return fmt.Sprintf(`; Firefox start-up benchmark, scale %d
+module firefox-start
+glob statsCache 1
+glob statsLayout 1
+glob statsEvents 1
+glob ffpoke 1
+glob uilock 1
+glob uistate 1
+%s%s%s
+func bump_cache 0 4 {
+    glob r1, statsCache
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+func bump_layout 0 4 {
+    glob r1, statsLayout
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+func bump_events 1 4 {
+    glob r1, statsEvents
+    load r2, r1, 0
+    add r2, r2, r0
+    store r1, 0, r2
+    ret r2
+}
+func ui_update 1 6 {
+    movi r1, 16
+    mod r2, r0, r1
+    br r2, skip, do
+do:
+    glob r3, uilock
+    lock r3
+    glob r4, uistate
+    load r5, r4, 0
+    addi r5, r5, 1
+    store r4, 0, r5
+    unlock r3
+skip:
+    ret r0
+}
+func ff_maybe_poke 1 4 {
+    movi r1, 7
+    mod r2, r0, r1
+    br r2, skip, do
+do:
+    glob r3, ffpoke
+    store r3, 0, r0
+skip:
+    ret r0
+}
+%s%s
+func icon_render 2 8 {
+    ; r0 = private buffer, r1 = icon id
+    movi r2, 32
+fill:
+    addi r2, r2, -1
+    add r3, r0, r2
+    xor r4, r1, r2
+    store r3, 0, r4
+    br r2, fill, blend
+blend:
+    movi r2, 32
+    movi r5, 0
+bl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    add r5, r5, r4
+    br r2, bl, done
+done:
+    ret r5
+}
+
+func iconworker 1 14 {
+    movi r1, 32
+    alloc r10, r1
+%s%s%s    movi r9, 0
+iloop:
+    slt r1, r9, r0
+    br r1, ibody, idone
+ibody:
+    call r2, icon_render, r10, r9
+    call _, bump_cache
+    call _, bump_layout
+    call _, bump_events, r2
+    call _, ff_maybe_poke, r9
+    call _, ui_update, r9
+    addi r9, r9, 1
+    jmp iloop
+idone:
+    free r10
+    ret r9
+}
+
+func chromeworker 1 14 {
+    movi r1, 32
+    alloc r10, r1
+    movi r9, 0
+cloop:
+    slt r1, r9, r0
+    br r1, cbody, cdone
+cbody:
+    call r2, icon_render, r10, r9
+    call _, bump_cache
+    call _, bump_layout
+    call _, bump_events, r2
+    call _, ff_maybe_poke, r9
+    call _, ui_update, r9
+    addi r9, r9, 1
+    jmp cloop
+cdone:
+    free r10
+    ret r9
+}
+
+func restore_thread 1 14 {
+%s%s    ret r0
+}
+%s%s
+func main 0 10 {
+    movi r0, %d
+    fork r1, iconworker, r0
+    fork r2, chromeworker, r0
+    fork r8, ff_scanner, r0
+    fork r9, ff_scanner, r0
+%s    movi r4, %d
+spin:
+    addi r4, r4, -1
+    br r4, spin, fks
+fks:
+    movi r5, 0
+    fork r5, restore_thread, r5
+    join r1
+    join r2
+    join r8
+    join r9
+    join r5
+    glob r6, statsCache
+    load r7, r6, 0
+    print r7
+    exit
+}
+entry main
+`, scale,
+		tlGlobs, cpGlobs, scanGlobs,
+		tlFns, cpFns,
+		emitTLRaceWarmCalls("ff_", 4, 11),
+		emitColdPairCalls("ff_", 0, 11),
+		emitTLRaceHotCalls("ff_", 4, 160, 10, 12),
+		emitTLRaceWarmCalls("ff_", 4, 11),
+		emitColdPairCalls("ff_", 0, 11),
+		inits.String(), scanFns,
+		s, initCalls.String(), spin)
+}
+
+// firefoxRenderSource generates the rendering benchmark: a layout thread
+// resolves style and lays out 2500 positioned DIVs per pass while a
+// compositor thread blends frames; both hammer private buffers (the
+// highest memory-access density of the suite, which is why full logging
+// costs 33x on the real Firefox-Render) and share three unprotected paint
+// statistics counters. A late script thread provides the rare races.
+func firefoxRenderSource(scale int) string {
+	divs := 4000 * scale
+	spin := 130000 * scale
+	tlFns, tlGlobs := emitTLRaceFns("fr_", 7)
+	cpFns, cpGlobs := emitColdPairFns("fr_", 1)
+	scanFns, scanGlobs := emitScannerFns("fr_", divs/2)
+
+	return fmt.Sprintf(`; Firefox render benchmark, scale %d
+module firefox-render
+glob statsFrames 1
+glob statsPaint 1
+glob statsDirty 1
+glob domlock 1
+glob domstate 1
+%s%s%s
+func bump_frames 0 4 {
+    glob r1, statsFrames
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+func bump_paint 1 4 {
+    glob r1, statsPaint
+    load r2, r1, 0
+    add r2, r2, r0
+    store r1, 0, r2
+    ret r2
+}
+func bump_dirty 0 4 {
+    glob r1, statsDirty
+    load r2, r1, 0
+    addi r2, r2, 1
+    store r1, 0, r2
+    ret r2
+}
+%s%s
+func dom_update 1 6 {
+    movi r1, 16
+    mod r2, r0, r1
+    br r2, skip, do
+do:
+    glob r3, domlock
+    lock r3
+    glob r4, domstate
+    load r5, r4, 0
+    addi r5, r5, 1
+    store r4, 0, r5
+    unlock r3
+skip:
+    ret r0
+}
+func style_resolve 2 8 {
+    ; r0 = div buffer, r1 = div id
+    movi r2, 32
+sl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    mul r4, r1, r2
+    addi r4, r4, 5
+    store r3, 0, r4
+    br r2, sl, done
+done:
+    ret r1
+}
+func layout_div 2 8 {
+    movi r2, 32
+    movi r5, 0
+ll:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    add r5, r5, r4
+    store r3, 0, r5
+    br r2, ll, done
+done:
+    ret r5
+}
+func comp_blend 2 8 {
+    movi r2, 48
+bl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    xor r4, r4, r1
+    store r3, 0, r4
+    br r2, bl, done
+done:
+    ret r1
+}
+
+func layoutthread 1 14 {
+    movi r1, 32
+    alloc r10, r1
+%s%s%s    movi r9, 0
+lloop:
+    slt r1, r9, r0
+    br r1, lbody, ldone
+lbody:
+    call _, style_resolve, r10, r9
+    call r2, layout_div, r10, r9
+    call _, bump_frames
+    call _, bump_paint, r2
+    call _, bump_dirty
+    call _, dom_update, r9
+    addi r9, r9, 1
+    jmp lloop
+ldone:
+    free r10
+    ret r9
+}
+
+func compositor 1 14 {
+    movi r1, 64
+    alloc r10, r1
+    movi r9, 0
+ploop:
+    slt r1, r9, r0
+    br r1, pbody, pdone
+pbody:
+    call _, comp_blend, r10, r9
+    call _, bump_frames
+    call _, bump_paint, r9
+    call _, bump_dirty
+    call _, dom_update, r9
+    addi r9, r9, 1
+    jmp ploop
+pdone:
+    free r10
+    ret r9
+}
+
+func script_thread 1 14 {
+%s%s    ret r0
+}
+%s
+func main 0 10 {
+    movi r0, %d
+    fork r1, layoutthread, r0
+    fork r2, compositor, r0
+    fork r8, fr_scanner, r0
+    fork r9, fr_scanner, r0
+    movi r4, %d
+spin:
+    addi r4, r4, -1
+    br r4, spin, fks
+fks:
+    movi r5, 0
+    fork r5, script_thread, r5
+    join r1
+    join r2
+    join r8
+    join r9
+    join r5
+    glob r6, statsFrames
+    load r7, r6, 0
+    print r7
+    exit
+}
+entry main
+`, scale,
+		tlGlobs, cpGlobs, scanGlobs,
+		tlFns, cpFns,
+		emitTLRaceWarmCalls("fr_", 7, 11),
+		emitColdPairCalls("fr_", 1, 11),
+		emitTLRaceHotCalls("fr_", 7, 160, 10, 12),
+		emitTLRaceWarmCalls("fr_", 7, 11),
+		emitColdPairCalls("fr_", 1, 11),
+		scanFns, divs, spin)
+}

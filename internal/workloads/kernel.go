@@ -1,0 +1,54 @@
+package workloads
+
+import "fmt"
+
+// LoopKernelSource generates the Parsec-style compute kernel used by the
+// loop-granularity-sampling ablation (the paper's §7 future work):
+// each worker thread is one function whose body is a single high-trip-count
+// self-loop over a private buffer. Function-granularity sampling is
+// pathological here — the function runs once per thread, so it is cold,
+// gets sampled, and its entire multi-hundred-thousand-access loop is
+// logged. Loop-granularity sampling re-checks at the back edge and stops
+// logging once the loop is hot.
+//
+// One cold-path race is planted before the loop (each worker writes the
+// shared cfg word) to verify that loop sampling does not lose cold-code
+// coverage.
+func LoopKernelSource(scale int) string {
+	iters := 150_000 * scale
+	return fmt.Sprintf(`; Parsec-style loop kernel, scale %d
+module loop-kernel
+glob cfg 1
+
+func kernel 1 12 {
+    glob r1, cfg
+    store r1, 0, r0      ; racy one-shot write, before the hot loop
+    movi r2, 2048
+    alloc r8, r2
+    movi r9, %d
+loop:
+    movi r3, 2047
+    and r4, r9, r3
+    add r5, r8, r4
+    load r6, r5, 0
+    add r6, r6, r9
+    store r5, 0, r6
+    addi r9, r9, -1
+    br r9, loop, done
+done:
+    free r8
+    ret r9
+}
+
+func main 0 8 {
+    movi r0, 1
+    fork r1, kernel, r0
+    movi r0, 2
+    fork r2, kernel, r0
+    join r1
+    join r2
+    exit
+}
+entry main
+`, scale, iters)
+}

@@ -1,0 +1,234 @@
+package workloads
+
+import "fmt"
+
+// lkrHashSource generates the LKRHash microbenchmark: four threads
+// hammering a hash table that combines lock-free techniques (per-bucket
+// CAS spinlocks, atomic size counter) with tiny critical sections. Nearly
+// every instruction neighbours a synchronization operation, so sync
+// logging — which LiteRace can never sample away — dominates the overhead
+// (2.4x LiteRace, 14.7x full logging in the paper).
+func lkrHashSource(scale int) string {
+	s := 3000 * scale
+	return fmt.Sprintf(`; LKRHash microbenchmark, scale %d
+module lkrhash
+glob buckets 64
+glob bucketlocks 64
+glob tabsize 1
+
+func hash_key 1 6 {
+    movi r1, 2654435761
+    mul r2, r0, r1
+    movi r3, 63
+    and r2, r2, r3
+    ret r2
+}
+
+func mix_key 2 8 {
+    ; r0 = private buffer, r1 = key: hash-mix 16 words (the real LKRHash
+    ; computes full hashes and compares keys between its atomic operations)
+    movi r2, 16
+fill:
+    addi r2, r2, -1
+    add r3, r0, r2
+    mul r4, r1, r2
+    addi r4, r4, 97
+    store r3, 0, r4
+    br r2, fill, sum
+sum:
+    movi r2, 16
+    movi r5, 0
+sl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    xor r5, r5, r4
+    br r2, sl, done
+done:
+    ret r5
+}
+
+func hash_put 2 12 {
+    ; r0 = key, r1 = value
+    call r2, hash_key, r0
+    glob r3, bucketlocks
+    add r3, r3, r2
+    movi r4, 0
+    movi r5, 1
+spin:
+    cas r6, r3, r4, r5
+    br r6, spin, own
+own:
+    glob r7, buckets
+    add r7, r7, r2
+    store r7, 0, r1
+    movi r4, 0
+    xchg r6, r3, r4
+    glob r8, tabsize
+    movi r9, 1
+    xadd r6, r8, r9
+    ret r2
+}
+
+func hash_get 1 12 {
+    call r2, hash_key, r0
+    glob r3, bucketlocks
+    add r3, r3, r2
+    movi r4, 0
+    movi r5, 1
+spin:
+    cas r6, r3, r4, r5
+    br r6, spin, own
+own:
+    glob r7, buckets
+    add r7, r7, r2
+    load r1, r7, 0
+    movi r4, 0
+    xchg r6, r3, r4
+    ret r1
+}
+
+func hashworker 1 12 {
+    movi r1, 32
+    alloc r10, r1
+    movi r9, 0
+loop:
+    slt r1, r9, r0
+    br r1, body, done
+body:
+    add r2, r9, r0
+    call r3, mix_key, r10, r2
+    call _, hash_put, r2, r3
+    call _, hash_get, r2
+    addi r9, r9, 1
+    jmp loop
+done:
+    free r10
+    ret r9
+}
+
+func main 0 10 {
+    movi r0, %d
+    fork r1, hashworker, r0
+    fork r2, hashworker, r0
+    fork r3, hashworker, r0
+    call _, hashworker, r0
+    join r1
+    join r2
+    join r3
+    glob r4, tabsize
+    load r5, r4, 0
+    print r5
+    exit
+}
+entry main
+`, scale, s)
+}
+
+// lfListSource generates the LFList microbenchmark: a lock-free Treiber
+// stack (the paper's lock-free linked list) with CAS push/pop retry loops
+// and a heap allocation per push. Allocation is synchronization too
+// (§4.3), so this is the densest sync workload in the suite. Nodes are
+// not freed during the run: safe memory reclamation for lock-free
+// structures (epochs/hazard pointers) is out of scope, exactly as the
+// original benchmark leaked to sidestep ABA.
+func lfListSource(scale int) string {
+	s := 1500 * scale
+	return fmt.Sprintf(`; LFList microbenchmark, scale %d
+module lflist
+glob lfhead 1
+glob opcount 1
+
+func lf_push 1 8 {
+    movi r1, 2
+    alloc r2, r1
+    store r2, 0, r0
+    glob r3, lfhead
+retry:
+    load r4, r3, 0
+    store r2, 1, r4
+    cas r5, r3, r4, r2
+    seq r6, r5, r4
+    br r6, done, retry
+done:
+    movi r7, 1
+    glob r6, opcount
+    xadd r1, r6, r7
+    ret r2
+}
+
+func lf_pop 0 8 {
+    glob r3, lfhead
+retry:
+    load r4, r3, 0
+    br r4, go, emptyv
+emptyv:
+    movi r0, -1
+    ret r0
+go:
+    load r5, r4, 1
+    cas r6, r3, r4, r5
+    seq r7, r6, r4
+    br r7, done, retry
+done:
+    load r0, r4, 0
+    ret r0
+}
+
+func fill_payload 2 8 {
+    ; r0 = private buffer, r1 = seed: prepare a 12-word payload
+    movi r2, 12
+fl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    xor r4, r1, r2
+    store r3, 0, r4
+    br r2, fl, sm
+sm:
+    movi r2, 12
+    movi r5, 0
+sl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    add r5, r5, r4
+    br r2, sl, done
+done:
+    ret r5
+}
+
+func listworker 1 12 {
+    movi r1, 32
+    alloc r10, r1
+    movi r9, 0
+loop:
+    slt r1, r9, r0
+    br r1, body, done
+body:
+    call r2, fill_payload, r10, r9
+    call _, lf_push, r2
+    call _, lf_pop
+    addi r9, r9, 1
+    jmp loop
+done:
+    free r10
+    ret r9
+}
+
+func main 0 10 {
+    movi r0, %d
+    fork r1, listworker, r0
+    fork r2, listworker, r0
+    fork r3, listworker, r0
+    call _, listworker, r0
+    join r1
+    join r2
+    join r3
+    glob r4, opcount
+    load r5, r4, 0
+    print r5
+    exit
+}
+entry main
+`, scale, s)
+}

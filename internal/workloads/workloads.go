@@ -1,0 +1,357 @@
+// Package workloads provides the benchmark programs of the evaluation
+// (§5.1, Table 2): synthetic LIR equivalents of Dryad's channel library
+// (with and without a statically linked standard library), the ConcRT
+// messaging and explicit-scheduling tests, two Apache request mixes, the
+// Firefox start-up and render scenarios, and the LKRHash / LFList
+// synchronization microbenchmarks.
+//
+// Each program reproduces the *shape* that matters to a sampling race
+// detector: the mix of hot and cold functions, the thread structure, the
+// synchronization density, and a planted population of data races whose
+// rare/frequent split follows Table 4. Three race constructions are used:
+//
+//   - Thread-asymmetric rare races ("tlrace"): a function F is made hot by
+//     thread A (thousands of calls on private data) after A's first call
+//     performed a racy access to shared data; a late-started thread B
+//     calls F once on the same shared data. Detecting the race needs both
+//     cold executions sampled — exactly what thread-local sampling
+//     provides and global sampling loses (§3.4).
+//   - Cold-cold rare races ("coldpair"): a function executed once by each
+//     of two threads; any sampler that samples cold code finds these.
+//   - Hot-path frequent races ("stats" and modulo-K races): unprotected
+//     counters updated in hot loops; found by nearly every sampler, and
+//     the modulo-K variants occur just often (or rarely) enough to sit on
+//     either side of the Table 4 threshold.
+//
+// The racy accesses deliberately occur before their thread's first use of
+// any shared lock, so no accidental release/acquire chain orders them.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"literace/internal/asm"
+	"literace/internal/lir"
+)
+
+// Benchmark is one benchmark-input pair.
+type Benchmark struct {
+	// Key is the short identifier used on the command line.
+	Key string
+	// Name is the display name used in the paper's tables.
+	Name string
+	// Description matches Table 2's description column.
+	Description string
+	// InTable4 reports whether the paper's Table 4 includes this
+	// benchmark (ConcRT is evaluated in Figures 4-6 but not Table 4).
+	InTable4 bool
+	// Micro marks the synchronization microbenchmarks, which appear only
+	// in the overhead study (Table 5, Figure 6).
+	Micro bool
+	// DefaultScale is the work multiplier used by the harness.
+	DefaultScale int
+	// source generates the LIR assembly at a given scale.
+	source func(scale int) string
+}
+
+// Source returns the program text at the given scale (0 = default).
+func (b Benchmark) Source(scale int) string {
+	if scale <= 0 {
+		scale = b.DefaultScale
+	}
+	return b.source(scale)
+}
+
+// Module assembles the benchmark at the given scale (0 = default).
+func (b Benchmark) Module(scale int) (*lir.Module, error) {
+	m, err := asm.Assemble(b.Key, b.Source(scale))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", b.Key, err)
+	}
+	return m, nil
+}
+
+// All returns every benchmark in the paper's presentation order.
+func All() []Benchmark {
+	return []Benchmark{
+		{
+			Key: "dryad-stdlib", Name: "Dryad Channel + stdlib",
+			Description: "Shared-memory channel library with the standard library statically linked in",
+			InTable4:    true, DefaultScale: 1, source: dryadSource(true),
+		},
+		{
+			Key: "dryad", Name: "Dryad Channel",
+			Description: "Shared-memory channel library for distributed data-parallel apps",
+			InTable4:    true, DefaultScale: 1, source: dryadSource(false),
+		},
+		{
+			Key: "concrt-msg", Name: "ConcRT Messaging",
+			Description:  "Concurrency runtime message-passing test",
+			DefaultScale: 1, source: concrtMessagingSource,
+		},
+		{
+			Key: "concrt-sched", Name: "ConcRT Explicit Scheduling",
+			Description:  "Concurrency runtime explicit-scheduling test (synchronization heavy)",
+			DefaultScale: 1, source: concrtSchedulingSource,
+		},
+		{
+			Key: "apache-1", Name: "Apache-1",
+			Description: "Web server: mixed small/large/CGI request workload",
+			InTable4:    true, DefaultScale: 1, source: apacheSource(1),
+		},
+		{
+			Key: "apache-2", Name: "Apache-2",
+			Description: "Web server: small static page workload",
+			InTable4:    true, DefaultScale: 1, source: apacheSource(2),
+		},
+		{
+			Key: "firefox-start", Name: "Firefox Start",
+			Description: "Browser start-up: one-shot initialization of many modules",
+			InTable4:    true, DefaultScale: 1, source: firefoxStartSource,
+		},
+		{
+			Key: "firefox-render", Name: "Firefox Render",
+			Description: "Browser rendering an HTML page of 2500 positioned DIVs",
+			InTable4:    true, DefaultScale: 1, source: firefoxRenderSource,
+		},
+		{
+			Key: "lkrhash", Name: "LKRHash",
+			Description: "Lock-free/hybrid hash table microbenchmark",
+			Micro:       true, DefaultScale: 1, source: lkrHashSource,
+		},
+		{
+			Key: "lflist", Name: "LFList",
+			Description: "Lock-free linked list microbenchmark",
+			Micro:       true, DefaultScale: 1, source: lfListSource,
+		},
+	}
+}
+
+// Evaluated returns the nine benchmark-input pairs of the sampler study
+// (Figures 4-5 and Table 3) — everything except the microbenchmarks.
+func Evaluated() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if !b.Micro {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByKey returns the benchmark with the given key.
+func ByKey(key string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Key == key {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared generator fragments.
+
+// emitTLRaceFns emits n thread-asymmetric race functions. tlrace<i> stores
+// a value through its pointer argument; the shared target global is
+// tlshared<i>. Returns (functions text, globals text).
+func emitTLRaceFns(prefix string, n int) (fns, globs string) {
+	var f, g strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g, "glob %stlshared%d 1\n", prefix, i)
+		fmt.Fprintf(&f, `
+func %stlrace%d 1 4 {
+    movi r1, %d
+    store r0, 0, r1
+    ret r1
+}
+`, prefix, i, i+1)
+	}
+	return f.String(), g.String()
+}
+
+// emitTLRaceWarmCalls returns code calling each tlrace function once with
+// its shared global: the "first, racy execution". reg names a scratch
+// register pair (r<reg>, r<reg+1>) that must be free.
+func emitTLRaceWarmCalls(prefix string, n int, reg int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    glob r%d, %stlshared%d\n    call _, %stlrace%d, r%d\n", reg, prefix, i, prefix, i, reg)
+	}
+	return b.String()
+}
+
+// emitTLRaceHotCalls returns a loop that heats every tlrace function using
+// a private heap buffer whose address is in r<bufReg>. iters is the shared
+// base call count; each function additionally gets 11*i+3 extra calls so
+// global call counts differ per function — real hot functions do not all
+// share one execution count, and a global fixed-rate sampler's burst
+// windows then catch a realistic ~10% of the late cold-thread calls
+// instead of deterministically hitting all or none of them. Registers
+// r<reg>..r<reg+2> are scratch.
+func emitTLRaceHotCalls(prefix string, n, iters, bufReg, reg int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "    movi r%d, %d\n%sheat:\n", reg, iters, prefix)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    addi r%d, r%d, %d\n    call _, %stlrace%d, r%d\n", reg+1, bufReg, i, prefix, i, reg+1)
+	}
+	fmt.Fprintf(&b, "    addi r%d, r%d, -1\n    br r%d, %sheat, %sheatdone\n%sheatdone:\n", reg, reg, reg, prefix, prefix, prefix)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    movi r%d, %d\n%shx%d:\n    br r%d, %shb%d, %shd%d\n%shb%d:\n", reg, 11*i+3, prefix, i, reg, prefix, i, prefix, i, prefix, i)
+		fmt.Fprintf(&b, "    addi r%d, r%d, %d\n    call _, %stlrace%d, r%d\n", reg+1, bufReg, i, prefix, i, reg+1)
+		fmt.Fprintf(&b, "    addi r%d, r%d, -1\n    jmp %shx%d\n%shd%d:\n", reg, reg, prefix, i, prefix, i)
+	}
+	return b.String()
+}
+
+// emitColdPairFns emits n cold-cold race functions plus their globals.
+func emitColdPairFns(prefix string, n int) (fns, globs string) {
+	var f, g strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g, "glob %scoldshared%d 1\n", prefix, i)
+		fmt.Fprintf(&f, `
+func %scoldpair%d 1 4 {
+    load r1, r0, 0
+    addi r1, r1, 1
+    store r0, 0, r1
+    ret r1
+}
+`, prefix, i)
+	}
+	return f.String(), g.String()
+}
+
+// emitColdPairCalls returns code calling each coldpair function once.
+func emitColdPairCalls(prefix string, n, reg int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    glob r%d, %scoldshared%d\n    call _, %scoldpair%d, r%d\n", reg, prefix, i, prefix, i, reg)
+	}
+	return b.String()
+}
+
+// emitScannerFns emits a pair of synchronization-free scanner threads and
+// a hot-hot rare race: <prefix>hh_probe is called on every scanner
+// iteration (so the function is hot in both threads) but touches the
+// shared global only when the iteration counter hits trigger — one access
+// per thread, mid-run, while the function is hot everywhere. This is the
+// race class the paper says adaptive sampling finds "some, but not all"
+// of: only a sampler still logging hot code (UCP, or a lucky burst)
+// catches it. The scanners never synchronize with anything between fork
+// and join, so the two accesses are unordered by construction.
+func emitScannerFns(prefix string, trigger int) (fns, globs string) {
+	globs = fmt.Sprintf("glob %shhshared 1\n", prefix)
+	fns = fmt.Sprintf(`
+func %shh_probe 1 4 {
+    movi r1, %d
+    seq r2, r0, r1
+    br r2, do, skip
+do:
+    glob r3, %shhshared
+    store r3, 0, r0
+skip:
+    ret r0
+}
+func %sscan_work 2 8 {
+    movi r2, 8
+fill:
+    addi r2, r2, -1
+    add r3, r0, r2
+    xor r4, r1, r2
+    store r3, 0, r4
+    br r2, fill, sum
+sum:
+    movi r2, 8
+    movi r5, 0
+sl:
+    addi r2, r2, -1
+    add r3, r0, r2
+    load r4, r3, 0
+    add r5, r5, r4
+    br r2, sl, done
+done:
+    ret r5
+}
+func %sscanner 1 12 {
+    movi r1, 32
+    alloc r10, r1
+    movi r9, 0
+loop:
+    slt r1, r9, r0
+    br r1, body, done
+body:
+    call _, %sscan_work, r10, r9
+    call _, %shh_probe, r9
+    addi r9, r9, 1
+    jmp loop
+done:
+    free r10
+    ret r9
+}
+`, prefix, trigger, prefix, prefix, prefix, prefix, prefix)
+	return fns, globs
+}
+
+// stdlibFns generates a small "statically linked standard library": utility
+// functions operating on word buffers. count controls how many extra cold
+// utility variants are emitted (Table 2: linking the stdlib raises the
+// function count substantially; most of those functions are cold).
+func stdlibFns(count int) string {
+	var b strings.Builder
+	b.WriteString(`
+; ---- stdlib: hot buffer utilities ----
+func std_memset 3 6 {
+    ; r0 = dst, r1 = value, r2 = words
+loop:
+    br r2, body, done
+body:
+    addi r2, r2, -1
+    add r3, r0, r2
+    store r3, 0, r1
+    jmp loop
+done:
+    ret r0
+}
+func std_memcpy 3 8 {
+    ; r0 = dst, r1 = src, r2 = words
+loop:
+    br r2, body, done
+body:
+    addi r2, r2, -1
+    add r3, r1, r2
+    load r4, r3, 0
+    add r5, r0, r2
+    store r5, 0, r4
+    jmp loop
+done:
+    ret r0
+}
+func std_checksum 2 8 {
+    ; r0 = buf, r1 = words -> sum
+    movi r2, 0
+loop:
+    br r1, body, done
+body:
+    addi r1, r1, -1
+    add r3, r0, r1
+    load r4, r3, 0
+    add r2, r2, r4
+    jmp loop
+done:
+    ret r2
+}
+`)
+	for i := 0; i < count; i++ {
+		// Cold utility variants: simple scalar helpers, most never called.
+		fmt.Fprintf(&b, `
+func std_util%d 1 4 {
+    addi r1, r0, %d
+    movi r2, 3
+    mul r1, r1, r2
+    ret r1
+}
+`, i, i)
+	}
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"literace/internal/core"
+	"literace/internal/hb"
+	"literace/internal/instrument"
+	"literace/internal/interp"
+	"literace/internal/race"
+	"literace/internal/sampler"
+	"literace/internal/trace"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("%d benchmarks, want 10", len(all))
+	}
+	keys := map[string]bool{}
+	micros, table4 := 0, 0
+	for _, b := range all {
+		if keys[b.Key] {
+			t.Errorf("duplicate key %s", b.Key)
+		}
+		keys[b.Key] = true
+		if b.Name == "" || b.Description == "" || b.DefaultScale <= 0 {
+			t.Errorf("%s: incomplete metadata", b.Key)
+		}
+		if b.Micro {
+			micros++
+		}
+		if b.InTable4 {
+			table4++
+		}
+	}
+	if micros != 2 {
+		t.Errorf("micro count = %d", micros)
+	}
+	if table4 != 6 {
+		t.Errorf("Table 4 benchmarks = %d, want 6", table4)
+	}
+	if len(Evaluated()) != 8 {
+		t.Errorf("Evaluated = %d, want 8", len(Evaluated()))
+	}
+	if _, ok := ByKey("dryad"); !ok {
+		t.Error("ByKey(dryad) failed")
+	}
+	if _, ok := ByKey("nope"); ok {
+		t.Error("ByKey accepted unknown key")
+	}
+}
+
+func TestAllBenchmarksAssemble(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Key, func(t *testing.T) {
+			m, err := b.Module(0)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if len(m.Funcs) < 4 {
+				t.Errorf("only %d functions", len(m.Funcs))
+			}
+			// And every benchmark must survive both rewrite modes.
+			for _, mode := range []instrument.Mode{instrument.ModeSampled, instrument.ModeFull} {
+				if _, _, err := instrument.Rewrite(m, instrument.Options{Mode: mode}); err != nil {
+					t.Errorf("rewrite %v: %v", mode, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksRunUninstrumented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Key, func(t *testing.T) {
+			t.Parallel()
+			m, err := b.Module(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach, err := interp.New(m, interp.Options{Seed: 1, MaxInstrs: 200_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := mach.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Threads < 3 {
+				t.Errorf("only %d threads", res.Threads)
+			}
+			if len(res.Prints) == 0 {
+				t.Error("no final print")
+			}
+			if res.MemOps == 0 || res.SyncOps == 0 {
+				t.Errorf("mem=%d sync=%d", res.MemOps, res.SyncOps)
+			}
+			nonStack := res.MemOps - res.StackMemOps
+			if !b.Micro && b.Key != "concrt-sched" && nonStack < 400_000 {
+				t.Errorf("non-stack mem ops = %d; too few for the rare-race threshold", nonStack)
+			}
+			t.Logf("%s: instrs=%d mem=%d sync=%d threads=%d", b.Key, res.Instrs, res.MemOps, res.SyncOps, res.Threads)
+		})
+	}
+}
+
+// fullyLoggedRaces instruments b with full logging plus shadow samplers,
+// runs it, and returns the static race set with run metadata.
+func fullyLoggedRaces(t *testing.T, b Benchmark, seed int64) (*race.Set, trace.Meta) {
+	t.Helper()
+	m, err := b.Module(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, _, err := instrument.Rewrite(m, instrument.Options{Mode: instrument.ModeSampled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(core.Config{
+		NumFuncs: len(m.Funcs), Primary: sampler.NewFull(),
+		Shadows: sampler.Evaluated(), Writer: w,
+		EnableMemLog: true, EnableSyncLog: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := interp.New(rw, interp.Options{Seed: seed, Runtime: rt, MaxInstrs: 500_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(mach.Meta(res)); err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := race.NewSet()
+	set.AddResult(dres)
+	return set, log.Meta
+}
+
+func TestDryadPlantedRaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	set, meta := fullyLoggedRaces(t, mustByKey(t, "dryad"), 1)
+	nonStack := meta.MemOps - meta.StackMemOps
+	rare, freq := set.Split(nonStack)
+	t.Logf("dryad: %d static races (%d rare, %d frequent), nonstack=%d",
+		set.Len(), len(rare), len(freq), nonStack)
+	// Plan: 3 rare + 5 frequent. Scheduling noise may shift a pair across
+	// the threshold, so allow slack but require the right ballpark.
+	if set.Len() < 6 || set.Len() > 12 {
+		t.Errorf("dryad static races = %d, want ~8", set.Len())
+	}
+	if len(rare) < 2 {
+		t.Errorf("rare races = %d, want >= 2", len(rare))
+	}
+	if len(freq) < 3 {
+		t.Errorf("frequent races = %d, want >= 3", len(freq))
+	}
+}
+
+func TestDryadStdlibHasMoreRareRaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	plain, pm := fullyLoggedRaces(t, mustByKey(t, "dryad"), 1)
+	std, sm := fullyLoggedRaces(t, mustByKey(t, "dryad-stdlib"), 1)
+	pr, _ := plain.Split(pm.MemOps - pm.StackMemOps)
+	sr, _ := std.Split(sm.MemOps - sm.StackMemOps)
+	if len(sr) <= len(pr) {
+		t.Errorf("stdlib rare races (%d) should exceed plain (%d)", len(sr), len(pr))
+	}
+	if std.Len() <= plain.Len() {
+		t.Errorf("stdlib total races (%d) should exceed plain (%d)", std.Len(), plain.Len())
+	}
+}
+
+func mustByKey(t *testing.T, key string) Benchmark {
+	t.Helper()
+	b, ok := ByKey(key)
+	if !ok {
+		t.Fatalf("missing benchmark %s", key)
+	}
+	return b
+}
+
+func TestMicrosAreSyncHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, key := range []string{"lkrhash", "lflist"} {
+		b := mustByKey(t, key)
+		m, err := b.Module(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach, err := interp.New(m, interp.Options{Seed: 1, MaxInstrs: 200_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(res.SyncOps) / float64(res.Instrs)
+		if ratio < 0.01 {
+			t.Errorf("%s sync/instr = %.4f; not sync heavy", key, ratio)
+		}
+		t.Logf("%s: sync/instr = %.4f", key, ratio)
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	b := mustByKey(t, "concrt-sched")
+	if len(b.Source(2)) <= 0 {
+		t.Fatal("empty source")
+	}
+	m1, err := b.Module(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same module shape at both scales; only loop bounds change.
+	m2, err := b.Module(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Funcs) != len(m2.Funcs) {
+		t.Errorf("scale changed function count: %d vs %d", len(m1.Funcs), len(m2.Funcs))
+	}
+}

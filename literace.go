@@ -1,0 +1,376 @@
+// Package literace is a sampling-based dynamic data-race detector: a Go
+// implementation of "LiteRace: Effective Sampling for Lightweight
+// Data-Race Detection" (Marino, Musuvathi, Narayanasamy; PLDI 2009).
+//
+// LiteRace makes dynamic race detection cheap enough to leave on by
+// logging only a sampled subset of memory accesses — chosen by a
+// thread-local adaptive bursty sampler that samples cold code at 100% and
+// backs off to 0.1% as code gets hot — while always logging every
+// synchronization operation, so the offline happens-before analysis never
+// reports a false race.
+//
+// The package offers two front ends over one runtime:
+//
+//   - A compile-and-run pipeline for LIR programs: Assemble source text,
+//     Instrument it (the function-cloning dispatch-check rewriter), Run it
+//     on the deterministic multithreaded interpreter, and Detect races in
+//     the resulting log. This reproduces the paper's whole system,
+//     including its evaluation (see cmd/racebench).
+//   - An embedded Detector (see NewDetector) for annotating a concurrent
+//     Go program directly with region-enter, memory-access, and
+//     synchronization events.
+package literace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"literace/internal/asm"
+	"literace/internal/core"
+	"literace/internal/hb"
+	"literace/internal/instrument"
+	"literace/internal/interp"
+	"literace/internal/lir"
+	"literace/internal/race"
+	"literace/internal/sampler"
+	"literace/internal/trace"
+)
+
+// Program is an assembled LIR program, optionally instrumented.
+type Program struct {
+	orig *lir.Module // pre-instrumentation module (race PCs resolve here)
+	mod  *lir.Module // module to execute
+	inst *instrument.Stats
+}
+
+// Assemble parses LIR assembly text into a Program.
+func Assemble(name, source string) (*Program, error) {
+	m, err := asm.Assemble(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{orig: m, mod: m}, nil
+}
+
+// Disassemble renders the program's executable module as assembly text.
+func (p *Program) Disassemble() string { return asm.Disassemble(p.mod) }
+
+// NumFuncs returns the function count of the original module.
+func (p *Program) NumFuncs() int { return len(p.orig.Funcs) }
+
+// FuncName resolves an original function index to its name.
+func (p *Program) FuncName(idx int32) string {
+	if idx < 0 || int(idx) >= len(p.orig.Funcs) {
+		return fmt.Sprintf("fn%d", idx)
+	}
+	return p.orig.Funcs[idx].Name
+}
+
+// InstrumentStats describes what the rewriter did.
+type InstrumentStats struct {
+	Functions   int // functions given dispatch checks
+	Clones      int // clone functions emitted
+	MemAccesses int // loads/stores instrumented
+	Spills      int // dispatch checks needing a register save/restore
+}
+
+// Instrument applies the LiteRace rewriting pass (two clones per function
+// plus a dispatch check) and returns statistics. It is idempotent per
+// Program: instrumenting twice is an error.
+func (p *Program) Instrument() (InstrumentStats, error) {
+	if p.mod.Rewritten {
+		return InstrumentStats{}, fmt.Errorf("literace: program already instrumented")
+	}
+	rw, stats, err := instrument.Rewrite(p.orig, instrument.Options{Mode: instrument.ModeSampled})
+	if err != nil {
+		return InstrumentStats{}, err
+	}
+	p.mod = rw
+	p.inst = stats
+	return InstrumentStats{
+		Functions:   stats.Dispatches,
+		Clones:      stats.Clones,
+		MemAccesses: stats.MemAccesses,
+		Spills:      stats.Spills,
+	}, nil
+}
+
+// Config controls an instrumented execution.
+type Config struct {
+	// Sampler names the primary sampling strategy: "TL-Ad" (default),
+	// "TL-Fx", "G-Ad", "G-Fx", "Rnd10", "Rnd25", "UCP", or "Full".
+	Sampler string
+	// Seed drives the deterministic scheduler and samplers.
+	Seed int64
+	// LogTo receives the encoded event log; when nil an in-memory log is
+	// kept for RunAndDetect.
+	LogTo io.Writer
+	// MaxInstrs bounds execution (0 = 1e9).
+	MaxInstrs uint64
+	// Online enables the §4.4 online-detection variant: a happens-before
+	// detector consumes events as the program emits them (the
+	// interpreter's emission order is a legal interleaving), so races are
+	// available immediately in RunResult.OnlineReport without replaying a
+	// log. The log is still written.
+	Online bool
+}
+
+// RunResult summarizes an execution.
+type RunResult struct {
+	// Meta is the run metadata recorded in the log trailer.
+	Meta trace.Meta
+	// EffectiveRate is the fraction of memory operations logged.
+	EffectiveRate float64
+	// Prints holds the program's print output.
+	Prints []int64
+	// OnlineReport holds the streaming detector's findings when
+	// Config.Online was set; nil otherwise.
+	OnlineReport *Report
+
+	log *bytes.Buffer // non-nil when Config.LogTo was nil
+}
+
+// Run executes the instrumented program under the configured sampler,
+// producing an event log.
+func (p *Program) Run(cfg Config) (*RunResult, error) {
+	if !p.mod.Rewritten {
+		return nil, fmt.Errorf("literace: program not instrumented; call Instrument first")
+	}
+	name := cfg.Sampler
+	if name == "" {
+		name = "TL-Ad"
+	}
+	strat, ok := sampler.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("literace: unknown sampler %q", name)
+	}
+
+	out := &RunResult{}
+	var sink io.Writer = cfg.LogTo
+	if sink == nil {
+		out.log = &bytes.Buffer{}
+		sink = out.log
+	}
+	w, err := trace.NewWriter(sink)
+	if err != nil {
+		return nil, err
+	}
+	rtCfg := core.Config{
+		NumFuncs:      len(p.orig.Funcs),
+		Primary:       strat,
+		Writer:        w,
+		EnableMemLog:  true,
+		EnableSyncLog: true,
+		Seed:          cfg.Seed,
+		Cost:          core.DefaultCostModel(),
+	}
+	var online *hb.Detector
+	if cfg.Online {
+		online = hb.NewDetector(hb.Options{SamplerBit: hb.AllEvents})
+		rtCfg.OnEvent = func(e trace.Event) { online.Process(e) }
+	}
+	rt, err := core.NewRuntime(rtCfg)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := interp.New(p.mod, interp.Options{
+		Seed: cfg.Seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := mach.Run()
+	if err != nil {
+		return nil, err
+	}
+	meta := mach.Meta(res)
+	if err := w.Close(meta); err != nil {
+		return nil, err
+	}
+	out.Meta = meta
+	out.Prints = res.Prints
+	if meta.MemOps > 0 {
+		out.EffectiveRate = float64(res.RuntimeStats.LoggedMemOps) / float64(meta.MemOps)
+	}
+	if online != nil {
+		set := race.NewSet()
+		set.AddResult(online.Result())
+		out.OnlineReport = buildReport(set, meta, online.Result(), p.FuncName)
+	}
+	return out, nil
+}
+
+// PC identifies an instruction in the original (pre-instrumentation)
+// program.
+type PC struct {
+	Func  int32 // original function index
+	Index int32 // instruction index within the function
+}
+
+// Race is one static data race, resolved to function names.
+type Race struct {
+	// First and Second identify the racing instructions ("func:index"),
+	// normalized so First <= Second.
+	First, Second string
+	// FirstPC and SecondPC are the same locations in structured form,
+	// usable with Program.SourceContext.
+	FirstPC, SecondPC PC
+	// Count is the number of dynamic occurrences observed.
+	Count uint64
+	// WriteWrite and ReadWrite split Count by access-pair kind.
+	WriteWrite, ReadWrite uint64
+	// Rare reports the paper's Table 4 classification: fewer than 3
+	// occurrences per million non-stack memory instructions.
+	Rare bool
+	// Addr is one racing address, for debugging.
+	Addr uint64
+}
+
+// Report is the outcome of race detection on one log.
+type Report struct {
+	Races []Race
+	// MemOpsAnalyzed counts the sampled accesses the detector processed.
+	MemOpsAnalyzed uint64
+	// SyncOpsAnalyzed counts synchronization events processed.
+	SyncOpsAnalyzed uint64
+	// Meta is the log's run metadata.
+	Meta trace.Meta
+}
+
+// String renders the report for human consumption.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%d static data races (%d mem ops, %d sync ops analyzed)\n",
+		len(r.Races), r.MemOpsAnalyzed, r.SyncOpsAnalyzed)
+	for _, rc := range r.Races {
+		class := "frequent"
+		if rc.Rare {
+			class = "rare"
+		}
+		fmt.Fprintf(&b, "  %-9s %s <-> %s  count=%d (ww=%d, rw=%d) addr=%#x\n",
+			class, rc.First, rc.Second, rc.Count, rc.WriteWrite, rc.ReadWrite, rc.Addr)
+	}
+	return b.String()
+}
+
+// Detect runs the offline happens-before analysis over an encoded log.
+// resolve maps original function indices to names; pass nil for raw
+// indices, or Program.FuncName for source names.
+func Detect(log io.Reader, resolve func(int32) string) (*Report, error) {
+	decoded, err := trace.ReadAll(log)
+	if err != nil {
+		return nil, err
+	}
+	res, err := hb.Detect(decoded, hb.Options{SamplerBit: hb.AllEvents})
+	if err != nil {
+		return nil, err
+	}
+	set := race.NewSet()
+	set.AddResult(res)
+	return buildReport(set, decoded.Meta, res, resolve), nil
+}
+
+func buildReport(set *race.Set, meta trace.Meta, res *hb.Result, resolve func(int32) string) *Report {
+	if resolve == nil {
+		resolve = func(f int32) string { return fmt.Sprintf("fn%d", f) }
+	}
+	name := func(pc lir.PC) string { return fmt.Sprintf("%s:%d", resolve(pc.Func), pc.Index) }
+	nonStack := meta.MemOps - meta.StackMemOps
+	rep := &Report{Meta: meta, MemOpsAnalyzed: res.MemOps, SyncOpsAnalyzed: res.SyncOps}
+	for _, st := range set.Races() {
+		rep.Races = append(rep.Races, Race{
+			First:      name(st.Key.A),
+			Second:     name(st.Key.B),
+			FirstPC:    PC{Func: st.Key.A.Func, Index: st.Key.A.Index},
+			SecondPC:   PC{Func: st.Key.B.Func, Index: st.Key.B.Index},
+			Count:      st.Count,
+			WriteWrite: st.WriteWrite,
+			ReadWrite:  st.ReadWrite,
+			Rare:       st.Rare(nonStack),
+			Addr:       st.SampleAddr,
+		})
+	}
+	sort.Slice(rep.Races, func(i, j int) bool {
+		a, b := rep.Races[i], rep.Races[j]
+		if a.First != b.First {
+			return a.First < b.First
+		}
+		return a.Second < b.Second
+	})
+	return rep
+}
+
+// RunAndDetect is the convenience path: execute the instrumented program
+// and analyze its log in one step.
+func (p *Program) RunAndDetect(cfg Config) (*RunResult, *Report, error) {
+	if cfg.LogTo != nil {
+		return nil, nil, fmt.Errorf("literace: RunAndDetect manages the log itself; leave LogTo nil")
+	}
+	res, err := p.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := Detect(bytes.NewReader(res.log.Bytes()), p.FuncName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// SourceContext renders the original instructions around pc (window lines
+// on each side), marking the racing instruction — the triage view a race
+// report links to.
+func (p *Program) SourceContext(pc PC, window int) string {
+	if pc.Func < 0 || int(pc.Func) >= len(p.orig.Funcs) {
+		return fmt.Sprintf("<unknown function %d>\n", pc.Func)
+	}
+	f := p.orig.Funcs[pc.Func]
+	if pc.Index < 0 || int(pc.Index) >= len(f.Code) {
+		return fmt.Sprintf("<%s: instruction %d out of range>\n", f.Name, pc.Index)
+	}
+	if window < 0 {
+		window = 0
+	}
+	lo := int(pc.Index) - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int(pc.Index) + window
+	if hi >= len(f.Code) {
+		hi = len(f.Code) - 1
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "func %s:\n", f.Name)
+	for i := lo; i <= hi; i++ {
+		marker := "   "
+		if int32(i) == pc.Index {
+			marker = "=> "
+		}
+		fmt.Fprintf(&b, "  %s%4d: %s\n", marker, i, f.Code[i].String())
+	}
+	return b.String()
+}
+
+// VerifyLog checks an encoded log's structural invariants beyond what
+// decoding enforces: dense per-counter timestamps, per-thread timestamp
+// monotonicity, and sampler-mask bounds (see docs/FORMAT.md). A log that
+// verifies is guaranteed to replay.
+func VerifyLog(log io.Reader) error {
+	decoded, err := trace.ReadAll(log)
+	if err != nil {
+		return err
+	}
+	return trace.Verify(decoded)
+}
+
+// Samplers lists the available sampler names in the paper's Table 3 order
+// plus "Full".
+func Samplers() []string {
+	var names []string
+	for _, s := range sampler.Evaluated() {
+		names = append(names, s.Name())
+	}
+	return append(names, "Full")
+}
