@@ -17,6 +17,7 @@ import (
 	"literace/internal/instrument"
 	"literace/internal/interp"
 	"literace/internal/lir"
+	"literace/internal/obs"
 	"literace/internal/sampler"
 	"literace/internal/trace"
 	"literace/internal/workloads"
@@ -204,6 +205,67 @@ func BenchmarkSyncLog(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := ts.LogSync(trace.KindAcquire, trace.OpLock, uint64(i&1023), pc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsDisabledOverhead proves the observability layer costs
+// nothing when disabled: with no registry configured, the dispatch and
+// memory-log hot path must show 0 B/op — the telemetry hooks reduce to nil
+// checks. Compare against BenchmarkDispatchCheck/BenchmarkMemLog for the
+// ns/op baseline.
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	w, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := core.NewRuntime(core.Config{
+		NumFuncs: 64, Primary: sampler.NewThreadLocalAdaptive(),
+		Writer: w, EnableMemLog: true, // Obs deliberately nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := rt.Thread(0)
+	pc := lir.PC{Func: 1, Index: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, mask := ts.Dispatch(int32(i&63), false)
+		if inst {
+			if err := ts.LogWrite(uint64(i), pc, mask); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkObsEnabledOverhead is the companion measurement with a live
+// registry attached, quantifying the enabled-path cost.
+func BenchmarkObsEnabledOverhead(b *testing.B) {
+	w, err := trace.NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.New()
+	w.SetObs(reg)
+	rt, err := core.NewRuntime(core.Config{
+		NumFuncs: 64, Primary: sampler.NewThreadLocalAdaptive(),
+		Writer: w, EnableMemLog: true, Obs: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := rt.Thread(0)
+	pc := lir.PC{Func: 1, Index: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, mask := ts.Dispatch(int32(i&63), false)
+		if inst {
+			if err := ts.LogWrite(uint64(i), pc, mask); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

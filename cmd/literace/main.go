@@ -12,8 +12,11 @@
 //	literace dump    <out.trc> [-n N]        print decoded log events
 //	literace report  <prog.lir>              run + detect in one step
 //	literace bench   [-list | key]           run a built-in benchmark program
+//	literace stats   <prog.lir>              run the pipeline, print telemetry
 //
 // Shared flags for run/report: -sampler NAME (default TL-Ad), -seed N.
+// run and detect accept -metrics <file> to write a JSON telemetry
+// snapshot; run also accepts -cpuprofile/-memprofile pprof hooks.
 package main
 
 import (
@@ -21,9 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"literace"
+	"literace/internal/obs"
 	"literace/internal/trace"
 	"literace/internal/workloads"
 )
@@ -52,6 +58,8 @@ func main() {
 		err = cmdReport(args)
 	case "bench":
 		err = cmdBench(args)
+	case "stats":
+		err = cmdStats(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -66,15 +74,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|report|bench> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|report|bench|stats> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
-  run     <prog.lir> [-log f] [-sampler S] [-seed N]
-  detect  <log.trc> [-src prog.lir]
+  run     <prog.lir> [-log f] [-sampler S] [-seed N] [-metrics f] [-cpuprofile f] [-memprofile f]
+  detect  <log.trc> [-src prog.lir] [-metrics f]
   dump    <log.trc> [-n N]          print decoded log events
   report  <prog.lir> [-sampler S] [-seed N]
-  bench   [-list | key]             run a built-in benchmark (see -list)`)
+  bench   [-list | key]             run a built-in benchmark (see -list)
+  stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry report`)
 }
 
 func loadProgram(path string) (*literace.Program, error) {
@@ -140,28 +149,91 @@ func cmdRewrite(args []string) error {
 	return nil
 }
 
+// startCPUProfile begins CPU profiling when path is non-empty and returns
+// a stop function (a no-op otherwise).
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile writes a heap profile when path is non-empty.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the profile reflects live heap
+	return pprof.WriteHeapProfile(f)
+}
+
+// writeMetrics writes reg's snapshot as stable JSON when path is
+// non-empty.
+func writeMetrics(path string, reg *obs.Registry) error {
+	if path == "" || reg == nil {
+		return nil
+	}
+	data, err := reg.Snapshot().MarshalStable()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	logPath := fs.String("log", "literace.trc", "event log output path")
+	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run wants one source file")
 	}
+	stop, err := startCPUProfile(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.New()
+	}
+	span := reg.StartSpan("assemble")
 	p, err := loadProgram(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	span.End()
+	span = reg.StartSpan("rewrite")
 	if _, err := p.Instrument(); err != nil {
 		return err
 	}
+	span.End()
 	f, err := os.Create(*logPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	res, err := p.Run(literace.Config{Sampler: *samplerName, Seed: *seed, LogTo: f})
+	res, err := p.Run(literace.Config{Sampler: *samplerName, Seed: *seed, LogTo: f, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -170,12 +242,19 @@ func cmdRun(args []string) error {
 	for _, v := range res.Prints {
 		fmt.Println("print:", v)
 	}
+	if err := writeMetrics(*metricsPath, reg); err != nil {
+		return err
+	}
+	if err := writeMemProfile(*memProfile); err != nil {
+		return err
+	}
 	return f.Close()
 }
 
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
+	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("detect wants one log file")
@@ -193,7 +272,11 @@ func cmdDetect(args []string) error {
 		}
 		resolve = p.FuncName
 	}
-	rep, err := literace.Detect(f, resolve)
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.New()
+	}
+	rep, err := literace.DetectObs(f, resolve, reg)
 	if err != nil {
 		return err
 	}
@@ -203,7 +286,7 @@ func cmdDetect(args []string) error {
 			fmt.Printf("log verification: %v\n", verr)
 		}
 	}
-	return nil
+	return writeMetrics(*metricsPath, reg)
 }
 
 func cmdDump(args []string) error {
@@ -286,6 +369,45 @@ func cmdReport(args []string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// cmdStats runs the whole pipeline (assemble, rewrite, run, replay,
+// detect) with the observability layer enabled and reports the collected
+// telemetry: phase timings, live sampler ESR, burst histogram, timestamp
+// counter usage, scheduler and replay statistics.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	asJSON := fs.Bool("json", false, "emit the snapshot as JSON instead of text")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats wants one source file")
+	}
+	reg := obs.New()
+	span := reg.StartSpan("assemble")
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	span.End()
+	span = reg.StartSpan("rewrite")
+	if _, err := p.Instrument(); err != nil {
+		return err
+	}
+	span.End()
+	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Obs: reg})
+	if err != nil {
+		return err
+	}
+	snap := reg.Snapshot()
+	if *asJSON {
+		return snap.WriteJSON(os.Stdout)
+	}
+	fmt.Printf("%s under %s: %d instrs, %.4f%% of %d memory ops logged, %d static races\n",
+		fs.Arg(0), *samplerName, res.Meta.Instrs, res.EffectiveRate*100, res.Meta.MemOps, len(rep.Races))
+	fmt.Print(snap.String())
 	return nil
 }
 

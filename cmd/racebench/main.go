@@ -4,28 +4,37 @@
 // Usage:
 //
 //	racebench [-all] [-table 2|3|4|5] [-figure 4|5|6] [-seeds n] [-scale k] [-v]
+//	          [-metrics-out f] [-cpuprofile f] [-memprofile f]
 //
-// With no selection flags, everything is produced.
+// With no selection flags, everything is produced. Tables and figures go to
+// stdout; all diagnostics (verbose progress, errors) go to stderr so stdout
+// stays machine-parseable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"literace/internal/harness"
+	"literace/internal/obs"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate one table (2, 3, 4, or 5)")
-		figure = flag.Int("figure", 0, "regenerate one figure (4, 5, or 6)")
-		all    = flag.Bool("all", false, "regenerate everything (default when no selection given)")
-		abl    = flag.Bool("ablation", false, "run the design-parameter ablations (TL-Ad parameters; loop-granularity sampling)")
-		cover  = flag.String("coverage", "", "run the coverage-accumulation study: \"coverage\" for the schedule-dependent workload, or any benchmark key")
-		seeds  = flag.Int("seeds", 3, "number of scheduler seeds (the paper uses 3 runs)")
-		scale  = flag.Int("scale", 0, "workload scale multiplier (0 = default)")
-		v      = flag.Bool("v", false, "verbose progress")
+		table      = flag.Int("table", 0, "regenerate one table (2, 3, 4, or 5)")
+		figure     = flag.Int("figure", 0, "regenerate one figure (4, 5, or 6)")
+		all        = flag.Bool("all", false, "regenerate everything (default when no selection given)")
+		abl        = flag.Bool("ablation", false, "run the design-parameter ablations (TL-Ad parameters; loop-granularity sampling)")
+		cover      = flag.String("coverage", "", "run the coverage-accumulation study: \"coverage\" for the schedule-dependent workload, or any benchmark key")
+		seeds      = flag.Int("seeds", 3, "number of scheduler seeds (the paper uses 3 runs)")
+		scale      = flag.Int("scale", 0, "workload scale multiplier (0 = default)")
+		v          = flag.Bool("v", false, "verbose progress (stderr)")
+		metricsOut = flag.String("metrics-out", "", "write an observability snapshot (JSON) to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -41,10 +50,52 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if err := run(cfg, *all, *table, *figure, *abl, *cover); err != nil {
+	if *metricsOut != "" {
+		cfg.Obs = obs.New()
+	}
+	if err := runProfiled(cfg, *all, *table, *figure, *abl, *cover, *metricsOut, *cpuProf, *memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "racebench:", err)
 		os.Exit(1)
 	}
+}
+
+// runProfiled wraps run with the optional pprof and metrics outputs.
+func runProfiled(cfg harness.Config, all bool, table, figure int, ablation bool, coverage, metricsOut, cpuProf, memProf string) error {
+	if cpuProf != "" {
+		f, err := os.Create(cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(cfg, all, table, figure, ablation, coverage); err != nil {
+		return err
+	}
+	if metricsOut != "" {
+		data, err := cfg.Obs.Snapshot().MarshalStable()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if memProf != "" {
+		f, err := os.Create(memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(cfg harness.Config, all bool, table, figure int, ablation bool, coverage string) error {

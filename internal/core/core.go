@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"literace/internal/lir"
+	"literace/internal/obs"
 	"literace/internal/sampler"
 	"literace/internal/trace"
 )
@@ -84,6 +85,13 @@ type Config struct {
 
 	// Cost is the instrumentation cost model; zero value means free.
 	Cost CostModel
+
+	// Obs, when non-nil, receives live runtime telemetry: dispatch and
+	// logging counters, per-shadow sampled-op counts (live ESR numerators),
+	// the primary sampler's burst-length histogram, and per-counter draw
+	// counts across the 128 hashed timestamp counters. Nil disables
+	// telemetry at zero per-event cost.
+	Obs *obs.Registry
 }
 
 // Stats aggregates runtime counters. Fields are written by ThreadState
@@ -117,6 +125,24 @@ type Runtime struct {
 
 	threadMu sync.Mutex
 	threads  map[int32]*ThreadState
+
+	// obs holds pre-resolved telemetry instruments; every field is nil
+	// when Config.Obs is nil, making each update a nil-checked no-op.
+	obs runtimeObs
+}
+
+// runtimeObs caches the runtime's observability instruments. The counter
+// fields mirror Stats and are fed deltas by FlushStats; the histogram and
+// vector are updated on the hot path (gated on non-nil).
+type runtimeObs struct {
+	dispatchChecks *obs.Counter    // core.dispatch_checks
+	instrumented   *obs.Counter    // core.instrumented_calls
+	loggedMem      *obs.Counter    // core.logged_mem_ops
+	loggedSync     *obs.Counter    // core.logged_sync_ops
+	extraCycles    *obs.Counter    // core.extra_cycles
+	shadowSampled  []*obs.Counter  // core.shadow_sampled.<name>
+	burstLen       *obs.Histogram  // core.burst_length
+	tsDraws        *obs.CounterVec // core.ts_counter_draws
 }
 
 // NewRuntime validates cfg and builds a Runtime.
@@ -142,6 +168,21 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 	}
 	rt.stats.SampledOps = make([]uint64, len(cfg.Shadows))
+	if reg := cfg.Obs; reg != nil {
+		rt.obs = runtimeObs{
+			dispatchChecks: reg.Counter("core.dispatch_checks"),
+			instrumented:   reg.Counter("core.instrumented_calls"),
+			loggedMem:      reg.Counter("core.logged_mem_ops"),
+			loggedSync:     reg.Counter("core.logged_sync_ops"),
+			extraCycles:    reg.Counter("core.extra_cycles"),
+			burstLen:       reg.Histogram("core.burst_length"),
+			tsDraws:        reg.CounterVec("core.ts_counter_draws", trace.NumCounters),
+		}
+		rt.obs.shadowSampled = make([]*obs.Counter, len(cfg.Shadows))
+		for i, s := range cfg.Shadows {
+			rt.obs.shadowSampled[i] = reg.Counter("core.shadow_sampled." + s.Name())
+		}
+	}
 	return rt, nil
 }
 
@@ -203,6 +244,9 @@ func (rt *Runtime) Stats() Stats {
 // nextTS atomically draws the next timestamp for syncVar's counter.
 func (rt *Runtime) nextTS(syncVar uint64) (uint8, uint64) {
 	c := trace.CounterOf(syncVar)
+	if rt.obs.tsDraws != nil {
+		rt.obs.tsDraws.Inc(int(c))
+	}
 	return c, rt.clock[c].Add(1)
 }
 
@@ -228,6 +272,11 @@ type ThreadState struct {
 	sampledOps   []uint64
 	extraCycles  uint64
 	statsDirty   uint64
+
+	// burstRun is the length of the current run of consecutive sampled
+	// dispatches; when the run ends it is observed into the burst-length
+	// histogram. Tracked only when telemetry is enabled.
+	burstRun uint64
 }
 
 // TID returns the thread id.
@@ -256,6 +305,14 @@ func (ts *ThreadState) Dispatch(fn int32, needSpill bool) (instrumented bool, ma
 	}
 	if instrumented {
 		ts.instrumented++
+	}
+	if rt.obs.burstLen != nil {
+		if instrumented {
+			ts.burstRun++
+		} else if ts.burstRun > 0 {
+			rt.obs.burstLen.Observe(ts.burstRun)
+			ts.burstRun = 0
+		}
 	}
 
 	for i, s := range rt.cfg.Shadows {
@@ -373,6 +430,16 @@ func (ts *ThreadState) FlushStats() {
 		rt.stats.SampledOps[i] += n
 	}
 	rt.statsMu.Unlock()
+	rt.obs.dispatchChecks.Add(ts.dispatches)
+	rt.obs.instrumented.Add(ts.instrumented)
+	rt.obs.loggedMem.Add(ts.loggedMem)
+	rt.obs.loggedSync.Add(ts.loggedSync)
+	rt.obs.extraCycles.Add(ts.extraCycles)
+	for i, c := range rt.obs.shadowSampled {
+		if i < len(ts.sampledOps) {
+			c.Add(ts.sampledOps[i])
+		}
+	}
 	ts.dispatches, ts.instrumented, ts.loggedMem, ts.loggedSync, ts.extraCycles = 0, 0, 0, 0, 0
 	for i := range ts.sampledOps {
 		ts.sampledOps[i] = 0
@@ -391,6 +458,29 @@ func (rt *Runtime) Finalize() Stats {
 	rt.threadMu.Unlock()
 	for _, ts := range threads {
 		ts.FlushStats()
+		// Close out the trailing sampling burst so the histogram covers
+		// runs still open at thread exit.
+		if ts.burstRun > 0 {
+			rt.obs.burstLen.Observe(ts.burstRun)
+			ts.burstRun = 0
+		}
 	}
 	return rt.Stats()
+}
+
+// PublishESR publishes live effective sampling rates to the telemetry
+// registry: core.esr.live is the primary sampler's fraction of the
+// execution's totalMemOps that was logged, and core.esr.shadow.<name> is
+// each shadow sampler's would-have-logged fraction. Call after Finalize
+// (or any point where per-thread counters have been flushed); no-op when
+// telemetry is disabled or totalMemOps is zero.
+func (rt *Runtime) PublishESR(totalMemOps uint64) {
+	if rt.cfg.Obs == nil || totalMemOps == 0 {
+		return
+	}
+	s := rt.Stats()
+	rt.cfg.Obs.Gauge("core.esr.live").Set(float64(s.LoggedMemOps) / float64(totalMemOps))
+	for i, sh := range rt.cfg.Shadows {
+		rt.cfg.Obs.Gauge("core.esr.shadow." + sh.Name()).Set(float64(s.SampledOps[i]) / float64(totalMemOps))
+	}
 }

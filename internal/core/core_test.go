@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"literace/internal/lir"
+	"literace/internal/obs"
 	"literace/internal/sampler"
 	"literace/internal/trace"
 )
@@ -292,6 +293,129 @@ func TestStatsFlushIncremental(t *testing.T) {
 	stats2 := rt.Finalize()
 	if stats2.DispatchChecks != stats.DispatchChecks {
 		t.Errorf("Finalize not idempotent: %d vs %d", stats2.DispatchChecks, stats.DispatchChecks)
+	}
+}
+
+// TestFlushStatsFoldsAndResets exercises FlushStats directly: local
+// counters must fold into the runtime totals exactly once, reset to zero,
+// and mirror into the telemetry registry when one is attached.
+func TestFlushStatsFoldsAndResets(t *testing.T) {
+	reg := obs.New()
+	rt := newRT(t, Config{
+		Primary: sampler.NewFull(),
+		Shadows: []sampler.Strategy{sampler.NewFull(), sampler.NewUnCold()},
+		Obs:     reg, EnableMemLog: true,
+	})
+	ts := rt.Thread(0)
+	for i := 0; i < 25; i++ {
+		_, mask := ts.Dispatch(0, false)
+		if err := ts.LogWrite(uint64(i), lir.PC{}, mask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.FlushStats()
+	if ts.dispatches != 0 || ts.loggedMem != 0 || ts.statsDirty != 0 {
+		t.Errorf("locals not reset: dispatches=%d loggedMem=%d dirty=%d",
+			ts.dispatches, ts.loggedMem, ts.statsDirty)
+	}
+	for i, n := range ts.sampledOps {
+		if n != 0 {
+			t.Errorf("sampledOps[%d] not reset: %d", i, n)
+		}
+	}
+	// A second flush with nothing pending must not change totals.
+	ts.FlushStats()
+	stats := rt.Stats()
+	if stats.DispatchChecks != 25 || stats.LoggedMemOps != 25 {
+		t.Errorf("totals double-counted or lost: %+v", stats)
+	}
+	if stats.SampledOps[0] != 25 || stats.SampledOps[1] != 15 {
+		t.Errorf("shadow totals: %v", stats.SampledOps)
+	}
+	// The telemetry mirror must agree with the runtime totals.
+	snap := reg.Snapshot()
+	if snap.Counters["core.dispatch_checks"] != 25 ||
+		snap.Counters["core.logged_mem_ops"] != 25 ||
+		snap.Counters["core.shadow_sampled.Full"] != 25 ||
+		snap.Counters["core.shadow_sampled.UCP"] != 15 {
+		t.Errorf("telemetry mirror diverged: %v", snap.Counters)
+	}
+}
+
+// TestFlushStatsThreshold verifies the periodic flush fires at the 1<<12
+// dirty-op threshold, so long-running threads publish without Finalize.
+func TestFlushStatsThreshold(t *testing.T) {
+	rt := newRT(t, Config{Primary: sampler.NewFull()})
+	ts := rt.Thread(0)
+	for i := 0; i < 1<<12-1; i++ {
+		ts.Dispatch(0, false)
+	}
+	if got := rt.Stats().DispatchChecks; got != 0 {
+		t.Errorf("flushed before threshold: %d", got)
+	}
+	ts.Dispatch(0, false)
+	if got := rt.Stats().DispatchChecks; got != 1<<12 {
+		t.Errorf("threshold flush missing: %d", got)
+	}
+}
+
+// TestBurstHistogramAndESR checks the telemetry-only hot-path additions:
+// the burst-length histogram sees each ended run of sampled dispatches
+// (including the trailing run closed by Finalize), the timestamp-counter
+// vector records draws, and PublishESR exposes live and shadow rates.
+func TestBurstHistogramAndESR(t *testing.T) {
+	reg := obs.New()
+	rt := newRT(t, Config{
+		Primary: sampler.NewThreadLocalAdaptive(),
+		Shadows: []sampler.Strategy{sampler.NewFull()},
+		Obs:     reg, EnableMemLog: true, EnableSyncLog: true,
+	})
+	ts := rt.Thread(0)
+	total := uint64(0)
+	for i := 0; i < 400; i++ {
+		inst, mask := ts.Dispatch(0, false)
+		total++
+		if inst {
+			if err := ts.LogWrite(uint64(i), lir.PC{}, mask); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ts.LogSync(trace.KindAcquire, trace.OpLock, 0x77, lir.PC{}); err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Finalize()
+	rt.PublishESR(total)
+	snap := reg.Snapshot()
+
+	h := snap.Histograms["core.burst_length"]
+	if h.Count == 0 {
+		t.Fatal("no bursts observed")
+	}
+	// TL-Ad bursts are BurstLength dispatches long, so the histogram total
+	// must equal the instrumented-call count.
+	if h.Sum != stats.InstrumentedCalls {
+		t.Errorf("burst sum %d != instrumented %d", h.Sum, stats.InstrumentedCalls)
+	}
+	if h.Max != uint64(sampler.BurstLength) {
+		t.Errorf("max burst = %d, want %d", h.Max, sampler.BurstLength)
+	}
+
+	draws := snap.Vectors["core.ts_counter_draws"]
+	if len(draws) != int(trace.NumCounters) {
+		t.Fatalf("vector sized %d", len(draws))
+	}
+	if got := draws[trace.CounterOf(0x77)]; got != 1 {
+		t.Errorf("counter cell for sync var = %d", got)
+	}
+
+	wantLive := float64(stats.LoggedMemOps) / float64(total)
+	if got := snap.Gauges["core.esr.live"]; got != wantLive {
+		t.Errorf("core.esr.live = %g, want %g", got, wantLive)
+	}
+	wantShadow := float64(stats.SampledOps[0]) / float64(total)
+	if got := snap.Gauges["core.esr.shadow.Full"]; got != wantShadow {
+		t.Errorf("core.esr.shadow.Full = %g, want %g", got, wantShadow)
 	}
 }
 

@@ -86,6 +86,14 @@ func RunComparisons(cfg Config) (*ComparisonMatrix, error) {
 			m.Runs[b.Key] = append(m.Runs[b.Key], run)
 		}
 	}
+	// Publish the study's headline numbers so a -metrics-out snapshot
+	// carries the Table 3 ESRs next to the live runtime telemetry.
+	if cfg.Obs != nil {
+		for _, row := range m.Table3() {
+			cfg.Obs.Gauge("harness.table3.weighted_esr." + row.Name).Set(row.WeightedESR)
+			cfg.Obs.Gauge("harness.table3.avg_esr." + row.Name).Set(row.AvgESR)
+		}
+	}
 	return m, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"literace/internal/hb"
 	"literace/internal/instrument"
 	"literace/internal/interp"
+	"literace/internal/obs"
 	"literace/internal/race"
 	"literace/internal/sampler"
 	"literace/internal/trace"
@@ -31,8 +32,15 @@ type Config struct {
 	Cost core.CostModel
 	// MaxInstrs bounds each execution; 0 uses a generous default.
 	MaxInstrs uint64
-	// Logf, when non-nil, receives progress lines.
+	// Logf, when non-nil, receives progress lines. Callers must route
+	// these to stderr (or a log file): stdout is reserved for the
+	// machine-parseable tables.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, threads the observability registry through every
+	// execution: each benchmark run records a phase span and the runtime,
+	// interpreter, trace writer, and detector publish their telemetry, so
+	// metrics land next to the paper tables (racebench -metrics-out).
+	Obs *obs.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -86,6 +94,7 @@ func RunComparison(b workloads.Benchmark, seed int64, cfg Config) (*ComparisonRu
 // ablation experiments use it to sweep sampler parameters.
 func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []sampler.Strategy) (*ComparisonRun, error) {
 	cfg.setDefaults()
+	span := cfg.Obs.StartSpan(fmt.Sprintf("harness.compare.%s.seed%d", b.Key, seed))
 	mod, err := b.Module(cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -100,6 +109,7 @@ func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []
 	if err != nil {
 		return nil, err
 	}
+	w.SetObs(cfg.Obs)
 	rt, err := core.NewRuntime(core.Config{
 		NumFuncs:      len(mod.Funcs),
 		Primary:       sampler.NewFull(),
@@ -109,11 +119,12 @@ func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []
 		EnableSyncLog: true,
 		Seed:          seed,
 		Cost:          cfg.Cost,
+		Obs:           cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	mach, err := interp.New(rw, interp.Options{Seed: seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs})
+	mach, err := interp.New(rw, interp.Options{Seed: seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +135,7 @@ func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []
 	if err := w.Close(mach.Meta(res)); err != nil {
 		return nil, err
 	}
+	rt.PublishESR(res.MemOps)
 	log, err := trace.ReadAll(&buf)
 	if err != nil {
 		return nil, err
@@ -137,7 +149,7 @@ func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []
 	}
 
 	// Ground truth: every logged access.
-	full, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents})
+	full, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +158,7 @@ func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []
 	out.RareTruth, out.FreqTruth = out.Truth.Split(out.NonStackMemOps())
 
 	for i, s := range shadows {
-		dres, err := hb.Detect(log, hb.Options{SamplerBit: i})
+		dres, err := hb.Detect(log, hb.Options{SamplerBit: i, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +166,9 @@ func RunComparisonWith(b workloads.Benchmark, seed int64, cfg Config, shadows []
 		set.AddResult(dres)
 		out.BySampler[s.Name()] = set
 		out.Rates[s.Name()] = log.Meta.EffectiveRate(i)
+		cfg.Obs.Gauge(fmt.Sprintf("harness.esr.%s.seed%d.%s", b.Key, seed, s.Name())).Set(out.Rates[s.Name()])
 	}
+	span.EndItems(log.Meta.Instrs)
 	cfg.logf("compared %s seed %d: %d races (%d rare), %d mem ops",
 		b.Key, seed, out.Truth.Len(), len(out.RareTruth), log.Meta.MemOps)
 	return out, nil
@@ -213,6 +227,7 @@ type OverheadRun struct {
 // RunOverhead executes b under one overhead configuration.
 func RunOverhead(b workloads.Benchmark, mode OverheadMode, seed int64, cfg Config) (*OverheadRun, error) {
 	cfg.setDefaults()
+	span := cfg.Obs.StartSpan(fmt.Sprintf("harness.overhead.%s.%s.seed%d", b.Key, mode, seed))
 	mod, err := b.Module(cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -239,6 +254,7 @@ func RunOverhead(b workloads.Benchmark, mode OverheadMode, seed int64, cfg Confi
 			if err != nil {
 				return nil, err
 			}
+			w.SetObs(cfg.Obs)
 		}
 		rt, err = core.NewRuntime(core.Config{
 			NumFuncs:      len(mod.Funcs),
@@ -248,13 +264,14 @@ func RunOverhead(b workloads.Benchmark, mode OverheadMode, seed int64, cfg Confi
 			EnableMemLog:  logsMem,
 			Seed:          seed,
 			Cost:          cfg.Cost,
+			Obs:           cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	mach, err := interp.New(run, interp.Options{Seed: seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs})
+	mach, err := interp.New(run, interp.Options{Seed: seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +292,7 @@ func RunOverhead(b workloads.Benchmark, mode OverheadMode, seed int64, cfg Confi
 		}
 		out.LogBytes = w.BytesWritten()
 	}
+	span.EndItems(res.Instrs)
 	cfg.logf("overhead %s %v seed %d: %d cycles, %d log bytes", b.Key, mode, seed, out.Cycles, out.LogBytes)
 	return out, nil
 }

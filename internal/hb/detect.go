@@ -2,6 +2,7 @@ package hb
 
 import (
 	"literace/internal/lir"
+	"literace/internal/obs"
 	"literace/internal/trace"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// KeepMax bounds the number of dynamic races retained in
 	// Result.Races; 0 means unlimited. Counting is never truncated.
 	KeepMax int
+
+	// Obs, when non-nil, receives detection telemetry: processed event
+	// counts, vector-clock join counts, dynamic races found, and (via
+	// Detect) replay ready-queue stalls.
+	Obs *obs.Registry
 }
 
 // AllEvents is the SamplerBit value that disables mask filtering.
@@ -54,6 +60,12 @@ type Detector struct {
 	threads map[int32]*threadState
 	vars    map[uint64]VC         // SyncVar -> clock published by last release
 	mem     map[uint64]*addrState // address -> access history
+
+	// Telemetry instruments; nil (no-op) when opts.Obs is nil.
+	obsJoins *obs.Counter // hb.vc_joins
+	obsRaces *obs.Counter // hb.dynamic_races
+	obsMem   *obs.Counter // hb.mem_events
+	obsSync  *obs.Counter // hb.sync_events
 }
 
 type threadState struct {
@@ -74,12 +86,19 @@ type addrState struct {
 
 // NewDetector returns a detector with the given options.
 func NewDetector(opts Options) *Detector {
-	return &Detector{
+	d := &Detector{
 		opts:    opts,
 		threads: make(map[int32]*threadState),
 		vars:    make(map[uint64]VC),
 		mem:     make(map[uint64]*addrState),
 	}
+	if opts.Obs != nil {
+		d.obsJoins = opts.Obs.Counter("hb.vc_joins")
+		d.obsRaces = opts.Obs.Counter("hb.dynamic_races")
+		d.obsMem = opts.Obs.Counter("hb.mem_events")
+		d.obsSync = opts.Obs.Counter("hb.sync_events")
+	}
+	return d
 }
 
 func (d *Detector) thread(tid int32) *threadState {
@@ -98,28 +117,36 @@ func (d *Detector) Process(e trace.Event) {
 	switch e.Kind {
 	case trace.KindAcquire:
 		d.res.SyncOps++
+		d.obsSync.Inc()
 		t := d.thread(e.TID)
 		if lv, ok := d.vars[e.Addr]; ok {
 			t.vc = t.vc.Join(lv)
+			d.obsJoins.Inc()
 		}
 	case trace.KindRelease:
 		d.res.SyncOps++
+		d.obsSync.Inc()
 		t := d.thread(e.TID)
 		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
+		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
 	case trace.KindAcqRel:
 		d.res.SyncOps++
+		d.obsSync.Inc()
 		t := d.thread(e.TID)
 		if lv, ok := d.vars[e.Addr]; ok {
 			t.vc = t.vc.Join(lv)
+			d.obsJoins.Inc()
 		}
 		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
+		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
 	case trace.KindRead, trace.KindWrite:
 		if d.opts.SamplerBit >= 0 && e.Mask&(1<<uint(d.opts.SamplerBit)) == 0 {
 			return
 		}
 		d.res.MemOps++
+		d.obsMem.Inc()
 		d.access(e)
 	}
 }
@@ -174,6 +201,7 @@ func (d *Detector) access(e trace.Event) {
 
 func (d *Detector) report(r DynamicRace) {
 	d.res.NumRaces++
+	d.obsRaces.Inc()
 	if d.opts.OnRace != nil {
 		d.opts.OnRace(r)
 	}
@@ -188,7 +216,7 @@ func (d *Detector) Result() *Result { return &d.res }
 // Detect replays log and runs happens-before detection over it.
 func Detect(log *trace.Log, opts Options) (*Result, error) {
 	d := NewDetector(opts)
-	if err := Replay(log, func(e trace.Event) error {
+	if err := ReplayObs(log, opts.Obs, func(e trace.Event) error {
 		d.Process(e)
 		return nil
 	}); err != nil {

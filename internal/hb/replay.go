@@ -3,6 +3,7 @@ package hb
 import (
 	"fmt"
 
+	"literace/internal/obs"
 	"literace/internal/trace"
 )
 
@@ -19,6 +20,19 @@ import (
 // has at least one ready event until all streams drain; anything else
 // indicates corruption and is reported as an error.
 func Replay(log *trace.Log, fn func(trace.Event) error) error {
+	return ReplayObs(log, nil, fn)
+}
+
+// ReplayObs is Replay with ready-queue telemetry: when reg is non-nil it
+// counts merge rounds (hb.replay_rounds) and ready-queue stalls
+// (hb.replay_stalls — times a thread's stream blocked on a timestamp that
+// was not yet the next expected value for its counter).
+func ReplayObs(log *trace.Log, reg *obs.Registry, fn func(trace.Event) error) error {
+	var stalls, rounds *obs.Counter
+	if reg != nil {
+		stalls = reg.Counter("hb.replay_stalls")
+		rounds = reg.Counter("hb.replay_rounds")
+	}
 	tids := log.TIDs()
 	streams := make([][]trace.Event, len(tids))
 	pos := make([]int, len(tids))
@@ -33,6 +47,7 @@ func Replay(log *trace.Log, fn func(trace.Event) error) error {
 	remaining := log.NumEvents()
 	for remaining > 0 {
 		progressed := false
+		rounds.Inc()
 		for i := range streams {
 			// Drain this thread greedily until it blocks on a timestamp.
 			for pos[i] < len(streams[i]) {
@@ -42,6 +57,7 @@ func Replay(log *trace.Log, fn func(trace.Event) error) error {
 						return fmt.Errorf("hb: thread %d event %d: bad counter %d", tids[i], pos[i], e.Counter)
 					}
 					if next[e.Counter] != e.TS {
+						stalls.Inc()
 						break // not ready yet
 					}
 					next[e.Counter]++

@@ -7,6 +7,53 @@ import (
 	"literace/internal/trace"
 )
 
+// instrCat buckets opcodes for the per-category virtual-cycle telemetry.
+type instrCat uint8
+
+const (
+	catALU             instrCat = iota // arithmetic, logic, moves, comparisons
+	catControl                         // jumps, branches, calls, returns
+	catMem                             // loads, stores, allocation
+	catSync                            // locks, events, fork/join, atomics
+	catInstrumentation                 // MLog, Dispatch, ReCheck
+	catMisc                            // tid, rand, print, yield, nop
+
+	numInstrCats
+)
+
+func (c instrCat) String() string {
+	switch c {
+	case catALU:
+		return "alu"
+	case catControl:
+		return "control"
+	case catMem:
+		return "mem"
+	case catSync:
+		return "sync"
+	case catInstrumentation:
+		return "instrumentation"
+	}
+	return "misc"
+}
+
+func opCategory(op lir.Op) instrCat {
+	switch op {
+	case lir.Jmp, lir.Br, lir.Call, lir.Ret, lir.Exit:
+		return catControl
+	case lir.Load, lir.Store, lir.Glob, lir.Alloc, lir.Free, lir.SAlloc:
+		return catMem
+	case lir.Lock, lir.Unlock, lir.Wait, lir.Notify, lir.Reset, lir.Fork,
+		lir.Join, lir.Cas, lir.Xadd, lir.Xchg:
+		return catSync
+	case lir.MLog, lir.Dispatch, lir.ReCheck:
+		return catInstrumentation
+	case lir.Nop, lir.Tid, lir.Rand, lir.Print, lir.Yield:
+		return catMisc
+	}
+	return catALU
+}
+
 func (m *Machine) fault(th *thread, format string, args ...any) error {
 	fr := th.top()
 	return &Fault{TID: th.tid, Func: fr.fn.Name, PC: fr.pc, Msg: fmt.Sprintf(format, args...)}
@@ -36,6 +83,9 @@ func (m *Machine) step(th *thread) error {
 	isInstrumentation := ins.Op == lir.MLog || ins.Op == lir.Dispatch || ins.Op == lir.ReCheck
 	if !isInstrumentation {
 		m.res.BaseCycles++
+	}
+	if m.obsCats {
+		m.catCycles[opCategory(ins.Op)]++
 	}
 	r := fr.regs
 

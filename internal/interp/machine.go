@@ -17,6 +17,7 @@ import (
 
 	"literace/internal/core"
 	"literace/internal/lir"
+	"literace/internal/obs"
 	"literace/internal/trace"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	// CollectPrints retains Print values in the result; default true
 	// behaviour is controlled by DropPrints.
 	DropPrints bool
+	// Obs, when non-nil, receives execution telemetry at the end of Run:
+	// instruction/memory/sync totals, scheduler slice and preemption
+	// counts, and virtual cycles split by instruction category. Per-
+	// instruction category accounting only happens when Obs is set.
+	Obs *obs.Registry
 }
 
 func (o *Options) setDefaults() {
@@ -156,6 +162,14 @@ type Machine struct {
 	res         Result
 	yieldSlice  bool
 	totalSpawns int
+
+	// Scheduler telemetry, published to opts.Obs after the run.
+	slices      uint64 // scheduling slices started
+	preemptions uint64 // slices ended by quantum expiry (involuntary)
+	// catCycles counts application cycles per instruction category;
+	// maintained only when opts.Obs is set (obsCats non-nil).
+	catCycles [numInstrCats]uint64
+	obsCats   bool
 }
 
 // New prepares a machine for mod. The module must be valid and its entry
@@ -178,6 +192,7 @@ func New(mod *lir.Module, opts Options) (*Machine, error) {
 		joiners:  make(map[int32][]int32),
 		schedRng: rand.New(rand.NewSource(opts.Seed)),
 		progRng:  rand.New(rand.NewSource(opts.Seed ^ 0x5DEECE66D)),
+		obsCats:  opts.Obs != nil,
 	}
 
 	// Lay out globals.
@@ -241,7 +256,27 @@ func (m *Machine) Run() (*Result, error) {
 		m.res.RuntimeStats = m.opts.Runtime.Finalize()
 		m.res.Cycles += m.res.RuntimeStats.ExtraCycles
 	}
+	m.publishObs()
 	return &m.res, err
+}
+
+// publishObs pushes the execution's telemetry into opts.Obs.
+func (m *Machine) publishObs() {
+	reg := m.opts.Obs
+	if reg == nil {
+		return
+	}
+	reg.Counter("interp.instrs").Add(m.res.Instrs)
+	reg.Counter("interp.base_cycles").Add(m.res.BaseCycles)
+	reg.Counter("interp.mem_ops").Add(m.res.MemOps)
+	reg.Counter("interp.stack_mem_ops").Add(m.res.StackMemOps)
+	reg.Counter("interp.sync_ops").Add(m.res.SyncOps)
+	reg.Counter("interp.threads").Add(uint64(m.totalSpawns))
+	reg.Counter("interp.sched_slices").Add(m.slices)
+	reg.Counter("interp.sched_preemptions").Add(m.preemptions)
+	for c := instrCat(0); c < numInstrCats; c++ {
+		reg.Counter("interp.cycles." + c.String()).Add(m.catCycles[c])
+	}
 }
 
 func (m *Machine) loop() error {
@@ -257,6 +292,7 @@ func (m *Machine) loop() error {
 		}
 		quantum := 1 + m.schedRng.Intn(m.opts.Quantum)
 		m.yieldSlice = false
+		m.slices++
 		for i := 0; i < quantum && th.state == tRunnable && !m.yieldSlice; i++ {
 			if err := m.step(th); err != nil {
 				return err
@@ -266,6 +302,9 @@ func (m *Machine) loop() error {
 			}
 		}
 		if th.state == tRunnable {
+			if !m.yieldSlice {
+				m.preemptions++ // quantum expired with the thread still willing to run
+			}
 			m.runq = append(m.runq, tid)
 		}
 	}

@@ -1,0 +1,457 @@
+// Package obs is the runtime observability layer: a zero-dependency
+// metrics registry (counters, gauges, histograms, fixed-size counter
+// vectors — all atomic) plus phase-span tracing for the offline pipeline.
+//
+// The design goal is that instrumentation can be left in hot paths
+// permanently. Every instrument type is nil-safe: methods on a nil
+// *Counter, *Gauge, *Histogram, *CounterVec, or *Span are no-ops, and a
+// nil *Registry hands out nil instruments. Code therefore resolves its
+// instruments once (at construction time) and calls them unconditionally;
+// when observability is disabled the cost is a nil check per call and
+// zero allocations (guarded by BenchmarkObsDisabledOverhead).
+//
+// Metric names are flat dotted strings ("core.dispatch_checks"); the
+// registry imposes no hierarchy. Snapshot produces a stable, JSON-ready
+// view (map keys sort during marshalling; phases keep start order). The
+// full name catalogue lives in docs/OBSERVABILITY.md.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 (stored as atomic bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the bucket count of the power-of-two histogram: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. bucket 0 is {0},
+// bucket i>0 is [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates a distribution of uint64 observations in
+// power-of-two buckets. All methods are safe for concurrent use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations; 0 on a nil receiver.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// CounterVec is a fixed-size array of counters indexed by small integers
+// (e.g. the 128 hashed timestamp counters). Out-of-range indices are
+// ignored.
+type CounterVec struct {
+	cells []atomic.Uint64
+}
+
+// Inc increments cell i. No-op on a nil receiver or bad index.
+func (v *CounterVec) Inc(i int) { v.Add(i, 1) }
+
+// Add increments cell i by n. No-op on a nil receiver or bad index.
+func (v *CounterVec) Add(i int, n uint64) {
+	if v == nil || i < 0 || i >= len(v.cells) {
+		return
+	}
+	v.cells[i].Add(n)
+}
+
+// Len returns the vector size; 0 on a nil receiver.
+func (v *CounterVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.cells)
+}
+
+// Value returns cell i; 0 on a nil receiver or bad index.
+func (v *CounterVec) Value(i int) uint64 {
+	if v == nil || i < 0 || i >= len(v.cells) {
+		return 0
+	}
+	return v.cells[i].Load()
+}
+
+// phaseRecord is one completed pipeline span.
+type phaseRecord struct {
+	name  string
+	start time.Duration // offset from registry creation
+	dur   time.Duration
+	items uint64
+}
+
+// Registry owns a namespace of instruments. The zero value is not usable;
+// call New. A nil *Registry is the disabled state: every lookup returns a
+// nil instrument and Snapshot returns an empty snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	vecs     map[string]*CounterVec
+	phases   []phaseRecord
+	epoch    time.Time
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*CounterVec),
+		epoch:    time.Now(),
+	}
+}
+
+// Counter returns (registering on first use) the named counter, or nil
+// when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge, or nil when
+// the registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram, or
+// nil when the registry is nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterVec returns (registering on first use) the named fixed-size
+// counter vector, or nil when the registry is nil. The size is fixed at
+// first registration; a later request with a different size returns the
+// existing vector.
+func (r *Registry) CounterVec(name string, size int) *CounterVec {
+	if r == nil || size <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.vecs[name]
+	if v == nil {
+		v = &CounterVec{cells: make([]atomic.Uint64, size)}
+		r.vecs[name] = v
+	}
+	return v
+}
+
+// Span measures one pipeline phase. Obtain with StartSpan; finish with
+// End or EndItems. A nil Span is a no-op.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a named phase span. Returns nil when the registry is
+// nil.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: time.Now()}
+}
+
+// End completes the span, recording its duration.
+func (s *Span) End() { s.EndItems(0) }
+
+// EndItems completes the span recording a processed-item count; the
+// snapshot derives an items/second rate from it.
+func (s *Span) EndItems(items uint64) {
+	if s == nil || s.r == nil {
+		return
+	}
+	now := time.Now()
+	s.r.mu.Lock()
+	s.r.phases = append(s.r.phases, phaseRecord{
+		name:  s.name,
+		start: s.start.Sub(s.r.epoch),
+		dur:   now.Sub(s.start),
+		items: items,
+	})
+	s.r.mu.Unlock()
+	s.r = nil // double-End is a no-op
+}
+
+// HistogramSnapshot is the JSON view of one histogram. Buckets lists only
+// non-empty power-of-two buckets as [upper bound, count] pairs: an
+// observation v lands in the bucket whose bound is the smallest power of
+// two strictly greater than v (bound 0 holds exact zeros).
+type HistogramSnapshot struct {
+	Count   uint64      `json:"count"`
+	Sum     uint64      `json:"sum"`
+	Mean    float64     `json:"mean"`
+	Max     uint64      `json:"max"`
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+}
+
+// PhaseSnapshot is the JSON view of one completed pipeline span.
+type PhaseSnapshot struct {
+	Name       string  `json:"name"`
+	StartNanos int64   `json:"start_ns"` // offset from registry creation
+	DurNanos   int64   `json:"duration_ns"`
+	Items      uint64  `json:"items,omitempty"`
+	PerSec     float64 `json:"items_per_sec,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, ready for stable
+// JSON marshalling (encoding/json sorts map keys; phases keep completion
+// order).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Vectors    map[string][]uint64          `json:"vectors,omitempty"`
+	Phases     []PhaseSnapshot              `json:"phases,omitempty"`
+}
+
+// Snapshot captures the current state of every instrument. A nil registry
+// yields an empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Vectors:    map[string][]uint64{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+		if hs.Count > 0 {
+			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			var bound uint64
+			if i > 0 {
+				bound = 1 << uint(i) // observations < 2^i
+			}
+			hs.Buckets = append(hs.Buckets, [2]uint64{bound, n})
+		}
+		s.Histograms[name] = hs
+	}
+	for name, v := range r.vecs {
+		out := make([]uint64, len(v.cells))
+		for i := range v.cells {
+			out[i] = v.cells[i].Load()
+		}
+		s.Vectors[name] = out
+	}
+	for _, p := range r.phases {
+		ps := PhaseSnapshot{
+			Name:       p.name,
+			StartNanos: p.start.Nanoseconds(),
+			DurNanos:   p.dur.Nanoseconds(),
+			Items:      p.items,
+		}
+		if p.items > 0 && p.dur > 0 {
+			ps.PerSec = float64(p.items) / p.dur.Seconds()
+		}
+		s.Phases = append(s.Phases, ps)
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// MarshalStable returns the snapshot as indented JSON bytes. Map keys are
+// sorted by encoding/json, so equal snapshots produce identical bytes.
+func (s *Snapshot) MarshalStable() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// String renders the snapshot for human consumption: sorted counters and
+// gauges, histogram summaries, non-zero vector cells, and the phase
+// timeline.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	section := func(title string) { fmt.Fprintf(&b, "%s:\n", title) }
+	if len(s.Phases) > 0 {
+		section("phases")
+		for _, p := range s.Phases {
+			fmt.Fprintf(&b, "  %-28s %12.3fms", p.Name, float64(p.DurNanos)/1e6)
+			if p.Items > 0 {
+				fmt.Fprintf(&b, "  %d items (%.0f/s)", p.Items, p.PerSec)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(s.Counters) > 0 {
+		section("counters")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-40s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		section("gauges")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-40s %g\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		section("histograms")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-40s count=%d mean=%.2f max=%d\n", name, h.Count, h.Mean, h.Max)
+		}
+	}
+	if len(s.Vectors) > 0 {
+		section("vectors")
+		for _, name := range sortedKeys(s.Vectors) {
+			v := s.Vectors[name]
+			used, total := 0, uint64(0)
+			for _, n := range v {
+				if n > 0 {
+					used++
+				}
+				total += n
+			}
+			fmt.Fprintf(&b, "  %-40s %d cells, %d used, total=%d\n", name, len(v), used, total)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

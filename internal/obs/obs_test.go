@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety drives every instrument method through nil receivers; the
+// whole point of the package is that disabled instrumentation is inert.
+func TestNilSafety(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+		v *CounterVec
+		s *Span
+	)
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g.Set(1.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	v.Inc(0)
+	v.Add(3, 2)
+	if v.Len() != 0 || v.Value(0) != 0 {
+		t.Fatal("nil vector recorded")
+	}
+	s.End()
+	s.EndItems(5)
+
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil ||
+		r.CounterVec("x", 4) != nil || r.StartSpan("x") != nil {
+		t.Fatal("nil registry handed out a live instrument")
+	}
+	snap := r.Snapshot()
+	if snap == nil || len(snap.Counters) != 0 || len(snap.Phases) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestRegistryReuse checks that lookups by the same name share state and
+// that a CounterVec's size is fixed at first registration.
+func TestRegistryReuse(t *testing.T) {
+	r := New()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Fatalf("counter not shared: %d", got)
+	}
+	v1 := r.CounterVec("v", 8)
+	v2 := r.CounterVec("v", 99)
+	if v1 != v2 || v2.Len() != 8 {
+		t.Fatalf("vector not shared or resized: %p %p len=%d", v1, v2, v2.Len())
+	}
+	if r.CounterVec("bad", 0) != nil {
+		t.Fatal("zero-size vector registered")
+	}
+	// Out-of-range vector indices are ignored, not panics.
+	v1.Inc(-1)
+	v1.Inc(8)
+	v1.Add(100, 5)
+	if v1.Value(-1) != 0 || v1.Value(8) != 0 {
+		t.Fatal("out-of-range read returned data")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	// Zero lands in bucket 0 (bound 0); v in [2^(i-1), 2^i) lands at bound 2^i.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 0+1+2+3+4+1023+1024 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["h"]
+	if snap.Max != 1024 {
+		t.Fatalf("max = %d", snap.Max)
+	}
+	want := map[uint64]uint64{0: 1, 2: 1, 4: 2, 8: 1, 1024: 1, 2048: 1}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %v", snap.Buckets)
+	}
+	for _, b := range snap.Buckets {
+		if want[b[0]] != b[1] {
+			t.Fatalf("bucket bound %d: got %d want %d", b[0], b[1], want[b[0]])
+		}
+	}
+	if mean := snap.Mean; math.Abs(mean-2057.0/7) > 1e-9 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+// TestConcurrentInstruments hammers a shared registry from many goroutines;
+// run under -race this is the data-race regression test for the package.
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Counter("c2").Add(2)
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h").Observe(uint64(i % 97))
+				r.CounterVec("v", 16).Inc(i % 16)
+				if i%500 == 0 {
+					span := r.StartSpan("phase")
+					span.EndItems(uint64(i))
+					span.End() // double-End must stay a no-op
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*iters {
+		t.Fatalf("c = %d, want %d", s.Counters["c"], workers*iters)
+	}
+	if s.Counters["c2"] != 2*workers*iters {
+		t.Fatalf("c2 = %d", s.Counters["c2"])
+	}
+	if s.Histograms["h"].Count != workers*iters {
+		t.Fatalf("h count = %d", s.Histograms["h"].Count)
+	}
+	var vecTotal uint64
+	for _, n := range s.Vectors["v"] {
+		vecTotal += n
+	}
+	if vecTotal != workers*iters {
+		t.Fatalf("vector total = %d", vecTotal)
+	}
+	if len(s.Phases) != workers*(iters/500) {
+		t.Fatalf("phases = %d", len(s.Phases))
+	}
+}
+
+func TestHistogramMaxCAS(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.max.Load() != 3999 {
+		t.Fatalf("max = %d", h.max.Load())
+	}
+}
+
+// TestSnapshotStableJSON verifies the marshalled form is deterministic and
+// round-trips.
+func TestSnapshotStableJSON(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("esr").Set(0.042)
+	r.Histogram("h").Observe(5)
+	r.CounterVec("v", 3).Inc(1)
+	r.StartSpan("run").EndItems(10)
+
+	first, err := r.Snapshot().MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Snapshot().MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("unstable marshalling:\n%s\nvs\n%s", first, second)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Counters["a"] != 1 || back.Counters["b"] != 2 {
+		t.Fatalf("counters lost: %+v", back.Counters)
+	}
+	if len(back.Phases) != 1 || back.Phases[0].Name != "run" || back.Phases[0].Items != 10 {
+		t.Fatalf("phase lost: %+v", back.Phases)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("WriteJSON wrote nothing")
+	}
+	if out := r.Snapshot().String(); out == "" {
+		t.Fatal("String rendered nothing")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"literace/internal/obs"
 )
 
 // Binary layout:
@@ -84,6 +86,12 @@ type Writer struct {
 	err     error
 	threads map[int32]*ThreadWriter
 	closed  bool
+
+	// Telemetry instruments; all nil when observability is disabled.
+	obsReg    *obs.Registry
+	obsBytes  *obs.Counter // trace.bytes_written
+	obsChunks *obs.Counter // trace.chunks_flushed
+	obsEvents *obs.Counter // trace.events_appended
 }
 
 // flushThreshold is the per-thread buffer size that triggers a chunk flush.
@@ -98,13 +106,29 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw, written: uint64(len(magic)), threads: make(map[int32]*ThreadWriter)}, nil
 }
 
+// SetObs attaches telemetry instruments to the writer: bytes written,
+// chunk flushes, events appended, and per-thread flush counters. Call
+// before the first Thread call; nil disables (the default).
+func (w *Writer) SetObs(r *obs.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.obsReg = r
+	w.obsBytes = r.Counter("trace.bytes_written")
+	w.obsChunks = r.Counter("trace.chunks_flushed")
+	w.obsEvents = r.Counter("trace.events_appended")
+	w.obsBytes.Add(w.written) // account for the magic already emitted
+}
+
 // Thread returns the per-thread writer for tid, creating it on first use.
 func (w *Writer) Thread(tid int32) *ThreadWriter {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	tw := w.threads[tid]
 	if tw == nil {
-		tw = &ThreadWriter{parent: w, tid: tid}
+		tw = &ThreadWriter{parent: w, tid: tid, obsEvents: w.obsEvents}
+		if w.obsReg != nil {
+			tw.obsFlushes = w.obsReg.Counter(fmt.Sprintf("trace.thread_flushes.t%d", tid))
+		}
 		w.threads[tid] = tw
 	}
 	return tw
@@ -133,6 +157,8 @@ func (w *Writer) flushChunkLocked(tag uint64, payload []byte) error {
 		return w.err
 	}
 	w.written += uint64(n + len(payload))
+	w.obsBytes.Add(uint64(n + len(payload)))
+	w.obsChunks.Inc()
 	return nil
 }
 
@@ -186,12 +212,16 @@ type ThreadWriter struct {
 	tid    int32
 	buf    []byte
 	count  uint64
+
+	obsEvents  *obs.Counter // shared trace.events_appended
+	obsFlushes *obs.Counter // trace.thread_flushes.t<tid>
 }
 
 // Append encodes one event into the thread buffer.
 func (tw *ThreadWriter) Append(e Event) error {
 	tw.buf = appendEvent(tw.buf, e)
 	tw.count++
+	tw.obsEvents.Inc()
 	if len(tw.buf) >= flushThreshold {
 		return tw.Flush()
 	}
@@ -208,6 +238,7 @@ func (tw *ThreadWriter) Flush() error {
 	}
 	err := tw.parent.flushChunk(uint64(uint32(tw.tid))+1, tw.buf)
 	tw.buf = tw.buf[:0]
+	tw.obsFlushes.Inc()
 	return err
 }
 

@@ -9,7 +9,11 @@ import (
 	"testing/quick"
 
 	"literace/internal/lir"
+	"literace/internal/obs"
 )
+
+// obsNew keeps the telemetry tests terse.
+func obsNew() *obs.Registry { return obs.New() }
 
 func TestCounterOfInRangeAndSpread(t *testing.T) {
 	seen := make(map[uint8]bool)
@@ -299,6 +303,132 @@ func TestMetaHelpers(t *testing.T) {
 	var zero Meta
 	if zero.EffectiveRate(0) != 0 {
 		t.Error("zero Meta EffectiveRate should be 0")
+	}
+}
+
+// TestFlushAtBufferBoundary drives a thread buffer exactly to the flush
+// threshold and checks chunks split there without losing or reordering
+// events.
+func TestFlushAtBufferBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := w.Thread(0)
+
+	// Grow the buffer to just below the threshold, then step over it.
+	e := Event{Kind: KindWrite, PC: lir.PC{Func: 1, Index: 2}, Addr: 0x1234, Mask: 0x7F}
+	n := 0
+	for len(tw.buf) < flushThreshold-len(appendEvent(nil, e)) {
+		if err := tw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if got := w.BytesWritten(); got != uint64(len(magic)) {
+		t.Fatalf("flushed before threshold: %d bytes", got)
+	}
+	// Crossing the threshold flushes exactly once, emptying the buffer.
+	for i := 0; i < 2; i++ {
+		if err := tw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	afterCross := w.BytesWritten()
+	if afterCross <= uint64(len(magic)) {
+		t.Fatal("threshold crossing did not flush")
+	}
+	if len(tw.buf) == 0 || len(tw.buf) >= flushThreshold {
+		t.Fatalf("post-flush buffer length %d", len(tw.buf))
+	}
+
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumEvents() != n {
+		t.Fatalf("decoded %d events, appended %d", log.NumEvents(), n)
+	}
+}
+
+// TestEmptyFlushIsNoop checks Flush on an empty buffer emits nothing: no
+// zero-length chunks, no byte growth, no spurious telemetry.
+func TestEmptyFlushIsNoop(t *testing.T) {
+	reg := obsNew()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetObs(reg)
+	tw := w.Thread(7)
+	for i := 0; i < 3; i++ {
+		if err := tw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.BytesWritten(); got != uint64(len(magic)) {
+		t.Fatalf("empty flush wrote %d bytes", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["trace.chunks_flushed"] != 0 || snap.Counters["trace.thread_flushes.t7"] != 0 {
+		t.Fatalf("empty flush counted: %v", snap.Counters)
+	}
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(&buf); err != nil {
+		t.Fatalf("log with only a trailer unreadable: %v", err)
+	}
+}
+
+// TestWriterTelemetry checks the SetObs counters agree with ground truth:
+// bytes match BytesWritten, every event is counted, and per-thread flushes
+// are attributed to the right thread.
+func TestWriterTelemetry(t *testing.T) {
+	reg := obsNew()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetObs(reg)
+	a, b := w.Thread(0), w.Thread(1)
+	e := Event{Kind: KindRead, Addr: 9}
+	for i := 0; i < 10; i++ {
+		if err := a.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil { // explicit mid-run flush
+		t.Fatal(err)
+	}
+	if err := w.Close(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["trace.events_appended"] != 11 {
+		t.Errorf("events_appended = %d", snap.Counters["trace.events_appended"])
+	}
+	if snap.Counters["trace.bytes_written"] != w.BytesWritten() {
+		t.Errorf("bytes_written = %d, writer says %d",
+			snap.Counters["trace.bytes_written"], w.BytesWritten())
+	}
+	// Chunks: thread 0's explicit flush, thread 1's close flush, the meta
+	// trailer.
+	if snap.Counters["trace.chunks_flushed"] != 3 {
+		t.Errorf("chunks_flushed = %d", snap.Counters["trace.chunks_flushed"])
+	}
+	if snap.Counters["trace.thread_flushes.t0"] != 1 || snap.Counters["trace.thread_flushes.t1"] != 1 {
+		t.Errorf("per-thread flushes: %v", snap.Counters)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"literace/internal/instrument"
 	"literace/internal/interp"
 	"literace/internal/lir"
+	"literace/internal/obs"
 	"literace/internal/race"
 	"literace/internal/sampler"
 	"literace/internal/trace"
@@ -115,6 +116,13 @@ type Config struct {
 	// available immediately in RunResult.OnlineReport without replaying a
 	// log. The log is still written.
 	Online bool
+	// Obs, when non-nil, enables the runtime observability layer: the
+	// sampler runtime, interpreter, trace writer, and detector publish
+	// live telemetry (dispatch counts, per-sampler ESR, burst histograms,
+	// scheduler and replay statistics) into the registry, and the
+	// pipeline records phase spans. Nil (the default) disables telemetry
+	// at zero per-event cost. See docs/OBSERVABILITY.md.
+	Obs *obs.Registry
 }
 
 // RunResult summarizes an execution.
@@ -157,6 +165,7 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetObs(cfg.Obs)
 	rtCfg := core.Config{
 		NumFuncs:      len(p.orig.Funcs),
 		Primary:       strat,
@@ -165,10 +174,11 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 		EnableSyncLog: true,
 		Seed:          cfg.Seed,
 		Cost:          core.DefaultCostModel(),
+		Obs:           cfg.Obs,
 	}
 	var online *hb.Detector
 	if cfg.Online {
-		online = hb.NewDetector(hb.Options{SamplerBit: hb.AllEvents})
+		online = hb.NewDetector(hb.Options{SamplerBit: hb.AllEvents, Obs: cfg.Obs})
 		rtCfg.OnEvent = func(e trace.Event) { online.Process(e) }
 	}
 	rt, err := core.NewRuntime(rtCfg)
@@ -176,19 +186,22 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 		return nil, err
 	}
 	mach, err := interp.New(p.mod, interp.Options{
-		Seed: cfg.Seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs,
+		Seed: cfg.Seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs, Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
+	span := cfg.Obs.StartSpan("run")
 	res, err := mach.Run()
 	if err != nil {
 		return nil, err
 	}
+	span.EndItems(res.Instrs)
 	meta := mach.Meta(res)
 	if err := w.Close(meta); err != nil {
 		return nil, err
 	}
+	rt.PublishESR(meta.MemOps)
 	out.Meta = meta
 	out.Prints = res.Prints
 	if meta.MemOps > 0 {
@@ -259,14 +272,25 @@ func (r *Report) String() string {
 // resolve maps original function indices to names; pass nil for raw
 // indices, or Program.FuncName for source names.
 func Detect(log io.Reader, resolve func(int32) string) (*Report, error) {
+	return DetectObs(log, resolve, nil)
+}
+
+// DetectObs is Detect with telemetry: when reg is non-nil the decode,
+// replay, and detection phases record spans and the detector publishes
+// its counters (vector-clock joins, replay stalls, races found) into reg.
+func DetectObs(log io.Reader, resolve func(int32) string, reg *obs.Registry) (*Report, error) {
+	span := reg.StartSpan("decode")
 	decoded, err := trace.ReadAll(log)
 	if err != nil {
 		return nil, err
 	}
-	res, err := hb.Detect(decoded, hb.Options{SamplerBit: hb.AllEvents})
+	span.EndItems(uint64(decoded.NumEvents()))
+	span = reg.StartSpan("replay+detect")
+	res, err := hb.Detect(decoded, hb.Options{SamplerBit: hb.AllEvents, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
+	span.EndItems(res.MemOps + res.SyncOps)
 	set := race.NewSet()
 	set.AddResult(res)
 	return buildReport(set, decoded.Meta, res, resolve), nil
@@ -312,7 +336,7 @@ func (p *Program) RunAndDetect(cfg Config) (*RunResult, *Report, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := Detect(bytes.NewReader(res.log.Bytes()), p.FuncName)
+	rep, err := DetectObs(bytes.NewReader(res.log.Bytes()), p.FuncName, cfg.Obs)
 	if err != nil {
 		return nil, nil, err
 	}
