@@ -9,6 +9,7 @@
 //	literace rewrite <prog.lir>              show instrumentation statistics
 //	literace run     <prog.lir> -log out.trc execute, writing an event log
 //	literace detect  <out.trc> [-src p.lir]  offline race detection on a log
+//	literace fsck    <out.trc>               log health report (JSON)
 //	literace dump    <out.trc> [-n N]        print decoded log events
 //	literace report  <prog.lir>              run + detect in one step
 //	literace bench   [-list | key]           run a built-in benchmark program
@@ -52,6 +53,8 @@ func main() {
 		err = cmdRun(args)
 	case "detect":
 		err = cmdDetect(args)
+	case "fsck":
+		err = cmdFsck(args)
 	case "dump":
 		err = cmdDump(args)
 	case "report":
@@ -74,12 +77,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|report|bench|stats> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|fsck|report|bench|stats> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
   run     <prog.lir> [-log f] [-sampler S] [-seed N] [-metrics f] [-cpuprofile f] [-memprofile f]
-  detect  <log.trc> [-src prog.lir] [-metrics f]
+  detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f]
+  fsck    <log.trc>                 salvage-decode and print a JSON health report
   dump    <log.trc> [-n N]          print decoded log events
   report  <prog.lir> [-sampler S] [-seed N]
   bench   [-list | key]             run a built-in benchmark (see -list)
@@ -254,6 +258,7 @@ func cmdRun(args []string) error {
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
+	salvage := fs.Bool("salvage", false, "tolerate a damaged log: drop corrupt chunks, weaken orderings, split races into confirmed/unconfirmed")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -276,6 +281,15 @@ func cmdDetect(args []string) error {
 	if *metricsPath != "" {
 		reg = obs.New()
 	}
+	if *salvage {
+		rep, srep, err := literace.DetectSalvaged(f, resolve, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "salvage:", srep.Summary())
+		fmt.Print(rep.String())
+		return writeMetrics(*metricsPath, reg)
+	}
 	rep, err := literace.DetectObs(f, resolve, reg)
 	if err != nil {
 		return err
@@ -287,6 +301,55 @@ func cmdDetect(args []string) error {
 		}
 	}
 	return writeMetrics(*metricsPath, reg)
+}
+
+// cmdFsck salvage-decodes a log without running detection and prints a
+// machine-readable health report: the damage summary plus enough counts to
+// decide whether `detect` (healthy) or `detect -salvage` (damaged) is the
+// right next step.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fsck wants one log file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, srep, err := trace.Salvage(f)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		File    string               `json:"file"`
+		Healthy bool                 `json:"healthy"`
+		Summary string               `json:"summary"`
+		Events  int                  `json:"events"`
+		Threads int                  `json:"threads"`
+		Module  string               `json:"module,omitempty"`
+		Seed    int64                `json:"seed"`
+		Report  *trace.SalvageReport `json:"report"`
+	}{
+		File:    fs.Arg(0),
+		Healthy: !srep.Lossy(),
+		Summary: srep.Summary(),
+		Events:  log.NumEvents(),
+		Threads: len(log.Threads),
+		Module:  log.Meta.Module,
+		Seed:    log.Meta.Seed,
+		Report:  srep,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if !out.Healthy {
+		return fmt.Errorf("log is damaged: %s (analyze with detect -salvage)", srep.Summary())
+	}
+	return nil
 }
 
 func cmdDump(args []string) error {

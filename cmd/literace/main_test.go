@@ -189,3 +189,114 @@ func TestCmdDump(t *testing.T) {
 		t.Error("missing log accepted")
 	}
 }
+
+// deadlockProg self-deadlocks after a bit of logged activity: thread 0
+// acquires the lock, spawns a child, and joins the child while still
+// holding the lock the child wants. cmdRun fails but must leave a
+// finalized partial trace on disk.
+const deadlockProg = `
+glob shared 1
+glob mu 1
+func child 1 4 {
+    glob r1, mu
+    lock r1
+    glob r2, shared
+    store r2, 0, r0
+    unlock r1
+    ret r0
+}
+func main 0 4 {
+    glob r0, mu
+    lock r0
+    glob r1, shared
+    movi r2, 7
+    store r1, 0, r2
+    fork r3, child, r2
+    join r3
+    unlock r0
+    exit
+}
+`
+
+func TestCmdFsckHealthy(t *testing.T) {
+	prog := writeProg(t)
+	logPath := filepath.Join(t.TempDir(), "out.trc")
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "Full", "-log", logPath, prog})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return cmdFsck([]string{logPath}) })
+	if err != nil {
+		t.Fatalf("fsck on healthy log: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"healthy": true`) {
+		t.Errorf("fsck output: %s", out)
+	}
+	if err := cmdFsck([]string{"/nonexistent.trc"}); err == nil {
+		t.Error("missing log accepted")
+	}
+}
+
+// TestCrashedRunSalvageEndToEnd is the ISSUE acceptance scenario: a run
+// that dies mid-execution still yields a log that fsck can read and
+// detect -salvage can analyze end to end.
+func TestCrashedRunSalvageEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "deadlock.lir")
+	if err := os.WriteFile(prog, []byte(deadlockProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "crash.trc")
+	_, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "Full", "-log", logPath, prog})
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+	info, serr := os.Stat(logPath)
+	if serr != nil || info.Size() == 0 {
+		t.Fatalf("no partial trace on disk: %v", serr)
+	}
+
+	out, err := capture(t, func() error { return cmdFsck([]string{logPath}) })
+	if err != nil {
+		t.Fatalf("fsck rejected the aborted run's log: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"healthy": true`) {
+		t.Errorf("aborted run's flushed log should be healthy: %s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return cmdDetect([]string{"-salvage", "-src", prog, logPath})
+	})
+	if err != nil {
+		t.Fatalf("detect -salvage: %v", err)
+	}
+	if !strings.Contains(out, "static data races") {
+		t.Errorf("salvage detect output: %q", out)
+	}
+
+	// Truncate the log mid-file: fsck must flag it and detect -salvage
+	// must still complete.
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.trc")
+	if err := os.WriteFile(cut, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error { return cmdFsck([]string{cut}) })
+	if err == nil {
+		t.Errorf("fsck accepted truncated log:\n%s", out)
+	}
+	if !strings.Contains(out, `"healthy": false`) {
+		t.Errorf("fsck output for truncated log: %s", out)
+	}
+	if _, err = capture(t, func() error {
+		return cmdDetect([]string{"-salvage", cut})
+	}); err != nil {
+		t.Fatalf("detect -salvage on truncated log: %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+package literace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"literace/internal/trace"
+	"literace/internal/trace/faultinject"
+)
+
+// crashProgram makes threads contend on a lock and race on an
+// unprotected global, so its log carries both sync orderings worth
+// damaging and a real race to (not) lose.
+const crashProgram = `
+glob shared 1
+glob protected 1
+glob lk 1
+func worker 1 6 {
+    movi r5, 12
+loop:
+    br r5, body, done
+body:
+    glob r1, shared
+    store r1, 0, r0
+    glob r2, lk
+    lock r2
+    glob r3, protected
+    load r4, r3, 0
+    addi r4, r4, 1
+    store r3, 0, r4
+    unlock r2
+    addi r5, r5, -1
+    jmp loop
+done:
+    ret r0
+}
+func main 0 6 {
+    movi r0, 1
+    fork r1, worker, r0
+    movi r0, 2
+    fork r2, worker, r0
+    call _, worker, r0
+    join r1
+    join r2
+    exit
+}
+`
+
+// crashCorpusLog runs the instrumented program once and returns its
+// pristine encoded log plus the full-log race report (the ground truth
+// confirmed races must stay inside).
+func crashCorpusLog(t *testing.T) ([]byte, map[string]bool) {
+	t.Helper()
+	p, err := Assemble("crash", crashProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	if _, err := p.Run(Config{Sampler: "Full", Seed: 3, LogTo: &log}); err != nil {
+		t.Fatal(err)
+	}
+	// Raw fn indices, matching what checkSalvaged's nil resolver produces.
+	full, err := Detect(bytes.NewReader(log.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[string]bool)
+	for _, rc := range full.Races {
+		truth[rc.First+"|"+rc.Second] = true
+	}
+	if len(truth) == 0 {
+		t.Fatal("ground-truth run found no races; the corpus proves nothing")
+	}
+	return log.Bytes(), truth
+}
+
+// checkSalvaged runs the salvage pipeline on a mutated log and asserts the
+// crash-tolerance contract: no error, and every confirmed race also exists
+// in the full log's race set (zero false positives survive damage).
+func checkSalvaged(t *testing.T, label string, data []byte, truth map[string]bool) {
+	t.Helper()
+	rep, srep, err := DetectSalvaged(bytes.NewReader(data), nil, nil)
+	if err != nil {
+		t.Fatalf("%s: DetectSalvaged: %v", label, err)
+	}
+	if srep.MagicBytes+srep.BytesOK+srep.BytesDropped != srep.TotalBytes {
+		t.Fatalf("%s: salvage byte accounting broken: %s", label, srep.Summary())
+	}
+	for _, rc := range rep.Races {
+		if rc.Unconfirmed {
+			continue
+		}
+		if !truth[rc.First+"|"+rc.Second] {
+			t.Fatalf("%s: confirmed race %s <-> %s absent from the full log (false positive)",
+				label, rc.First, rc.Second)
+		}
+	}
+	if srep.Lossy() && len(rep.Races) > 0 && !rep.Degraded {
+		// Lossy salvage must be visible on the report.
+		t.Fatalf("%s: lossy salvage (%s) but report not degraded", label, srep.Summary())
+	}
+}
+
+// TestCrashToleranceTruncationSweep is the ISSUE acceptance property:
+// truncating the log at every chunk boundary and at 100 random offsets
+// still yields a salvage + degraded detection that completes without
+// error, with confirmed races a subset of the full log's.
+func TestCrashToleranceTruncationSweep(t *testing.T) {
+	data, truth := crashCorpusLog(t)
+	for _, cut := range faultinject.Boundaries(data) {
+		checkSalvaged(t, "boundary cut", faultinject.TruncateAt(data, cut), truth)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		cut := len("LTRC2\n") + rng.Intn(len(data))
+		if cut > len(data) {
+			cut = len(data)
+		}
+		checkSalvaged(t, "random cut", faultinject.TruncateAt(data, cut), truth)
+	}
+}
+
+// TestCrashToleranceBitFlips flips random bits all over the log; salvage +
+// degraded detection must stay sound on every one of them.
+func TestCrashToleranceBitFlips(t *testing.T) {
+	data, truth := crashCorpusLog(t)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 150; i++ {
+		bit := len("LTRC2\n")*8 + rng.Intn((len(data)-6)*8)
+		checkSalvaged(t, "bit flip", faultinject.FlipBit(data, bit), truth)
+	}
+}
+
+// TestCrashToleranceChunkDropDup drops and duplicates every chunk in turn.
+func TestCrashToleranceChunkDropDup(t *testing.T) {
+	data, truth := crashCorpusLog(t)
+	spans, err := trace.ChunkSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spans {
+		checkSalvaged(t, "chunk drop", faultinject.DropChunk(data, i), truth)
+		checkSalvaged(t, "chunk dup", faultinject.DuplicateChunk(data, i), truth)
+	}
+}
+
+// TestCrashToleranceMutationStorm piles random mutations on top of each
+// other: up to three independent faults per trial.
+func TestCrashToleranceMutationStorm(t *testing.T) {
+	data, truth := crashCorpusLog(t)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 120; i++ {
+		mut := data
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			mut, _ = faultinject.Mutate(mut, rng)
+		}
+		if len(mut) < len("LTRC2\n") {
+			continue // magic destroyed; DetectSalvaged correctly refuses
+		}
+		if _, _, err := trace.Salvage(bytes.NewReader(mut)); err != nil {
+			continue
+		}
+		checkSalvaged(t, "storm", mut, truth)
+	}
+}
+
+// TestSalvageCleanLogMatchesStrictDetect checks -salvage on an undamaged
+// log is a no-op: same races, nothing unconfirmed, not degraded.
+func TestSalvageCleanLogMatchesStrictDetect(t *testing.T) {
+	data, truth := crashCorpusLog(t)
+	rep, srep, err := DetectSalvaged(bytes.NewReader(data), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Lossy() || rep.Degraded {
+		t.Fatalf("clean log flagged: %s", srep.Summary())
+	}
+	if len(rep.Races) != len(truth) {
+		t.Errorf("salvaged detect found %d races, strict %d", len(rep.Races), len(truth))
+	}
+	for _, rc := range rep.Races {
+		if rc.Unconfirmed {
+			t.Errorf("race %s <-> %s unconfirmed on a clean log", rc.First, rc.Second)
+		}
+	}
+}

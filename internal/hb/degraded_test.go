@@ -1,0 +1,241 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"literace/internal/obs"
+	"literace/internal/trace"
+)
+
+// TestReplayDegradedPristineLog checks degraded replay is exactly strict
+// replay on an undamaged log: same events, zero degradation, no onDegrade.
+func TestReplayDegradedPristineLog(t *testing.T) {
+	b := newLogBuilder()
+	for i := 0; i < 3; i++ {
+		b.sync(1, trace.KindAcquire, trace.OpLock, lockVar)
+		b.mem(1, trace.KindWrite, x, 0xFFFF)
+		b.sync(1, trace.KindRelease, trace.OpUnlock, lockVar)
+		b.sync(2, trace.KindAcquire, trace.OpLock, lockVar)
+		b.mem(2, trace.KindRead, x, 0xFFFF)
+		b.sync(2, trace.KindRelease, trace.OpUnlock, lockVar)
+	}
+	var strict, degraded []trace.Event
+	if err := Replay(b.log(), func(e trace.Event) error {
+		strict = append(strict, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	deg, err := ReplayDegraded(b.log(), nil, func() { fired = true }, func(e trace.Event) error {
+		degraded = append(degraded, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Degraded() || fired {
+		t.Errorf("pristine log degraded: %s (onDegrade=%v)", deg, fired)
+	}
+	if len(strict) != len(degraded) {
+		t.Fatalf("event counts differ: %d vs %d", len(strict), len(degraded))
+	}
+	for i := range strict {
+		if strict[i] != degraded[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}
+
+// TestReplayDegradedSkipsMissingSlot deletes a release event (the content
+// of a lost chunk): strict replay must fail, degraded replay must
+// fast-forward over the missing timestamp slot and deliver everything else.
+func TestReplayDegradedSkipsMissingSlot(t *testing.T) {
+	b := newLogBuilder()
+	b.sync(1, trace.KindAcquire, trace.OpLock, lockVar)
+	b.mem(1, trace.KindWrite, x, 0xFFFF)
+	b.sync(1, trace.KindRelease, trace.OpUnlock, lockVar)
+	b.sync(2, trace.KindAcquire, trace.OpLock, lockVar)
+	b.mem(2, trace.KindWrite, x, 0xFFFF)
+	b.sync(2, trace.KindRelease, trace.OpUnlock, lockVar)
+
+	evs := b.threads[1]
+	l := &trace.Log{Threads: map[int32][]trace.Event{
+		1: evs[:2], // release (TS 2) lost
+		2: b.threads[2],
+	}}
+	if err := Replay(l, func(trace.Event) error { return nil }); err == nil {
+		t.Fatal("strict replay accepted a log with a missing timestamp")
+	}
+
+	reg := obs.New()
+	delivered := 0
+	deg, err := ReplayDegraded(l, reg, nil, func(e trace.Event) error {
+		delivered++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 5 {
+		t.Errorf("delivered %d events, want 5", delivered)
+	}
+	if deg.Skips != 1 || deg.SlotsSkipped != 1 {
+		t.Errorf("degradation = %s, want 1 skip over 1 slot", deg)
+	}
+	if got := reg.Snapshot().Counters["hb.degraded_skips"]; got != 1 {
+		t.Errorf("hb.degraded_skips = %d", got)
+	}
+}
+
+// TestReplayDegradedStaleAndBadCounter covers the two deliver-unordered
+// paths: a resurrected event whose slot already passed, and an event whose
+// counter id is out of range.
+func TestReplayDegradedStaleAndBadCounter(t *testing.T) {
+	b := newLogBuilder()
+	b.sync(1, trace.KindRelease, trace.OpUnlock, lockVar)
+	dup := b.threads[1][0]
+	dup.TID = 2
+	l := &trace.Log{Threads: map[int32][]trace.Event{
+		1: b.threads[1],
+		2: {dup}, // same counter, same TS: stale by the time it's reached
+	}}
+	deg, err := ReplayDegraded(l, nil, nil, func(trace.Event) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.StaleEvents != 1 || !deg.Degraded() {
+		t.Errorf("stale not detected: %s", deg)
+	}
+
+	l2 := &trace.Log{Threads: map[int32][]trace.Event{
+		1: {{Kind: trace.KindRelease, TID: 1, Counter: 200, TS: 1}},
+	}}
+	n := 0
+	deg, err = ReplayDegraded(l2, nil, nil, func(trace.Event) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.BadCounters != 1 || n != 1 {
+		t.Errorf("bad counter: %s, delivered %d", deg, n)
+	}
+}
+
+// TestReplayDegradedSuspectEvents checks events at or past a salvage loss
+// point (trace.Log.Degraded) trip degradation before they are delivered.
+func TestReplayDegradedSuspectEvents(t *testing.T) {
+	b := newLogBuilder()
+	b.mem(1, trace.KindWrite, x, 0xFFFF)
+	b.mem(2, trace.KindWrite, x, 0xFFFF)
+	b.mem(2, trace.KindWrite, x+1, 0xFFFF)
+	l := b.log()
+	l.Degraded = map[int32]int{2: 0} // thread 2 lost its first chunk
+
+	degradedBefore := -1
+	seen := 0
+	deg, err := ReplayDegraded(l, nil, func() { degradedBefore = seen }, func(e trace.Event) error {
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.SuspectEvents != 2 {
+		t.Errorf("SuspectEvents = %d, want 2", deg.SuspectEvents)
+	}
+	// onDegrade must fire before the first suspect event (thread 2's
+	// stream), i.e. after only thread 1's event was seen.
+	if degradedBefore != 1 {
+		t.Errorf("onDegrade fired after %d events, want 1", degradedBefore)
+	}
+}
+
+// TestDetectDegradedUnconfirmedSplit is the confirmed/unconfirmed
+// soundness story in one log: a real race observed before any damage stays
+// confirmed, a race observable only after a lost sync event is tagged
+// unconfirmed.
+func TestDetectDegradedUnconfirmedSplit(t *testing.T) {
+	y := uint64(0x300)
+	b := newLogBuilder()
+	// Unsynchronized conflicting writes on x: a genuine race, fully intact.
+	pcAx := b.mem(1, trace.KindWrite, x, 0xFFFF)
+	b.mem(1, trace.KindWrite, y, 0xFFFF)
+	pcBx := b.mem(2, trace.KindWrite, x, 0xFFFF)
+	// Thread 2 then acquires a lock whose release (on thread 3) is lost,
+	// and writes y: the y race is only observable through the damage.
+	b.sync(3, trace.KindRelease, trace.OpUnlock, lockVar) // will be deleted
+	b.sync(2, trace.KindAcquire, trace.OpLock, lockVar)
+	b.mem(2, trace.KindWrite, y, 0xFFFF)
+	l := &trace.Log{Threads: map[int32][]trace.Event{
+		1: b.threads[1],
+		2: b.threads[2],
+		// thread 3's stream (the release) lost with its chunk
+	}}
+
+	res, deg, err := DetectDegraded(l, Options{SamplerBit: AllEvents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Degraded() || !res.Degraded {
+		t.Fatalf("degradation not flagged: %s", deg)
+	}
+	if res.NumRaces != 2 || res.Unconfirmed != 1 || res.Confirmed() != 1 {
+		t.Fatalf("races = %d (unconfirmed %d), want 2 (1)", res.NumRaces, res.Unconfirmed)
+	}
+	for _, r := range res.Races {
+		switch r.Addr {
+		case x:
+			if r.Unconfirmed {
+				t.Errorf("pre-damage race %v<->%v tagged unconfirmed", pcAx, pcBx)
+			}
+		case y:
+			if !r.Unconfirmed {
+				t.Error("post-damage race tagged confirmed")
+			}
+		}
+	}
+}
+
+// TestDetectDegradedProperLockingQuick extends the core soundness property
+// to damaged logs: drop one whole sync "chunk" (a contiguous slice of one
+// thread's stream) from a properly-locked log; every race DetectDegraded
+// still confirms must also exist in the intact log's results — i.e. none,
+// so confirmed must be zero. Unconfirmed reports are allowed.
+func TestDetectDegradedProperLockingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := newLogBuilder()
+		nthreads := 2 + r.Intn(3)
+		iters := 2 + r.Intn(10)
+		for i := 0; i < nthreads*iters; i++ {
+			tid := int32(1 + r.Intn(nthreads))
+			b.sync(tid, trace.KindAcquire, trace.OpLock, lockVar)
+			b.mem(tid, trace.KindWrite, x, 0xFFFF)
+			b.sync(tid, trace.KindRelease, trace.OpUnlock, lockVar)
+		}
+		l := b.log()
+		// Damage: cut a random contiguous span out of one thread's stream
+		// and mark the loss the way Salvage would.
+		victim := int32(1 + r.Intn(nthreads))
+		evs := l.Threads[victim]
+		if len(evs) < 3 {
+			return true
+		}
+		from := r.Intn(len(evs) - 1)
+		to := from + 1 + r.Intn(len(evs)-from-1)
+		cut := append(append([]trace.Event(nil), evs[:from]...), evs[to:]...)
+		l.Threads[victim] = cut
+		l.Degraded = map[int32]int{victim: from}
+
+		res, _, err := DetectDegraded(l, Options{SamplerBit: AllEvents})
+		if err != nil {
+			return false
+		}
+		return res.Confirmed() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

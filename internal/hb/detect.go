@@ -17,6 +17,13 @@ type DynamicRace struct {
 	PrevTID   int32
 	CurTID    int32
 	Addr      uint64
+
+	// Unconfirmed marks a race first observed after the detector entered
+	// degraded mode (MarkDegraded): some happens-before edge may have
+	// been lost with the damaged part of the log, so the pair could be a
+	// false positive. The paper's zero-false-positive guarantee (§4)
+	// holds only for confirmed races.
+	Unconfirmed bool
 }
 
 // Options configures a detection pass.
@@ -50,16 +57,28 @@ type Result struct {
 	NumRaces uint64        // total dynamic races, even beyond KeepMax
 	MemOps   uint64        // memory events analyzed (after filtering)
 	SyncOps  uint64        // sync events processed
+
+	// Unconfirmed counts the dynamic races (within NumRaces) first
+	// observed after the detector entered degraded mode.
+	Unconfirmed uint64
+	// Degraded reports whether the detector ever entered degraded mode.
+	Degraded bool
 }
+
+// Confirmed returns the dynamic races found while every happens-before
+// edge was still intact — the subset the zero-false-positive guarantee
+// covers.
+func (r *Result) Confirmed() uint64 { return r.NumRaces - r.Unconfirmed }
 
 // Detector is a streaming happens-before race detector. Feed it events in
 // a legal global order (e.g. via Replay); it reports races through opts.
 type Detector struct {
-	opts    Options
-	res     Result
-	threads map[int32]*threadState
-	vars    map[uint64]VC         // SyncVar -> clock published by last release
-	mem     map[uint64]*addrState // address -> access history
+	opts     Options
+	res      Result
+	degraded bool
+	threads  map[int32]*threadState
+	vars     map[uint64]VC         // SyncVar -> clock published by last release
+	mem      map[uint64]*addrState // address -> access history
 
 	// Telemetry instruments; nil (no-op) when opts.Obs is nil.
 	obsJoins *obs.Counter // hb.vc_joins
@@ -199,7 +218,19 @@ func (d *Detector) access(e trace.Event) {
 	st.reads = append(st.reads, readInfo{epoch: now, pc: e.PC})
 }
 
+// MarkDegraded switches the detector into degraded mode: every race
+// reported from now on is tagged unconfirmed. Degraded replay calls it
+// the moment an ordering is weakened; it is idempotent.
+func (d *Detector) MarkDegraded() {
+	d.degraded = true
+	d.res.Degraded = true
+}
+
 func (d *Detector) report(r DynamicRace) {
+	if d.degraded {
+		r.Unconfirmed = true
+		d.res.Unconfirmed++
+	}
 	d.res.NumRaces++
 	d.obsRaces.Inc()
 	if d.opts.OnRace != nil {
@@ -223,4 +254,20 @@ func Detect(log *trace.Log, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return d.Result(), nil
+}
+
+// DetectDegraded replays a possibly damaged log (see ReplayDegraded) and
+// runs happens-before detection over it. Races first observed after the
+// replay weakened an ordering are tagged unconfirmed; the confirmed
+// subset keeps the no-false-positive guarantee.
+func DetectDegraded(log *trace.Log, opts Options) (*Result, *Degradation, error) {
+	d := NewDetector(opts)
+	deg, err := ReplayDegraded(log, opts.Obs, d.MarkDegraded, func(e trace.Event) error {
+		d.Process(e)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Result(), deg, nil
 }

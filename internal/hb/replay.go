@@ -28,20 +28,93 @@ func Replay(log *trace.Log, fn func(trace.Event) error) error {
 // (hb.replay_stalls — times a thread's stream blocked on a timestamp that
 // was not yet the next expected value for its counter).
 func ReplayObs(log *trace.Log, reg *obs.Registry, fn func(trace.Event) error) error {
-	var stalls, rounds *obs.Counter
+	_, err := replay(log, reg, nil, nil, fn)
+	return err
+}
+
+// Degradation describes the orderings a degraded replay weakened to get
+// past missing or damaged sync events. A zero Degradation means the log
+// replayed exactly as a pristine one would.
+type Degradation struct {
+	// Skips counts stuck resolutions: moments when no thread had a ready
+	// event and the replayer fast-forwarded a timestamp counter over
+	// missing slots.
+	Skips int
+	// SlotsSkipped totals the missing timestamp slots jumped over.
+	SlotsSkipped uint64
+	// StaleEvents counts sync events replayed whose timestamp slot had
+	// already passed (the signature of a duplicated or resurrected chunk).
+	StaleEvents int
+	// BadCounters counts sync events with out-of-range counter ids that
+	// were replayed without ordering (corrupt events a salvage let
+	// through).
+	BadCounters int
+	// SuspectEvents counts events delivered from a stream position at or
+	// past a salvage loss (trace.Log.Degraded).
+	SuspectEvents int
+}
+
+// Degraded reports whether any ordering was weakened: races first
+// observed afterwards are unconfirmed.
+func (g *Degradation) Degraded() bool {
+	return g != nil && (g.Skips > 0 || g.StaleEvents > 0 || g.BadCounters > 0 || g.SuspectEvents > 0)
+}
+
+func (g *Degradation) String() string {
+	if !g.Degraded() {
+		return "no degradation"
+	}
+	return fmt.Sprintf("%d skips over %d missing timestamp slots, %d stale events, %d bad counters, %d suspect events",
+		g.Skips, g.SlotsSkipped, g.StaleEvents, g.BadCounters, g.SuspectEvents)
+}
+
+// ReplayDegraded replays a possibly damaged log (e.g. one recovered by
+// trace.Salvage). Where Replay fails — a missing timestamp, an event
+// stream that follows a salvage loss, an out-of-range counter — it
+// instead weakens the affected cross-thread orderings and keeps going:
+// stuck counters are fast-forwarded past the missing slots, stale and
+// corrupt sync events are delivered without ordering, and onDegrade (when
+// non-nil) fires before the first event whose ordering is no longer
+// trustworthy, so a detector can split its findings into confirmed and
+// unconfirmed. When reg is non-nil, hb.degraded_skips counts the slots
+// skipped alongside the usual replay telemetry. The returned error can
+// only come from fn.
+func ReplayDegraded(log *trace.Log, reg *obs.Registry, onDegrade func(), fn func(trace.Event) error) (*Degradation, error) {
+	deg := &Degradation{}
+	return replay(log, reg, deg, onDegrade, fn)
+}
+
+func replay(log *trace.Log, reg *obs.Registry, deg *Degradation, onDegrade func(), fn func(trace.Event) error) (*Degradation, error) {
+	var stalls, rounds, skips *obs.Counter
 	if reg != nil {
 		stalls = reg.Counter("hb.replay_stalls")
 		rounds = reg.Counter("hb.replay_rounds")
+		skips = reg.Counter("hb.degraded_skips")
 	}
 	tids := log.TIDs()
 	streams := make([][]trace.Event, len(tids))
 	pos := make([]int, len(tids))
+	suspectFrom := make([]int, len(tids))
 	for i, tid := range tids {
 		streams[i] = log.Threads[tid]
+		suspectFrom[i] = len(streams[i]) + 1
+		if idx, ok := log.Degraded[tid]; ok {
+			suspectFrom[i] = idx
+		}
 	}
 	var next [trace.NumCounters]uint64
 	for i := range next {
 		next[i] = 1
+	}
+
+	degraded := false
+	markDegraded := func() {
+		if !degraded {
+			degraded = true
+			if onDegrade != nil {
+				onDegrade()
+			}
+		}
 	}
 
 	remaining := log.NumEvents()
@@ -50,31 +123,78 @@ func ReplayObs(log *trace.Log, reg *obs.Registry, fn func(trace.Event) error) er
 		rounds.Inc()
 		for i := range streams {
 			// Drain this thread greedily until it blocks on a timestamp.
-			for pos[i] < len(streams[i]) {
+			blocked := false
+			for !blocked && pos[i] < len(streams[i]) {
 				e := streams[i][pos[i]]
 				if e.Kind.IsSync() {
-					if int(e.Counter) >= trace.NumCounters {
-						return fmt.Errorf("hb: thread %d event %d: bad counter %d", tids[i], pos[i], e.Counter)
-					}
-					if next[e.Counter] != e.TS {
+					switch {
+					case int(e.Counter) >= trace.NumCounters:
+						if deg == nil {
+							return nil, fmt.Errorf("hb: thread %d event %d: bad counter %d", tids[i], pos[i], e.Counter)
+						}
+						// Corrupt counter id: deliver unordered.
+						deg.BadCounters++
+						markDegraded()
+					case next[e.Counter] == e.TS:
+						next[e.Counter]++
+					case deg != nil && e.TS < next[e.Counter]:
+						// The slot already passed: a duplicated or
+						// resurrected event. Deliver it, but its ordering
+						// is meaningless.
+						deg.StaleEvents++
+						markDegraded()
+					default:
 						stalls.Inc()
-						break // not ready yet
+						blocked = true
+						continue
 					}
-					next[e.Counter]++
+				}
+				if deg != nil && pos[i] >= suspectFrom[i] {
+					deg.SuspectEvents++
+					markDegraded()
 				}
 				pos[i]++
 				remaining--
 				progressed = true
 				if err := fn(e); err != nil {
-					return err
+					return deg, err
 				}
 			}
 		}
 		if !progressed {
-			return replayStuckError(tids, streams, pos, &next)
+			if deg == nil {
+				return nil, replayStuckError(tids, streams, pos, &next)
+			}
+			// Every pending stream head is a sync event waiting on a
+			// future timestamp (stale and corrupt heads were delivered in
+			// the drain). The events that would fill the missing slots are
+			// gone — fast-forward the counter with the smallest gap, which
+			// weakens exactly the orderings that depended on the lost
+			// events and nothing else.
+			best, bestGap := -1, uint64(0)
+			for i := range streams {
+				if pos[i] >= len(streams[i]) {
+					continue
+				}
+				e := streams[i][pos[i]]
+				gap := e.TS - next[e.Counter]
+				if best < 0 || gap < bestGap {
+					best, bestGap = i, gap
+				}
+			}
+			if best < 0 {
+				// remaining > 0 guarantees a pending stream; defensive.
+				return deg, fmt.Errorf("hb: degraded replay stuck with no pending events")
+			}
+			e := streams[best][pos[best]]
+			markDegraded()
+			deg.Skips++
+			deg.SlotsSkipped += bestGap
+			skips.Add(bestGap)
+			next[e.Counter] = e.TS
 		}
 	}
-	return nil
+	return deg, nil
 }
 
 func replayStuckError(tids []int32, streams [][]trace.Event, pos []int, next *[trace.NumCounters]uint64) error {

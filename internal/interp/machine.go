@@ -322,6 +322,24 @@ func (m *Machine) deadlockError() error {
 	return fmt.Errorf("interp: internal error: alive=%d but no blocked threads", m.alive)
 }
 
+// PartialMeta snapshots trace metadata mid-run: the counters accumulated
+// so far, without finalizing the runtime. The trace writer calls it (via
+// literace's checkpoint wiring) when emitting periodic metadata
+// checkpoints, so a log truncated by a crash still carries usable
+// counters. Must be called from the interpreter's goroutine.
+func (m *Machine) PartialMeta() trace.Meta {
+	res := m.res
+	res.Threads = m.totalSpawns
+	res.Cycles = res.BaseCycles
+	meta := m.Meta(&res)
+	if rt := m.opts.Runtime; rt != nil {
+		// Stats aren't folded in until Finalize; leave SampledOps empty
+		// rather than report stale zeroes as authoritative.
+		meta.SampledOps = nil
+	}
+	return meta
+}
+
 // Meta assembles trace metadata for the completed run; the caller fills
 // log-size and sampler fields it cannot know.
 func (m *Machine) Meta(res *Result) trace.Meta {

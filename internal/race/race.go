@@ -37,6 +37,12 @@ type Static struct {
 	Key   Key
 	Count uint64 // dynamic occurrences
 
+	// Confirmed counts the dynamic occurrences observed before any
+	// degradation (see hb.DynamicRace.Unconfirmed). A static race with
+	// Confirmed == 0 was only ever seen through weakened orderings and
+	// may be a false positive.
+	Confirmed uint64
+
 	// Write-write vs read-write composition, for reporting.
 	WriteWrite uint64
 	ReadWrite  uint64
@@ -82,12 +88,19 @@ func (s *Set) Add(r hb.DynamicRace) {
 		s.m[k] = st
 	}
 	st.Count++
+	if !r.Unconfirmed {
+		st.Confirmed++
+	}
 	if r.PrevWrite && r.CurWrite {
 		st.WriteWrite++
 	} else {
 		st.ReadWrite++
 	}
 }
+
+// Unconfirmed reports whether the race was only ever observed after a
+// degradation weakened the happens-before orderings.
+func (s *Static) Unconfirmed() bool { return s.Confirmed == 0 }
 
 // AddResult folds every dynamic race of a detection result into the set.
 func (s *Set) AddResult(res *hb.Result) {
@@ -122,6 +135,20 @@ func (s *Set) Races() []*Static {
 		return a.B.Less(b.B)
 	})
 	return out
+}
+
+// SplitConfirmed partitions the races into confirmed (at least one
+// occurrence observed with intact orderings — covered by the paper's
+// no-false-positive guarantee) and unconfirmed.
+func (s *Set) SplitConfirmed() (confirmed, unconfirmed []*Static) {
+	for _, st := range s.Races() {
+		if st.Unconfirmed() {
+			unconfirmed = append(unconfirmed, st)
+		} else {
+			confirmed = append(confirmed, st)
+		}
+	}
+	return confirmed, unconfirmed
 }
 
 // Split partitions the races into rare and frequent per the Table 4 rule.
@@ -165,14 +192,21 @@ func (s *Set) Report(nonStackMemOps uint64, resolve func(int32) string) string {
 	var b strings.Builder
 	rare, freq := s.Split(nonStackMemOps)
 	fmt.Fprintf(&b, "%d static data races (%d rare, %d frequent)\n", s.Len(), len(rare), len(freq))
+	if _, unconf := s.SplitConfirmed(); len(unconf) > 0 {
+		fmt.Fprintf(&b, "%d unconfirmed (first observed after log damage; may be false positives)\n", len(unconf))
+	}
 	for _, st := range s.Races() {
 		class := "frequent"
 		if st.Rare(nonStackMemOps) {
 			class = "rare"
 		}
-		fmt.Fprintf(&b, "  %-9s %s <-> %s  count=%d (ww=%d rw=%d) addr=%#x threads=%d,%d\n",
+		suffix := ""
+		if st.Unconfirmed() {
+			suffix = " UNCONFIRMED"
+		}
+		fmt.Fprintf(&b, "  %-9s %s <-> %s  count=%d (ww=%d rw=%d) addr=%#x threads=%d,%d%s\n",
 			class, name(st.Key.A), name(st.Key.B), st.Count, st.WriteWrite, st.ReadWrite,
-			st.SampleAddr, st.SampleTIDs[0], st.SampleTIDs[1])
+			st.SampleAddr, st.SampleTIDs[0], st.SampleTIDs[1], suffix)
 	}
 	return b.String()
 }

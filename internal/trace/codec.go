@@ -6,35 +6,71 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 
 	"literace/internal/obs"
 )
 
-// Binary layout:
+// Binary layout (LTRC2, the current version):
 //
 //	file   := magic chunk*
-//	magic  := "LTRC1\n"
-//	chunk  := tag uvarint(len) payload[len]
-//	tag    := uvarint(tid + 1)   ; tag 0 is the metadata chunk
-//	payload (tid chunk)  := event*
-//	payload (meta chunk) := JSON-encoded Meta
+//	magic  := "LTRC2\n"
+//	chunk  := marker[4] uvarint(tag) uvarint(len) payload[len] crc32le[4]
+//	marker := F7 "LT2"
+//	tag    := 0            ; metadata trailer (JSON Meta)
+//	        | 1            ; checkpoint (JSON Meta snapshot, best effort)
+//	        | tid + 2      ; event chunk for thread tid
+//	payload (tid chunk)  := uvarint(seq) event*       ; seq is 1,2,3,... per thread
+//	payload (meta/ckpt)  := JSON-encoded Meta
 //	event  := kind byte, op byte, then per-kind varints:
 //	          mem:  pcFunc pcIndex addr mask
 //	          sync: pcFunc pcIndex addr counter ts
 //
+// The CRC32 (IEEE, little-endian) covers the tag and length varints plus
+// the payload, so any corruption inside a chunk is detectable, and the
+// marker gives the salvage decoder a resynchronization point after
+// corruption. Per-thread sequence numbers make dropped or duplicated
+// chunks detectable. Checkpoints carry the run counters accumulated so
+// far, so a log truncated by a crash still has usable metadata.
+//
 // Chunks from the same thread appear in program order; chunks from
 // different threads interleave arbitrarily (each thread flushes its own
 // buffer, mirroring the paper's per-thread log buffers).
+//
+// ReadAll also accepts the legacy LTRC1 format (no markers, CRCs,
+// sequence numbers, or checkpoints; thread chunks use tag tid+1).
 
-const magic = "LTRC1\n"
+const (
+	magicV1 = "LTRC1\n"
+	magic   = "LTRC2\n"
 
-// Meta is the run metadata written as the log trailer. It carries the
-// counters the evaluation needs: total memory operations for effective
-// sampling rates (Table 3), non-stack memory instructions for the
-// rare/frequent classification (Table 4), and cost-model cycles for the
-// overhead tables (Table 5, Figure 6).
+	// tag namespace of LTRC2 chunks.
+	tagMeta       = 0
+	tagCheckpoint = 1
+	tagThreadBase = 2
+
+	// maxChunkLen bounds the declared chunk length so a corrupt uvarint
+	// cannot drive an unbounded allocation. The writer never produces
+	// chunks anywhere near this size (flushThreshold plus one event).
+	maxChunkLen = 1 << 20
+
+	// checkpointInterval is how many encoded bytes may elapse between
+	// metadata checkpoints.
+	checkpointInterval = 1 << 16
+)
+
+// chunkMarker precedes every LTRC2 chunk; the salvage decoder scans for
+// it to resynchronize after corruption.
+var chunkMarker = [4]byte{0xF7, 'L', 'T', '2'}
+
+// Meta is the run metadata written as the log trailer (and, partially, in
+// periodic checkpoint chunks). It carries the counters the evaluation
+// needs: total memory operations for effective sampling rates (Table 3),
+// non-stack memory instructions for the rare/frequent classification
+// (Table 4), and cost-model cycles for the overhead tables (Table 5,
+// Figure 6).
 type Meta struct {
 	Module  string `json:"module"`
 	Seed    int64  `json:"seed"`
@@ -87,6 +123,9 @@ type Writer struct {
 	threads map[int32]*ThreadWriter
 	closed  bool
 
+	lastCkpt   uint64      // written watermark of the last checkpoint
+	metaSource func() Meta // optional snapshot provider for checkpoints
+
 	// Telemetry instruments; all nil when observability is disabled.
 	obsReg    *obs.Registry
 	obsBytes  *obs.Counter // trace.bytes_written
@@ -103,7 +142,12 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := bw.WriteString(magic); err != nil {
 		return nil, fmt.Errorf("trace: writing magic: %w", err)
 	}
-	return &Writer{w: bw, written: uint64(len(magic)), threads: make(map[int32]*ThreadWriter)}, nil
+	return &Writer{
+		w:        bw,
+		written:  uint64(len(magic)),
+		lastCkpt: uint64(len(magic)),
+		threads:  make(map[int32]*ThreadWriter),
+	}, nil
 }
 
 // SetObs attaches telemetry instruments to the writer: bytes written,
@@ -117,6 +161,18 @@ func (w *Writer) SetObs(r *obs.Registry) {
 	w.obsChunks = r.Counter("trace.chunks_flushed")
 	w.obsEvents = r.Counter("trace.events_appended")
 	w.obsBytes.Add(w.written) // account for the magic already emitted
+}
+
+// SetMetaSource registers a callback that snapshots the run counters
+// accumulated so far. The writer invokes it when emitting periodic
+// checkpoint chunks, so a log truncated by a crash still carries usable
+// metadata. The callback runs under the writer lock and must not call
+// back into the Writer. Nil (the default) makes checkpoints carry only
+// the writer's own byte count.
+func (w *Writer) SetMetaSource(f func() Meta) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.metaSource = f
 }
 
 // Thread returns the per-thread writer for tid, creating it on first use.
@@ -134,20 +190,32 @@ func (w *Writer) Thread(tid int32) *ThreadWriter {
 	return tw
 }
 
-// flushChunk writes one chunk; callers hold no locks.
+// flushChunk writes one chunk and, after thread chunks, a metadata
+// checkpoint when enough bytes have elapsed; callers hold no locks.
 func (w *Writer) flushChunk(tag uint64, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.flushChunkLocked(tag, payload)
+	if err := w.flushChunkLocked(tag, payload); err != nil {
+		return err
+	}
+	if tag >= tagThreadBase && w.written-w.lastCkpt >= checkpointInterval {
+		return w.writeCheckpointLocked()
+	}
+	return nil
 }
 
 func (w *Writer) flushChunkLocked(tag uint64, payload []byte) error {
 	if w.err != nil {
 		return w.err
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], tag)
+	var hdr [4 + 2*binary.MaxVarintLen64]byte
+	copy(hdr[:4], chunkMarker[:])
+	n := 4 + binary.PutUvarint(hdr[4:], tag)
 	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[4:n])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
 	if _, err := w.w.Write(hdr[:n]); err != nil {
 		w.err = fmt.Errorf("trace: %w", err)
 		return w.err
@@ -156,9 +224,32 @@ func (w *Writer) flushChunkLocked(tag uint64, payload []byte) error {
 		w.err = fmt.Errorf("trace: %w", err)
 		return w.err
 	}
-	w.written += uint64(n + len(payload))
-	w.obsBytes.Add(uint64(n + len(payload)))
+	if _, err := w.w.Write(crcb[:]); err != nil {
+		w.err = fmt.Errorf("trace: %w", err)
+		return w.err
+	}
+	w.written += uint64(n + len(payload) + 4)
+	w.obsBytes.Add(uint64(n + len(payload) + 4))
 	w.obsChunks.Inc()
+	return nil
+}
+
+// writeCheckpointLocked emits a tag-1 checkpoint chunk carrying the best
+// counter snapshot available.
+func (w *Writer) writeCheckpointLocked() error {
+	var meta Meta
+	if w.metaSource != nil {
+		meta = w.metaSource()
+	}
+	meta.LoggedBytes = w.written
+	payload, err := json.Marshal(&meta)
+	if err != nil {
+		return fmt.Errorf("trace: encoding checkpoint: %w", err)
+	}
+	if err := w.flushChunkLocked(tagCheckpoint, payload); err != nil {
+		return err
+	}
+	w.lastCkpt = w.written
 	return nil
 }
 
@@ -190,7 +281,7 @@ func (w *Writer) Close(meta Meta) error {
 	if err != nil {
 		return fmt.Errorf("trace: encoding meta: %w", err)
 	}
-	if err := w.flushChunkLocked(0, payload); err != nil {
+	if err := w.flushChunkLocked(tagMeta, payload); err != nil {
 		return err
 	}
 	if w.err == nil {
@@ -212,6 +303,7 @@ type ThreadWriter struct {
 	tid    int32
 	buf    []byte
 	count  uint64
+	seq    uint64 // sequence number of the last flushed chunk
 
 	obsEvents  *obs.Counter // shared trace.events_appended
 	obsFlushes *obs.Counter // trace.thread_flushes.t<tid>
@@ -231,12 +323,17 @@ func (tw *ThreadWriter) Append(e Event) error {
 // Count returns the number of events appended to this thread.
 func (tw *ThreadWriter) Count() uint64 { return tw.count }
 
-// Flush writes the buffered events as one chunk.
+// Flush writes the buffered events as one chunk, prefixed with this
+// thread's next sequence number.
 func (tw *ThreadWriter) Flush() error {
 	if len(tw.buf) == 0 {
 		return nil
 	}
-	err := tw.parent.flushChunk(uint64(uint32(tw.tid))+1, tw.buf)
+	tw.seq++
+	payload := make([]byte, 0, binary.MaxVarintLen64+len(tw.buf))
+	payload = binary.AppendUvarint(payload, tw.seq)
+	payload = append(payload, tw.buf...)
+	err := tw.parent.flushChunk(uint64(uint32(tw.tid))+tagThreadBase, payload)
 	tw.buf = tw.buf[:0]
 	tw.obsFlushes.Inc()
 	return err
@@ -261,6 +358,12 @@ func appendEvent(buf []byte, e Event) []byte {
 type Log struct {
 	Meta    Meta
 	Threads map[int32][]Event
+
+	// Degraded, when non-nil, marks the per-thread event index from which
+	// the stream follows a salvage loss (a dropped chunk or sequence gap):
+	// orderings derived from events at or past that index are suspect.
+	// ReadAll always leaves it nil; Salvage fills it in.
+	Degraded map[int32]int
 }
 
 // NumEvents returns the total event count across threads.
@@ -286,16 +389,112 @@ func (l *Log) TIDs() []int32 {
 	return out
 }
 
-// ReadAll decodes a complete log from r.
+// ReadAll decodes a complete log from r: LTRC2 (with every CRC, sequence
+// number, and the metadata trailer verified) or the legacy LTRC1 format.
+// Any truncation, corruption, or gap is an error; use Salvage to extract
+// a best-effort log from damaged input.
 func ReadAll(r io.Reader) (*Log, error) {
 	br := bufio.NewReader(r)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(got) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", got)
+	switch string(got) {
+	case magic:
+		return readAllV2(br)
+	case magicV1:
+		return readAllV1(br)
 	}
+	return nil, fmt.Errorf("trace: bad magic %q", got)
+}
+
+// readAllV2 strictly decodes the LTRC2 chunk stream.
+func readAllV2(br *bufio.Reader) (*Log, error) {
+	log := &Log{Threads: make(map[int32][]Event)}
+	sawMeta := false
+	lastSeq := make(map[int32]uint64)
+	for {
+		var mk [4]byte
+		if _, err := io.ReadFull(br, mk[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: reading chunk marker: %w", err)
+		}
+		if mk != chunkMarker {
+			return nil, fmt.Errorf("trace: bad chunk marker % x", mk[:])
+		}
+		tag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading chunk tag: %w", err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading chunk size: %w", err)
+		}
+		if size > maxChunkLen {
+			return nil, fmt.Errorf("trace: chunk length %d exceeds limit %d", size, maxChunkLen)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("trace: reading chunk payload: %w", err)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(br, crcb[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading chunk crc: %w", err)
+		}
+		if got, want := binary.LittleEndian.Uint32(crcb[:]), chunkCRC(tag, payload); got != want {
+			return nil, fmt.Errorf("trace: chunk crc mismatch (have %#x, want %#x)", got, want)
+		}
+		switch {
+		case tag == tagMeta:
+			if err := json.Unmarshal(payload, &log.Meta); err != nil {
+				return nil, fmt.Errorf("trace: decoding meta: %w", err)
+			}
+			sawMeta = true
+		case tag == tagCheckpoint:
+			// Checkpoints only matter for salvage; a complete log carries
+			// its trailer, so validate the JSON and move on.
+			var ckpt Meta
+			if err := json.Unmarshal(payload, &ckpt); err != nil {
+				return nil, fmt.Errorf("trace: decoding checkpoint: %w", err)
+			}
+		default:
+			tid := int32(uint32(tag - tagThreadBase))
+			seq, rest, err := takeUvarint(payload)
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d chunk sequence: %w", tid, err)
+			}
+			if seq != lastSeq[tid]+1 {
+				return nil, fmt.Errorf("trace: thread %d chunk sequence gap (have %d, want %d)",
+					tid, seq, lastSeq[tid]+1)
+			}
+			lastSeq[tid] = seq
+			evs, err := decodeEvents(tid, rest)
+			if err != nil {
+				return nil, err
+			}
+			log.Threads[tid] = append(log.Threads[tid], evs...)
+		}
+	}
+	if !sawMeta {
+		return nil, errors.New("trace: truncated log: no metadata trailer")
+	}
+	return log, nil
+}
+
+// chunkCRC computes the CRC an LTRC2 chunk must carry: IEEE CRC32 over
+// the (minimally encoded) tag and length varints plus the payload.
+func chunkCRC(tag uint64, payload []byte) uint32 {
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], tag)
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:n])
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// readAllV1 decodes the legacy LTRC1 chunk stream.
+func readAllV1(br *bufio.Reader) (*Log, error) {
 	log := &Log{Threads: make(map[int32][]Event)}
 	sawMeta := false
 	for {
@@ -310,8 +509,8 @@ func ReadAll(r io.Reader) (*Log, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading chunk size: %w", err)
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(br, payload); err != nil {
+		payload, err := readPayload(br, size)
+		if err != nil {
 			return nil, fmt.Errorf("trace: reading chunk payload: %w", err)
 		}
 		if tag == 0 {
@@ -334,51 +533,97 @@ func ReadAll(r io.Reader) (*Log, error) {
 	return log, nil
 }
 
+// readPayload reads size bytes in bounded steps, so a corrupt length
+// uvarint claiming gigabytes allocates no more than roughly what the
+// input actually contains before failing at EOF.
+func readPayload(r io.Reader, size uint64) ([]byte, error) {
+	const step = 64 << 10
+	if size <= step {
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, step)
+	for remaining := size; remaining > 0; {
+		n := uint64(step)
+		if remaining < n {
+			n = remaining
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+		remaining -= n
+	}
+	return buf, nil
+}
+
 func decodeEvents(tid int32, payload []byte) ([]Event, error) {
+	evs, n, err := decodeEventsPrefix(tid, payload)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(payload) {
+		return nil, errors.New("trace: trailing bytes after events")
+	}
+	return evs, nil
+}
+
+// decodeEventsPrefix decodes as many complete events as payload holds,
+// returning them alongside the number of bytes consumed. A decode failure
+// returns the events decoded so far, the offset of the bad event, and the
+// error; the salvage decoder keeps the prefix.
+func decodeEventsPrefix(tid int32, payload []byte) ([]Event, int, error) {
 	var evs []Event
+	total := len(payload)
 	for len(payload) > 0 {
+		consumed := total - len(payload)
 		if len(payload) < 2 {
-			return nil, errors.New("trace: truncated event header")
+			return evs, consumed, errors.New("trace: truncated event header")
 		}
 		e := Event{Kind: Kind(payload[0]), Op: SyncOp(payload[1]), TID: tid}
 		if e.Kind >= numKinds {
-			return nil, fmt.Errorf("trace: bad event kind %d", e.Kind)
+			return evs, consumed, fmt.Errorf("trace: bad event kind %d", e.Kind)
 		}
 		if e.Op >= numSyncOps {
-			return nil, fmt.Errorf("trace: bad sync op %d", e.Op)
+			return evs, consumed, fmt.Errorf("trace: bad sync op %d", e.Op)
 		}
-		payload = payload[2:]
+		rest := payload[2:]
 		var err error
 		var v uint64
-		if v, payload, err = takeUvarint(payload); err != nil {
-			return nil, err
+		if v, rest, err = takeUvarint(rest); err != nil {
+			return evs, consumed, err
 		}
 		e.PC.Func = int32(uint32(v))
-		if v, payload, err = takeUvarint(payload); err != nil {
-			return nil, err
+		if v, rest, err = takeUvarint(rest); err != nil {
+			return evs, consumed, err
 		}
 		e.PC.Index = int32(uint32(v))
-		if e.Addr, payload, err = takeUvarint(payload); err != nil {
-			return nil, err
+		if e.Addr, rest, err = takeUvarint(rest); err != nil {
+			return evs, consumed, err
 		}
 		if e.Kind.IsMem() {
-			if v, payload, err = takeUvarint(payload); err != nil {
-				return nil, err
+			if v, rest, err = takeUvarint(rest); err != nil {
+				return evs, consumed, err
 			}
 			e.Mask = uint32(v)
 		} else {
-			if len(payload) < 1 {
-				return nil, errors.New("trace: truncated sync event")
+			if len(rest) < 1 {
+				return evs, consumed, errors.New("trace: truncated sync event")
 			}
-			e.Counter = payload[0]
-			payload = payload[1:]
-			if e.TS, payload, err = takeUvarint(payload); err != nil {
-				return nil, err
+			e.Counter = rest[0]
+			rest = rest[1:]
+			if e.TS, rest, err = takeUvarint(rest); err != nil {
+				return evs, consumed, err
 			}
 		}
+		payload = rest
 		evs = append(evs, e)
 	}
-	return evs, nil
+	return evs, total, nil
 }
 
 func takeUvarint(b []byte) (uint64, []byte, error) {

@@ -1,0 +1,200 @@
+package faultinject
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"literace/internal/trace"
+)
+
+func buildLog(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := int32(0); tid < 2; tid++ {
+		tw := w.Thread(tid)
+		for i := 0; i < 50; i++ {
+			if err := tw.Append(trace.Event{Kind: trace.KindWrite, TID: tid, Addr: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%20 == 0 {
+				if err := tw.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Close(trace.Meta{Module: "fi"}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMutationsPreserveInput(t *testing.T) {
+	data := buildLog(t)
+	orig := append([]byte(nil), data...)
+	TruncateAt(data, len(data)/2)
+	FlipBit(data, 100)
+	DropChunk(data, 1)
+	DuplicateChunk(data, 1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		Mutate(data, rng)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("a mutation modified its input")
+	}
+}
+
+func TestTruncateAt(t *testing.T) {
+	data := buildLog(t)
+	if got := TruncateAt(data, -5); len(got) != 0 {
+		t.Errorf("negative cut kept %d bytes", len(got))
+	}
+	if got := TruncateAt(data, len(data)+10); len(got) != len(data) {
+		t.Errorf("overlong cut: %d bytes", len(got))
+	}
+	if got := TruncateAt(data, 7); !bytes.Equal(got, data[:7]) {
+		t.Error("cut content wrong")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	data := buildLog(t)
+	mut := FlipBit(data, 8*10+3)
+	if len(mut) != len(data) {
+		t.Fatal("length changed")
+	}
+	diff := 0
+	for i := range mut {
+		if mut[i] != data[i] {
+			diff++
+			if mut[i]^data[i] != 1<<3 {
+				t.Errorf("byte %d changed by %#x", i, mut[i]^data[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes changed", diff)
+	}
+	if got := FlipBit(nil, 3); len(got) != 0 {
+		t.Error("empty input grew")
+	}
+	// Out-of-range bits wrap rather than panic.
+	FlipBit(data, 8*len(data)+11)
+	FlipBit(data, -9)
+}
+
+func TestDropChunkCreatesSeqGap(t *testing.T) {
+	data := buildLog(t)
+	spans, err := trace.ChunkSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index of the first thread chunk (its thread has more chunks after).
+	idx := -1
+	for i, s := range spans {
+		if s.Tag >= 2 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no thread chunk")
+	}
+	mut := DropChunk(data, idx)
+	if len(mut) != len(data)-(spans[idx].End-spans[idx].Start) {
+		t.Fatalf("dropped chunk length: %d vs %d", len(mut), len(data))
+	}
+	_, rep, err := trace.Salvage(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SeqGaps != 1 || !rep.Lossy() {
+		t.Errorf("drop not detected: %s", rep.Summary())
+	}
+	// Out-of-range index is a no-op copy.
+	if !bytes.Equal(DropChunk(data, len(spans)+3), data) {
+		t.Error("out-of-range drop changed data")
+	}
+}
+
+func TestDuplicateChunkDetected(t *testing.T) {
+	data := buildLog(t)
+	spans, err := trace.ChunkSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, s := range spans {
+		if s.Tag >= 2 {
+			idx = i
+			break
+		}
+	}
+	mut := DuplicateChunk(data, idx)
+	if len(mut) != len(data)+(spans[idx].End-spans[idx].Start) {
+		t.Fatal("duplicate length wrong")
+	}
+	log, rep, err := trace.Salvage(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DuplicateChunks != 1 {
+		t.Errorf("DuplicateChunks = %d", rep.DuplicateChunks)
+	}
+	orig, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumEvents() != orig.NumEvents() {
+		t.Errorf("duplicate changed event count: %d vs %d", log.NumEvents(), orig.NumEvents())
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	data := buildLog(t)
+	cuts := Boundaries(data)
+	if len(cuts) == 0 {
+		t.Fatal("no boundaries")
+	}
+	if cuts[len(cuts)-1] != len(data) {
+		t.Errorf("last boundary %d != len %d", cuts[len(cuts)-1], len(data))
+	}
+	for _, cut := range cuts {
+		_, rep, err := trace.Salvage(bytes.NewReader(TruncateAt(data, cut)))
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if rep.Truncated || rep.BytesDropped != 0 {
+			t.Errorf("boundary cut %d not crash-consistent: %s", cut, rep.Summary())
+		}
+	}
+	if Boundaries([]byte("garbage")) != nil {
+		t.Error("boundaries on garbage")
+	}
+}
+
+func TestMutateNeverBreaksSalvage(t *testing.T) {
+	data := buildLog(t)
+	rng := rand.New(rand.NewSource(42))
+	kinds := map[string]int{}
+	for i := 0; i < 300; i++ {
+		mut, kind := Mutate(data, rng)
+		kinds[kind]++
+		if _, rep, err := trace.Salvage(bytes.NewReader(mut)); err == nil {
+			if rep.MagicBytes+rep.BytesOK+rep.BytesDropped != rep.TotalBytes {
+				t.Fatalf("%s mutation broke byte accounting", kind)
+			}
+		}
+	}
+	for _, want := range []string{"truncate", "flipbit", "dropchunk", "dupchunk"} {
+		if kinds[want] == 0 {
+			t.Errorf("mutation kind %s never drawn: %v", want, kinds)
+		}
+	}
+}

@@ -53,3 +53,74 @@ func FuzzReadAll(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSalvage checks the salvage decoder never panics and keeps its
+// documented guarantees on arbitrary bytes: exact byte accounting, events
+// only with in-range kinds and ops, and strict-decodable logs salvaged
+// without loss.
+func FuzzSalvage(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for tid := int32(0); tid < 3; tid++ {
+		tw := w.Thread(tid)
+		for i := 0; i < 40; i++ {
+			tw.Append(Event{Kind: KindWrite, TID: tid, Addr: uint64(i), Mask: 1})
+			if i%13 == 0 {
+				tw.Append(Event{Kind: KindRelease, Op: OpUnlock, TID: tid, Addr: 9, Counter: 4, TS: uint64(i/13 + 1)})
+			}
+		}
+		tw.Flush()
+	}
+	if err := w.Close(Meta{Module: "seed"}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add([]byte(magicV1))
+	for i := 0; i < len(valid); i += 5 {
+		f.Add(valid[:i])
+		c := append([]byte(nil), valid...)
+		c[i] ^= 0x55
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, rep, err := Salvage(bytes.NewReader(data))
+		if err != nil {
+			return // not a LiteRace log at all
+		}
+		if rep.MagicBytes+rep.BytesOK+rep.BytesDropped != rep.TotalBytes {
+			t.Fatalf("byte accounting: magic %d + ok %d + dropped %d != total %d",
+				rep.MagicBytes, rep.BytesOK, rep.BytesDropped, rep.TotalBytes)
+		}
+		n := 0
+		for _, evs := range log.Threads {
+			n += len(evs)
+			for _, e := range evs {
+				if e.Kind >= numKinds {
+					t.Fatalf("salvaged invalid kind %d", e.Kind)
+				}
+				if e.Op >= numSyncOps {
+					t.Fatalf("salvaged invalid op %d", e.Op)
+				}
+			}
+		}
+		if n != rep.EventsSalvaged {
+			t.Fatalf("EventsSalvaged = %d, log holds %d", rep.EventsSalvaged, n)
+		}
+		// Anything strict decoding accepts, salvage must recover in full.
+		if strict, serr := ReadAll(bytes.NewReader(data)); serr == nil {
+			if rep.Lossy() {
+				t.Fatalf("strict-valid log reported lossy: %s", rep.Summary())
+			}
+			if strict.NumEvents() != n {
+				t.Fatalf("salvage got %d events, strict decode %d", n, strict.NumEvents())
+			}
+		}
+	})
+}

@@ -191,13 +191,21 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Periodic checkpoints snapshot the interpreter's counters into the
+	// log, so a run killed mid-execution still carries usable metadata.
+	w.SetMetaSource(mach.PartialMeta)
 	span := cfg.Obs.StartSpan("run")
-	res, err := mach.Run()
-	if err != nil {
-		return nil, err
-	}
+	res, runErr := mach.Run()
 	span.EndItems(res.Instrs)
 	meta := mach.Meta(res)
+	if runErr != nil {
+		// The program died (deadlock, runtime fault, instruction budget).
+		// Flush and finalize the partial trace before surfacing the error
+		// so what was logged stays salvageable instead of silently
+		// dropped in the thread buffers.
+		_ = w.Close(meta)
+		return nil, fmt.Errorf("literace: run failed: %w (partial trace flushed)", runErr)
+	}
 	if err := w.Close(meta); err != nil {
 		return nil, err
 	}
@@ -237,6 +245,10 @@ type Race struct {
 	// Rare reports the paper's Table 4 classification: fewer than 3
 	// occurrences per million non-stack memory instructions.
 	Rare bool
+	// Unconfirmed marks a race only ever observed after log damage
+	// weakened the happens-before orderings (salvaged logs, degraded
+	// replay). The zero-false-positive guarantee does not cover it.
+	Unconfirmed bool
 	// Addr is one racing address, for debugging.
 	Addr uint64
 }
@@ -250,6 +262,24 @@ type Report struct {
 	SyncOpsAnalyzed uint64
 	// Meta is the log's run metadata.
 	Meta trace.Meta
+
+	// Degraded reports the analysis ran on a damaged log: chunks were
+	// dropped in salvage or the replay weakened orderings. Races split
+	// into confirmed (still no false positives) and unconfirmed.
+	Degraded bool
+	// DegradedSkips counts the timestamp slots the replay skipped over.
+	DegradedSkips uint64
+}
+
+// Confirmed returns the races the zero-false-positive guarantee covers.
+func (r *Report) Confirmed() []Race {
+	var out []Race
+	for _, rc := range r.Races {
+		if !rc.Unconfirmed {
+			out = append(out, rc)
+		}
+	}
+	return out
 }
 
 // String renders the report for human consumption.
@@ -257,13 +287,22 @@ func (r *Report) String() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "%d static data races (%d mem ops, %d sync ops analyzed)\n",
 		len(r.Races), r.MemOpsAnalyzed, r.SyncOpsAnalyzed)
+	if r.Degraded {
+		unconf := len(r.Races) - len(r.Confirmed())
+		fmt.Fprintf(&b, "degraded analysis: %d confirmed, %d unconfirmed race(s); %d timestamp slots skipped\n",
+			len(r.Races)-unconf, unconf, r.DegradedSkips)
+	}
 	for _, rc := range r.Races {
 		class := "frequent"
 		if rc.Rare {
 			class = "rare"
 		}
-		fmt.Fprintf(&b, "  %-9s %s <-> %s  count=%d (ww=%d, rw=%d) addr=%#x\n",
-			class, rc.First, rc.Second, rc.Count, rc.WriteWrite, rc.ReadWrite, rc.Addr)
+		suffix := ""
+		if rc.Unconfirmed {
+			suffix = " UNCONFIRMED"
+		}
+		fmt.Fprintf(&b, "  %-9s %s <-> %s  count=%d (ww=%d, rw=%d) addr=%#x%s\n",
+			class, rc.First, rc.Second, rc.Count, rc.WriteWrite, rc.ReadWrite, rc.Addr, suffix)
 	}
 	return b.String()
 }
@@ -296,6 +335,34 @@ func DetectObs(log io.Reader, resolve func(int32) string, reg *obs.Registry) (*R
 	return buildReport(set, decoded.Meta, res, resolve), nil
 }
 
+// DetectSalvaged analyzes a possibly damaged log: the log is decoded with
+// trace.Salvage (dropping corrupt chunks and resyncing), replayed in
+// degraded mode (hb.ReplayDegraded), and races first observed after any
+// ordering was weakened are tagged unconfirmed. The returned SalvageReport
+// describes the damage; Report.Degraded is set when either salvage lost
+// data or the replay had to weaken orderings. Confirmed races keep the
+// zero-false-positive guarantee. reg may be nil.
+func DetectSalvaged(log io.Reader, resolve func(int32) string, reg *obs.Registry) (*Report, *trace.SalvageReport, error) {
+	span := reg.StartSpan("salvage")
+	decoded, srep, err := trace.SalvageObs(log, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	span.EndItems(uint64(decoded.NumEvents()))
+	span = reg.StartSpan("replay+detect")
+	res, deg, err := hb.DetectDegraded(decoded, hb.Options{SamplerBit: hb.AllEvents, Obs: reg})
+	if err != nil {
+		return nil, srep, err
+	}
+	span.EndItems(res.MemOps + res.SyncOps)
+	set := race.NewSet()
+	set.AddResult(res)
+	rep := buildReport(set, decoded.Meta, res, resolve)
+	rep.Degraded = deg.Degraded() || srep.Lossy()
+	rep.DegradedSkips = deg.SlotsSkipped
+	return rep, srep, nil
+}
+
 func buildReport(set *race.Set, meta trace.Meta, res *hb.Result, resolve func(int32) string) *Report {
 	if resolve == nil {
 		resolve = func(f int32) string { return fmt.Sprintf("fn%d", f) }
@@ -305,15 +372,16 @@ func buildReport(set *race.Set, meta trace.Meta, res *hb.Result, resolve func(in
 	rep := &Report{Meta: meta, MemOpsAnalyzed: res.MemOps, SyncOpsAnalyzed: res.SyncOps}
 	for _, st := range set.Races() {
 		rep.Races = append(rep.Races, Race{
-			First:      name(st.Key.A),
-			Second:     name(st.Key.B),
-			FirstPC:    PC{Func: st.Key.A.Func, Index: st.Key.A.Index},
-			SecondPC:   PC{Func: st.Key.B.Func, Index: st.Key.B.Index},
-			Count:      st.Count,
-			WriteWrite: st.WriteWrite,
-			ReadWrite:  st.ReadWrite,
-			Rare:       st.Rare(nonStack),
-			Addr:       st.SampleAddr,
+			First:       name(st.Key.A),
+			Second:      name(st.Key.B),
+			FirstPC:     PC{Func: st.Key.A.Func, Index: st.Key.A.Index},
+			SecondPC:    PC{Func: st.Key.B.Func, Index: st.Key.B.Index},
+			Count:       st.Count,
+			WriteWrite:  st.WriteWrite,
+			ReadWrite:   st.ReadWrite,
+			Rare:        st.Rare(nonStack),
+			Unconfirmed: st.Unconfirmed(),
+			Addr:        st.SampleAddr,
 		})
 	}
 	sort.Slice(rep.Races, func(i, j int) bool {
