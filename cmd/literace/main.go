@@ -11,13 +11,17 @@
 //	literace detect  <out.trc> [-src p.lir]  offline race detection on a log
 //	literace fsck    <out.trc>               log health report (JSON)
 //	literace dump    <out.trc> [-n N]        print decoded log events
+//	literace timeline <out.trc> -o t.json    export a Perfetto/Chrome trace timeline
 //	literace report  <prog.lir>              run + detect in one step
 //	literace bench   [-list | key]           run a built-in benchmark program
 //	literace stats   <prog.lir>              run the pipeline, print telemetry
 //
 // Shared flags for run/report: -sampler NAME (default TL-Ad), -seed N.
 // run and detect accept -metrics <file> to write a JSON telemetry
-// snapshot; run also accepts -cpuprofile/-memprofile pprof hooks.
+// snapshot; run also accepts -cpuprofile/-memprofile pprof hooks. run and
+// bench accept -serve ADDR to expose live telemetry over HTTP (/metrics
+// in Prometheus format, /snapshot, /healthz, /debug/pprof) while the
+// pipeline executes; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -30,7 +34,10 @@ import (
 	"strings"
 
 	"literace"
+	"literace/internal/harness"
 	"literace/internal/obs"
+	"literace/internal/obs/export"
+	"literace/internal/obs/timeline"
 	"literace/internal/trace"
 	"literace/internal/workloads"
 )
@@ -57,6 +64,8 @@ func main() {
 		err = cmdFsck(args)
 	case "dump":
 		err = cmdDump(args)
+	case "timeline":
+		err = cmdTimeline(args)
 	case "report":
 		err = cmdReport(args)
 	case "bench":
@@ -77,16 +86,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|fsck|report|bench|stats> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|fsck|dump|timeline|report|bench|stats> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
-  run     <prog.lir> [-log f] [-sampler S] [-seed N] [-metrics f] [-cpuprofile f] [-memprofile f]
+  run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-cpuprofile f] [-memprofile f]
   detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f]
   fsck    <log.trc>                 salvage-decode and print a JSON health report
   dump    <log.trc> [-n N]          print decoded log events
+  timeline <log.trc> [-o t.json] [-src prog.lir] [-salvage]  export a Perfetto/Chrome trace timeline
   report  <prog.lir> [-sampler S] [-seed N]
-  bench   [-list | key]             run a built-in benchmark (see -list)
+  bench   [-list | key] [-serve ADDR] [-overhead-out f]      run benchmarks (see -list)
   stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry report`)
 }
 
@@ -200,12 +210,32 @@ func writeMetrics(path string, reg *obs.Registry) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// serveTelemetry starts the embedded telemetry server when addr is
+// non-empty, returning a shutdown function (a no-op otherwise).
+func serveTelemetry(addr string, reg *obs.Registry) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := export.Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (also /snapshot /healthz /debug/pprof)\n", srv.Addr())
+	return func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry: shutdown:", err)
+		}
+	}, nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	logPath := fs.String("log", "literace.trc", "event log output path")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
+	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address (e.g. :9090) while running")
+	sched := fs.Bool("sched", true, "log scheduler slice markers (enables `literace timeline` thread tracks)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	fs.Parse(args)
@@ -218,9 +248,14 @@ func cmdRun(args []string) error {
 	}
 	defer stop()
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *serveAddr != "" {
 		reg = obs.New()
 	}
+	shutdown, err := serveTelemetry(*serveAddr, reg)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
 	span := reg.StartSpan("assemble")
 	p, err := loadProgram(fs.Arg(0))
 	if err != nil {
@@ -237,7 +272,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	defer f.Close()
-	res, err := p.Run(literace.Config{Sampler: *samplerName, Seed: *seed, LogTo: f, Obs: reg})
+	res, err := p.Run(literace.Config{Sampler: *samplerName, Seed: *seed, SchedTrace: *sched, LogTo: f, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -394,6 +429,58 @@ func cmdDump(args []string) error {
 	return nil
 }
 
+// cmdTimeline exports a log as a Chrome trace-event / Perfetto JSON
+// timeline: per-thread tracks with scheduler slices and sampled bursts,
+// sync micro-slices, happens-before flow arrows, and race markers. Open
+// the output at https://ui.perfetto.dev or chrome://tracing.
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	outPath := fs.String("o", "timeline.json", "output path for the trace-event JSON")
+	srcPath := fs.String("src", "", "original .lir source, to resolve function names on slices and arrows")
+	salvage := fs.Bool("salvage", false, "force the salvage decoder even on a healthy log")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeline wants one log file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := timeline.Options{Salvage: *salvage}
+	if *srcPath != "" {
+		p, err := loadProgram(*srcPath)
+		if err != nil {
+			return err
+		}
+		opts.Resolve = p.FuncName
+	}
+	out, stats, err := timeline.Build(data, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		return err
+	}
+	mode := "clean decode"
+	if stats.Salvaged {
+		mode = "salvage decode"
+		if stats.Degraded {
+			mode = "salvage decode, degraded"
+		}
+	}
+	fmt.Printf("timeline %s: %d events (%s), %d threads, %d slices, %d bursts, %d sync ops, %d hb arrows",
+		*outPath, stats.Events, mode, stats.Threads, stats.Slices, stats.Bursts, stats.SyncOps, stats.Edges)
+	if stats.EdgesDropped > 0 {
+		fmt.Printf(" (+%d dropped)", stats.EdgesDropped)
+	}
+	fmt.Printf(", %d races\n", stats.Races)
+	if stats.Slices == 0 {
+		fmt.Fprintln(os.Stderr, "note: no scheduler markers in this log; time axis is replay order (record with `literace run -sched`)")
+	}
+	fmt.Fprintf(os.Stderr, "open it at https://ui.perfetto.dev (Open trace file) or chrome://tracing\n")
+	return nil
+}
+
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
@@ -480,7 +567,44 @@ func cmdBench(args []string) error {
 	samplerName := fs.String("sampler", "TL-Ad", "sampling strategy")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	scale := fs.Int("scale", 0, "workload scale (0 = default)")
+	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address while benchmarking")
+	overheadOut := fs.String("overhead-out", "", "run the full overhead sweep and write the BENCH_overhead.json artifact here")
 	fs.Parse(args)
+	var reg *obs.Registry
+	if *serveAddr != "" {
+		reg = obs.New()
+	}
+	shutdown, err := serveTelemetry(*serveAddr, reg)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	if *overheadOut != "" {
+		cfg := harness.Config{
+			Seeds: []int64{*seed},
+			Scale: *scale,
+			Obs:   reg,
+			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		}
+		sum, err := harness.BuildOverheadSummary(cfg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*overheadOut)
+		if err != nil {
+			return err
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d benchmarks, %d samplers (schema %s, scale %d, seed %d)\n",
+			*overheadOut, len(sum.Benchmarks), len(sum.Samplers), sum.Schema, sum.Scale, sum.Seed)
+		return nil
+	}
 	if *list || fs.NArg() == 0 {
 		for _, b := range workloads.All() {
 			fmt.Printf("%-14s %s\n", b.Key, b.Description)
@@ -498,7 +622,7 @@ func cmdBench(args []string) error {
 	if _, err := p.Instrument(); err != nil {
 		return err
 	}
-	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed})
+	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Obs: reg})
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -298,5 +299,106 @@ func TestCrashedRunSalvageEndToEnd(t *testing.T) {
 		return cmdDetect([]string{"-salvage", cut})
 	}); err != nil {
 		t.Fatalf("detect -salvage on truncated log: %v", err)
+	}
+}
+
+// TestCmdTimeline round-trips run -> timeline: a sched-traced log must
+// export a loadable trace-event document with thread tracks and slices,
+// and -src must resolve function names into slice labels.
+func TestCmdTimeline(t *testing.T) {
+	prog := writeProg(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "out.trc")
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "Full", "-log", logPath, prog})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "t.json")
+	out, err := capture(t, func() error {
+		return cmdTimeline([]string{"-o", jsonPath, "-src", prog, logPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "threads") || strings.Contains(out, "0 slices") {
+		t.Errorf("timeline output: %q", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("timeline output not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	named := false
+	for _, e := range doc.TraceEvents {
+		if args, ok := e["args"].(map[string]any); ok {
+			if pc, ok := args["pc"].(string); ok && strings.HasPrefix(pc, "touch:") {
+				named = true
+			}
+		}
+	}
+	if !named {
+		t.Error("-src did not resolve function names into the timeline")
+	}
+
+	// -sched=false: the exporter falls back to the replay-order axis.
+	plain := filepath.Join(dir, "plain.trc")
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "Full", "-sched=false", "-log", plain, prog})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return cmdTimeline([]string{"-o", filepath.Join(dir, "p.json"), plain})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 slices") {
+		t.Errorf("expected sched-free log to draw no slices: %q", out)
+	}
+
+	if err := cmdTimeline([]string{"-o", jsonPath}); err == nil {
+		t.Error("missing log argument accepted")
+	}
+}
+
+// TestCmdBenchOverheadOut checks the benchmark-artifact path end to end
+// at the smallest scale.
+func TestCmdBenchOverheadOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	outPath := filepath.Join(t.TempDir(), "BENCH_overhead.json")
+	out, err := capture(t, func() error {
+		return cmdBench([]string{"-overhead-out", outPath, "-scale", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote "+outPath) {
+		t.Errorf("bench output: %q", out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Schema     string           `json:"schema"`
+		Benchmarks []map[string]any `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if sum.Schema != "literace.bench.overhead/v1" || len(sum.Benchmarks) == 0 {
+		t.Errorf("artifact schema %q with %d benchmarks", sum.Schema, len(sum.Benchmarks))
 	}
 }

@@ -80,6 +80,14 @@ type Config struct {
 	EnableSyncLog bool
 	EnableMemLog  bool
 
+	// EnableSchedLog gates scheduler-slice markers (KindSched events):
+	// begin/end/preempt records for every scheduling slice, carrying the
+	// virtual instruction clock. They make the flight-recorder timeline
+	// (internal/obs/timeline) able to draw true thread tracks, cost one
+	// log event per slice boundary, and charge no virtual cycles (they
+	// model the recorder, not the instrumented program).
+	EnableSchedLog bool
+
 	// Seed drives the deterministic RNG handed to random samplers.
 	Seed int64
 
@@ -380,6 +388,25 @@ func (ts *ThreadState) LogSync(kind trace.Kind, op trace.SyncOp, syncVar uint64,
 	})
 }
 
+// LogSched records a scheduler slice marker (begin, end, or preempt).
+// Slice markers reuse the sync event layout — Addr carries the global
+// slice index, TS the virtual instruction clock — but draw no timestamp
+// counter and charge no cycles: they describe the recorder's scheduling,
+// not the instrumented program. No-op unless Config.EnableSchedLog.
+func (ts *ThreadState) LogSched(op trace.SyncOp, sliceIdx, instrClock uint64, pc lir.PC) error {
+	if !ts.rt.cfg.EnableSchedLog {
+		return nil
+	}
+	return ts.emit(trace.Event{
+		Kind: trace.KindSched, Op: op, TID: ts.tid, PC: pc,
+		Addr: sliceIdx, TS: instrClock,
+	})
+}
+
+// SchedLogEnabled reports whether scheduler-slice markers are being
+// logged, so the interpreter can skip the per-slice bookkeeping when off.
+func (rt *Runtime) SchedLogEnabled() bool { return rt.cfg.EnableSchedLog }
+
 // LogAllocRange logs the §4.3 allocation synchronization: an acquire+
 // release pair on every page overlapping [addr, addr+words).
 func (ts *ThreadState) LogAllocRange(op trace.SyncOp, addr, words uint64, pc lir.PC) error {
@@ -447,16 +474,32 @@ func (ts *ThreadState) FlushStats() {
 	ts.statsDirty = 0
 }
 
-// Finalize flushes all per-thread counters and returns the final stats.
-// Call once after execution completes.
-func (rt *Runtime) Finalize() Stats {
+// allThreads snapshots the thread list under the lock.
+func (rt *Runtime) allThreads() []*ThreadState {
 	rt.threadMu.Lock()
 	threads := make([]*ThreadState, 0, len(rt.threads))
 	for _, ts := range rt.threads {
 		threads = append(threads, ts)
 	}
 	rt.threadMu.Unlock()
-	for _, ts := range threads {
+	return threads
+}
+
+// FlushLiveStats folds every thread's local counters into the runtime
+// totals without closing open sampling bursts, so mid-run telemetry
+// (the -serve endpoint) sees fresh numbers while the execution is still
+// going. Like all ThreadState methods it must run on the goroutine that
+// drives the threads — the interpreter calls it from its OnLive hook.
+func (rt *Runtime) FlushLiveStats() {
+	for _, ts := range rt.allThreads() {
+		ts.FlushStats()
+	}
+}
+
+// Finalize flushes all per-thread counters and returns the final stats.
+// Call once after execution completes.
+func (rt *Runtime) Finalize() Stats {
+	for _, ts := range rt.allThreads() {
 		ts.FlushStats()
 		// Close out the trailing sampling burst so the histogram covers
 		// runs still open at thread exit.

@@ -287,7 +287,13 @@ func RunOverhead(b workloads.Benchmark, mode OverheadMode, seed int64, cfg Confi
 		Stats:  res.RuntimeStats,
 	}
 	if w != nil {
-		if err := w.Close(mach.Meta(res)); err != nil {
+		meta := mach.Meta(res)
+		// The trailer embeds the meta JSON, so a wall-clock field would
+		// let LogBytes drift by a digit run to run; the size measurement
+		// must be as reproducible as the cycle counts (WallNs carries the
+		// timing separately).
+		meta.WallNanos = 0
+		if err := w.Close(meta); err != nil {
 			return nil, err
 		}
 		out.LogBytes = w.BytesWritten()

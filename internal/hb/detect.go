@@ -26,6 +26,21 @@ type DynamicRace struct {
 	Unconfirmed bool
 }
 
+// Edge is one cross-thread happens-before edge: a release by FromTID on
+// sync var Var that a later acquire by ToTID synchronized with. The
+// releasing event is identified by its (Counter, TS) pair, which is
+// unique across the whole log (per-counter timestamps are dense), so
+// consumers can map the edge back to a concrete logged event.
+type Edge struct {
+	Var     uint64 // sync var address
+	Counter uint8  // timestamp counter of the release event
+	TS      uint64 // timestamp of the release event within Counter
+	FromTID int32  // releasing thread
+	ToTID   int32  // acquiring thread
+	FromPC  lir.PC // program counter of the release
+	ToPC    lir.PC // program counter of the acquire
+}
+
 // Options configures a detection pass.
 type Options struct {
 	// SamplerBit filters memory events: only events whose Mask has this
@@ -37,6 +52,14 @@ type Options struct {
 	// OnRace, when non-nil, is invoked for each dynamic race as it is
 	// found (streaming consumers); races are also accumulated in Result.
 	OnRace func(DynamicRace)
+
+	// OnEdge, when non-nil, is invoked for each cross-thread
+	// happens-before edge as an acquire synchronizes with an earlier
+	// release by a different thread. Same-thread release/acquire pairs
+	// are not reported (program order already covers them). Edge
+	// tracking costs one map entry per sync var and is skipped entirely
+	// when OnEdge is nil.
+	OnEdge func(Edge)
 
 	// KeepMax bounds the number of dynamic races retained in
 	// Result.Races; 0 means unlimited. Counting is never truncated.
@@ -79,6 +102,7 @@ type Detector struct {
 	threads  map[int32]*threadState
 	vars     map[uint64]VC         // SyncVar -> clock published by last release
 	mem      map[uint64]*addrState // address -> access history
+	lastRel  map[uint64]relInfo    // SyncVar -> last release, only when OnEdge is set
 
 	// Telemetry instruments; nil (no-op) when opts.Obs is nil.
 	obsJoins *obs.Counter // hb.vc_joins
@@ -89,6 +113,15 @@ type Detector struct {
 
 type threadState struct {
 	vc VC
+}
+
+// relInfo remembers the last release on a sync var so a later acquire
+// can be reported as a happens-before edge.
+type relInfo struct {
+	tid     int32
+	pc      lir.PC
+	counter uint8
+	ts      uint64
 }
 
 type readInfo struct {
@@ -110,6 +143,9 @@ func NewDetector(opts Options) *Detector {
 		threads: make(map[int32]*threadState),
 		vars:    make(map[uint64]VC),
 		mem:     make(map[uint64]*addrState),
+	}
+	if opts.OnEdge != nil {
+		d.lastRel = make(map[uint64]relInfo)
 	}
 	if opts.Obs != nil {
 		d.obsJoins = opts.Obs.Counter("hb.vc_joins")
@@ -141,6 +177,7 @@ func (d *Detector) Process(e trace.Event) {
 		if lv, ok := d.vars[e.Addr]; ok {
 			t.vc = t.vc.Join(lv)
 			d.obsJoins.Inc()
+			d.emitEdge(e)
 		}
 	case trace.KindRelease:
 		d.res.SyncOps++
@@ -149,6 +186,7 @@ func (d *Detector) Process(e trace.Event) {
 		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
 		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
+		d.recordRelease(e)
 	case trace.KindAcqRel:
 		d.res.SyncOps++
 		d.obsSync.Inc()
@@ -156,10 +194,12 @@ func (d *Detector) Process(e trace.Event) {
 		if lv, ok := d.vars[e.Addr]; ok {
 			t.vc = t.vc.Join(lv)
 			d.obsJoins.Inc()
+			d.emitEdge(e)
 		}
 		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
 		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
+		d.recordRelease(e)
 	case trace.KindRead, trace.KindWrite:
 		if d.opts.SamplerBit >= 0 && e.Mask&(1<<uint(d.opts.SamplerBit)) == 0 {
 			return
@@ -168,6 +208,37 @@ func (d *Detector) Process(e trace.Event) {
 		d.obsMem.Inc()
 		d.access(e)
 	}
+}
+
+// recordRelease remembers e as the latest release on its sync var so a
+// later acquire can be reported as an edge. No-op unless OnEdge is set.
+func (d *Detector) recordRelease(e trace.Event) {
+	if d.lastRel == nil {
+		return
+	}
+	d.lastRel[e.Addr] = relInfo{tid: e.TID, pc: e.PC, counter: e.Counter, ts: e.TS}
+}
+
+// emitEdge reports the happens-before edge from the last recorded
+// release on e.Addr to the acquiring event e, if the release came from
+// a different thread.
+func (d *Detector) emitEdge(e trace.Event) {
+	if d.lastRel == nil {
+		return
+	}
+	rel, ok := d.lastRel[e.Addr]
+	if !ok || rel.tid == e.TID {
+		return
+	}
+	d.opts.OnEdge(Edge{
+		Var:     e.Addr,
+		Counter: rel.counter,
+		TS:      rel.ts,
+		FromTID: rel.tid,
+		ToTID:   e.TID,
+		FromPC:  rel.pc,
+		ToPC:    e.PC,
+	})
 }
 
 func (d *Detector) access(e trace.Event) {

@@ -52,8 +52,30 @@ type Options struct {
 	// instruction/memory/sync totals, scheduler slice and preemption
 	// counts, and virtual cycles split by instruction category. Per-
 	// instruction category accounting only happens when Obs is set.
+	// When set, live interp.live.* gauges are also refreshed every
+	// liveInterval scheduling slices while the run is in flight.
 	Obs *obs.Registry
+	// OnLive, when non-nil, is invoked on the interpreter's goroutine
+	// every liveInterval scheduling slices with a progress snapshot. The
+	// literace pipeline uses it to fold runtime counters and publish
+	// live ESR gauges mid-run, keeping all ThreadState access on the one
+	// goroutine that owns it.
+	OnLive func(LiveStats)
 }
+
+// LiveStats is a mid-run progress snapshot handed to Options.OnLive.
+type LiveStats struct {
+	Instrs      uint64
+	MemOps      uint64
+	SyncOps     uint64
+	Slices      uint64
+	Preemptions uint64
+	Threads     int
+}
+
+// liveInterval is how many scheduling slices pass between OnLive calls
+// and live gauge refreshes. A power of two keeps the check one AND.
+const liveInterval = 256
 
 func (o *Options) setDefaults() {
 	if o.MaxInstrs == 0 {
@@ -280,6 +302,8 @@ func (m *Machine) publishObs() {
 }
 
 func (m *Machine) loop() error {
+	schedLog := m.opts.Runtime != nil && m.opts.Runtime.SchedLogEnabled()
+	live := m.opts.Obs != nil || m.opts.OnLive != nil
 	for m.alive > 0 {
 		if len(m.runq) == 0 {
 			return m.deadlockError()
@@ -292,7 +316,13 @@ func (m *Machine) loop() error {
 		}
 		quantum := 1 + m.schedRng.Intn(m.opts.Quantum)
 		m.yieldSlice = false
+		sliceIdx := m.slices
 		m.slices++
+		if schedLog && th.ts != nil {
+			if err := th.ts.LogSched(trace.OpSliceBegin, sliceIdx, m.res.Instrs, m.curPC(th)); err != nil {
+				return err
+			}
+		}
 		for i := 0; i < quantum && th.state == tRunnable && !m.yieldSlice; i++ {
 			if err := m.step(th); err != nil {
 				return err
@@ -301,14 +331,62 @@ func (m *Machine) loop() error {
 				return fmt.Errorf("interp: instruction budget %d exceeded", m.opts.MaxInstrs)
 			}
 		}
+		involuntary := th.state == tRunnable && !m.yieldSlice
 		if th.state == tRunnable {
-			if !m.yieldSlice {
+			if involuntary {
 				m.preemptions++ // quantum expired with the thread still willing to run
 			}
 			m.runq = append(m.runq, tid)
 		}
+		if schedLog && th.ts != nil {
+			op := trace.OpSliceEnd
+			if involuntary {
+				op = trace.OpSlicePreempt
+			}
+			if err := th.ts.LogSched(op, sliceIdx, m.res.Instrs, m.curPC(th)); err != nil {
+				return err
+			}
+		}
+		if live && m.slices%liveInterval == 0 {
+			m.publishLive()
+		}
 	}
 	return nil
+}
+
+// curPC is the thread's current original-program PC, or the zero PC for
+// a thread with no frames left (it just returned from its entry).
+func (m *Machine) curPC(th *thread) lir.PC {
+	if len(th.frames) == 0 {
+		return lir.PC{}
+	}
+	fr := th.top()
+	return origPC(fr, fr.pc)
+}
+
+// publishLive refreshes the interp.live.* gauges and fires the OnLive
+// hook. Runs on the interpreter goroutine, so the hook may safely touch
+// per-thread runtime state (FlushLiveStats, PublishESR).
+func (m *Machine) publishLive() {
+	ls := LiveStats{
+		Instrs:      m.res.Instrs,
+		MemOps:      m.res.MemOps,
+		SyncOps:     m.res.SyncOps,
+		Slices:      m.slices,
+		Preemptions: m.preemptions,
+		Threads:     m.totalSpawns,
+	}
+	if reg := m.opts.Obs; reg != nil {
+		reg.Gauge("interp.live.instrs").Set(float64(ls.Instrs))
+		reg.Gauge("interp.live.mem_ops").Set(float64(ls.MemOps))
+		reg.Gauge("interp.live.sync_ops").Set(float64(ls.SyncOps))
+		reg.Gauge("interp.live.slices").Set(float64(ls.Slices))
+		reg.Gauge("interp.live.preemptions").Set(float64(ls.Preemptions))
+		reg.Gauge("interp.live.threads").Set(float64(ls.Threads))
+	}
+	if m.opts.OnLive != nil {
+		m.opts.OnLive(ls)
+	}
 }
 
 func (m *Machine) deadlockError() error {

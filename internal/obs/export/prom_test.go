@@ -1,0 +1,180 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"literace/internal/obs"
+)
+
+// fixedSnapshot builds a registry with one instrument of every kind and
+// returns its snapshot. Phase durations are not reproducible (wall
+// clock), so phases are added to the snapshot directly.
+func fixedSnapshot() *obs.Snapshot {
+	reg := obs.New()
+	reg.Counter("core.dispatch_checks").Add(41)
+	reg.Counter("core.dispatch_checks").Inc()
+	reg.Gauge("core.esr.live").Set(0.015625)
+	reg.Gauge("core.esr.shadow.TL-Ad").Set(0.5)
+	h := reg.Histogram("core.burst_length")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(9)
+	v := reg.CounterVec("core.ts_counter_draws", 8)
+	v.Inc(1)
+	v.Add(5, 3)
+	s := reg.Snapshot()
+	s.Phases = []obs.PhaseSnapshot{
+		{Name: "assemble", StartNanos: 0, DurNanos: 1_500_000},
+		{Name: "run", StartNanos: 2_000_000, DurNanos: 250_000_000, Items: 1000, PerSec: 4000},
+		{Name: "run", StartNanos: 300_000_000, DurNanos: 250_000_000, Items: 1000, PerSec: 4000},
+	}
+	return s
+}
+
+const wantProm = `# HELP literace_core_dispatch_checks LiteRace counter core.dispatch_checks
+# TYPE literace_core_dispatch_checks counter
+literace_core_dispatch_checks 42
+# HELP literace_core_esr_live LiteRace gauge core.esr.live
+# TYPE literace_core_esr_live gauge
+literace_core_esr_live 0.015625
+# HELP literace_core_esr_shadow_TL_Ad LiteRace gauge core.esr.shadow.TL-Ad
+# TYPE literace_core_esr_shadow_TL_Ad gauge
+literace_core_esr_shadow_TL_Ad 0.5
+# HELP literace_core_burst_length LiteRace histogram core.burst_length
+# TYPE literace_core_burst_length histogram
+literace_core_burst_length_bucket{le="0"} 1
+literace_core_burst_length_bucket{le="1"} 2
+literace_core_burst_length_bucket{le="7"} 3
+literace_core_burst_length_bucket{le="15"} 4
+literace_core_burst_length_bucket{le="+Inf"} 4
+literace_core_burst_length_sum 15
+literace_core_burst_length_count 4
+# TYPE literace_core_burst_length_min gauge
+literace_core_burst_length_min 0
+# TYPE literace_core_burst_length_max gauge
+literace_core_burst_length_max 9
+# HELP literace_core_ts_counter_draws LiteRace counter vector core.ts_counter_draws (zero cells omitted)
+# TYPE literace_core_ts_counter_draws counter
+literace_core_ts_counter_draws{cell="1"} 1
+literace_core_ts_counter_draws{cell="5"} 3
+# HELP literace_phase_runs_total completed pipeline phase spans
+# TYPE literace_phase_runs_total counter
+literace_phase_runs_total{phase="assemble"} 1
+literace_phase_runs_total{phase="run"} 2
+# HELP literace_phase_duration_seconds_total time spent in each pipeline phase
+# TYPE literace_phase_duration_seconds_total counter
+literace_phase_duration_seconds_total{phase="assemble"} 0.0015
+literace_phase_duration_seconds_total{phase="run"} 0.5
+# HELP literace_phase_items_total items processed by each pipeline phase
+# TYPE literace_phase_items_total counter
+literace_phase_items_total{phase="assemble"} 0
+literace_phase_items_total{phase="run"} 2000
+`
+
+// TestWritePromGolden pins the exact text-format output: one family per
+// instrument kind, sorted, with cumulative histogram buckets and exact
+// min/max.
+func TestWritePromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, fixedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != wantProm {
+		t.Errorf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, wantProm)
+	}
+}
+
+// TestWritePromDeterministic renders twice from equal state.
+func TestWritePromDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteProm(&a, fixedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, fixedSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("output not deterministic across identical snapshots")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"core.dispatch_checks":          "literace_core_dispatch_checks",
+		"trace.thread_flushes.t12":      "literace_trace_thread_flushes_t12",
+		"harness.esr.micro.seed1.TL-Ad": "literace_harness_esr_micro_seed1_TL_Ad",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotDelta exercises Delta over a live registry: the delta of a
+// later snapshot against an earlier one must be exactly the work done in
+// between, and never negative (clamped at zero when a counter appears to
+// run backwards, e.g. across a registry restart).
+func TestSnapshotDelta(t *testing.T) {
+	reg := obs.New()
+	c := reg.Counter("work.items")
+	h := reg.Histogram("work.sizes")
+	v := reg.CounterVec("work.cells", 4)
+	g := reg.Gauge("work.level")
+
+	c.Add(10)
+	h.Observe(4)
+	v.Inc(2)
+	g.Set(1.0)
+	span := reg.StartSpan("phase-a")
+	span.End()
+	prev := reg.Snapshot()
+
+	c.Add(7)
+	h.Observe(4)
+	h.Observe(100)
+	v.Inc(2)
+	v.Inc(3)
+	g.Set(2.5)
+	span = reg.StartSpan("phase-b")
+	span.End()
+	cur := reg.Snapshot()
+
+	d := cur.Delta(prev)
+	if got := d.Counters["work.items"]; got != 7 {
+		t.Errorf("counter delta = %d, want 7", got)
+	}
+	if got := d.Gauges["work.level"]; got != 2.5 {
+		t.Errorf("gauge delta keeps current value; got %g, want 2.5", got)
+	}
+	dh := d.Histograms["work.sizes"]
+	if dh.Count != 2 || dh.Sum != 104 {
+		t.Errorf("histogram delta count=%d sum=%d, want 2/104", dh.Count, dh.Sum)
+	}
+	if got := d.Vectors["work.cells"]; got[2] != 1 || got[3] != 1 || got[0] != 0 {
+		t.Errorf("vector delta = %v", got)
+	}
+	if len(d.Phases) != 1 || d.Phases[0].Name != "phase-b" {
+		t.Errorf("phase delta = %+v, want just phase-b", d.Phases)
+	}
+
+	// Monotonicity: deltas of successive snapshots are non-negative and
+	// sum back to the total.
+	total := cur.Delta(nil)
+	firstHalf := prev.Delta(nil)
+	if firstHalf.Counters["work.items"]+d.Counters["work.items"] != total.Counters["work.items"] {
+		t.Error("counter deltas do not sum to the total")
+	}
+
+	// Clamping: a "backwards" counter (prev ahead of cur) yields zero,
+	// not an underflowed uint64.
+	back := prev.Delta(cur)
+	if got := back.Counters["work.items"]; got != 0 {
+		t.Errorf("backwards delta = %d, want clamp to 0", got)
+	}
+	if got := back.Histograms["work.sizes"].Count; got != 0 {
+		t.Errorf("backwards histogram count = %d, want 0", got)
+	}
+}

@@ -1,0 +1,124 @@
+package export
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"literace/internal/obs"
+)
+
+// Server is the embedded telemetry endpoint: a plain net/http server over
+// one registry, started with Serve and stopped with Close. It is meant to
+// run alongside a live pipeline (literace run -serve, literace bench
+// -serve) so scrapers and humans can watch the sampler mid-run.
+//
+// Endpoints:
+//
+//	/metrics        Prometheus text format (WriteProm of a fresh snapshot)
+//	/snapshot       the stable JSON snapshot (obs.Snapshot.MarshalStable)
+//	/healthz        liveness: {"status":"ok","uptime_seconds":...,"scrapes":N}
+//	/debug/pprof/*  the standard pprof handlers
+//
+// Mid-run freshness comes from two sides: hot-path instruments (burst
+// histogram, timestamp-counter draws) are atomic and always current, and
+// the interpreter's periodic live hook (interp.Options.OnLive, wired by
+// literace.Run) folds thread-local counters and ESR gauges into the
+// registry every few hundred scheduling slices.
+type Server struct {
+	reg     *obs.Registry
+	srv     *http.Server
+	lis     net.Listener
+	start   time.Time
+	scrapes atomic.Uint64
+	done    chan error
+}
+
+// NewHandler builds the telemetry mux over reg without binding a socket;
+// Serve uses it, and tests drive it through net/http/httptest. scrapes
+// may be nil.
+func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if scrapes != nil {
+			scrapes.Add(1)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if scrapes != nil {
+			scrapes.Add(1)
+		}
+		data, err := reg.Snapshot().MarshalStable()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		n := uint64(0)
+		if scrapes != nil {
+			n = scrapes.Load()
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+			"scrapes":        n,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves reg's telemetry in
+// a background goroutine until Close.
+func Serve(addr string, reg *obs.Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("export: Serve needs a registry")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	s := &Server{
+		reg:   reg,
+		lis:   lis,
+		start: time.Now(),
+		done:  make(chan error, 1),
+	}
+	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes)}
+	go func() { s.done <- s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Scrapes returns how many /metrics and /snapshot requests were served.
+func (s *Server) Scrapes() uint64 { return s.scrapes.Load() }
+
+// Close shuts the server down gracefully: in-flight scrapes get up to
+// five seconds to finish, then the listener is torn down hard.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done // Serve always returns after Shutdown/Close
+	return err
+}

@@ -1,0 +1,139 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"literace/internal/obs"
+)
+
+// TestServerRoundTrip drives the handler through httptest: /metrics must
+// parse as Prometheus text format and carry the live gauges, /healthz
+// must report ok, and /snapshot must be valid stable JSON.
+func TestServerRoundTrip(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("core.dispatch_checks").Add(9)
+	reg.Gauge("core.esr.live").Set(0.25)
+	reg.Histogram("core.burst_length").Observe(3)
+
+	var scrapes atomic.Uint64
+	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes))
+	defer ts.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE literace_core_dispatch_checks counter",
+		"literace_core_dispatch_checks 9",
+		"literace_core_esr_live 0.25",
+		`literace_core_burst_length_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(metrics), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	health, ctype := get("/healthz")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("healthz content type %q", ctype)
+	}
+	var hz struct {
+		Status  string  `json:"status"`
+		Uptime  float64 `json:"uptime_seconds"`
+		Scrapes uint64  `json:"scrapes"`
+	}
+	if err := json.Unmarshal([]byte(health), &hz); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if hz.Status != "ok" || hz.Uptime < 0 {
+		t.Errorf("healthz = %+v", hz)
+	}
+	if hz.Scrapes != 1 {
+		t.Errorf("scrapes = %d after one /metrics hit, want 1", hz.Scrapes)
+	}
+
+	snap, _ := get("/snapshot")
+	var decoded obs.Snapshot
+	if err := json.Unmarshal([]byte(snap), &decoded); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if decoded.Counters["core.dispatch_checks"] != 9 {
+		t.Errorf("snapshot counters = %v", decoded.Counters)
+	}
+
+	// A scrape mid-update sees fresh atomic values: bump and re-read.
+	reg.Counter("core.dispatch_checks").Add(1)
+	metrics, _ = get("/metrics")
+	if !strings.Contains(metrics, "literace_core_dispatch_checks 10") {
+		t.Error("scrape did not observe live counter update")
+	}
+}
+
+// TestServeLifecycle exercises the real listener: bind :0, scrape once,
+// shut down gracefully, and confirm the port is released.
+func TestServeLifecycle(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("x").Inc()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "literace_x 1") {
+		t.Errorf("metrics body: %s", body)
+	}
+	if s.Scrapes() != 1 {
+		t.Errorf("scrapes = %d, want 1", s.Scrapes())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+	if _, err := Serve("not an address", reg); err == nil {
+		t.Error("bad address accepted")
+	}
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+}

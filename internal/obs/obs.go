@@ -86,6 +86,10 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	max     atomic.Uint64
+	// minPlus1 holds min+1 so the zero value means "no observations yet";
+	// an observation of math.MaxUint64 is recorded as MaxUint64-1 here
+	// (the exported Min saturates at that point).
+	minPlus1 atomic.Uint64
 }
 
 // Observe records one value. No-op on a nil receiver.
@@ -99,9 +103,40 @@ func (h *Histogram) Observe(v uint64) {
 	for {
 		old := h.max.Load()
 		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	mv := v
+	if mv == math.MaxUint64 {
+		mv--
+	}
+	for {
+		old := h.minPlus1.Load()
+		if (old != 0 && mv+1 >= old) || h.minPlus1.CompareAndSwap(old, mv+1) {
 			return
 		}
 	}
+}
+
+// Min returns the smallest observation; 0 when empty or on a nil receiver.
+// Exported so the text encoders report exact bounds instead of inferring
+// them from the power-of-two buckets.
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	if m := h.minPlus1.Load(); m > 0 {
+		return m - 1
+	}
+	return 0
+}
+
+// Max returns the largest observation; 0 on a nil receiver.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
 }
 
 // Count returns the number of observations; 0 on a nil receiver.
@@ -298,6 +333,7 @@ type HistogramSnapshot struct {
 	Count   uint64      `json:"count"`
 	Sum     uint64      `json:"sum"`
 	Mean    float64     `json:"mean"`
+	Min     uint64      `json:"min"`
 	Max     uint64      `json:"max"`
 	Buckets [][2]uint64 `json:"buckets,omitempty"`
 }
@@ -343,7 +379,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+		hs := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Min: h.Min(), Max: h.max.Load()}
 		if hs.Count > 0 {
 			hs.Mean = float64(hs.Sum) / float64(hs.Count)
 		}
@@ -380,6 +416,75 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Phases = append(s.Phases, ps)
 	}
 	return s
+}
+
+// Delta returns the change from prev to s: counters, histogram
+// counts/sums/buckets, and vector cells subtract element-wise (clamped at
+// zero, so a restarted registry never yields negative rates); gauges keep
+// their current value (they are levels, not totals); histogram min/max
+// keep the current bounds (extrema cannot be un-observed); phases are the
+// spans completed since prev (phase lists are append-only). prev may be
+// nil or empty, in which case Delta is a copy of s. Scrapers divide a
+// delta by the scrape interval to get rates.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		prev = &Snapshot{}
+	}
+	sub := func(cur, old uint64) uint64 {
+		if cur < old {
+			return 0
+		}
+		return cur - old
+	}
+	d := &Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Vectors:    make(map[string][]uint64, len(s.Vectors)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = sub(v, prev.Counters[name])
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		ph := prev.Histograms[name]
+		dh := HistogramSnapshot{
+			Count: sub(h.Count, ph.Count),
+			Sum:   sub(h.Sum, ph.Sum),
+			Min:   h.Min,
+			Max:   h.Max,
+		}
+		if dh.Count > 0 {
+			dh.Mean = float64(dh.Sum) / float64(dh.Count)
+		}
+		prevBuckets := make(map[uint64]uint64, len(ph.Buckets))
+		for _, b := range ph.Buckets {
+			prevBuckets[b[0]] = b[1]
+		}
+		for _, b := range h.Buckets {
+			if n := sub(b[1], prevBuckets[b[0]]); n > 0 {
+				dh.Buckets = append(dh.Buckets, [2]uint64{b[0], n})
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	for name, v := range s.Vectors {
+		pv := prev.Vectors[name]
+		out := make([]uint64, len(v))
+		for i, n := range v {
+			if i < len(pv) {
+				n = sub(n, pv[i])
+			}
+			out[i] = n
+		}
+		d.Vectors[name] = out
+	}
+	if len(s.Phases) > len(prev.Phases) {
+		d.Phases = append(d.Phases, s.Phases[len(prev.Phases):]...)
+	}
+	return d
 }
 
 // WriteJSON writes the snapshot as indented JSON.

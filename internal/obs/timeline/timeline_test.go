@@ -1,0 +1,222 @@
+package timeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"literace"
+	"literace/internal/obs/timeline"
+)
+
+const racyProgram = `
+glob shared 1
+glob protected 1
+glob lk 1
+func touch 1 6 {
+    glob r1, shared
+    store r1, 0, r0
+    glob r2, lk
+    lock r2
+    glob r3, protected
+    load r4, r3, 0
+    addi r4, r4, 1
+    store r3, 0, r4
+    unlock r2
+    ret r0
+}
+func main 0 6 {
+    movi r0, 1
+    fork r1, touch, r0
+    call _, touch, r0
+    join r1
+    exit
+}
+`
+
+// encodeLog runs the racy program and returns its encoded trace.
+func encodeLog(t *testing.T, sched bool) []byte {
+	t.Helper()
+	p, err := literace.Assemble("racy", racyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.Run(literace.Config{Sampler: "Full", Seed: 1, SchedTrace: sched, LogTo: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// traceDoc mirrors the JSON layout we must emit.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Cat   string         `json:"cat"`
+		Ph    string         `json:"ph"`
+		TS    int64          `json:"ts"`
+		Dur   int64          `json:"dur"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		ID    int            `json:"id"`
+		Args  map[string]any `json:"args"`
+		Scope string         `json:"s"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+func build(t *testing.T, data []byte, opts timeline.Options) (*traceDoc, *timeline.Stats) {
+	t.Helper()
+	out, stats, err := timeline.Build(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != stats.Events {
+		t.Errorf("stats.Events = %d but %d records emitted", stats.Events, len(doc.TraceEvents))
+	}
+	return &doc, stats
+}
+
+// TestTimelineSchema checks the trace-event invariants on a clean
+// sched-traced log: one named track per thread, scheduler slices,
+// sync micro-slices, paired flow arrows, and a detected race.
+func TestTimelineSchema(t *testing.T) {
+	doc, stats := build(t, encodeLog(t, true), timeline.Options{})
+
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	threadNames := map[int]string{}
+	var slices, syncs, hbS, hbF, raceS, raceF, raceMarks int
+	for _, e := range doc.TraceEvents {
+		if e.TS < 0 {
+			t.Fatalf("negative timestamp in %+v", e)
+		}
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames[e.TID] = e.Args["name"].(string)
+		case e.Ph == "X" && e.Cat == "sched":
+			slices++
+			if e.Dur <= 0 {
+				t.Errorf("slice with non-positive dur: %+v", e)
+			}
+		case e.Ph == "X" && e.Cat == "sync":
+			syncs++
+		case e.Cat == "hb" && e.Ph == "s":
+			hbS++
+		case e.Cat == "hb" && e.Ph == "f":
+			hbF++
+		case e.Cat == "race" && e.Ph == "s":
+			raceS++
+		case e.Cat == "race" && e.Ph == "f":
+			raceF++
+		case e.Cat == "race" && e.Ph == "i":
+			raceMarks++
+		}
+	}
+	// Two program threads plus the recorder track, each named exactly once.
+	if len(threadNames) != stats.Threads+1 {
+		t.Errorf("thread_name tracks = %v, want %d threads + recorder", threadNames, stats.Threads)
+	}
+	if slices == 0 || slices != stats.Slices {
+		t.Errorf("sched slices drawn = %d (stats %d)", slices, stats.Slices)
+	}
+	if syncs == 0 || uint64(syncs) != stats.SyncOps {
+		t.Errorf("sync micro-slices = %d (stats %d)", syncs, stats.SyncOps)
+	}
+	if hbS == 0 || hbS != hbF || hbS != stats.Edges {
+		t.Errorf("hb flows: %d starts, %d finishes (stats %d)", hbS, hbF, stats.Edges)
+	}
+	if stats.Races == 0 || raceS == 0 || raceS != raceF || raceMarks == 0 {
+		t.Errorf("race arrows: %d starts, %d finishes, %d markers (stats %d races)",
+			raceS, raceF, raceMarks, stats.Races)
+	}
+	if stats.Salvaged || stats.Degraded {
+		t.Errorf("clean log reported salvaged=%v degraded=%v", stats.Salvaged, stats.Degraded)
+	}
+}
+
+// TestTimelineNoSched checks the replay-order fallback axis: no sched
+// markers, so no scheduler slices, but sync ops, bursts, and race
+// arrows still render with monotone timestamps.
+func TestTimelineNoSched(t *testing.T) {
+	doc, stats := build(t, encodeLog(t, false), timeline.Options{})
+	if stats.Slices != 0 {
+		t.Errorf("slices = %d without sched markers", stats.Slices)
+	}
+	if stats.Bursts == 0 {
+		t.Error("no sampled bursts drawn")
+	}
+	if stats.Races == 0 {
+		t.Error("race lost in fallback mode")
+	}
+	for _, e := range doc.TraceEvents {
+		if e.TS < 0 {
+			t.Fatalf("negative timestamp: %+v", e)
+		}
+	}
+}
+
+// TestTimelineTruncated feeds a mid-chunk truncation: the builder must
+// fall back to salvage, still emit a loadable document, and mark it.
+func TestTimelineTruncated(t *testing.T) {
+	data := encodeLog(t, true)
+	cut := data[:len(data)*3/5]
+	doc, stats := build(t, cut, timeline.Options{})
+	if !stats.Salvaged {
+		t.Error("truncated log not marked salvaged")
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events salvaged from truncated log")
+	}
+	gaps := 0
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "salvage" {
+			gaps++
+		}
+	}
+	// A 60% cut loses every thread's tail, so the decoder marks gaps and
+	// the timeline must surface them.
+	if gaps == 0 && !stats.Degraded {
+		t.Error("lossy salvage produced neither gap markers nor a degraded flag")
+	}
+}
+
+// TestTimelineForcedSalvage checks Options.Salvage on a clean log: the
+// salvage decoder recovers everything, so the timeline is intact.
+func TestTimelineForcedSalvage(t *testing.T) {
+	_, stats := build(t, encodeLog(t, true), timeline.Options{Salvage: true})
+	if !stats.Salvaged {
+		t.Error("forced salvage not reported")
+	}
+	if stats.Races == 0 || stats.Slices == 0 {
+		t.Errorf("forced salvage lost content: %+v", stats)
+	}
+}
+
+// TestTimelineEdgeCap checks the arrow cap: with MaxEdges 1 the drop
+// counter must make the truncation visible.
+func TestTimelineEdgeCap(t *testing.T) {
+	_, stats := build(t, encodeLog(t, true), timeline.Options{MaxEdges: 1})
+	if stats.Edges != 1 {
+		t.Errorf("edges drawn = %d, want 1", stats.Edges)
+	}
+	if stats.EdgesDropped == 0 {
+		t.Error("dropped edges not counted")
+	}
+}
+
+// TestTimelineGarbage checks that non-trace input errors cleanly.
+func TestTimelineGarbage(t *testing.T) {
+	if _, _, err := timeline.Build([]byte("not a trace at all"), timeline.Options{}); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

@@ -27,6 +27,8 @@ import (
 //	event  := kind byte, op byte, then per-kind varints:
 //	          mem:  pcFunc pcIndex addr mask
 //	          sync: pcFunc pcIndex addr counter ts
+//	          sched markers reuse the sync layout: addr is the global slice
+//	          index, counter is 0, and ts is the virtual instruction clock
 //
 // The CRC32 (IEEE, little-endian) covers the tag and length varints plus
 // the payload, so any corruption inside a chunk is detectable, and the

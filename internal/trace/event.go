@@ -60,6 +60,12 @@ const (
 	// KindAcqRel does both, in release-then-acquire order (atomic
 	// read-modify-write ops, allocation/free page synchronization).
 	KindAcqRel
+	// KindSched is a scheduler marker (slice begin/end): it carries no
+	// happens-before meaning and is ignored by the detectors, but gives
+	// the timeline exporter real execution-time boundaries. Addr holds the
+	// global slice index and TS the virtual instruction clock at the
+	// boundary; Op distinguishes begin, voluntary end, and preemption.
+	KindSched
 
 	numKinds
 )
@@ -76,6 +82,8 @@ func (k Kind) String() string {
 		return "release"
 	case KindAcqRel:
 		return "acqrel"
+	case KindSched:
+		return "sched"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -85,6 +93,9 @@ func (k Kind) IsMem() bool { return k == KindRead || k == KindWrite }
 
 // IsSync reports whether the event participates in happens-before edges.
 func (k Kind) IsSync() bool { return k == KindAcquire || k == KindRelease || k == KindAcqRel }
+
+// IsSched reports whether the event is a scheduler marker.
+func (k Kind) IsSched() bool { return k == KindSched }
 
 // SyncOp records which source operation produced a sync event; it does not
 // affect happens-before semantics but makes reports readable and lets the
@@ -106,6 +117,12 @@ const (
 	OpXchg
 	OpAlloc
 	OpFree
+	// OpSliceBegin/OpSliceEnd/OpSlicePreempt are KindSched operations:
+	// a scheduling slice started, ended voluntarily (block, yield, thread
+	// exit), or was cut by quantum expiry.
+	OpSliceBegin
+	OpSliceEnd
+	OpSlicePreempt
 
 	numSyncOps
 )
@@ -115,6 +132,8 @@ var syncOpNames = [...]string{
 	OpNotify: "notify", OpFork: "fork", OpForkChild: "fork-child",
 	OpJoin: "join", OpThreadEnd: "thread-end", OpCas: "cas",
 	OpXadd: "xadd", OpXchg: "xchg", OpAlloc: "alloc", OpFree: "free",
+	OpSliceBegin: "slice-begin", OpSliceEnd: "slice-end",
+	OpSlicePreempt: "slice-preempt",
 }
 
 func (o SyncOp) String() string {
@@ -140,6 +159,9 @@ type Event struct {
 func (e Event) String() string {
 	if e.Kind.IsMem() {
 		return fmt.Sprintf("t%d %s @%v addr=%#x mask=%#x", e.TID, e.Kind, e.PC, e.Addr, e.Mask)
+	}
+	if e.Kind.IsSched() {
+		return fmt.Sprintf("t%d sched(%s) @%v slice=%d instrs=%d", e.TID, e.Op, e.PC, e.Addr, e.TS)
 	}
 	return fmt.Sprintf("t%d %s(%s) @%v var=%#x c%d ts=%d", e.TID, e.Kind, e.Op, e.PC, e.Addr, e.Counter, e.TS)
 }

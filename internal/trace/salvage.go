@@ -458,6 +458,18 @@ type ChunkSpan struct {
 	Tag        uint64 // raw chunk tag
 }
 
+// IsCheckpoint reports whether an LTRC2 span is a periodic metadata
+// checkpoint chunk. (LTRC1 logs have no checkpoints, and their tag
+// namespace differs; callers must check the log format first.)
+func (c ChunkSpan) IsCheckpoint() bool { return c.Tag == tagCheckpoint }
+
+// IsMeta reports whether an LTRC2 span is the metadata trailer.
+func (c ChunkSpan) IsMeta() bool { return c.Tag == tagMeta }
+
+// IsLTRC2 reports whether data begins with the current LTRC2 magic, i.e.
+// whether ChunkSpans tags follow the LTRC2 namespace.
+func IsLTRC2(data []byte) bool { return bytes.HasPrefix(data, []byte(magic)) }
+
 // ChunkSpans enumerates the chunks of a structurally valid encoded log
 // (either format). It is the fault-injection harness's map of where it
 // may cut, drop, or duplicate.

@@ -36,6 +36,7 @@ func Verify(log *Log) error {
 	perCounter := make(map[uint8][]uint64)
 	for tid, evs := range log.Threads {
 		lastTS := make(map[uint8]uint64)
+		lastSched := uint64(0)
 		for i, e := range evs {
 			if e.TID != tid {
 				add("trace: thread %d event %d carries tid %d", tid, i, e.TID)
@@ -59,6 +60,17 @@ func Verify(log *Log) error {
 				if maskLimit != 0 && e.Mask > maskLimit {
 					add("trace: thread %d event %d: mask %#x exceeds sampler set", tid, i, e.Mask)
 				}
+			case e.Kind.IsSched():
+				// Scheduler markers carry the virtual instruction clock in
+				// TS; it must be non-decreasing along each thread.
+				if e.Op != OpSliceBegin && e.Op != OpSliceEnd && e.Op != OpSlicePreempt {
+					add("trace: thread %d event %d: sched event with op %s", tid, i, e.Op)
+				}
+				if e.TS < lastSched {
+					add("trace: thread %d event %d: sched clock %d decreasing (prev %d)",
+						tid, i, e.TS, lastSched)
+				}
+				lastSched = e.TS
 			default:
 				add("trace: thread %d event %d: unknown kind %d", tid, i, e.Kind)
 			}

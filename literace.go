@@ -110,6 +110,12 @@ type Config struct {
 	LogTo io.Writer
 	// MaxInstrs bounds execution (0 = 1e9).
 	MaxInstrs uint64
+	// SchedTrace enables scheduler-slice markers in the log (KindSched
+	// events): one begin and one end/preempt record per scheduling
+	// slice, carrying the virtual instruction clock. They let `literace
+	// timeline` reconstruct true per-thread execution tracks. Off by
+	// default (the CLI turns it on for `literace run`).
+	SchedTrace bool
 	// Online enables the §4.4 online-detection variant: a happens-before
 	// detector consumes events as the program emits them (the
 	// interpreter's emission order is a legal interleaving), so races are
@@ -167,14 +173,15 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	}
 	w.SetObs(cfg.Obs)
 	rtCfg := core.Config{
-		NumFuncs:      len(p.orig.Funcs),
-		Primary:       strat,
-		Writer:        w,
-		EnableMemLog:  true,
-		EnableSyncLog: true,
-		Seed:          cfg.Seed,
-		Cost:          core.DefaultCostModel(),
-		Obs:           cfg.Obs,
+		NumFuncs:       len(p.orig.Funcs),
+		Primary:        strat,
+		Writer:         w,
+		EnableMemLog:   true,
+		EnableSyncLog:  true,
+		EnableSchedLog: cfg.SchedTrace,
+		Seed:           cfg.Seed,
+		Cost:           core.DefaultCostModel(),
+		Obs:            cfg.Obs,
 	}
 	var online *hb.Detector
 	if cfg.Online {
@@ -185,9 +192,20 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mach, err := interp.New(p.mod, interp.Options{
+	iOpts := interp.Options{
 		Seed: cfg.Seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs, Obs: cfg.Obs,
-	})
+	}
+	if cfg.Obs != nil {
+		// Periodically fold thread-local counters and refresh the live ESR
+		// gauges so a telemetry scrape mid-run (literace run -serve) sees
+		// current sampler state. The hook runs on the interpreter's
+		// goroutine, which owns all ThreadState.
+		iOpts.OnLive = func(l interp.LiveStats) {
+			rt.FlushLiveStats()
+			rt.PublishESR(l.MemOps)
+		}
+	}
+	mach, err := interp.New(p.mod, iOpts)
 	if err != nil {
 		return nil, err
 	}

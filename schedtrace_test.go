@@ -1,0 +1,79 @@
+package literace
+
+import (
+	"bytes"
+	"testing"
+
+	"literace/internal/trace"
+)
+
+// TestSchedTraceLogged runs with SchedTrace on and checks that the log
+// carries balanced, verifiable scheduler slice markers and that race
+// detection still works on a log containing them.
+func TestSchedTraceLogged(t *testing.T) {
+	p, _ := Assemble("racy", racyProgram)
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.Run(Config{Sampler: "Full", Seed: 1, SchedTrace: true, LogTo: &buf}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := VerifyLog(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("sched-traced log fails verification: %v", err)
+	}
+	log, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	for _, evs := range log.Threads {
+		lastTS := uint64(0)
+		for _, e := range evs {
+			if !e.Kind.IsSched() {
+				continue
+			}
+			switch e.Op {
+			case trace.OpSliceBegin:
+				begins++
+			case trace.OpSliceEnd, trace.OpSlicePreempt:
+				ends++
+			default:
+				t.Fatalf("unexpected sched op %v", e.Op)
+			}
+			if e.TS < lastTS {
+				t.Fatalf("sched instruction clock went backwards: %d after %d", e.TS, lastTS)
+			}
+			lastTS = e.TS
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("slice markers unbalanced: %d begins, %d ends", begins, ends)
+	}
+
+	rep, err := Detect(bytes.NewReader(buf.Bytes()), p.FuncName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) == 0 {
+		t.Error("planted race lost when sched markers are present")
+	}
+
+	// The same program without SchedTrace must log no sched events.
+	var plain bytes.Buffer
+	if _, err := p.Run(Config{Sampler: "Full", Seed: 1, LogTo: &plain}); err != nil {
+		t.Fatal(err)
+	}
+	plainLog, err := trace.ReadAll(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, evs := range plainLog.Threads {
+		for _, e := range evs {
+			if e.Kind.IsSched() {
+				t.Fatal("sched event logged without SchedTrace")
+			}
+		}
+	}
+}
