@@ -26,6 +26,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,9 @@ import (
 	"literace"
 	"literace/internal/harness"
 	"literace/internal/obs"
+	"literace/internal/obs/coverprof"
 	"literace/internal/obs/export"
+	"literace/internal/obs/ledger"
 	"literace/internal/obs/timeline"
 	"literace/internal/trace"
 	"literace/internal/workloads"
@@ -67,7 +70,13 @@ func main() {
 	case "timeline":
 		err = cmdTimeline(args)
 	case "report":
-		err = cmdReport(args)
+		// `report ls|show|compare` operate on the run-report ledger; the
+		// legacy `report <prog.lir>` form runs the pipeline.
+		if len(args) > 0 && (args[0] == "ls" || args[0] == "show" || args[0] == "compare") {
+			err = cmdLedgerReport(args[0], args[1:])
+		} else {
+			err = cmdReport(args)
+		}
 	case "bench":
 		err = cmdBench(args)
 	case "stats":
@@ -81,6 +90,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "literace:", err)
+		if errors.Is(err, ledger.ErrDriftExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -90,14 +102,17 @@ func usage() {
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
-  run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-cpuprofile f] [-memprofile f]
-  detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f]
+  run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-report-out f] [-ledger dir] [-cpuprofile f] [-memprofile f]
+  detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f] [-report-out f] [-ledger dir]
   fsck    <log.trc>                 salvage-decode and print a JSON health report
   dump    <log.trc> [-n N]          print decoded log events
   timeline <log.trc> [-o t.json] [-src prog.lir] [-salvage]  export a Perfetto/Chrome trace timeline
-  report  <prog.lir> [-sampler S] [-seed N]
+  report  <prog.lir> [-sampler S] [-seed N]          run + detect in one step
+  report  ls       [-ledger dir]                     list run-report ledger entries
+  report  show     [-ledger dir] [-json] <id>        print one ledger report
+  report  compare  [-ledger dir] [-strict] [-json] <A> <B>   drift between two reports (exit 3 past thresholds)
   bench   [-list | key] [-serve ADDR] [-overhead-out f]      run benchmarks (see -list)
-  stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry report`)
+  stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry + coverage report`)
 }
 
 func loadProgram(path string) (*literace.Program, error) {
@@ -236,6 +251,8 @@ func cmdRun(args []string) error {
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address (e.g. :9090) while running")
 	sched := fs.Bool("sched", true, "log scheduler slice markers (enables `literace timeline` thread tracks)")
+	reportOut := fs.String("report-out", "", "write a literace.runreport/v1 artifact (coverage table, races, ESR) to this file")
+	ledgerDir := fs.String("ledger", "", "append the run report to the ledger at this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	fs.Parse(args)
@@ -272,7 +289,14 @@ func cmdRun(args []string) error {
 		return err
 	}
 	defer f.Close()
-	res, err := p.Run(literace.Config{Sampler: *samplerName, Seed: *seed, SchedTrace: *sched, LogTo: f, Obs: reg})
+	wantReport := *reportOut != "" || *ledgerDir != ""
+	res, err := p.Run(literace.Config{
+		Sampler: *samplerName, Seed: *seed, SchedTrace: *sched, LogTo: f, Obs: reg,
+		// A run report needs the coverage table and race→burst
+		// attribution, so the report flags force both collectors on.
+		Coverage: wantReport,
+		Online:   wantReport,
+	})
 	if err != nil {
 		return err
 	}
@@ -280,6 +304,12 @@ func cmdRun(args []string) error {
 		fs.Arg(0), res.Meta.Instrs, res.Meta.MemOps, res.EffectiveRate*100, res.Meta.SyncOps, *logPath)
 	for _, v := range res.Prints {
 		fmt.Println("print:", v)
+	}
+	if wantReport {
+		rr := p.BuildRunReport(res, res.OnlineReport, 0)
+		if err := emitRunReport(rr, *reportOut, *ledgerDir); err != nil {
+			return err
+		}
 	}
 	if err := writeMetrics(*metricsPath, reg); err != nil {
 		return err
@@ -295,6 +325,8 @@ func cmdDetect(args []string) error {
 	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged log: drop corrupt chunks, weaken orderings, split races into confirmed/unconfirmed")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
+	reportOut := fs.String("report-out", "", "write a literace.runreport/v1 artifact (races, ESR; no coverage table offline) to this file")
+	ledgerDir := fs.String("ledger", "", "append the detection report to the ledger at this directory")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("detect wants one log file")
@@ -323,6 +355,9 @@ func cmdDetect(args []string) error {
 		}
 		fmt.Fprintln(os.Stderr, "salvage:", srep.Summary())
 		fmt.Print(rep.String())
+		if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir); err != nil {
+			return err
+		}
 		return writeMetrics(*metricsPath, reg)
 	}
 	rep, err := literace.DetectObs(f, resolve, reg)
@@ -330,6 +365,9 @@ func cmdDetect(args []string) error {
 		return err
 	}
 	fmt.Print(rep.String())
+	if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir); err != nil {
+		return err
+	}
 	if _, err := f.Seek(0, 0); err == nil {
 		if verr := literace.VerifyLog(f); verr != nil {
 			fmt.Printf("log verification: %v\n", verr)
@@ -547,7 +585,7 @@ func cmdStats(args []string) error {
 		return err
 	}
 	span.End()
-	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Obs: reg})
+	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Coverage: true, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -558,7 +596,60 @@ func cmdStats(args []string) error {
 	fmt.Printf("%s under %s: %d instrs, %.4f%% of %d memory ops logged, %d static races\n",
 		fs.Arg(0), *samplerName, res.Meta.Instrs, res.EffectiveRate*100, res.Meta.MemOps, len(rep.Races))
 	fmt.Print(snap.String())
+	printCoverage(res.Profile)
 	return nil
+}
+
+// printCoverage renders the per-function sampler coverage collected by
+// a stats run: an ESR distribution summary (so the per-function spread
+// is visible, not just the global gauge) plus the per-function table
+// and low-coverage warnings.
+func printCoverage(p *coverprof.Profile) {
+	if p == nil || len(p.Funcs) == 0 {
+		return
+	}
+	fmt.Printf("\nper-function sampler coverage (%d functions):\n", len(p.Funcs))
+	// Distribution of per-function memory ESR in basis points, bucketed
+	// by decade — a text rendering of the coverprof.func_esr_bp
+	// histogram the registry exports.
+	buckets := []struct {
+		label string
+		lo    float64
+	}{
+		{">=10%", 0.10},
+		{"1-10%", 0.01},
+		{"0.1-1%", 0.001},
+		{"<0.1%", 0},
+	}
+	counts := make([]int, len(buckets))
+	profiled := 0
+	for _, f := range p.Funcs {
+		if f.MemExec == 0 {
+			continue
+		}
+		profiled++
+		esr := f.MemESR()
+		for i, bk := range buckets {
+			if esr >= bk.lo {
+				counts[i]++
+				break
+			}
+		}
+	}
+	fmt.Printf("  per-function ESR distribution (%d with memory traffic):\n", profiled)
+	for i, bk := range buckets {
+		bar := strings.Repeat("#", counts[i])
+		fmt.Printf("    %-8s %4d %s\n", bk.label, counts[i], bar)
+	}
+	fmt.Printf("  %-20s %10s %10s %7s %9s %12s %12s %10s\n",
+		"FUNC", "CALLS", "SAMPLED", "BURSTS", "RATE", "MEM-EXEC", "MEM-LOGGED", "ESR")
+	for _, f := range p.Funcs {
+		fmt.Printf("  %-20s %10d %10d %7d %8.3f%% %12d %12d %9.4f%%\n",
+			f.Name, f.Calls, f.Sampled, f.Bursts, f.CurRate*100, f.MemExec, f.MemLogged, f.MemESR()*100)
+	}
+	for _, w := range p.LowCoverage(coverprof.DefaultWarnMinMem, coverprof.DefaultWarnMaxESR) {
+		fmt.Printf("  warning: %s\n", w.Message)
+	}
 }
 
 func cmdBench(args []string) error {

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"literace/internal/obs/ledger"
+)
+
+// emitRunReport writes a run report to a file and/or appends it to a
+// ledger; a no-op when both destinations are empty.
+func emitRunReport(rr *ledger.RunReport, reportOut, ledgerDir string) error {
+	if rr == nil || (reportOut == "" && ledgerDir == "") {
+		return nil
+	}
+	if reportOut != "" {
+		if err := rr.WriteFile(reportOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "report: wrote %s (%s, %d coverage rows, %d races)\n",
+			reportOut, rr.Schema, len(rr.Coverage), len(rr.Races))
+	}
+	if ledgerDir != "" {
+		l, err := ledger.Open(ledgerDir)
+		if err != nil {
+			return err
+		}
+		e, err := l.Append(rr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "report: appended ledger entry %s (%s)\n", e.ID, ledgerDir)
+	}
+	return nil
+}
+
+// cmdLedgerReport handles the ledger subverbs of `literace report`:
+// ls, show, and compare. The legacy `report <prog.lir>` form is handled
+// by cmdReport.
+func cmdLedgerReport(verb string, args []string) error {
+	switch verb {
+	case "ls":
+		return cmdReportLs(args)
+	case "show":
+		return cmdReportShow(args)
+	case "compare":
+		return cmdReportCompare(args)
+	}
+	return fmt.Errorf("unknown report subcommand %q", verb)
+}
+
+const defaultLedgerDir = "literace-ledger"
+
+func cmdReportLs(args []string) error {
+	fs := flag.NewFlagSet("report ls", flag.ExitOnError)
+	dir := fs.String("ledger", defaultLedgerDir, "ledger directory")
+	fs.Parse(args)
+	l, err := ledger.Open(*dir)
+	if err != nil {
+		return err
+	}
+	entries := l.Entries()
+	if len(entries) == 0 {
+		fmt.Printf("ledger %s: empty\n", *dir)
+		return nil
+	}
+	fmt.Printf("%-40s %-8s %-8s %5s %5s %6s %10s\n", "ID", "SOURCE", "SAMPLER", "SCALE", "SEED", "RACES", "ESR")
+	for _, e := range entries {
+		fmt.Printf("%-40s %-8s %-8s %5d %5d %6d %10.6f\n",
+			e.ID, e.Source, e.Sampler, e.Scale, e.Seed, e.Races, e.ESR)
+	}
+	return nil
+}
+
+func cmdReportShow(args []string) error {
+	fs := flag.NewFlagSet("report show", flag.ExitOnError)
+	dir := fs.String("ledger", defaultLedgerDir, "ledger directory")
+	asJSON := fs.Bool("json", false, "print the raw report JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report show wants one ledger entry id")
+	}
+	l, err := ledger.Open(*dir)
+	if err != nil {
+		return err
+	}
+	rr, e, err := l.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		b, err := rr.MarshalStable()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	fmt.Printf("%s (%s)\n", e.ID, rr.Schema)
+	fmt.Printf("  module %s, sampler %s, seed %d, scale %d, source %s\n",
+		rr.Module, rr.Sampler, rr.Seed, rr.Scale, rr.Source)
+	fmt.Printf("  %d instrs, %d mem ops (%d logged, ESR %.6f), %d sync ops, overhead %.3fx\n",
+		rr.Instrs, rr.MemOps, rr.LoggedMemOps, rr.ESR, rr.SyncOps, rr.OverheadX)
+	if len(rr.Coverage) > 0 {
+		fmt.Printf("  coverage (%d functions):\n", len(rr.Coverage))
+		fmt.Printf("    %-20s %10s %10s %7s %9s %12s %12s %10s\n",
+			"FUNC", "CALLS", "SAMPLED", "BURSTS", "RATE", "MEM-EXEC", "MEM-LOGGED", "ESR")
+		for _, f := range rr.Coverage {
+			fmt.Printf("    %-20s %10d %10d %7d %8.3f%% %12d %12d %9.4f%%\n",
+				f.Func, f.Calls, f.Sampled, f.Bursts, f.CurRate*100, f.MemExec, f.MemLogged, f.ESR*100)
+		}
+	}
+	fmt.Printf("  races (%d):\n", len(rr.Races))
+	for _, rc := range rr.Races {
+		line := fmt.Sprintf("    %s <-> %s count=%d", rc.First, rc.Second, rc.Count)
+		if len(rc.FirstBursts) > 0 || len(rc.SecondBursts) > 0 {
+			line += fmt.Sprintf(" bursts=%v/%v", rc.FirstBursts, rc.SecondBursts)
+		}
+		fmt.Println(line)
+	}
+	for _, w := range rr.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	return nil
+}
+
+// loadCompareOperand resolves a compare operand: a path to a report file
+// (contains a path separator or .json suffix, or exists on disk), else a
+// ledger entry reference.
+func loadCompareOperand(l *ledger.Ledger, ref string) (*ledger.RunReport, string, error) {
+	looksLikeFile := strings.ContainsAny(ref, "/\\") || strings.HasSuffix(ref, ".json")
+	if !looksLikeFile {
+		if _, err := os.Stat(ref); err == nil {
+			looksLikeFile = true
+		}
+	}
+	if looksLikeFile {
+		rr, err := ledger.ReadReport(ref)
+		return rr, ref, err
+	}
+	rr, e, err := l.Load(ref)
+	if err != nil {
+		return nil, ref, err
+	}
+	return rr, e.ID, nil
+}
+
+func cmdReportCompare(args []string) error {
+	fs := flag.NewFlagSet("report compare", flag.ExitOnError)
+	dir := fs.String("ledger", defaultLedgerDir, "ledger directory")
+	asJSON := fs.Bool("json", false, "emit the drift result as JSON")
+	strict := fs.Bool("strict", false, "zero thresholds: any drift fails")
+	esrDrift := fs.Float64("esr-drift", -2, "max absolute ESR change (negative = default)")
+	detDrift := fs.Float64("detection-drift", -2, "max relative race-count change (negative = default)")
+	covDrop := fs.Float64("coverage-drop", -2, "max relative per-function ESR drop (negative = default)")
+	covMinMem := fs.Uint64("coverage-min-mem", 0, "min executed mem ops for coverage comparison (0 = default)")
+	maxNew := fs.Int("max-new-races", -2, "max new races (negative = unlimited)")
+	maxLost := fs.Int("max-lost-races", -2, "max lost races (negative = unlimited)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("report compare wants two operands (ledger ids or report files)")
+	}
+	th := ledger.DefaultThresholds()
+	if *strict {
+		th = ledger.StrictThresholds()
+	}
+	if *esrDrift > -2 {
+		th.ESRDrift = *esrDrift
+	}
+	if *detDrift > -2 {
+		th.DetectionDrift = *detDrift
+	}
+	if *covDrop > -2 {
+		th.CoverageDrop = *covDrop
+	}
+	if *covMinMem > 0 {
+		th.CoverageMinMem = *covMinMem
+	}
+	if *maxNew > -2 {
+		th.MaxNewRaces = *maxNew
+	}
+	if *maxLost > -2 {
+		th.MaxLostRaces = *maxLost
+	}
+
+	l, err := ledger.Open(*dir)
+	if err != nil {
+		return err
+	}
+	a, labelA, err := loadCompareOperand(l, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, labelB, err := loadCompareOperand(l, fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := ledger.Compare(a, b, th)
+	d.A, d.B = labelA, labelB
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(d.String())
+	}
+	return d.Err()
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"literace/internal/obs/ledger"
+)
+
+// runReportOut runs the test program via cmdRun with -report-out and
+// returns the report bytes.
+func runReportOut(t *testing.T, prog string, seed string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "report.json")
+	_, err := capture(t, func() error {
+		return cmdRun([]string{"-sampler", "TL-Ad", "-seed", seed, "-report-out", out, prog})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCmdRunReportOutByteStable(t *testing.T) {
+	prog := writeProg(t)
+	b1 := runReportOut(t, prog, "5")
+	b2 := runReportOut(t, prog, "5")
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("same seed produced different report bytes:\n%s\n---\n%s", b1, b2)
+	}
+	rr, err := ledger.ReadReport(writeBytes(t, b1))
+	if err != nil {
+		t.Fatalf("emitted report invalid: %v", err)
+	}
+	if rr.Source != "run" || rr.Sampler != "TL-Ad" || rr.Seed != 5 {
+		t.Errorf("report identity: %+v", rr)
+	}
+	if len(rr.Coverage) == 0 {
+		t.Error("run report missing coverage table")
+	}
+}
+
+func writeBytes(t *testing.T, b []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "copy.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLedgerLsShowCompare(t *testing.T) {
+	prog := writeProg(t)
+	dir := filepath.Join(t.TempDir(), "ledger")
+	for _, seed := range []string{"1", "2"} {
+		if _, err := capture(t, func() error {
+			return cmdRun([]string{"-sampler", "Full", "-seed", seed, "-ledger", dir, prog})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out, err := capture(t, func() error { return cmdLedgerReport("ls", []string{"-ledger", dir}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "000000-prog-Full-sc0-seed1") || !strings.Contains(out, "000001-prog-Full-sc0-seed2") {
+		t.Errorf("ls output:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return cmdLedgerReport("show", []string{"-ledger", dir, "000000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sampler Full, seed 1") || !strings.Contains(out, "coverage (") {
+		t.Errorf("show output:\n%s", out)
+	}
+
+	// Same program under the same Full sampler on two seeds: defaults pass.
+	out, err = capture(t, func() error {
+		return cmdLedgerReport("compare", []string{"-ledger", dir, "000000", "000001"})
+	})
+	if err != nil {
+		t.Fatalf("default compare failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("compare output:\n%s", out)
+	}
+
+	if err := cmdLedgerReport("bogus", nil); err == nil {
+		t.Error("unknown subverb accepted")
+	}
+}
+
+func TestCompareDriftExitPath(t *testing.T) {
+	dir := t.TempDir()
+	a := &ledger.RunReport{Schema: ledger.ReportSchema, Module: "m", Sampler: "TL-Ad",
+		Seed: 1, Source: "run", MemOps: 1000, LoggedMemOps: 20, ESR: 0.02,
+		Races: []ledger.RaceReport{{First: "f:1", Second: "f:2", Count: 3}}}
+	b := &ledger.RunReport{Schema: ledger.ReportSchema, Module: "m", Sampler: "TL-Ad",
+		Seed: 2, Source: "run", MemOps: 1000, LoggedMemOps: 1, ESR: 0.001,
+		Races: []ledger.RaceReport{}}
+	pa := filepath.Join(dir, "a.json")
+	pb := filepath.Join(dir, "b.json")
+	if err := a.WriteFile(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile(pb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection drift 1.0 exceeds the 0.5 default: must fail with the
+	// sentinel the CLI maps to exit code 3.
+	_, err := capture(t, func() error {
+		return cmdLedgerReport("compare", []string{"-ledger", dir, pa, pb})
+	})
+	if !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Fatalf("drifted pair: got %v, want ErrDriftExceeded", err)
+	}
+
+	// Raising the thresholds lets the same pair pass.
+	_, err = capture(t, func() error {
+		return cmdLedgerReport("compare", []string{"-ledger", dir,
+			"-detection-drift", "1.5", "-esr-drift", "0.5", pa, pb})
+	})
+	if err != nil {
+		t.Fatalf("relaxed compare failed: %v", err)
+	}
+
+	// -strict (all-zero thresholds) must also fail the drifted pair.
+	_, err = capture(t, func() error {
+		return cmdLedgerReport("compare", []string{"-ledger", dir, "-strict", pa, pb})
+	})
+	if !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Fatalf("strict compare on drifted pair: got %v", err)
+	}
+}

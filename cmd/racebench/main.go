@@ -33,6 +33,7 @@ func main() {
 		scale      = flag.Int("scale", 0, "workload scale multiplier (0 = default)")
 		v          = flag.Bool("v", false, "verbose progress (stderr)")
 		metricsOut = flag.String("metrics-out", "", "write an observability snapshot (JSON) to this file")
+		ledgerDir  = flag.String("ledger", "", "run-report ledger directory for the coverage study (persists the accumulation state across invocations)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -41,7 +42,7 @@ func main() {
 	if *table == 0 && *figure == 0 && !*abl && *cover == "" {
 		*all = true
 	}
-	cfg := harness.Config{Scale: *scale}
+	cfg := harness.Config{Scale: *scale, Ledger: *ledgerDir}
 	for i := 0; i < *seeds; i++ {
 		cfg.Seeds = append(cfg.Seeds, int64(i+1))
 	}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"literace/internal/harness"
+)
+
+// TestRunFigure5Smoke drives the racebench entry point end to end on the
+// cheapest real configuration (-figure 5 -seeds 1 -scale 1) and checks
+// that the figure actually renders. It guards the CLI wiring that the
+// harness unit tests bypass.
+func TestRunFigure5Smoke(t *testing.T) {
+	cfg := harness.Config{Seeds: []int64{1}, Scale: 1}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(cfg, false, 0, 5, false, "")
+	w.Close()
+	os.Stdout = old
+
+	data, _ := io.ReadAll(r)
+	r.Close()
+	got := string(data)
+
+	if runErr != nil {
+		t.Fatalf("run(-figure 5 -seeds 1 -scale 1): %v", runErr)
+	}
+	for _, want := range []string{
+		"Figure 5 (left): rare data-race detection rate",
+		"Figure 5 (right): frequent data-race detection rate",
+		"TL-Ad",
+		"Average",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("figure 5 output missing %q\noutput:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunCoverageLedgerSmoke drives the coverage-accumulation study with a
+// persistent ledger directory, as `racebench -coverage coverage -ledger d`
+// would, and checks that harness run reports landed in the ledger.
+func TestRunCoverageLedgerSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cfg := harness.Config{Seeds: []int64{1}, Scale: 1, Ledger: dir}
+
+	rows, err := harness.RunCoverageCurve("coverage", 2, cfg)
+	if err != nil {
+		t.Fatalf("RunCoverageCurve: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d coverage rows, want 2", len(rows))
+	}
+	if rows[1].CumulativeSampled < rows[0].CumulativeSampled {
+		t.Errorf("cumulative sampled races decreased: %d then %d",
+			rows[0].CumulativeSampled, rows[1].CumulativeSampled)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 runs x (TL-Ad + Full) reports, plus index.json.
+	if len(ents) != 5 {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Errorf("ledger dir has %d files, want 5: %v", len(ents), names)
+	}
+}

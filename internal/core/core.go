@@ -18,6 +18,7 @@ import (
 
 	"literace/internal/lir"
 	"literace/internal/obs"
+	"literace/internal/obs/coverprof"
 	"literace/internal/sampler"
 	"literace/internal/trace"
 )
@@ -93,6 +94,12 @@ type Config struct {
 
 	// Cost is the instrumentation cost model; zero value means free.
 	Cost CostModel
+
+	// Coverage, when non-nil, receives per-(thread, function) sampler
+	// coverage: dispatch outcomes with the primary sampler's burst ids,
+	// logged memory attribution, and (via the interpreter) executed
+	// memory attribution. Nil disables collection at zero per-event cost.
+	Coverage *coverprof.Collector
 
 	// Obs, when non-nil, receives live runtime telemetry: dispatch and
 	// logging counters, per-shadow sampled-op counts (live ESR numerators),
@@ -237,8 +244,15 @@ func (rt *Runtime) newThreadState(tid int32) *ThreadState {
 	if rt.cfg.Writer != nil {
 		ts.tw = rt.cfg.Writer.Thread(tid)
 	}
+	if rt.cfg.Coverage != nil {
+		ts.cov = rt.cfg.Coverage.Thread(tid)
+	}
 	return ts
 }
+
+// CoverageEnabled reports whether a coverage collector is attached, so
+// the interpreter can skip per-memory-op attribution when off.
+func (rt *Runtime) CoverageEnabled() bool { return rt.cfg.Coverage != nil }
 
 // Stats returns a snapshot of the accumulated counters.
 func (rt *Runtime) Stats() Stats {
@@ -270,7 +284,8 @@ type ThreadState struct {
 	primary []sampler.State   // nil when primary sampler is global
 	shadow  [][]sampler.State // shadow[i] nil when shadow i is global
 
-	tw *trace.ThreadWriter
+	tw  *trace.ThreadWriter
+	cov *coverprof.ThreadCoverage // nil unless coverage is collected
 
 	// Local counters, folded into Runtime.stats by flushStats.
 	dispatches   uint64
@@ -304,15 +319,29 @@ func (ts *ThreadState) Dispatch(fn int32, needSpill bool) (instrumented bool, ma
 		ts.extraCycles += rt.cfg.Cost.DispatchSpillCycles
 	}
 
+	// For coverage, the burst id of a sampled invocation is the
+	// completed-burst count *before* the decision (constant across a
+	// burst; burstyDecide increments it at the burst's final call), and
+	// the count *after* is the function's back-off stage so far.
+	var burstBefore, burstAfter uint32
 	if ts.primary != nil {
-		instrumented = rt.primary.Decide(&ts.primary[fn], ts.rngFn)
+		st := &ts.primary[fn]
+		burstBefore = st.Bursts
+		instrumented = rt.primary.Decide(st, ts.rngFn)
+		burstAfter = st.Bursts
 	} else {
 		rt.globalMu.Lock()
-		instrumented = rt.primary.Decide(&rt.globalPrimary[fn], ts.rngFn)
+		st := &rt.globalPrimary[fn]
+		burstBefore = st.Bursts
+		instrumented = rt.primary.Decide(st, ts.rngFn)
+		burstAfter = st.Bursts
 		rt.globalMu.Unlock()
 	}
 	if instrumented {
 		ts.instrumented++
+	}
+	if ts.cov != nil {
+		ts.cov.OnDispatch(fn, instrumented, burstBefore, burstAfter)
 	}
 	if rt.obs.burstLen != nil {
 		if instrumented {
@@ -341,6 +370,15 @@ func (ts *ThreadState) Dispatch(fn int32, needSpill bool) (instrumented bool, ma
 	return instrumented, mask
 }
 
+// CoverMemExec attributes one executed (logged or not) memory access to
+// original function fn for coverage profiling. The interpreter calls it
+// for every Load/Store when coverage is enabled; a no-op otherwise.
+func (ts *ThreadState) CoverMemExec(fn int32) {
+	if ts.cov != nil {
+		ts.cov.OnMemExec(fn)
+	}
+}
+
 // LogRead records a sampled read. Called only from instrumented code.
 func (ts *ThreadState) LogRead(addr uint64, pc lir.PC, mask uint32) error {
 	return ts.logMem(trace.KindRead, addr, pc, mask)
@@ -357,6 +395,9 @@ func (ts *ThreadState) logMem(kind trace.Kind, addr uint64, pc lir.PC, mask uint
 	}
 	ts.loggedMem++
 	ts.extraCycles += ts.rt.cfg.Cost.MemLogCycles
+	if ts.cov != nil {
+		ts.cov.OnLoggedMem(pc.Func)
+	}
 	if len(ts.sampledOps) != len(ts.rt.cfg.Shadows) {
 		ts.sampledOps = make([]uint64, len(ts.rt.cfg.Shadows))
 	}

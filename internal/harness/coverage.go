@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
+	"literace/internal/obs/ledger"
 	"literace/internal/race"
 	"literace/internal/workloads"
 )
@@ -29,6 +31,15 @@ type CoverageRow struct {
 // scheduler seeds and reports the cumulative distinct static races the
 // TL-Ad sampler has found after each run, next to the full-logging
 // ceiling.
+//
+// The accumulation state lives in a run-report ledger, not in-process
+// maps: each seed appends one TL-Ad and one Full report (source
+// "harness"), and the cumulative tallies are recomputed by re-reading the
+// ledger after every append. With cfg.Ledger set, the ledger persists and
+// the curve continues across invocations — pre-existing harness entries
+// for the same module count toward the cumulative totals, which is the
+// deployment scenario the experiment models. When unset, a temporary
+// ledger is used and discarded.
 func RunCoverageCurve(key string, runs int, cfg Config) ([]CoverageRow, error) {
 	cfg.setDefaults()
 	b, ok := workloads.ByKey(key)
@@ -42,8 +53,19 @@ func RunCoverageCurve(key string, runs int, cfg Config) ([]CoverageRow, error) {
 	if runs <= 0 {
 		runs = 8
 	}
-	seenSampled := make(map[race.Key]bool)
-	seenTruth := make(map[race.Key]bool)
+	dir := cfg.Ledger
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "literace-coverage-ledger-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	led, err := ledger.Open(dir)
+	if err != nil {
+		return nil, err
+	}
 	var rows []CoverageRow
 	for i := 0; i < runs; i++ {
 		seed := int64(i + 1)
@@ -51,21 +73,105 @@ func RunCoverageCurve(key string, runs int, cfg Config) ([]CoverageRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := CoverageRow{Run: i + 1, Seed: seed}
-		for _, st := range run.BySampler["TL-Ad"].Races() {
-			if !seenSampled[st.Key] {
-				seenSampled[st.Key] = true
-				row.NewRaces++
-			}
+		before, _, err := cumulativeRaces(led, run.Meta.Module)
+		if err != nil {
+			return nil, err
 		}
-		for _, st := range run.Truth.Races() {
-			seenTruth[st.Key] = true
+		if _, err := led.Append(comparisonReport(run, "TL-Ad", run.BySampler["TL-Ad"], cfg.Scale)); err != nil {
+			return nil, err
 		}
-		row.CumulativeSampled = len(seenSampled)
-		row.CumulativeTruth = len(seenTruth)
-		rows = append(rows, row)
+		if _, err := led.Append(comparisonReport(run, "Full", run.Truth, cfg.Scale)); err != nil {
+			return nil, err
+		}
+		sampled, truth, err := cumulativeRaces(led, run.Meta.Module)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CoverageRow{
+			Run:               i + 1,
+			Seed:              seed,
+			NewRaces:          len(sampled) - len(before),
+			CumulativeSampled: len(sampled),
+			CumulativeTruth:   len(truth),
+		})
 	}
 	return rows, nil
+}
+
+// comparisonReport converts one sampler's view of a comparison run into a
+// run-report for the ledger. Races are keyed by raw PC pairs (the harness
+// works on unresolved modules), matching how cumulativeRaces dedupes.
+func comparisonReport(run *ComparisonRun, samplerName string, set *race.Set, scale int) *ledger.RunReport {
+	out := &ledger.RunReport{
+		Schema:      ledger.ReportSchema,
+		Module:      run.Meta.Module,
+		Sampler:     samplerName,
+		Seed:        run.Seed,
+		Scale:       scale,
+		Source:      "harness",
+		Threads:     run.Meta.Threads,
+		Instrs:      run.Meta.Instrs,
+		MemOps:      run.Meta.MemOps,
+		StackMemOps: run.Meta.StackMemOps,
+		SyncOps:     run.Meta.SyncOps,
+		Cycles:      run.Meta.Cycles,
+		BaseCycles:  run.Meta.BaseCycles,
+	}
+	if run.Meta.BaseCycles > 0 {
+		out.OverheadX = float64(run.Meta.Cycles) / float64(run.Meta.BaseCycles)
+	}
+	if idx := run.Meta.SamplerIndex(samplerName); idx >= 0 {
+		out.LoggedMemOps = run.Meta.SampledOps[idx]
+		out.ESR = run.Meta.EffectiveRate(idx)
+	} else if samplerName == "Full" {
+		out.LoggedMemOps = run.Meta.MemOps
+		out.ESR = 1
+	}
+	nonStack := run.NonStackMemOps()
+	if set != nil {
+		for _, st := range set.Races() {
+			out.Races = append(out.Races, ledger.RaceReport{
+				First:       st.Key.A.String(),
+				Second:      st.Key.B.String(),
+				Count:       st.Count,
+				WriteWrite:  st.WriteWrite,
+				ReadWrite:   st.ReadWrite,
+				Rare:        st.Rare(nonStack),
+				Unconfirmed: st.Unconfirmed(),
+			})
+		}
+	}
+	return out
+}
+
+// cumulativeRaces re-reads the ledger and returns the distinct static
+// races accumulated so far for module across all harness entries: the
+// TL-Ad set and the Full (ground-truth) set.
+func cumulativeRaces(led *ledger.Ledger, module string) (sampled, truth map[string]bool, err error) {
+	sampled = make(map[string]bool)
+	truth = make(map[string]bool)
+	for _, e := range led.Entries() {
+		if e.Module != module || e.Source != "harness" {
+			continue
+		}
+		var dst map[string]bool
+		switch e.Sampler {
+		case "TL-Ad":
+			dst = sampled
+		case "Full":
+			dst = truth
+		default:
+			continue
+		}
+		rr, _, err := led.Load(e.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rc := range rr.Races {
+			dst[rc.First+"|"+rc.Second] = true
+		}
+	}
+	return sampled, truth, nil
 }
 
 // RenderCoverageCurve formats the accumulation study.

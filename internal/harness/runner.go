@@ -41,6 +41,10 @@ type Config struct {
 	// interpreter, trace writer, and detector publish their telemetry, so
 	// metrics land next to the paper tables (racebench -metrics-out).
 	Obs *obs.Registry
+	// Ledger, when non-empty, is a run-report ledger directory the
+	// coverage-accumulation experiment appends to and reads its cumulative
+	// tallies from (see RunCoverageCurve); other experiments ignore it.
+	Ledger string
 }
 
 func (c *Config) setDefaults() {

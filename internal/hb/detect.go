@@ -18,6 +18,17 @@ type DynamicRace struct {
 	CurTID    int32
 	Addr      uint64
 
+	// PrevSeq and CurSeq are the 1-based ordinals of the two accesses
+	// within their respective threads' analyzed memory events. When the
+	// pass analyzes every logged access (SamplerBit == AllEvents) these
+	// match the per-thread logged-memory ordinals the runtime's coverage
+	// collector records, so a race can be attributed to the sampling
+	// burst(s) that captured each side (coverprof.Collector.BurstOf).
+	// Under a mask-filtered pass the ordinals count only the filtered
+	// subset and do not line up with runtime coverage.
+	PrevSeq uint64
+	CurSeq  uint64
+
 	// Unconfirmed marks a race first observed after the detector entered
 	// degraded mode (MarkDegraded): some happens-before edge may have
 	// been lost with the damaged part of the log, so the pair could be a
@@ -113,6 +124,9 @@ type Detector struct {
 
 type threadState struct {
 	vc VC
+	// memSeq counts this thread's analyzed memory events (1-based after
+	// the first access); see DynamicRace.PrevSeq.
+	memSeq uint64
 }
 
 // relInfo remembers the last release on a sync var so a later acquire
@@ -126,13 +140,15 @@ type relInfo struct {
 
 type readInfo struct {
 	epoch
-	pc lir.PC
+	pc  lir.PC
+	seq uint64 // per-thread analyzed-memory ordinal of the read
 }
 
 type addrState struct {
 	hasWrite bool
 	write    epoch
 	writePC  lir.PC
+	writeSeq uint64     // per-thread analyzed-memory ordinal of the write
 	reads    []readInfo // reads since the last ordered write
 }
 
@@ -243,6 +259,7 @@ func (d *Detector) emitEdge(e trace.Event) {
 
 func (d *Detector) access(e trace.Event) {
 	t := d.thread(e.TID)
+	t.memSeq++
 	st := d.mem[e.Addr]
 	if st == nil {
 		st = &addrState{}
@@ -256,6 +273,7 @@ func (d *Detector) access(e trace.Event) {
 			PrevPC: st.writePC, CurPC: e.PC,
 			PrevWrite: true, CurWrite: isWrite,
 			PrevTID: st.write.tid, CurTID: e.TID,
+			PrevSeq: st.writeSeq, CurSeq: t.memSeq,
 			Addr: e.Addr,
 		})
 	}
@@ -267,6 +285,7 @@ func (d *Detector) access(e trace.Event) {
 					PrevPC: r.pc, CurPC: e.PC,
 					PrevWrite: false, CurWrite: true,
 					PrevTID: r.tid, CurTID: e.TID,
+					PrevSeq: r.seq, CurSeq: t.memSeq,
 					Addr: e.Addr,
 				})
 			}
@@ -274,6 +293,7 @@ func (d *Detector) access(e trace.Event) {
 		st.hasWrite = true
 		st.write = now
 		st.writePC = e.PC
+		st.writeSeq = t.memSeq
 		st.reads = st.reads[:0]
 		return
 	}
@@ -282,11 +302,11 @@ func (d *Detector) access(e trace.Event) {
 	// (program order makes the newer one dominate).
 	for i := range st.reads {
 		if st.reads[i].tid == e.TID {
-			st.reads[i] = readInfo{epoch: now, pc: e.PC}
+			st.reads[i] = readInfo{epoch: now, pc: e.PC, seq: t.memSeq}
 			return
 		}
 	}
-	st.reads = append(st.reads, readInfo{epoch: now, pc: e.PC})
+	st.reads = append(st.reads, readInfo{epoch: now, pc: e.PC, seq: t.memSeq})
 }
 
 // MarkDegraded switches the detector into degraded mode: every race

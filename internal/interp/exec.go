@@ -185,13 +185,13 @@ func (m *Machine) step(th *thread) error {
 			return m.fault(th, "load from unmapped address %#x", addr)
 		}
 		r[ins.A] = v
-		m.countMem(addr)
+		m.countMem(th, fr, addr)
 	case lir.Store:
 		addr := r[ins.A] + uint64(ins.Imm)
 		if !m.mem.store(addr, r[ins.B]) {
 			return m.fault(th, "store to unmapped address %#x", addr)
 		}
-		m.countMem(addr)
+		m.countMem(th, fr, addr)
 
 	case lir.Glob:
 		r[ins.A] = m.globalAddrs[ins.B]
@@ -336,10 +336,17 @@ func (m *Machine) step(th *thread) error {
 	return nil
 }
 
-func (m *Machine) countMem(addr uint64) {
+func (m *Machine) countMem(th *thread, fr *frame, addr uint64) {
 	m.res.MemOps++
 	if addr >= StackBase {
 		m.res.StackMemOps++
+	}
+	if m.covMem && th.ts != nil {
+		fn := fr.fnIdx
+		if fr.fn.OrigIndex >= 0 {
+			fn = fr.fn.OrigIndex
+		}
+		th.ts.CoverMemExec(fn)
 	}
 }
 

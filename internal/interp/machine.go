@@ -192,6 +192,10 @@ type Machine struct {
 	// maintained only when opts.Obs is set (obsCats non-nil).
 	catCycles [numInstrCats]uint64
 	obsCats   bool
+
+	// covMem caches Runtime.CoverageEnabled so the Load/Store hot path
+	// pays one boolean test when coverage profiling is off.
+	covMem bool
 }
 
 // New prepares a machine for mod. The module must be valid and its entry
@@ -215,6 +219,9 @@ func New(mod *lir.Module, opts Options) (*Machine, error) {
 		schedRng: rand.New(rand.NewSource(opts.Seed)),
 		progRng:  rand.New(rand.NewSource(opts.Seed ^ 0x5DEECE66D)),
 		obsCats:  opts.Obs != nil,
+	}
+	if opts.Runtime != nil {
+		m.covMem = opts.Runtime.CoverageEnabled()
 	}
 
 	// Lay out globals.

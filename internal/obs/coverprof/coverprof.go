@@ -1,0 +1,375 @@
+// Package coverprof collects per-function sampler coverage profiles: for
+// every (thread, function) pair it records how often the dispatch check
+// ran, how many of those invocations were sampled, how far the adaptive
+// back-off has decayed (the 100%→0.1% trajectory of §3.4), and how many
+// memory operations the function executed versus logged. It also keeps,
+// per thread, the sequence of sampling-burst windows over that thread's
+// logged-memory-event ordinals, so a detected race can be attributed to
+// the burst(s) that captured its two accesses.
+//
+// The motivation is the paper's deployment argument (§3.1): a <2% sampler
+// is cheap enough to leave on everywhere, and race coverage accumulates
+// across runs — but only if each run records what the sampler actually
+// saw. Without this accounting a clean report cannot distinguish "no
+// races" from "the racy region was never sampled".
+//
+// Ownership mirrors package core: a Collector is shared, but each
+// ThreadCoverage is owned by one thread and its methods must be called
+// only from that thread (the interpreter's single scheduler goroutine in
+// this codebase). Aggregation happens in Snapshot after the run quiesces.
+package coverprof
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"literace/internal/obs"
+)
+
+// Collector gathers coverage for one instrumented execution.
+type Collector struct {
+	numFuncs int
+	schedule []float64 // primary sampler's rate-decay schedule (may be nil)
+	burstLen uint32    // primary sampler's burst length (0 for non-bursty)
+
+	mu      sync.Mutex
+	threads map[int32]*ThreadCoverage
+}
+
+// NewCollector returns a collector for a module with numFuncs original
+// functions. schedule and burstLen describe the primary sampler's decay
+// behaviour (see sampler.Scheduled); pass nil/0 for non-bursty samplers.
+func NewCollector(numFuncs int, schedule []float64, burstLen uint32) *Collector {
+	return &Collector{
+		numFuncs: numFuncs,
+		schedule: append([]float64(nil), schedule...),
+		burstLen: burstLen,
+		threads:  make(map[int32]*ThreadCoverage),
+	}
+}
+
+// Thread returns (creating on first use) the coverage state for thread
+// tid. The returned ThreadCoverage must only be used by that thread.
+func (c *Collector) Thread(tid int32) *ThreadCoverage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tc := c.threads[tid]
+	if tc == nil {
+		tc = &ThreadCoverage{
+			tid:          tid,
+			calls:        make([]uint64, c.numFuncs),
+			sampled:      make([]uint64, c.numFuncs),
+			sinceSampled: make([]uint64, c.numFuncs),
+			bursts:       make([]uint32, c.numFuncs),
+			curBurst:     make([]uint32, c.numFuncs),
+			memExec:      make([]uint64, c.numFuncs),
+			memLogged:    make([]uint64, c.numFuncs),
+			spans:        make([][]BurstSpan, c.numFuncs),
+		}
+		c.threads[tid] = tc
+	}
+	return tc
+}
+
+// BurstSpan is one sampling burst's window over a thread's logged-memory
+// ordinals: the thread's First..Last (inclusive, 1-based) logged memory
+// events whose enclosing sampled invocation of the function belonged to
+// burst Burst.
+type BurstSpan struct {
+	Burst       uint32
+	First, Last uint64
+}
+
+// ThreadCoverage is the per-thread half of the collector. All methods
+// must be called from the owning thread only.
+type ThreadCoverage struct {
+	tid          int32
+	calls        []uint64 // dispatch-check invocations per function
+	sampled      []uint64 // invocations that ran the instrumented clone
+	sinceSampled []uint64 // invocations since the last sampled one
+	bursts       []uint32 // completed bursts (adaptive back-off index)
+	curBurst     []uint32 // burst id of the current sampled invocation
+	memExec      []uint64 // memory ops executed attributed to the function
+	memLogged    []uint64 // memory ops logged attributed to the function
+	memSeq       uint64   // logged memory events by this thread so far
+	spans        [][]BurstSpan
+}
+
+// OnDispatch records one dispatch-check outcome for function fn: whether
+// the invocation was sampled, the burst id active for it (the completed-
+// burst count before the decision), and the completed-burst count after.
+func (t *ThreadCoverage) OnDispatch(fn int32, sampled bool, burstID, burstsAfter uint32) {
+	if t == nil || int(fn) >= len(t.calls) {
+		return
+	}
+	t.calls[fn]++
+	if sampled {
+		t.sampled[fn]++
+		t.sinceSampled[fn] = 0
+		t.curBurst[fn] = burstID
+	} else {
+		t.sinceSampled[fn]++
+	}
+	t.bursts[fn] = burstsAfter
+}
+
+// OnLoggedMem records one logged memory access attributed to function fn
+// (the access's original-program function). It advances the thread's
+// logged-memory ordinal and extends the current burst window.
+//
+// If the same function is re-entered recursively while sampled, later
+// events are attributed to the innermost dispatch's burst — an accepted
+// approximation (sampled recursion is rare and the burst ids differ by
+// at most one step).
+func (t *ThreadCoverage) OnLoggedMem(fn int32) {
+	if t == nil {
+		return
+	}
+	t.memSeq++
+	if int(fn) >= len(t.memLogged) {
+		return
+	}
+	t.memLogged[fn]++
+	b := t.curBurst[fn]
+	sp := t.spans[fn]
+	if n := len(sp); n > 0 && sp[n-1].Burst == b && sp[n-1].Last == t.memSeq-1 {
+		sp[n-1].Last = t.memSeq
+		return
+	}
+	t.spans[fn] = append(sp, BurstSpan{Burst: b, First: t.memSeq, Last: t.memSeq})
+}
+
+// OnMemExec records one executed (not necessarily logged) memory access
+// attributed to function fn.
+func (t *ThreadCoverage) OnMemExec(fn int32) {
+	if t == nil || int(fn) >= len(t.memExec) {
+		return
+	}
+	t.memExec[fn]++
+}
+
+// BurstOf resolves which sampling burst of (thread tid, function fn)
+// captured that thread's seq-th logged memory event (1-based). ok is
+// false when the event falls outside every recorded burst window (e.g.
+// the log was produced without coverage collection, or the detection
+// pass filtered events so its ordinals do not match the log's).
+func (c *Collector) BurstOf(tid, fn int32, seq uint64) (uint32, bool) {
+	if c == nil || seq == 0 || fn < 0 || int(fn) >= c.numFuncs {
+		return 0, false
+	}
+	c.mu.Lock()
+	tc := c.threads[tid]
+	c.mu.Unlock()
+	if tc == nil {
+		return 0, false
+	}
+	sp := tc.spans[fn]
+	i := sort.Search(len(sp), func(i int) bool { return sp[i].Last >= seq })
+	if i < len(sp) && sp[i].First <= seq {
+		return sp[i].Burst, true
+	}
+	return 0, false
+}
+
+// FuncProfile is one function's coverage, aggregated over threads.
+type FuncProfile struct {
+	Func    int32  `json:"func"`
+	Name    string `json:"name"`
+	Threads int    `json:"threads"` // threads whose dispatch check saw it
+
+	Calls   uint64 `json:"calls"`   // dispatch-check invocations
+	Sampled uint64 `json:"sampled"` // invocations run instrumented
+
+	// UnsampledStreak is the largest per-thread run of consecutive
+	// unsampled invocations still open at the end of the run — the "0
+	// sampled since burst N" signal.
+	UnsampledStreak uint64 `json:"unsampled_streak,omitempty"`
+
+	// Bursts is the largest per-thread completed-burst count; CurRate is
+	// the schedule rate in effect at that decay stage, and Trajectory
+	// lists the rates visited so far (100%→…→CurRate).
+	Bursts     uint32    `json:"bursts"`
+	CurRate    float64   `json:"cur_rate"`
+	Trajectory []float64 `json:"trajectory,omitempty"`
+
+	MemExec   uint64 `json:"mem_exec"`   // memory ops executed in it
+	MemLogged uint64 `json:"mem_logged"` // memory ops logged from it
+}
+
+// CallRate is the fraction of invocations sampled.
+func (f *FuncProfile) CallRate() float64 {
+	if f.Calls == 0 {
+		return 0
+	}
+	return float64(f.Sampled) / float64(f.Calls)
+}
+
+// MemESR is the function's effective sampling rate over memory
+// operations: logged / executed.
+func (f *FuncProfile) MemESR() float64 {
+	if f.MemExec == 0 {
+		return 0
+	}
+	return float64(f.MemLogged) / float64(f.MemExec)
+}
+
+// Profile is the aggregated, deterministic view of one run's coverage.
+type Profile struct {
+	Schedule []float64     `json:"schedule,omitempty"`
+	BurstLen uint32        `json:"burst_len,omitempty"`
+	Funcs    []FuncProfile `json:"funcs"`
+}
+
+// rateAt returns the schedule rate in effect after `bursts` completed
+// bursts (the schedule holds at its final entry).
+func rateAt(schedule []float64, bursts uint32) float64 {
+	if len(schedule) == 0 {
+		return 1
+	}
+	i := int(bursts)
+	if i >= len(schedule) {
+		i = len(schedule) - 1
+	}
+	return schedule[i]
+}
+
+// Snapshot aggregates every thread's coverage into a Profile. resolve
+// maps function indices to names (nil for fn<i> placeholders). Functions
+// never dispatched and with no attributed memory operations are omitted.
+// Call only after the execution has quiesced.
+func (c *Collector) Snapshot(resolve func(int32) string) *Profile {
+	if resolve == nil {
+		resolve = func(f int32) string { return fmt.Sprintf("fn%d", f) }
+	}
+	p := &Profile{Schedule: append([]float64(nil), c.schedule...), BurstLen: c.burstLen}
+	c.mu.Lock()
+	threads := make([]*ThreadCoverage, 0, len(c.threads))
+	for _, tc := range c.threads {
+		threads = append(threads, tc)
+	}
+	c.mu.Unlock()
+	for fn := 0; fn < c.numFuncs; fn++ {
+		fp := FuncProfile{Func: int32(fn), Name: resolve(int32(fn))}
+		for _, tc := range threads {
+			if tc.calls[fn] == 0 && tc.memExec[fn] == 0 {
+				continue
+			}
+			fp.Threads++
+			fp.Calls += tc.calls[fn]
+			fp.Sampled += tc.sampled[fn]
+			fp.MemExec += tc.memExec[fn]
+			fp.MemLogged += tc.memLogged[fn]
+			if tc.bursts[fn] > fp.Bursts {
+				fp.Bursts = tc.bursts[fn]
+			}
+			if tc.sinceSampled[fn] > fp.UnsampledStreak {
+				fp.UnsampledStreak = tc.sinceSampled[fn]
+			}
+		}
+		if fp.Threads == 0 {
+			continue
+		}
+		fp.CurRate = rateAt(c.schedule, fp.Bursts)
+		if n := int(fp.Bursts) + 1; len(c.schedule) > 0 {
+			if n > len(c.schedule) {
+				n = len(c.schedule)
+			}
+			fp.Trajectory = append([]float64(nil), c.schedule[:n]...)
+		}
+		p.Funcs = append(p.Funcs, fp)
+	}
+	return p
+}
+
+// Warning flags a function whose coverage is suspiciously low: it is hot
+// (many executed memory operations) yet almost nothing was logged, so a
+// clean race report says little about it.
+type Warning struct {
+	Func    FuncProfile
+	Message string
+}
+
+// DefaultWarnMinMem is the executed-memory-op floor below which a
+// function is too small to warn about.
+const DefaultWarnMinMem = 1024
+
+// DefaultWarnMaxESR is the per-function memory ESR under which a hot
+// function is flagged (half the paper's 0.1% floor would still pass; 0.5%
+// catches functions stuck deep in back-off).
+const DefaultWarnMaxESR = 0.005
+
+// LowCoverage returns the functions with at least minMem executed memory
+// operations whose memory ESR is at or below maxESR, worst first.
+func (p *Profile) LowCoverage(minMem uint64, maxESR float64) []Warning {
+	var out []Warning
+	for _, f := range p.Funcs {
+		if f.MemExec < minMem || f.MemESR() > maxESR {
+			continue
+		}
+		msg := fmt.Sprintf("function %s executed %d memory ops, %d logged (ESR %.4f%%)",
+			f.Name, f.MemExec, f.MemLogged, f.MemESR()*100)
+		if f.Sampled == 0 {
+			msg = fmt.Sprintf("function %s executed %d times, never sampled", f.Name, f.Calls)
+		} else if f.UnsampledStreak > 0 {
+			msg += fmt.Sprintf("; %d calls unsampled since burst %d", f.UnsampledStreak, f.Bursts)
+		}
+		out = append(out, Warning{Func: f, Message: msg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i].Func, &out[j].Func
+		ra, rb := a.MemESR(), b.MemESR()
+		if ra != rb {
+			return ra < rb
+		}
+		return a.Func < b.Func
+	})
+	return out
+}
+
+// maxLowCoverageGauges bounds the per-function gauge series published to
+// a registry so a pathological module cannot flood the Prometheus export.
+const maxLowCoverageGauges = 16
+
+// Publish pushes the profile's summary telemetry into reg:
+//
+//   - coverprof.funcs_profiled / coverprof.funcs_never_sampled gauges
+//   - coverprof.func_esr_bp histogram: each profiled function's memory
+//     ESR in basis points (1/100 of a percent), so `literace stats` can
+//     show the per-function rate distribution rather than one global ESR
+//   - coverprof.low_coverage.<func> gauges (worst functions first, capped)
+//     carrying each flagged function's memory ESR; the Prometheus encoder
+//     renders these as a labeled literace_coverprof_low_coverage_esr
+//     family
+//
+// No-op when reg is nil.
+func (p *Profile) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	never := 0
+	h := reg.Histogram("coverprof.func_esr_bp")
+	for _, f := range p.Funcs {
+		if f.Calls > 0 && f.Sampled == 0 {
+			never++
+		}
+		if f.MemExec > 0 {
+			h.Observe(uint64(f.MemESR()*10000 + 0.5))
+		}
+	}
+	reg.Gauge("coverprof.funcs_profiled").Set(float64(len(p.Funcs)))
+	reg.Gauge("coverprof.funcs_never_sampled").Set(float64(never))
+	warns := p.LowCoverage(DefaultWarnMinMem, DefaultWarnMaxESR)
+	if len(warns) > maxLowCoverageGauges {
+		warns = warns[:maxLowCoverageGauges]
+	}
+	reg.Gauge("coverprof.funcs_low_coverage").Set(float64(len(warns)))
+	for _, w := range warns {
+		reg.Gauge(LowCoverageGaugePrefix + w.Func.Name).Set(w.Func.MemESR())
+	}
+}
+
+// LowCoverageGaugePrefix namespaces the per-function low-coverage gauges;
+// the suffix is the function name. The Prometheus encoder folds gauges
+// with this prefix into one labeled family.
+const LowCoverageGaugePrefix = "coverprof.low_coverage."

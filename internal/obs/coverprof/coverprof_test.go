@@ -1,0 +1,176 @@
+package coverprof
+
+import (
+	"strings"
+	"testing"
+
+	"literace/internal/obs"
+)
+
+var schedule = []float64{1, 0.1, 0.01, 0.001}
+
+func TestDispatchAccounting(t *testing.T) {
+	c := NewCollector(2, schedule, 10)
+	tc := c.Thread(1)
+	// Two sampled invocations in burst 0, then three unsampled with the
+	// back-off at stage 2.
+	tc.OnDispatch(0, true, 0, 0)
+	tc.OnDispatch(0, true, 0, 1)
+	tc.OnDispatch(0, false, 1, 2)
+	tc.OnDispatch(0, false, 2, 2)
+	tc.OnDispatch(0, false, 2, 2)
+
+	p := c.Snapshot(nil)
+	if len(p.Funcs) != 1 {
+		t.Fatalf("got %d funcs, want 1 (untouched funcs omitted)", len(p.Funcs))
+	}
+	f := p.Funcs[0]
+	if f.Name != "fn0" {
+		t.Errorf("name = %q, want fn0 (nil resolver)", f.Name)
+	}
+	if f.Calls != 5 || f.Sampled != 2 {
+		t.Errorf("calls/sampled = %d/%d, want 5/2", f.Calls, f.Sampled)
+	}
+	if f.UnsampledStreak != 3 {
+		t.Errorf("unsampled streak = %d, want 3", f.UnsampledStreak)
+	}
+	if f.Bursts != 2 {
+		t.Errorf("bursts = %d, want 2", f.Bursts)
+	}
+	if f.CurRate != 0.01 {
+		t.Errorf("cur rate = %v, want 0.01 (schedule stage 2)", f.CurRate)
+	}
+	if len(f.Trajectory) != 3 || f.Trajectory[2] != 0.01 {
+		t.Errorf("trajectory = %v, want schedule[:3]", f.Trajectory)
+	}
+	if got := f.CallRate(); got != 0.4 {
+		t.Errorf("call rate = %v, want 0.4", got)
+	}
+}
+
+func TestRateAtHoldsFinalStage(t *testing.T) {
+	if got := rateAt(schedule, 99); got != 0.001 {
+		t.Errorf("rateAt(99) = %v, want terminal rate 0.001", got)
+	}
+	if got := rateAt(nil, 5); got != 1 {
+		t.Errorf("rateAt with no schedule = %v, want 1", got)
+	}
+}
+
+func TestBurstOf(t *testing.T) {
+	c := NewCollector(2, schedule, 10)
+	tc := c.Thread(7)
+	// Burst 0 logs events 1..3 of fn0, then fn1 logs event 4 (its burst 0),
+	// then fn0's burst 2 logs events 5..6.
+	tc.OnDispatch(0, true, 0, 0)
+	tc.OnLoggedMem(0)
+	tc.OnLoggedMem(0)
+	tc.OnLoggedMem(0)
+	tc.OnDispatch(1, true, 0, 0)
+	tc.OnLoggedMem(1)
+	tc.OnDispatch(0, true, 2, 2)
+	tc.OnLoggedMem(0)
+	tc.OnLoggedMem(0)
+
+	cases := []struct {
+		fn    int32
+		seq   uint64
+		burst uint32
+		ok    bool
+	}{
+		{0, 1, 0, true},
+		{0, 3, 0, true},
+		{0, 4, 0, false}, // event 4 belongs to fn1
+		{1, 4, 0, true},
+		{0, 5, 2, true},
+		{0, 6, 2, true},
+		{0, 7, 0, false}, // past the end
+		{0, 0, 0, false}, // seq is 1-based
+	}
+	for _, tcse := range cases {
+		b, ok := c.BurstOf(7, tcse.fn, tcse.seq)
+		if ok != tcse.ok || (ok && b != tcse.burst) {
+			t.Errorf("BurstOf(fn%d, seq %d) = %d,%v; want %d,%v",
+				tcse.fn, tcse.seq, b, ok, tcse.burst, tcse.ok)
+		}
+	}
+	if _, ok := c.BurstOf(99, 0, 1); ok {
+		t.Error("unknown thread resolved a burst")
+	}
+}
+
+func TestNilThreadCoverageIsSafe(t *testing.T) {
+	var tc *ThreadCoverage
+	tc.OnDispatch(0, true, 0, 0)
+	tc.OnLoggedMem(0)
+	tc.OnMemExec(0)
+	var c *Collector
+	if _, ok := c.BurstOf(0, 0, 1); ok {
+		t.Error("nil collector resolved a burst")
+	}
+}
+
+func TestLowCoverageWarnings(t *testing.T) {
+	c := NewCollector(3, schedule, 10)
+	tc := c.Thread(1)
+	// fn0: hot, never sampled.
+	for i := 0; i < 2000; i++ {
+		tc.OnDispatch(0, false, 3, 3)
+		tc.OnMemExec(0)
+	}
+	// fn1: hot, sampled early then starved.
+	tc.OnDispatch(1, true, 0, 1)
+	tc.OnLoggedMem(1)
+	tc.OnMemExec(1)
+	for i := 0; i < 3000; i++ {
+		tc.OnDispatch(1, false, 3, 3)
+		tc.OnMemExec(1)
+	}
+	// fn2: hot and well covered — no warning.
+	for i := 0; i < 2000; i++ {
+		tc.OnDispatch(2, true, 0, 0)
+		tc.OnLoggedMem(2)
+		tc.OnMemExec(2)
+	}
+
+	p := c.Snapshot(func(f int32) string { return []string{"cold", "starved", "healthy"}[f] })
+	warns := p.LowCoverage(DefaultWarnMinMem, DefaultWarnMaxESR)
+	if len(warns) != 2 {
+		t.Fatalf("got %d warnings, want 2: %+v", len(warns), warns)
+	}
+	// Worst (lowest ESR) first: cold has ESR 0.
+	if warns[0].Func.Name != "cold" || !strings.Contains(warns[0].Message, "never sampled") {
+		t.Errorf("warning[0] = %q", warns[0].Message)
+	}
+	if warns[1].Func.Name != "starved" ||
+		!strings.Contains(warns[1].Message, "unsampled since burst 3") {
+		t.Errorf("warning[1] = %q", warns[1].Message)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	c := NewCollector(1, schedule, 10)
+	tc := c.Thread(1)
+	for i := 0; i < 2000; i++ {
+		tc.OnDispatch(0, false, 3, 3)
+		tc.OnMemExec(0)
+	}
+	reg := obs.New()
+	c.Snapshot(func(int32) string { return "cold" }).Publish(reg)
+	s := reg.Snapshot()
+	if got := s.Gauges["coverprof.funcs_profiled"]; got != 1 {
+		t.Errorf("funcs_profiled = %v", got)
+	}
+	if got := s.Gauges["coverprof.funcs_never_sampled"]; got != 1 {
+		t.Errorf("funcs_never_sampled = %v", got)
+	}
+	if got := s.Gauges["coverprof.funcs_low_coverage"]; got != 1 {
+		t.Errorf("funcs_low_coverage = %v", got)
+	}
+	if _, ok := s.Gauges[LowCoverageGaugePrefix+"cold"]; !ok {
+		t.Errorf("per-function low-coverage gauge missing; gauges: %v", s.Gauges)
+	}
+	if h, ok := s.Histograms["coverprof.func_esr_bp"]; !ok || h.Count != 1 {
+		t.Errorf("func_esr_bp histogram missing or empty")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"literace/internal/obs"
+	"literace/internal/obs/coverprof"
 )
 
 // namePrefix namespaces every exported metric, per Prometheus convention.
@@ -66,6 +67,9 @@ func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
 //   - phase spans -> literace_phase_{runs_total,duration_seconds_total,
 //     items_total} labeled {phase="name"}, aggregated over repeated runs
 //     of the same phase
+//   - low-coverage gauges (coverprof.low_coverage.<func>) -> one labeled
+//     family literace_coverprof_low_coverage_esr{func="<func>"} instead
+//     of a mangled gauge per function
 //
 // Output is deterministic: families and series sort by name, so equal
 // snapshots produce identical bytes (the golden test relies on this).
@@ -77,10 +81,23 @@ func WriteProm(w io.Writer, s *obs.Snapshot) error {
 		fmt.Fprintf(&b, "# HELP %s LiteRace counter %s\n# TYPE %s counter\n%s %d\n",
 			n, name, n, n, s.Counters[name])
 	}
+	var lowCov []string
 	for _, name := range sortedKeys(s.Gauges) {
+		if strings.HasPrefix(name, coverprof.LowCoverageGaugePrefix) {
+			lowCov = append(lowCov, name)
+			continue
+		}
 		n := promName(name)
 		fmt.Fprintf(&b, "# HELP %s LiteRace gauge %s\n# TYPE %s gauge\n%s %s\n",
 			n, name, n, n, fmtFloat(s.Gauges[name]))
+	}
+	if len(lowCov) > 0 {
+		fam := namePrefix + "coverprof_low_coverage_esr"
+		fmt.Fprintf(&b, "# HELP %s per-function memory ESR of flagged low-coverage functions\n# TYPE %s gauge\n", fam, fam)
+		for _, name := range lowCov {
+			fn := strings.TrimPrefix(name, coverprof.LowCoverageGaugePrefix)
+			fmt.Fprintf(&b, "%s{func=\"%s\"} %s\n", fam, promLabel(fn), fmtFloat(s.Gauges[name]))
+		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]

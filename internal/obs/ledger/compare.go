@@ -1,0 +1,212 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrDriftExceeded is returned (wrapped) by Drift.Err when a comparison
+// violates its thresholds; the CLI maps it to a dedicated exit code so
+// CI can gate on drift.
+var ErrDriftExceeded = errors.New("ledger: drift thresholds exceeded")
+
+// Thresholds bounds the acceptable drift between two run reports. A
+// negative value disables that check; zero means "any drift fails".
+type Thresholds struct {
+	// ESRDrift is the maximum absolute change in the global effective
+	// sampling rate.
+	ESRDrift float64
+	// DetectionDrift is the maximum |Δ races| / max(1, races in A).
+	DetectionDrift float64
+	// CoverageDrop is the maximum relative per-function ESR drop
+	// (A→B) for functions with at least CoverageMinMem executed memory
+	// operations in both reports.
+	CoverageDrop   float64
+	CoverageMinMem uint64
+	// MaxNewRaces and MaxLostRaces bound the race-set churn.
+	MaxNewRaces  int
+	MaxLostRaces int
+}
+
+// DefaultThresholds returns the CI defaults: small relative drifts pass
+// (two seeds of one workload legitimately differ a little), race-set
+// churn does not.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		ESRDrift:       0.05,
+		DetectionDrift: 0.5,
+		CoverageDrop:   0.9,
+		CoverageMinMem: 256,
+		MaxNewRaces:    -1,
+		MaxLostRaces:   -1,
+	}
+}
+
+// StrictThresholds returns all-zero thresholds (every check enabled,
+// any drift fails), for exercising the failure path.
+func StrictThresholds() Thresholds { return Thresholds{} }
+
+// FuncDrift is one per-function coverage regression.
+type FuncDrift struct {
+	Func     string  `json:"func"`
+	ESRA     float64 `json:"esr_a"`
+	ESRB     float64 `json:"esr_b"`
+	RelDrop  float64 `json:"rel_drop"`
+	MemExecA uint64  `json:"mem_exec_a"`
+	MemExecB uint64  `json:"mem_exec_b"`
+}
+
+// Drift is the outcome of comparing run report A against B.
+type Drift struct {
+	// A and B label the compared reports (ledger ids or file paths).
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+
+	ESRA     float64 `json:"esr_a"`
+	ESRB     float64 `json:"esr_b"`
+	ESRDelta float64 `json:"esr_delta"` // B - A
+
+	RacesA         int     `json:"races_a"`
+	RacesB         int     `json:"races_b"`
+	DetectionDrift float64 `json:"detection_drift"` // |Δ| / max(1, RacesA)
+
+	NewRaces  []string `json:"new_races,omitempty"`  // in B, not A
+	LostRaces []string `json:"lost_races,omitempty"` // in A, not B
+
+	CoverageRegressions []FuncDrift `json:"coverage_regressions,omitempty"`
+
+	// Violations lists every threshold the drift exceeded; empty means
+	// the comparison passes.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Err returns nil when the drift passed its thresholds, else an error
+// wrapping ErrDriftExceeded that lists the violations.
+func (d *Drift) Err() error {
+	if len(d.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w:\n  %s", ErrDriftExceeded, strings.Join(d.Violations, "\n  "))
+}
+
+// String renders the drift for humans.
+func (d *Drift) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compare %s -> %s\n", d.A, d.B)
+	fmt.Fprintf(&b, "  ESR:       %.6f -> %.6f (delta %+.6f)\n", d.ESRA, d.ESRB, d.ESRDelta)
+	fmt.Fprintf(&b, "  races:     %d -> %d (detection drift %.3f)\n", d.RacesA, d.RacesB, d.DetectionDrift)
+	if len(d.NewRaces) > 0 {
+		fmt.Fprintf(&b, "  new races (%d):\n", len(d.NewRaces))
+		for _, r := range d.NewRaces {
+			fmt.Fprintf(&b, "    + %s\n", r)
+		}
+	}
+	if len(d.LostRaces) > 0 {
+		fmt.Fprintf(&b, "  lost races (%d):\n", len(d.LostRaces))
+		for _, r := range d.LostRaces {
+			fmt.Fprintf(&b, "    - %s\n", r)
+		}
+	}
+	for _, f := range d.CoverageRegressions {
+		fmt.Fprintf(&b, "  coverage regression: %s ESR %.6f -> %.6f (-%.1f%%, mem %d -> %d)\n",
+			f.Func, f.ESRA, f.ESRB, f.RelDrop*100, f.MemExecA, f.MemExecB)
+	}
+	if len(d.Violations) == 0 {
+		b.WriteString("  PASS: within thresholds\n")
+	} else {
+		fmt.Fprintf(&b, "  FAIL: %d violation(s):\n", len(d.Violations))
+		for _, v := range d.Violations {
+			fmt.Fprintf(&b, "    ! %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+func raceKey(r RaceReport) string { return r.First + " <-> " + r.Second }
+
+// Compare measures the drift from report a to report b under th.
+func Compare(a, b *RunReport, th Thresholds) *Drift {
+	d := &Drift{
+		ESRA: a.ESR, ESRB: b.ESR, ESRDelta: b.ESR - a.ESR,
+		RacesA: len(a.Races), RacesB: len(b.Races),
+	}
+	delta := len(b.Races) - len(a.Races)
+	if delta < 0 {
+		delta = -delta
+	}
+	div := len(a.Races)
+	if div == 0 {
+		div = 1
+	}
+	d.DetectionDrift = float64(delta) / float64(div)
+
+	inA := make(map[string]bool, len(a.Races))
+	for _, r := range a.Races {
+		inA[raceKey(r)] = true
+	}
+	inB := make(map[string]bool, len(b.Races))
+	for _, r := range b.Races {
+		k := raceKey(r)
+		inB[k] = true
+		if !inA[k] {
+			d.NewRaces = append(d.NewRaces, k)
+		}
+	}
+	for _, r := range a.Races {
+		if k := raceKey(r); !inB[k] {
+			d.LostRaces = append(d.LostRaces, k)
+		}
+	}
+	sort.Strings(d.NewRaces)
+	sort.Strings(d.LostRaces)
+
+	if th.CoverageDrop >= 0 {
+		covA := make(map[string]FuncCoverage, len(a.Coverage))
+		for _, f := range a.Coverage {
+			covA[f.Func] = f
+		}
+		for _, fb := range b.Coverage {
+			fa, ok := covA[fb.Func]
+			if !ok || fa.MemExec < th.CoverageMinMem || fb.MemExec < th.CoverageMinMem || fa.ESR <= 0 {
+				continue
+			}
+			drop := (fa.ESR - fb.ESR) / fa.ESR
+			if drop > th.CoverageDrop {
+				d.CoverageRegressions = append(d.CoverageRegressions, FuncDrift{
+					Func: fb.Func, ESRA: fa.ESR, ESRB: fb.ESR, RelDrop: drop,
+					MemExecA: fa.MemExec, MemExecB: fb.MemExec,
+				})
+			}
+		}
+		sort.Slice(d.CoverageRegressions, func(i, j int) bool {
+			return d.CoverageRegressions[i].Func < d.CoverageRegressions[j].Func
+		})
+	}
+
+	if th.ESRDrift >= 0 && math.Abs(d.ESRDelta) > th.ESRDrift {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("ESR drift %+.6f exceeds ±%.6f", d.ESRDelta, th.ESRDrift))
+	}
+	if th.DetectionDrift >= 0 && d.DetectionDrift > th.DetectionDrift {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("detection drift %.3f exceeds %.3f (%d -> %d races)",
+				d.DetectionDrift, th.DetectionDrift, d.RacesA, d.RacesB))
+	}
+	if th.MaxNewRaces >= 0 && len(d.NewRaces) > th.MaxNewRaces {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("%d new race(s) exceed limit %d", len(d.NewRaces), th.MaxNewRaces))
+	}
+	if th.MaxLostRaces >= 0 && len(d.LostRaces) > th.MaxLostRaces {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("%d lost race(s) exceed limit %d", len(d.LostRaces), th.MaxLostRaces))
+	}
+	if len(d.CoverageRegressions) > 0 {
+		d.Violations = append(d.Violations,
+			fmt.Sprintf("%d per-function coverage regression(s) beyond %.0f%% relative drop",
+				len(d.CoverageRegressions), th.CoverageDrop*100))
+	}
+	return d
+}

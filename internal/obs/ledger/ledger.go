@@ -1,0 +1,153 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// IndexSchema identifies the ledger index format.
+const IndexSchema = "literace.ledger/v1"
+
+const indexFile = "index.json"
+
+// Entry is one ledger index row: enough to list and select reports
+// without opening every file.
+type Entry struct {
+	ID      string  `json:"id"`
+	File    string  `json:"file"` // report filename, relative to the ledger dir
+	Module  string  `json:"module"`
+	Sampler string  `json:"sampler"`
+	Seed    int64   `json:"seed"`
+	Scale   int     `json:"scale,omitempty"`
+	Source  string  `json:"source"`
+	Races   int     `json:"races"`
+	ESR     float64 `json:"esr"`
+}
+
+type index struct {
+	Schema  string  `json:"schema"`
+	NextSeq int     `json:"next_seq"`
+	Entries []Entry `json:"entries"`
+}
+
+// Ledger is an append-only directory of run reports plus an index. Open
+// it, Append reports, list Entries, Load one by id. Reports are never
+// rewritten or deleted; re-running an experiment appends a new entry.
+type Ledger struct {
+	dir string
+	idx index
+}
+
+// Open opens (creating if needed) the ledger rooted at dir.
+func Open(dir string) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Ledger{dir: dir, idx: index{Schema: IndexSchema}}
+	b, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, &l.idx); err != nil {
+		return nil, fmt.Errorf("ledger: %s: %w", indexFile, err)
+	}
+	if l.idx.Schema != IndexSchema {
+		return nil, fmt.Errorf("ledger: unsupported index schema %q (want %s)", l.idx.Schema, IndexSchema)
+	}
+	return l, nil
+}
+
+// Dir returns the ledger's root directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+var unsafeID = regexp.MustCompile(`[^A-Za-z0-9._-]+`)
+
+// Append writes the report as a new ledger file and index entry,
+// returning the entry. The id encodes the append sequence number plus
+// the run's identity (module, sampler, scale, seed) for humans.
+func (l *Ledger) Append(r *RunReport) (Entry, error) {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	if err := r.Validate(); err != nil {
+		return Entry{}, err
+	}
+	id := fmt.Sprintf("%06d-%s-%s-sc%d-seed%d",
+		l.idx.NextSeq,
+		unsafeID.ReplaceAllString(r.Module, "_"),
+		unsafeID.ReplaceAllString(r.Sampler, "_"),
+		r.Scale, r.Seed)
+	e := Entry{
+		ID: id, File: id + ".json",
+		Module: r.Module, Sampler: r.Sampler,
+		Seed: r.Seed, Scale: r.Scale, Source: r.Source,
+		Races: len(r.Races), ESR: r.ESR,
+	}
+	if err := r.WriteFile(filepath.Join(l.dir, e.File)); err != nil {
+		return Entry{}, err
+	}
+	l.idx.NextSeq++
+	l.idx.Entries = append(l.idx.Entries, e)
+	if err := l.writeIndex(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+func (l *Ledger) writeIndex() error {
+	b, err := json.MarshalIndent(&l.idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(l.dir, indexFile), append(b, '\n'), 0o644)
+}
+
+// Entries returns the index rows in append order. The caller must not
+// mutate the returned slice.
+func (l *Ledger) Entries() []Entry { return l.idx.Entries }
+
+// Resolve finds the entry whose id matches ref: an exact id, a unique id
+// prefix, or a decimal sequence number ("3" matches id "000003-…").
+func (l *Ledger) Resolve(ref string) (Entry, error) {
+	var hits []Entry
+	for _, e := range l.idx.Entries {
+		if e.ID == ref {
+			return e, nil
+		}
+		if strings.HasPrefix(e.ID, ref) || strings.HasPrefix(strings.TrimLeft(e.ID, "0"), ref) {
+			hits = append(hits, e)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return hits[0], nil
+	case 0:
+		return Entry{}, fmt.Errorf("ledger: no entry matches %q", ref)
+	default:
+		ids := make([]string, len(hits))
+		for i, e := range hits {
+			ids[i] = e.ID
+		}
+		return Entry{}, fmt.Errorf("ledger: %q is ambiguous: %s", ref, strings.Join(ids, ", "))
+	}
+}
+
+// Load resolves ref and reads its report.
+func (l *Ledger) Load(ref string) (*RunReport, Entry, error) {
+	e, err := l.Resolve(ref)
+	if err != nil {
+		return nil, Entry{}, err
+	}
+	r, err := ReadReport(filepath.Join(l.dir, e.File))
+	if err != nil {
+		return nil, e, err
+	}
+	return r, e, nil
+}

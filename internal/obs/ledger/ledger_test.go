@@ -1,0 +1,245 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport(seed int64) *RunReport {
+	return &RunReport{
+		Schema:       ReportSchema,
+		Module:       "dryad",
+		Sampler:      "TL-Ad",
+		Seed:         seed,
+		Scale:        2,
+		Source:       "run",
+		Threads:      4,
+		Instrs:       100000,
+		MemOps:       40000,
+		StackMemOps:  10000,
+		SyncOps:      500,
+		Cycles:       200000,
+		BaseCycles:   190000,
+		LoggedMemOps: 400,
+		ESR:          0.01,
+		OverheadX:    200000.0 / 190000.0,
+		Coverage: []FuncCoverage{
+			{Func: "writer", Threads: 2, Calls: 1000, Sampled: 40, Bursts: 3,
+				CurRate: 0.001, Trajectory: []float64{1, 0.1, 0.01, 0.001},
+				MemExec: 20000, MemLogged: 200, ESR: 0.01},
+			{Func: "reader", Threads: 2, Calls: 800, Sampled: 30, Bursts: 2,
+				CurRate: 0.01, MemExec: 15000, MemLogged: 180, ESR: 0.012},
+		},
+		Races: []RaceReport{
+			{First: "writer:3", Second: "reader:7", Count: 12, WriteWrite: 4,
+				ReadWrite: 8, Rare: false, FirstBursts: []uint32{0, 2}, SecondBursts: []uint32{1}},
+		},
+		Warnings: []string{"function cold executed 4096 times, never sampled"},
+	}
+}
+
+func TestMarshalStableRoundTrip(t *testing.T) {
+	r := sampleReport(1)
+	b1, err := r.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := sampleReport(1).MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("two identical reports marshalled to different bytes")
+	}
+	if !bytes.HasSuffix(b1, []byte("\n")) {
+		t.Error("canonical encoding must end with a newline")
+	}
+
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := got.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Error("write/read round trip changed the canonical bytes")
+	}
+}
+
+func TestValidateRejectsBadSchemaAndSource(t *testing.T) {
+	r := sampleReport(1)
+	r.Schema = "literace.runreport/v0"
+	if err := r.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	r = sampleReport(1)
+	r.Source = "dream"
+	if err := r.Validate(); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestLedgerAppendResolveLoad(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := l.Append(sampleReport(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := l.Append(sampleReport(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.ID == e2.ID {
+		t.Fatalf("duplicate ledger ids: %s", e1.ID)
+	}
+	if !strings.HasPrefix(e1.ID, "000000-dryad-TL-Ad-sc2-seed1") {
+		t.Errorf("id = %q", e1.ID)
+	}
+
+	// Reopen: the index must persist.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l2.Entries()); got != 2 {
+		t.Fatalf("reopened ledger has %d entries, want 2", got)
+	}
+	// Resolve by exact id, unique prefix, and sequence number.
+	for _, ref := range []string{e2.ID, "000001", "1"} {
+		got, err := l2.Resolve(ref)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", ref, err)
+		} else if got.ID != e2.ID {
+			t.Errorf("Resolve(%q) = %s, want %s", ref, got.ID, e2.ID)
+		}
+	}
+	if _, err := l2.Resolve("nope"); err == nil {
+		t.Error("unknown ref resolved")
+	}
+	if _, err := l2.Resolve("000"); err == nil {
+		t.Error("ambiguous ref resolved")
+	}
+	rr, e, err := l2.Load(e1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != e1.ID || rr.Seed != 1 {
+		t.Errorf("Load(%s) = entry %s seed %d", e1.ID, e.ID, rr.Seed)
+	}
+}
+
+func TestLedgerRejectsForeignIndex(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.idx.Schema = "somebody.else/v9"
+	if err := l.writeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("foreign index schema accepted")
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	d := Compare(sampleReport(1), sampleReport(1), DefaultThresholds())
+	if err := d.Err(); err != nil {
+		t.Fatalf("identical reports drifted: %v", err)
+	}
+	// Even strict thresholds pass on identical reports.
+	d = Compare(sampleReport(1), sampleReport(1), StrictThresholds())
+	if err := d.Err(); err != nil {
+		t.Fatalf("identical reports fail strict thresholds: %v", err)
+	}
+}
+
+// driftedReport returns sampleReport with ESR halved, one race replaced
+// (one lost + one new), and a collapsed per-function ESR on writer.
+func driftedReport(seed int64) *RunReport {
+	r := sampleReport(seed)
+	r.ESR = 0.0004
+	r.LoggedMemOps = 16
+	r.Coverage[0].ESR = 0.0001
+	r.Coverage[0].MemLogged = 2
+	r.Races = []RaceReport{
+		{First: "writer:3", Second: "writer:9", Count: 2, WriteWrite: 2, Rare: true},
+	}
+	return r
+}
+
+func TestCompareDetectsDrift(t *testing.T) {
+	a, b := sampleReport(1), driftedReport(1)
+	th := DefaultThresholds()
+	th.MaxNewRaces = 0
+	th.MaxLostRaces = 0
+	d := Compare(a, b, th)
+
+	if len(d.NewRaces) != 1 || d.NewRaces[0] != "writer:3 <-> writer:9" {
+		t.Errorf("new races = %v", d.NewRaces)
+	}
+	if len(d.LostRaces) != 1 || d.LostRaces[0] != "writer:3 <-> reader:7" {
+		t.Errorf("lost races = %v", d.LostRaces)
+	}
+	if len(d.CoverageRegressions) != 1 || d.CoverageRegressions[0].Func != "writer" {
+		t.Errorf("coverage regressions = %+v", d.CoverageRegressions)
+	}
+	err := d.Err()
+	if !errors.Is(err, ErrDriftExceeded) {
+		t.Fatalf("drifted pair passed: %v", err)
+	}
+	// ESR delta (-0.0096) is inside the default ±0.05, so the violations
+	// must be the race churn and the coverage regression only.
+	if len(d.Violations) != 3 {
+		t.Errorf("violations = %v", d.Violations)
+	}
+	out := d.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "+ writer:3 <-> writer:9") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestCompareThresholdKnobs(t *testing.T) {
+	a, b := sampleReport(1), driftedReport(1)
+
+	// Negative thresholds disable every check.
+	off := Thresholds{ESRDrift: -1, DetectionDrift: -1, CoverageDrop: -1,
+		MaxNewRaces: -1, MaxLostRaces: -1}
+	if err := Compare(a, b, off).Err(); err != nil {
+		t.Errorf("disabled thresholds still failed: %v", err)
+	}
+
+	// Zero ESR threshold: any ESR change fails.
+	th := off
+	th.ESRDrift = 0
+	d := Compare(a, b, th)
+	if err := d.Err(); !errors.Is(err, ErrDriftExceeded) {
+		t.Errorf("zero ESR threshold passed a drifted pair: %v", err)
+	}
+	if len(d.Violations) != 1 || !strings.Contains(d.Violations[0], "ESR drift") {
+		t.Errorf("violations = %v", d.Violations)
+	}
+
+	// Coverage floor: raising CoverageMinMem above the function's traffic
+	// suppresses the regression.
+	th = off
+	th.CoverageDrop = 0.9
+	th.CoverageMinMem = 1 << 40
+	if d := Compare(a, b, th); len(d.CoverageRegressions) != 0 {
+		t.Errorf("regressions despite floor: %+v", d.CoverageRegressions)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ledger defines the schema-versioned run-report artifact
+// (literace.runreport/v1) and an append-only directory ledger of such
+// reports with drift comparison. It is the cross-run half of the
+// observability layer: one report captures what one execution's sampler
+// actually saw (coverage table, effective sampling rate, detected races
+// with burst attribution, overhead); the ledger accumulates reports
+// across runs so `literace report compare` can gate CI on ESR drift,
+// detection drift, and per-function coverage regressions.
+//
+// Reports are byte-stable per (module, sampler, scale, seed): they carry
+// no wall-clock or host-dependent fields, every slice is deterministically
+// ordered, and encoding is canonical (MarshalStable), mirroring the
+// BENCH_overhead.json invariant.
+//
+// The package deliberately depends only on the standard library so every
+// layer (runtime, harness, CLI) can produce and consume reports without
+// import cycles.
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReportSchema identifies the run-report artifact format.
+const ReportSchema = "literace.runreport/v1"
+
+// FuncCoverage is one function's row in the report's coverage table,
+// aggregated over threads (see internal/obs/coverprof).
+type FuncCoverage struct {
+	Func    string `json:"func"`
+	Threads int    `json:"threads"`
+	Calls   uint64 `json:"calls"`
+	Sampled uint64 `json:"sampled"`
+	// Bursts is the deepest back-off stage reached (completed bursts);
+	// CurRate is the schedule sampling rate in effect at that stage.
+	Bursts  uint32  `json:"bursts"`
+	CurRate float64 `json:"cur_rate"`
+	// Trajectory is the rate-decay path visited so far (100%→…→CurRate).
+	Trajectory []float64 `json:"trajectory,omitempty"`
+	MemExec    uint64    `json:"mem_exec"`
+	MemLogged  uint64    `json:"mem_logged"`
+	// ESR is the function's effective sampling rate: MemLogged/MemExec.
+	ESR float64 `json:"esr"`
+	// UnsampledStreak is the longest per-thread run of consecutive
+	// unsampled invocations still open at the end of the run.
+	UnsampledStreak uint64 `json:"unsampled_streak,omitempty"`
+}
+
+// RaceReport is one static race in the report, with the sampling bursts
+// that captured each side when burst attribution was available (online
+// runs with coverage enabled; empty for offline detection).
+type RaceReport struct {
+	First        string   `json:"first"`
+	Second       string   `json:"second"`
+	Count        uint64   `json:"count"`
+	WriteWrite   uint64   `json:"write_write"`
+	ReadWrite    uint64   `json:"read_write"`
+	Rare         bool     `json:"rare"`
+	Unconfirmed  bool     `json:"unconfirmed,omitempty"`
+	FirstBursts  []uint32 `json:"first_bursts,omitempty"`
+	SecondBursts []uint32 `json:"second_bursts,omitempty"`
+}
+
+// RunReport is the literace.runreport/v1 artifact.
+type RunReport struct {
+	Schema  string `json:"schema"`
+	Module  string `json:"module"`
+	Sampler string `json:"sampler"`
+	Seed    int64  `json:"seed"`
+	Scale   int    `json:"scale,omitempty"`
+	// Source says which pipeline produced the report: "run" (online
+	// execution), "detect" (offline log analysis), or "harness".
+	Source string `json:"source"`
+
+	Threads     int    `json:"threads"`
+	Instrs      uint64 `json:"instrs"`
+	MemOps      uint64 `json:"mem_ops"`
+	StackMemOps uint64 `json:"stack_mem_ops"`
+	SyncOps     uint64 `json:"sync_ops"`
+	Cycles      uint64 `json:"cycles"`
+	BaseCycles  uint64 `json:"base_cycles"`
+	LoggedBytes uint64 `json:"logged_bytes,omitempty"`
+
+	// LoggedMemOps and ESR describe the sampler's effect: memory
+	// operations logged and the effective sampling rate (logged/executed).
+	LoggedMemOps uint64  `json:"logged_mem_ops"`
+	ESR          float64 `json:"esr"`
+	// OverheadX is Cycles/BaseCycles, the virtual slowdown factor.
+	OverheadX float64 `json:"overhead_x"`
+
+	Coverage []FuncCoverage `json:"coverage,omitempty"`
+	Races    []RaceReport   `json:"races"`
+	// Warnings are the low-coverage diagnostics for this run.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// Validate checks the schema tag and basic invariants.
+func (r *RunReport) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("ledger: unsupported report schema %q (want %s)", r.Schema, ReportSchema)
+	}
+	switch r.Source {
+	case "run", "detect", "harness":
+	default:
+		return fmt.Errorf("ledger: unknown report source %q", r.Source)
+	}
+	return nil
+}
+
+// MarshalStable encodes the report canonically: two-space indentation,
+// struct-order keys, trailing newline. Two reports of the same
+// (module, sampler, scale, seed) must encode to identical bytes.
+func (r *RunReport) MarshalStable() ([]byte, error) {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report canonically to path.
+func (r *RunReport) WriteFile(path string) error {
+	b, err := r.MarshalStable()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadReport parses and validates a report file.
+func ReadReport(path string) (*RunReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -64,6 +64,28 @@ type Strategy interface {
 	Decide(st *State, rng RNG) bool
 }
 
+// Scheduled is implemented by bursty strategies that can describe their
+// rate-decay trajectory: the schedule of sampling rates visited one step
+// per completed burst (a single entry for fixed-rate samplers) and the
+// burst length. Coverage profiling (internal/obs/coverprof) uses it to
+// label each function's back-off stage with the rate in effect there.
+type Scheduled interface {
+	// RateSchedule returns the decay schedule; the rate holds at the
+	// final entry. The caller must not mutate the returned slice.
+	RateSchedule() []float64
+	// BurstLen returns the consecutive executions sampled per burst.
+	BurstLen() uint32
+}
+
+// ScheduleOf reports s's rate schedule and burst length when s is
+// Scheduled, else (nil, 0).
+func ScheduleOf(s Strategy) ([]float64, uint32) {
+	if sc, ok := s.(Scheduled); ok {
+		return sc.RateSchedule(), sc.BurstLen()
+	}
+	return nil, 0
+}
+
 // burstyDecide implements the shared bursty state machine: when a burst
 // begins, burst consecutive executions are sampled; when it ends,
 // gap(bursts) executions are skipped.
@@ -104,9 +126,11 @@ type adaptive struct {
 	burst    uint32
 }
 
-func (a *adaptive) Name() string        { return a.name }
-func (a *adaptive) Description() string { return a.desc }
-func (a *adaptive) Scope() Scope        { return a.scope }
+func (a *adaptive) Name() string            { return a.name }
+func (a *adaptive) Description() string     { return a.desc }
+func (a *adaptive) Scope() Scope            { return a.scope }
+func (a *adaptive) RateSchedule() []float64 { return a.schedule }
+func (a *adaptive) BurstLen() uint32        { return a.burst }
 
 func (a *adaptive) Decide(st *State, _ RNG) bool {
 	return burstyDecide(st, a.burst, func(bursts uint32) uint32 {
@@ -127,9 +151,11 @@ type fixed struct {
 	burst uint32
 }
 
-func (f *fixed) Name() string        { return f.name }
-func (f *fixed) Description() string { return f.desc }
-func (f *fixed) Scope() Scope        { return f.scope }
+func (f *fixed) Name() string            { return f.name }
+func (f *fixed) Description() string     { return f.desc }
+func (f *fixed) Scope() Scope            { return f.scope }
+func (f *fixed) RateSchedule() []float64 { return []float64{f.rate} }
+func (f *fixed) BurstLen() uint32        { return f.burst }
 
 func (f *fixed) Decide(st *State, _ RNG) bool {
 	gap := gapForRate(f.rate, f.burst)

@@ -34,6 +34,7 @@ import (
 	"literace/internal/interp"
 	"literace/internal/lir"
 	"literace/internal/obs"
+	"literace/internal/obs/coverprof"
 	"literace/internal/race"
 	"literace/internal/sampler"
 	"literace/internal/trace"
@@ -122,6 +123,15 @@ type Config struct {
 	// available immediately in RunResult.OnlineReport without replaying a
 	// log. The log is still written.
 	Online bool
+	// Coverage enables per-function sampler coverage profiling: the
+	// runtime records, per (thread, function), dispatch outcomes, the
+	// adaptive back-off trajectory, burst windows over logged memory
+	// events, and executed-vs-logged memory totals. The aggregated
+	// profile lands in RunResult.Profile, and — together with Online —
+	// lets BuildRunReport attribute each race to the sampling bursts
+	// that captured its accesses. Costs a few counter updates per
+	// dispatch and memory operation.
+	Coverage bool
 	// Obs, when non-nil, enables the runtime observability layer: the
 	// sampler runtime, interpreter, trace writer, and detector publish
 	// live telemetry (dispatch counts, per-sampler ESR, burst histograms,
@@ -137,13 +147,20 @@ type RunResult struct {
 	Meta trace.Meta
 	// EffectiveRate is the fraction of memory operations logged.
 	EffectiveRate float64
+	// LoggedMemOps is the number of memory operations logged.
+	LoggedMemOps uint64
 	// Prints holds the program's print output.
 	Prints []int64
 	// OnlineReport holds the streaming detector's findings when
 	// Config.Online was set; nil otherwise.
 	OnlineReport *Report
+	// Profile is the per-function sampler coverage profile when
+	// Config.Coverage was set; nil otherwise.
+	Profile *coverprof.Profile
 
-	log *bytes.Buffer // non-nil when Config.LogTo was nil
+	log       *bytes.Buffer        // non-nil when Config.LogTo was nil
+	cov       *coverprof.Collector // non-nil when Config.Coverage was set
+	onlineRes *hb.Result           // non-nil when Config.Online was set
 }
 
 // Run executes the instrumented program under the configured sampler,
@@ -188,6 +205,11 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 		online = hb.NewDetector(hb.Options{SamplerBit: hb.AllEvents, Obs: cfg.Obs})
 		rtCfg.OnEvent = func(e trace.Event) { online.Process(e) }
 	}
+	if cfg.Coverage {
+		sched, blen := sampler.ScheduleOf(strat)
+		out.cov = coverprof.NewCollector(len(p.orig.Funcs), sched, blen)
+		rtCfg.Coverage = out.cov
+	}
 	rt, err := core.NewRuntime(rtCfg)
 	if err != nil {
 		return nil, err
@@ -230,13 +252,19 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	rt.PublishESR(meta.MemOps)
 	out.Meta = meta
 	out.Prints = res.Prints
+	out.LoggedMemOps = res.RuntimeStats.LoggedMemOps
 	if meta.MemOps > 0 {
 		out.EffectiveRate = float64(res.RuntimeStats.LoggedMemOps) / float64(meta.MemOps)
 	}
+	if out.cov != nil {
+		out.Profile = out.cov.Snapshot(p.FuncName)
+		out.Profile.Publish(cfg.Obs)
+	}
 	if online != nil {
+		out.onlineRes = online.Result()
 		set := race.NewSet()
-		set.AddResult(online.Result())
-		out.OnlineReport = buildReport(set, meta, online.Result(), p.FuncName)
+		set.AddResult(out.onlineRes)
+		out.OnlineReport = buildReport(set, meta, out.onlineRes, p.FuncName)
 	}
 	return out, nil
 }

@@ -1,0 +1,160 @@
+package literace
+
+import (
+	"sort"
+
+	"literace/internal/hb"
+	"literace/internal/lir"
+	"literace/internal/obs/coverprof"
+	"literace/internal/obs/ledger"
+	"literace/internal/trace"
+)
+
+// BuildRunReport assembles the literace.runreport/v1 artifact for an
+// execution of p: run metadata, the coverage table (when Config.Coverage
+// was set), the race report rep (typically res.OnlineReport), and — when
+// both coverage and online detection were on — the sampling bursts that
+// captured each race's two accesses. scale is the workload scale the
+// caller ran at (0 when not applicable). The artifact is byte-stable per
+// (module, sampler, scale, seed).
+func (p *Program) BuildRunReport(res *RunResult, rep *Report, scale int) *ledger.RunReport {
+	out := reportFromMeta(res.Meta, "run", scale)
+	out.LoggedMemOps = res.LoggedMemOps
+	out.ESR = res.EffectiveRate
+	if res.Profile != nil {
+		out.Coverage = coverageRows(res.Profile)
+		for _, w := range res.Profile.LowCoverage(coverprof.DefaultWarnMinMem, coverprof.DefaultWarnMaxESR) {
+			out.Warnings = append(out.Warnings, w.Message)
+		}
+	}
+	if rep != nil {
+		out.Races = raceRows(rep, res.cov, res.onlineRes)
+	}
+	return out
+}
+
+// BuildDetectReport assembles a run report from an offline detection
+// pass (literace detect). No coverage table or burst attribution is
+// available — the log records what was sampled, not what executed — so
+// the report carries the detection results and log metadata only.
+func BuildDetectReport(rep *Report, scale int) *ledger.RunReport {
+	out := reportFromMeta(rep.Meta, "detect", scale)
+	out.LoggedMemOps = rep.MemOpsAnalyzed
+	if rep.Meta.MemOps > 0 {
+		out.ESR = float64(rep.MemOpsAnalyzed) / float64(rep.Meta.MemOps)
+	}
+	out.Races = raceRows(rep, nil, nil)
+	return out
+}
+
+func reportFromMeta(meta trace.Meta, source string, scale int) *ledger.RunReport {
+	out := &ledger.RunReport{
+		Schema:      ledger.ReportSchema,
+		Module:      meta.Module,
+		Sampler:     meta.Primary,
+		Seed:        meta.Seed,
+		Scale:       scale,
+		Source:      source,
+		Threads:     meta.Threads,
+		Instrs:      meta.Instrs,
+		MemOps:      meta.MemOps,
+		StackMemOps: meta.StackMemOps,
+		SyncOps:     meta.SyncOps,
+		Cycles:      meta.Cycles,
+		BaseCycles:  meta.BaseCycles,
+		LoggedBytes: meta.LoggedBytes,
+	}
+	if out.Sampler == "" {
+		out.Sampler = "TL-Ad"
+	}
+	if meta.BaseCycles > 0 {
+		out.OverheadX = float64(meta.Cycles) / float64(meta.BaseCycles)
+	}
+	return out
+}
+
+func coverageRows(p *coverprof.Profile) []ledger.FuncCoverage {
+	rows := make([]ledger.FuncCoverage, 0, len(p.Funcs))
+	for _, f := range p.Funcs {
+		rows = append(rows, ledger.FuncCoverage{
+			Func:            f.Name,
+			Threads:         f.Threads,
+			Calls:           f.Calls,
+			Sampled:         f.Sampled,
+			Bursts:          f.Bursts,
+			CurRate:         f.CurRate,
+			Trajectory:      f.Trajectory,
+			MemExec:         f.MemExec,
+			MemLogged:       f.MemLogged,
+			ESR:             f.MemESR(),
+			UnsampledStreak: f.UnsampledStreak,
+		})
+	}
+	return rows
+}
+
+// raceRows converts a Report's races, attributing each side to the
+// distinct sampling bursts that captured its dynamic occurrences when a
+// coverage collector and the online detection result are available.
+// Attribution is valid because the log preserves per-thread order and
+// the online pass analyzes every logged access, so the detector's
+// per-thread memory ordinals equal the runtime's logged-memory ordinals.
+func raceRows(rep *Report, cov *coverprof.Collector, res *hb.Result) []ledger.RaceReport {
+	type burstSets struct{ first, second map[uint32]bool }
+	attrib := make(map[string]*burstSets)
+	if cov != nil && res != nil {
+		for _, dr := range res.Races {
+			aPC, aTID, aSeq := dr.PrevPC, dr.PrevTID, dr.PrevSeq
+			bPC, bTID, bSeq := dr.CurPC, dr.CurTID, dr.CurSeq
+			if bPC.Less(aPC) {
+				aPC, bPC = bPC, aPC
+				aTID, bTID = bTID, aTID
+				aSeq, bSeq = bSeq, aSeq
+			}
+			key := aPC.String() + "|" + bPC.String()
+			bs := attrib[key]
+			if bs == nil {
+				bs = &burstSets{first: make(map[uint32]bool), second: make(map[uint32]bool)}
+				attrib[key] = bs
+			}
+			if b, ok := cov.BurstOf(aTID, aPC.Func, aSeq); ok {
+				bs.first[b] = true
+			}
+			if b, ok := cov.BurstOf(bTID, bPC.Func, bSeq); ok {
+				bs.second[b] = true
+			}
+		}
+	}
+	rows := make([]ledger.RaceReport, 0, len(rep.Races))
+	for _, rc := range rep.Races {
+		row := ledger.RaceReport{
+			First:       rc.First,
+			Second:      rc.Second,
+			Count:       rc.Count,
+			WriteWrite:  rc.WriteWrite,
+			ReadWrite:   rc.ReadWrite,
+			Rare:        rc.Rare,
+			Unconfirmed: rc.Unconfirmed,
+		}
+		key := lir.PC{Func: rc.FirstPC.Func, Index: rc.FirstPC.Index}.String() +
+			"|" + lir.PC{Func: rc.SecondPC.Func, Index: rc.SecondPC.Index}.String()
+		if bs := attrib[key]; bs != nil {
+			row.FirstBursts = sortedBursts(bs.first)
+			row.SecondBursts = sortedBursts(bs.second)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func sortedBursts(m map[uint32]bool) []uint32 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,134 @@
+package literace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runWithReport assembles, instruments, and runs racyProgram with coverage
+// and online detection, returning the run-report artifact.
+func runWithReport(t *testing.T, sampler string, seed int64, scale int) (*Program, *RunResult, []byte) {
+	t.Helper()
+	p, err := Assemble("racy", racyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(Config{Sampler: sampler, Seed: seed, Coverage: true, Online: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := p.BuildRunReport(res, res.OnlineReport, scale)
+	if err := rr.Validate(); err != nil {
+		t.Fatalf("built report invalid: %v", err)
+	}
+	b, err := rr.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res, b
+}
+
+// TestRunReportByteStable is the artifact's core invariant: two runs of
+// the same (module, sampler, scale, seed) must produce identical report
+// bytes, so CI can diff regenerated reports.
+func TestRunReportByteStable(t *testing.T) {
+	_, _, b1 := runWithReport(t, "TL-Ad", 7, 2)
+	_, _, b2 := runWithReport(t, "TL-Ad", 7, 2)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("same (sampler, seed, scale) produced different report bytes:\n%s\n---\n%s", b1, b2)
+	}
+	_, _, b3 := runWithReport(t, "TL-Ad", 8, 2)
+	if bytes.Equal(b1, b3) {
+		t.Error("different seeds produced identical reports (suspicious)")
+	}
+}
+
+// TestRunReportContents checks the assembled artifact end to end: run
+// metadata, the coverage table, and race rows with burst attribution
+// under full sampling.
+func TestRunReportContents(t *testing.T) {
+	p, res, raw := runWithReport(t, "Full", 1, 0)
+	rr := p.BuildRunReport(res, res.OnlineReport, 0)
+
+	if rr.Source != "run" || rr.Module != "racy" || rr.Sampler != "Full" || rr.Seed != 1 {
+		t.Errorf("report identity: %s/%s seed %d source %s", rr.Module, rr.Sampler, rr.Seed, rr.Source)
+	}
+	if rr.ESR != 1 || rr.LoggedMemOps != res.LoggedMemOps || rr.LoggedMemOps == 0 {
+		t.Errorf("ESR %v logged %d (res %d)", rr.ESR, rr.LoggedMemOps, res.LoggedMemOps)
+	}
+	if len(rr.Coverage) == 0 {
+		t.Fatal("no coverage rows")
+	}
+	var touch bool
+	for _, f := range rr.Coverage {
+		if f.Func == "touch" {
+			touch = true
+			if f.Calls == 0 || f.MemExec == 0 || f.MemLogged == 0 {
+				t.Errorf("touch coverage row: %+v", f)
+			}
+			// Full sampling: every invocation sampled, every executed
+			// tracked op logged.
+			if f.Sampled != f.Calls {
+				t.Errorf("touch sampled %d of %d calls under Full", f.Sampled, f.Calls)
+			}
+		}
+	}
+	if !touch {
+		t.Errorf("no coverage row for touch; rows: %s", raw)
+	}
+	if len(rr.Races) == 0 {
+		t.Fatal("planted race missing from report")
+	}
+	for _, rc := range rr.Races {
+		if !strings.HasPrefix(rc.First, "touch:") || !strings.HasPrefix(rc.Second, "touch:") {
+			t.Errorf("race names unresolved: %+v", rc)
+		}
+		// Under Full + Online + Coverage, every racing access must be
+		// attributed to a burst window.
+		if len(rc.FirstBursts) == 0 || len(rc.SecondBursts) == 0 {
+			t.Errorf("race lacks burst attribution: %+v", rc)
+		}
+	}
+}
+
+// TestBuildDetectReport exercises the offline-source artifact: no
+// coverage table, no burst attribution, ESR from the log's analyzed
+// fraction.
+func TestBuildDetectReport(t *testing.T) {
+	p, err := Assemble("racy", racyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := p.RunAndDetect(Config{Sampler: "Full", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := BuildDetectReport(rep, 0)
+	if err := rr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Source != "detect" {
+		t.Errorf("source = %q", rr.Source)
+	}
+	if len(rr.Coverage) != 0 {
+		t.Errorf("detect report has a coverage table: %+v", rr.Coverage)
+	}
+	if rr.ESR != res.EffectiveRate {
+		t.Errorf("detect ESR %v, run ESR %v", rr.ESR, res.EffectiveRate)
+	}
+	if len(rr.Races) == 0 {
+		t.Error("planted race missing")
+	}
+	for _, rc := range rr.Races {
+		if len(rc.FirstBursts) != 0 || len(rc.SecondBursts) != 0 {
+			t.Errorf("offline report has burst attribution: %+v", rc)
+		}
+	}
+}
