@@ -9,6 +9,7 @@
 //	literace rewrite <prog.lir>              show instrumentation statistics
 //	literace run     <prog.lir> -log out.trc execute, writing an event log
 //	literace detect  <out.trc> [-src p.lir]  offline race detection on a log
+//	literace watch   <out.trc> [-src p.lir]  online detection, tailing a live or completed log
 //	literace fsck    <out.trc>               log health report (JSON)
 //	literace dump    <out.trc> [-n N]        print decoded log events
 //	literace timeline <out.trc> -o t.json    export a Perfetto/Chrome trace timeline
@@ -63,6 +64,8 @@ func main() {
 		err = cmdRun(args)
 	case "detect":
 		err = cmdDetect(args)
+	case "watch":
+		err = cmdWatch(args)
 	case "fsck":
 		err = cmdFsck(args)
 	case "dump":
@@ -98,12 +101,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|fsck|dump|timeline|report|bench|stats> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|watch|fsck|dump|timeline|report|bench|stats> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
   run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-report-out f] [-ledger dir] [-cpuprofile f] [-memprofile f]
   detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f] [-report-out f] [-ledger dir]
+  watch   <log.trc> [-src prog.lir] [-shards N] [-poll d] [-idle d] [-quiet] [-serve ADDR] [-metrics f]
+          online detection over a live or completed log: races stream to stderr as found,
+          the final report (identical to detect's) prints when the log completes or goes idle
   fsck    <log.trc>                 salvage-decode and print a JSON health report
   dump    <log.trc> [-n N]          print decoded log events
   timeline <log.trc> [-o t.json] [-src prog.lir] [-salvage]  export a Perfetto/Chrome trace timeline
@@ -111,7 +117,8 @@ func usage() {
   report  ls       [-ledger dir]                     list run-report ledger entries
   report  show     [-ledger dir] [-json] <id>        print one ledger report
   report  compare  [-ledger dir] [-strict] [-json] <A> <B>   drift between two reports (exit 3 past thresholds)
-  bench   [-list | key] [-serve ADDR] [-overhead-out f]      run benchmarks (see -list)
+  bench   [-list | key] [-serve ADDR] [-overhead-out f]
+          [-stream-out f [-stream-bench key]]                 run benchmarks (see -list)
   stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry + coverage report`)
 }
 
@@ -660,6 +667,8 @@ func cmdBench(args []string) error {
 	scale := fs.Int("scale", 0, "workload scale (0 = default)")
 	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address while benchmarking")
 	overheadOut := fs.String("overhead-out", "", "run the full overhead sweep and write the BENCH_overhead.json artifact here")
+	streamOut := fs.String("stream-out", "", "run the streaming-vs-batch shard sweep and write the BENCH_stream.json artifact here")
+	streamBench := fs.String("stream-bench", "apache-1", "benchmark the -stream-out sweep traces")
 	fs.Parse(args)
 	var reg *obs.Registry
 	if *serveAddr != "" {
@@ -694,6 +703,35 @@ func cmdBench(args []string) error {
 		}
 		fmt.Printf("wrote %s: %d benchmarks, %d samplers (schema %s, scale %d, seed %d)\n",
 			*overheadOut, len(sum.Benchmarks), len(sum.Samplers), sum.Schema, sum.Scale, sum.Seed)
+		return nil
+	}
+	if *streamOut != "" {
+		cfg := harness.Config{
+			Seeds: []int64{*seed},
+			Scale: *scale,
+			Obs:   reg,
+			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		}
+		sum, err := harness.BuildStreamBenchSummary(cfg, *streamBench, nil)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			return err
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s sweep over %d shard counts, parity %v (schema %s, scale %d, seed %d)\n",
+			*streamOut, sum.Benchmark, len(sum.Runs), sum.Parity, sum.Schema, sum.Scale, sum.Seed)
+		if !sum.Parity {
+			return fmt.Errorf("streaming detection lost parity with batch (see %s)", *streamOut)
+		}
 		return nil
 	}
 	if *list || fs.NArg() == 0 {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"literace"
+	"literace/internal/obs"
+)
+
+// cmdWatch attaches the online detection pipeline to a trace file that
+// may still be growing: it tails the file, analyzes chunks as the writer
+// flushes them, reports each dynamic race the moment it is found
+// (stderr), and prints the final report (stdout) once the log completes
+// — the trailer appears — or stops growing for -idle. On a completed
+// healthy trace the stdout report is byte-identical to `literace
+// detect`; on a damaged or torn one, to `literace detect -salvage`.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
+	shards := fs.Int("shards", 0, "detection worker count (0 = default)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "how often to re-check a quiet file for growth")
+	idle := fs.Duration("idle", 2*time.Second, "give up waiting once the file has not grown for this long (the torn tail is then analyzed under salvage rules)")
+	quiet := fs.Bool("quiet", false, "suppress incremental per-race output")
+	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
+	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address while watching")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("watch wants one log file")
+	}
+	var resolve func(int32) string
+	if *srcPath != "" {
+		p, err := loadProgram(*srcPath)
+		if err != nil {
+			return err
+		}
+		resolve = p.FuncName
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" || *serveAddr != "" {
+		reg = obs.New()
+	}
+	shutdown, err := serveTelemetry(*serveAddr, reg)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	opts := literace.StreamOptions{Shards: *shards, Obs: reg}
+	if !*quiet {
+		seen := make(map[string]bool)
+		opts.OnRace = func(r literace.StreamRace) {
+			key := r.First + "\x00" + r.Second
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			suffix := ""
+			if r.Unconfirmed {
+				suffix = " UNCONFIRMED"
+			}
+			kind := "read-write"
+			if r.WriteWrite {
+				kind = "write-write"
+			}
+			fmt.Fprintf(os.Stderr, "race: %s <-> %s (%s) addr=%#x%s\n",
+				r.First, r.Second, kind, r.Addr, suffix)
+		}
+	}
+	sess := literace.NewStreamSession(resolve, opts)
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	buf := make([]byte, 256<<10)
+	lastGrowth := time.Now()
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			lastGrowth = time.Now()
+			if err := sess.Feed(buf[:n]); err != nil {
+				return err
+			}
+		}
+		if sess.Complete() {
+			break
+		}
+		if rerr == io.EOF {
+			if time.Since(lastGrowth) >= *idle {
+				fmt.Fprintf(os.Stderr, "watch: no growth for %s; analyzing the tail as-is\n", *idle)
+				break
+			}
+			time.Sleep(*poll)
+			continue
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+
+	rep, res, err := sess.Finish()
+	if err != nil {
+		return err
+	}
+	if res.Salvage.Lossy() {
+		fmt.Fprintln(os.Stderr, "salvage:", res.Salvage.Summary())
+	}
+	fmt.Fprintf(os.Stderr, "stream: %d events (%.0f/s) over %d shards, %d mem ops dispatched, %d reorder stalls, %d backpressure waits\n",
+		res.MemOps+res.SyncOps, res.EventsPerSec, len(res.ShardEvents), res.Dispatched, res.Stalls, res.Backpressure)
+	fmt.Print(rep.String())
+	return writeMetrics(*metricsPath, reg)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runTestTrace executes the test program, leaving a trace at the
+// returned path.
+func runTestTrace(t *testing.T) string {
+	t.Helper()
+	prog := writeProg(t)
+	log := filepath.Join(t.TempDir(), "out.trc")
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-log", log, prog})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestCmdWatchMatchesDetect is the acceptance check: on a completed
+// trace, watch exits cleanly with exactly detect's report.
+func TestCmdWatchMatchesDetect(t *testing.T) {
+	log := runTestTrace(t)
+	want, err := capture(t, func() error { return cmdDetect([]string{log}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := capture(t, func() error { return cmdWatch([]string{"-quiet", log}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("watch output differs from detect:\nwatch:  %q\ndetect: %q", got, want)
+	}
+	if !strings.Contains(want, "static data races") {
+		t.Errorf("detect output unexpected: %q", want)
+	}
+}
+
+// TestCmdWatchLiveTail feeds the file in two installments while watch is
+// already tailing it: the report must match a batch detect of the whole.
+func TestCmdWatchLiveTail(t *testing.T) {
+	src := runTestTrace(t)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := capture(t, func() error { return cmdDetect([]string{src}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := filepath.Join(t.TempDir(), "live.trc")
+	cut := len(data) / 2
+	if err := os.WriteFile(live, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		f, err := os.OpenFile(live, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		f.Write(data[cut:])
+	}()
+	got, err := capture(t, func() error {
+		return cmdWatch([]string{"-quiet", "-poll", "20ms", "-idle", "10s", live})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("live watch output differs from detect:\nwatch:  %q\ndetect: %q", got, want)
+	}
+}
+
+// TestCmdWatchDamaged checks the torn-tail path: a truncated log that
+// never completes is analyzed under salvage rules once -idle expires,
+// matching detect -salvage.
+func TestCmdWatchDamaged(t *testing.T) {
+	src := runTestTrace(t)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.trc")
+	if err := os.WriteFile(torn, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := capture(t, func() error { return cmdDetect([]string{"-salvage", torn}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := capture(t, func() error {
+		return cmdWatch([]string{"-quiet", "-poll", "5ms", "-idle", "50ms", torn})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("watch output differs from detect -salvage:\nwatch:  %q\nsalvage: %q", got, want)
+	}
+}

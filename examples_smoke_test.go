@@ -1,0 +1,68 @@
+package literace
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs lists every runnable example program; a new example
+// directory must be added here (the test fails if the list drifts from
+// the filesystem, in either direction).
+var exampleDirs = []string{"lockfree", "quickstart", "samplers", "webserver"}
+
+// TestExamplesSmoke builds and runs each example under a timeout: the
+// programs are the documentation's executable half, so "compiles and
+// exits 0 without writing stray files" is the contract this pins. Each
+// runs from its own directory (go run needs the module context); the
+// CI clean-tree check catches any example that starts writing files.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke runs the go tool; skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found []string
+	for _, e := range entries {
+		if e.IsDir() {
+			found = append(found, e.Name())
+		}
+	}
+	if len(found) != len(exampleDirs) {
+		t.Errorf("examples/ holds %v but the smoke list is %v; update exampleDirs", found, exampleDirs)
+	}
+
+	for _, dir := range exampleDirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", ".")
+			cmd.Dir = filepath.Join(root, "examples", dir)
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out:\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing", dir)
+			}
+		})
+	}
+}

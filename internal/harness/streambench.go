@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"literace/internal/core"
+	"literace/internal/hb"
+	"literace/internal/instrument"
+	"literace/internal/interp"
+	"literace/internal/sampler"
+	"literace/internal/stream"
+	"literace/internal/trace"
+	"literace/internal/workloads"
+)
+
+// StreamBenchSchema versions the BENCH_stream.json layout; bump it when
+// a field changes meaning, never silently.
+const StreamBenchSchema = "literace.bench.stream/v1"
+
+// DefaultStreamShards is the shard sweep the streaming benchmark runs.
+var DefaultStreamShards = []int{1, 2, 4, 8}
+
+// streamFeedSize is the piece size the benchmark feeds the pipeline in,
+// simulating a tail loop over a growing file.
+const streamFeedSize = 256 << 10
+
+// StreamShardRun is one streaming detection pass at a fixed shard count.
+type StreamShardRun struct {
+	Shards       int      `json:"shards"`
+	WallNanos    int64    `json:"wall_nanos"`
+	EventsPerSec float64  `json:"events_per_sec"`
+	Races        int      `json:"races"`
+	Unconfirmed  uint64   `json:"unconfirmed"`
+	ShardEvents  []uint64 `json:"shard_events"`
+	Stalls       uint64   `json:"stalls"`
+	Backpressure uint64   `json:"backpressure"`
+	// Parity reports whether this pass reproduced the batch detector's
+	// race list exactly (same races, same order, same counts).
+	Parity bool `json:"parity"`
+	// SpeedupVsOneShard is WallNanos of the single-shard run divided by
+	// this run's; 1.0 for the single-shard run itself.
+	SpeedupVsOneShard float64 `json:"speedup_vs_one_shard"`
+}
+
+// StreamBenchSummary is the machine-readable artifact written by
+// `literace bench -stream-out` (and uploaded by CI): one trace, one
+// batch reference pass, and a shard sweep of streaming passes over the
+// same bytes. Race lists and counts are deterministic for a fixed
+// (benchmark, scale, seed); wall-clock fields are machine-dependent and
+// excluded from any reproducibility claim.
+type StreamBenchSummary struct {
+	Schema    string `json:"schema"`
+	Benchmark string `json:"benchmark"`
+	Scale     int    `json:"scale"`
+	Seed      int64  `json:"seed"`
+	// NumCPU is runtime.NumCPU() on the measuring machine: shard
+	// speedup is only meaningful when it exceeds 1 — on a single core
+	// the workers timeslice and the sweep degenerates to overhead
+	// measurement.
+	NumCPU         int              `json:"num_cpu"`
+	LogBytes       int              `json:"log_bytes"`
+	MemOps         uint64           `json:"mem_ops"`
+	SyncOps        uint64           `json:"sync_ops"`
+	BatchRaces     int              `json:"batch_races"`
+	BatchWallNanos int64            `json:"batch_wall_nanos"`
+	Runs           []StreamShardRun `json:"runs"`
+	// Parity is the conjunction of every run's Parity flag — the
+	// headline streaming ≡ batch check CI asserts on.
+	Parity bool `json:"parity"`
+}
+
+// BuildStreamBenchSummary traces benchmark benchKey once under full
+// logging, detects races in batch (trace.ReadAll + hb.Detect), then
+// replays the same bytes through the online pipeline at each shard
+// count, asserting race-set parity and recording throughput. A nil or
+// empty shardCounts runs DefaultStreamShards.
+func BuildStreamBenchSummary(cfg Config, benchKey string, shardCounts []int) (*StreamBenchSummary, error) {
+	cfg.setDefaults()
+	if len(shardCounts) == 0 {
+		shardCounts = DefaultStreamShards
+	}
+	b, ok := workloads.ByKey(benchKey)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", benchKey)
+	}
+	seed := cfg.Seeds[0]
+	data, err := traceBytes(b, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	batchStart := time.Now()
+	log, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	batch, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents, Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	batchWall := time.Since(batchStart)
+
+	sum := &StreamBenchSummary{
+		Schema:         StreamBenchSchema,
+		Benchmark:      b.Key,
+		Scale:          cfg.Scale,
+		Seed:           seed,
+		NumCPU:         runtime.NumCPU(),
+		LogBytes:       len(data),
+		MemOps:         batch.MemOps,
+		SyncOps:        batch.SyncOps,
+		BatchRaces:     len(batch.Races),
+		BatchWallNanos: batchWall.Nanoseconds(),
+		Parity:         true,
+	}
+
+	for _, n := range shardCounts {
+		p := stream.New(stream.Options{Shards: n, SamplerBit: hb.AllEvents, Obs: cfg.Obs})
+		for off := 0; off < len(data); off += streamFeedSize {
+			end := off + streamFeedSize
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := p.Feed(data[off:end]); err != nil {
+				return nil, fmt.Errorf("harness: stream feed (%d shards): %w", n, err)
+			}
+		}
+		res, err := p.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("harness: stream finish (%d shards): %w", n, err)
+		}
+		run := StreamShardRun{
+			Shards:       n,
+			WallNanos:    res.Elapsed.Nanoseconds(),
+			EventsPerSec: res.EventsPerSec,
+			Races:        len(res.Races),
+			Unconfirmed:  res.Unconfirmed,
+			ShardEvents:  res.ShardEvents,
+			Stalls:       res.Stalls,
+			Backpressure: res.Backpressure,
+			Parity: reflect.DeepEqual(res.Races, batch.Races) &&
+				res.NumRaces == batch.NumRaces &&
+				res.Unconfirmed == batch.Unconfirmed &&
+				res.MemOps == batch.MemOps &&
+				res.SyncOps == batch.SyncOps &&
+				!res.Degraded && res.Complete,
+		}
+		if len(sum.Runs) > 0 && sum.Runs[0].Shards == 1 && run.WallNanos > 0 {
+			run.SpeedupVsOneShard = float64(sum.Runs[0].WallNanos) / float64(run.WallNanos)
+		} else if n == 1 {
+			run.SpeedupVsOneShard = 1
+		}
+		sum.Parity = sum.Parity && run.Parity
+		sum.Runs = append(sum.Runs, run)
+		cfg.logf("stream %s seed %d shards %d: %d races in %s (%.0f ev/s, parity %v)",
+			b.Key, seed, n, run.Races, time.Duration(run.WallNanos), run.EventsPerSec, run.Parity)
+	}
+	return sum, nil
+}
+
+// traceBytes executes the benchmark under full logging (every shadow
+// sampler recorded, primary always-on) and returns the encoded log.
+func traceBytes(b workloads.Benchmark, seed int64, cfg Config) ([]byte, error) {
+	mod, err := b.Module(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rw, _, err := instrument.Rewrite(mod, instrument.Options{Mode: instrument.ModeSampled})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	w.SetObs(cfg.Obs)
+	rt, err := core.NewRuntime(core.Config{
+		NumFuncs:      len(mod.Funcs),
+		Primary:       sampler.NewFull(),
+		Writer:        w,
+		EnableMemLog:  true,
+		EnableSyncLog: true,
+		Seed:          seed,
+		Cost:          cfg.Cost,
+		Obs:           cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mach, err := interp.New(rw, interp.Options{Seed: seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs, Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	res, err := mach.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s seed %d: %w", b.Key, seed, err)
+	}
+	if err := w.Close(mach.Meta(res)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteJSON encodes the summary as stable, indented JSON (field order
+// fixed, runs in sweep order).
+func (s *StreamBenchSummary) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,264 @@
+package hb
+
+import (
+	"fmt"
+
+	"literace/internal/obs"
+	"literace/internal/trace"
+)
+
+// Merger is the incremental ready-queue merge engine behind Replay: it
+// reconstructs a legal global order from per-thread event streams that
+// arrive piece by piece. Batch replay feeds it the log's chunks in byte
+// order (trace.Log.ChunkOrder); the online pipeline feeds it chunks as
+// the decoder accepts them. Both walk the same code over the same chunk
+// sequence, which is what makes streaming detection results identical to
+// a batch pass over the same bytes.
+//
+// Usage: Add each chunk, Pump after every Add (delivery order is defined
+// as "drain everything that becomes ready after each chunk", so skipping
+// a Pump changes the canonical order), then Finish once the input is
+// over. In strict mode (MergerOptions.Degraded nil) a log that cannot
+// drain is an error; in degraded mode Finish fast-forwards stuck
+// timestamp counters and accounts every weakened ordering.
+type Merger struct {
+	deg       *Degradation
+	onDegrade func()
+	degraded  bool
+
+	queues []*mergeQueue // ascending tid
+	byTID  map[int32]*mergeQueue
+	next   [trace.NumCounters]uint64
+
+	remaining int
+	delivered uint64
+	nStalls   uint64
+
+	stalls, rounds, skips *obs.Counter
+}
+
+// mergeQueue is one thread's reorder buffer: the events that have
+// arrived but not yet been delivered.
+type mergeQueue struct {
+	tid         int32
+	evs         []trace.Event
+	pos         int
+	taken       uint64 // events already delivered and trimmed from evs
+	suspectFrom uint64 // absolute per-thread index of the first suspect event
+	hasSuspect  bool
+}
+
+// MergerOptions configures a Merger.
+type MergerOptions struct {
+	// Obs, when non-nil, counts merge rounds (hb.replay_rounds),
+	// ready-queue stalls (hb.replay_stalls), and degraded skips
+	// (hb.degraded_skips).
+	Obs *obs.Registry
+	// Degraded, when non-nil, switches the merger to degraded mode:
+	// orderings the input cannot support are weakened instead of
+	// reported as errors, with the weakenings accounted here.
+	Degraded *Degradation
+	// OnDegrade, when non-nil, fires before the first event whose
+	// ordering was weakened (see ReplayDegraded).
+	OnDegrade func()
+}
+
+// NewMerger returns an empty merge engine.
+func NewMerger(opts MergerOptions) *Merger {
+	m := &Merger{
+		deg:       opts.Degraded,
+		onDegrade: opts.OnDegrade,
+		byTID:     make(map[int32]*mergeQueue),
+	}
+	if opts.Obs != nil {
+		m.stalls = opts.Obs.Counter("hb.replay_stalls")
+		m.rounds = opts.Obs.Counter("hb.replay_rounds")
+		m.skips = opts.Obs.Counter("hb.degraded_skips")
+	}
+	for i := range m.next {
+		m.next[i] = 1
+	}
+	return m
+}
+
+func (m *Merger) queue(tid int32) *mergeQueue {
+	q := m.byTID[tid]
+	if q != nil {
+		return q
+	}
+	q = &mergeQueue{tid: tid}
+	m.byTID[tid] = q
+	// Keep queues sorted by tid: the merge visits threads in ascending
+	// tid order each round, matching the original batch replay.
+	i := len(m.queues)
+	m.queues = append(m.queues, q)
+	for i > 0 && m.queues[i-1].tid > tid {
+		m.queues[i], m.queues[i-1] = m.queues[i-1], m.queues[i]
+		i--
+	}
+	return q
+}
+
+// Add appends one chunk of a thread's stream. suspectFrom is the index
+// within evs from which events follow a salvage loss (len(evs) or more
+// for "none", 0 for the whole chunk); once a thread turns suspect it
+// stays suspect.
+func (m *Merger) Add(tid int32, evs []trace.Event, suspectFrom int) {
+	q := m.queue(tid)
+	if suspectFrom < len(evs) && !q.hasSuspect {
+		q.hasSuspect = true
+		if suspectFrom < 0 {
+			suspectFrom = 0
+		}
+		q.suspectFrom = q.taken + uint64(len(q.evs)) + uint64(suspectFrom)
+	}
+	q.evs = append(q.evs, evs...)
+	m.remaining += len(evs)
+}
+
+// Backlog returns the number of buffered, not-yet-delivered events.
+func (m *Merger) Backlog() int { return m.remaining }
+
+// Delivered returns the number of events delivered so far.
+func (m *Merger) Delivered() uint64 { return m.delivered }
+
+// Stalls returns the number of ready-queue stalls so far: times a
+// thread's stream blocked on a timestamp that was not yet the next
+// expected value for its counter (the reorder cost of merging
+// out-of-order chunk arrivals).
+func (m *Merger) Stalls() uint64 { return m.nStalls }
+
+func (m *Merger) markDegraded() {
+	if !m.degraded {
+		m.degraded = true
+		if m.onDegrade != nil {
+			m.onDegrade()
+		}
+	}
+}
+
+// Pump delivers every event that is ready, in rounds over the threads in
+// ascending tid order, draining each greedily until it blocks on a
+// timestamp or runs out of buffered events. It returns when a full round
+// makes no progress (more input, a Finish, or nothing at all may be
+// needed) or when fn fails.
+func (m *Merger) Pump(fn func(trace.Event) error) error {
+	if m.remaining == 0 {
+		return nil
+	}
+	for {
+		progressed := false
+		m.rounds.Inc()
+		for _, q := range m.queues {
+			// Drain this thread greedily until it blocks on a timestamp.
+			blocked := false
+			for !blocked && q.pos < len(q.evs) {
+				e := q.evs[q.pos]
+				if e.Kind.IsSync() {
+					switch {
+					case int(e.Counter) >= trace.NumCounters:
+						if m.deg == nil {
+							return fmt.Errorf("hb: thread %d event %d: bad counter %d",
+								q.tid, q.taken+uint64(q.pos), e.Counter)
+						}
+						// Corrupt counter id: deliver unordered.
+						m.deg.BadCounters++
+						m.markDegraded()
+					case m.next[e.Counter] == e.TS:
+						m.next[e.Counter]++
+					case m.deg != nil && e.TS < m.next[e.Counter]:
+						// The slot already passed: a duplicated or
+						// resurrected event. Deliver it, but its ordering
+						// is meaningless.
+						m.deg.StaleEvents++
+						m.markDegraded()
+					default:
+						m.nStalls++
+						m.stalls.Inc()
+						blocked = true
+						continue
+					}
+				}
+				if m.deg != nil && q.hasSuspect && q.taken+uint64(q.pos) >= q.suspectFrom {
+					m.deg.SuspectEvents++
+					m.markDegraded()
+				}
+				q.pos++
+				m.remaining--
+				m.delivered++
+				progressed = true
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
+			// Trim the delivered prefix so a long-running stream does not
+			// hold every past event (the capacity stays warm for the next
+			// chunk).
+			if q.pos > 0 && q.pos == len(q.evs) {
+				q.taken += uint64(q.pos)
+				q.evs = q.evs[:0]
+				q.pos = 0
+			}
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// Finish drains everything left after the final Add. In strict mode a
+// remaining event means the log is corrupt or incomplete; in degraded
+// mode stuck timestamp counters are fast-forwarded over the missing
+// slots (smallest gap first) until the streams drain.
+func (m *Merger) Finish(fn func(trace.Event) error) error {
+	for {
+		if err := m.Pump(fn); err != nil {
+			return err
+		}
+		if m.remaining == 0 {
+			return nil
+		}
+		if m.deg == nil {
+			return m.stuckError()
+		}
+		// Every pending stream head is a sync event waiting on a future
+		// timestamp (stale and corrupt heads were delivered in the
+		// drain). The events that would fill the missing slots are gone —
+		// fast-forward the counter with the smallest gap, which weakens
+		// exactly the orderings that depended on the lost events and
+		// nothing else.
+		best := (*mergeQueue)(nil)
+		bestGap := uint64(0)
+		for _, q := range m.queues {
+			if q.pos >= len(q.evs) {
+				continue
+			}
+			e := q.evs[q.pos]
+			gap := e.TS - m.next[e.Counter]
+			if best == nil || gap < bestGap {
+				best, bestGap = q, gap
+			}
+		}
+		if best == nil {
+			// remaining > 0 guarantees a pending stream; defensive.
+			return fmt.Errorf("hb: degraded replay stuck with no pending events")
+		}
+		e := best.evs[best.pos]
+		m.markDegraded()
+		m.deg.Skips++
+		m.deg.SlotsSkipped += bestGap
+		m.skips.Add(bestGap)
+		m.next[e.Counter] = e.TS
+	}
+}
+
+func (m *Merger) stuckError() error {
+	for _, q := range m.queues {
+		if q.pos < len(q.evs) {
+			e := q.evs[q.pos]
+			return fmt.Errorf("hb: replay stuck: thread %d waiting for counter %d ts %d (have %d); log is corrupt or incomplete",
+				q.tid, e.Counter, e.TS, m.next[e.Counter])
+		}
+	}
+	return fmt.Errorf("hb: replay stuck with no pending events")
+}

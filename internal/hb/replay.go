@@ -84,126 +84,61 @@ func ReplayDegraded(log *trace.Log, reg *obs.Registry, onDegrade func(), fn func
 	return replay(log, reg, deg, onDegrade, fn)
 }
 
+// replay drives the shared Merger. When the log carries its chunk order
+// (decoded logs do), chunks are added in byte order with a pump after
+// each — the canonical arrival order, identical to what the online
+// pipeline sees while the log is still being written. Hand-built logs
+// (nil ChunkOrder) add each thread's stream as one batch, which
+// reproduces the classic whole-log round-robin merge.
 func replay(log *trace.Log, reg *obs.Registry, deg *Degradation, onDegrade func(), fn func(trace.Event) error) (*Degradation, error) {
-	var stalls, rounds, skips *obs.Counter
-	if reg != nil {
-		stalls = reg.Counter("hb.replay_stalls")
-		rounds = reg.Counter("hb.replay_rounds")
-		skips = reg.Counter("hb.degraded_skips")
-	}
-	tids := log.TIDs()
-	streams := make([][]trace.Event, len(tids))
-	pos := make([]int, len(tids))
-	suspectFrom := make([]int, len(tids))
-	for i, tid := range tids {
-		streams[i] = log.Threads[tid]
-		suspectFrom[i] = len(streams[i]) + 1
-		if idx, ok := log.Degraded[tid]; ok {
-			suspectFrom[i] = idx
-		}
-	}
-	var next [trace.NumCounters]uint64
-	for i := range next {
-		next[i] = 1
-	}
-
-	degraded := false
-	markDegraded := func() {
-		if !degraded {
-			degraded = true
-			if onDegrade != nil {
-				onDegrade()
+	m := NewMerger(MergerOptions{Obs: reg, Degraded: deg, OnDegrade: onDegrade})
+	if len(log.ChunkOrder) > 0 {
+		offs := make(map[int32]int, len(log.Threads))
+		for _, c := range log.ChunkOrder {
+			evs := log.Threads[c.TID]
+			start := offs[c.TID]
+			end := start + c.N
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if start >= end {
+				continue
+			}
+			offs[c.TID] = end
+			m.Add(c.TID, evs[start:end], relSuspect(log, c.TID, start, end))
+			if err := m.Pump(fn); err != nil {
+				return deg, err
 			}
 		}
+		// Defensive: a hand-modified log whose streams extend past its
+		// ChunkOrder still replays in full.
+		for _, tid := range log.TIDs() {
+			evs := log.Threads[tid]
+			if start := offs[tid]; start < len(evs) {
+				m.Add(tid, evs[start:], relSuspect(log, tid, start, len(evs)))
+			}
+		}
+	} else {
+		for _, tid := range log.TIDs() {
+			evs := log.Threads[tid]
+			m.Add(tid, evs, relSuspect(log, tid, 0, len(evs)))
+		}
 	}
-
-	remaining := log.NumEvents()
-	for remaining > 0 {
-		progressed := false
-		rounds.Inc()
-		for i := range streams {
-			// Drain this thread greedily until it blocks on a timestamp.
-			blocked := false
-			for !blocked && pos[i] < len(streams[i]) {
-				e := streams[i][pos[i]]
-				if e.Kind.IsSync() {
-					switch {
-					case int(e.Counter) >= trace.NumCounters:
-						if deg == nil {
-							return nil, fmt.Errorf("hb: thread %d event %d: bad counter %d", tids[i], pos[i], e.Counter)
-						}
-						// Corrupt counter id: deliver unordered.
-						deg.BadCounters++
-						markDegraded()
-					case next[e.Counter] == e.TS:
-						next[e.Counter]++
-					case deg != nil && e.TS < next[e.Counter]:
-						// The slot already passed: a duplicated or
-						// resurrected event. Deliver it, but its ordering
-						// is meaningless.
-						deg.StaleEvents++
-						markDegraded()
-					default:
-						stalls.Inc()
-						blocked = true
-						continue
-					}
-				}
-				if deg != nil && pos[i] >= suspectFrom[i] {
-					deg.SuspectEvents++
-					markDegraded()
-				}
-				pos[i]++
-				remaining--
-				progressed = true
-				if err := fn(e); err != nil {
-					return deg, err
-				}
-			}
-		}
-		if !progressed {
-			if deg == nil {
-				return nil, replayStuckError(tids, streams, pos, &next)
-			}
-			// Every pending stream head is a sync event waiting on a
-			// future timestamp (stale and corrupt heads were delivered in
-			// the drain). The events that would fill the missing slots are
-			// gone — fast-forward the counter with the smallest gap, which
-			// weakens exactly the orderings that depended on the lost
-			// events and nothing else.
-			best, bestGap := -1, uint64(0)
-			for i := range streams {
-				if pos[i] >= len(streams[i]) {
-					continue
-				}
-				e := streams[i][pos[i]]
-				gap := e.TS - next[e.Counter]
-				if best < 0 || gap < bestGap {
-					best, bestGap = i, gap
-				}
-			}
-			if best < 0 {
-				// remaining > 0 guarantees a pending stream; defensive.
-				return deg, fmt.Errorf("hb: degraded replay stuck with no pending events")
-			}
-			e := streams[best][pos[best]]
-			markDegraded()
-			deg.Skips++
-			deg.SlotsSkipped += bestGap
-			skips.Add(bestGap)
-			next[e.Counter] = e.TS
-		}
+	if err := m.Finish(fn); err != nil {
+		return deg, err
 	}
 	return deg, nil
 }
 
-func replayStuckError(tids []int32, streams [][]trace.Event, pos []int, next *[trace.NumCounters]uint64) error {
-	for i := range streams {
-		if pos[i] < len(streams[i]) {
-			e := streams[i][pos[i]]
-			return fmt.Errorf("hb: replay stuck: thread %d waiting for counter %d ts %d (have %d); log is corrupt or incomplete",
-				tids[i], e.Counter, e.TS, next[e.Counter])
-		}
+// relSuspect maps log.Degraded's absolute per-thread suspect index into
+// the chunk [start, end), clamped to the Merger.Add contract.
+func relSuspect(log *trace.Log, tid int32, start, end int) int {
+	idx, ok := log.Degraded[tid]
+	if !ok || idx >= end {
+		return end - start
 	}
-	return fmt.Errorf("hb: replay stuck with no pending events")
+	if idx <= start {
+		return 0
+	}
+	return idx - start
 }

@@ -1,0 +1,458 @@
+// Package stream is the online detection pipeline: it analyzes an LTRC2
+// event log while the log is still being written. Four layers compose:
+// an incremental chunk decoder (trace.Stream) tails the growing byte
+// stream; the shared ready-queue merge engine (hb.Merger) reconstructs a
+// legal global order from the chunks as they arrive; a single-threaded
+// clock engine applies synchronization events to per-thread vector
+// clocks; and sampled memory accesses fan out to detection shards —
+// shadow memory partitioned by address — that run the happens-before
+// access analysis concurrently.
+//
+// The pipeline's result is identical, race for race and in the same
+// order, to a batch trace.ReadAll/Salvage + hb.Detect/DetectDegraded
+// pass over the same bytes. That holds by construction: batch replay and
+// this pipeline feed the same chunk sequence (the log's byte order)
+// through the same hb.Merger, the clock engine is the synchronization
+// half of hb.Detector verbatim, and each address's accesses reach
+// exactly one shard in replay order, so every happens-before judgment
+// compares the same clocks. A global dispatch ordinal restores the
+// replay-order race list when the shards' findings merge.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"literace/internal/hb"
+	"literace/internal/obs"
+	"literace/internal/trace"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Shards is the number of detection workers (shadow-memory
+	// partitions); 0 means DefaultShards.
+	Shards int
+	// SamplerBit filters memory events as hb.Options.SamplerBit does.
+	// NOTE: the zero value selects sampler bit 0; pass hb.AllEvents to
+	// analyze every logged access.
+	SamplerBit int
+	// KeepMax bounds Result.Races as hb.Options.KeepMax does; 0 keeps all.
+	KeepMax int
+	// BatchSize is the number of memory accesses grouped per shard
+	// dispatch; 0 means DefaultBatchSize.
+	BatchSize int
+	// Obs, when non-nil, receives live pipeline telemetry (the
+	// literace_stream_* families; see docs/OBSERVABILITY.md) alongside
+	// the usual replay and detection counters.
+	Obs *obs.Registry
+	// OnRace, when non-nil, is invoked for each dynamic race as a shard
+	// finds it. Calls are serialized but arrive in discovery order, which
+	// under sharding is not replay order; Result.Races is the canonical
+	// ordered list.
+	OnRace func(hb.DynamicRace)
+}
+
+// DefaultShards is the shard count when Options.Shards is 0.
+const DefaultShards = 4
+
+// ShardEventsCounterPrefix and ShardUtilGaugePrefix name the per-shard
+// instrument families: stream.shard_events.<i> counts the accesses shard
+// i processed (live) and stream.shard_util.<i> is its share of all
+// dispatched accesses (set at Finish). The Prometheus encoder folds each
+// family into one labeled series, e.g.
+// literace_stream_shard_util{shard="0"}.
+const (
+	ShardEventsCounterPrefix = "stream.shard_events."
+	ShardUtilGaugePrefix     = "stream.shard_util."
+)
+
+// DefaultBatchSize is the dispatch batch size when Options.BatchSize is 0.
+const DefaultBatchSize = 256
+
+// shardChanDepth bounds each shard's inbox (in batches); a full inbox
+// backpressures the clock engine, which stream.backpressure counts.
+const shardChanDepth = 16
+
+// Result is the outcome of a streaming detection pass.
+type Result struct {
+	hb.Result
+
+	// Degradation accounts the orderings the merge weakened on a damaged
+	// or torn input (zero on a pristine complete log).
+	Degradation hb.Degradation
+	// Salvage is the decoder's accounting of the bytes consumed.
+	Salvage *trace.SalvageReport
+	// Meta is the best run metadata available (trailer, else checkpoint).
+	Meta trace.Meta
+	// Complete reports whether the metadata trailer was seen — the
+	// writer's Close ran, so the input was a finished log.
+	Complete bool
+
+	// Dispatched counts memory accesses fanned out to shards (equals
+	// Result.MemOps), ShardEvents how many each shard processed, and
+	// Stalls/Backpressure the reorder and fan-out friction encountered.
+	Dispatched   uint64
+	ShardEvents  []uint64
+	Stalls       uint64
+	Backpressure uint64
+	// Elapsed and EventsPerSec describe throughput from pipeline creation
+	// to Finish (all delivered events, sync included).
+	Elapsed      time.Duration
+	EventsPerSec float64
+}
+
+// Pipeline is an online detection session. Feed it encoded log bytes in
+// any pieces (tailing a file, draining a socket); call Finish once the
+// input is over to collect the result. Not safe for concurrent use — one
+// goroutine feeds; the shards run internally.
+type Pipeline struct {
+	opts   Options
+	shards []*shard
+	done   chan struct{}
+
+	dec *trace.Stream
+	m   *hb.Merger
+	deg hb.Degradation
+
+	threads  map[int32]*clockState
+	vars     map[uint64]hb.VC
+	degraded bool
+
+	ordinal    uint64 // next mem-access dispatch ordinal
+	degradeOrd atomic.Uint64
+	pending    [][]memAccess // per-shard batch under construction
+
+	res      hb.Result
+	raceMu   sync.Mutex
+	start    time.Time
+	backpres uint64
+
+	finished bool
+	finRes   *Result
+	finErr   error
+
+	// Telemetry; nil-safe when opts.Obs is nil.
+	obsBytes    *obs.Counter // stream.bytes
+	obsEvents   *obs.Counter // stream.events
+	obsDispatch *obs.Counter // stream.mem_dispatched
+	obsBackpres *obs.Counter // stream.backpressure
+	obsBacklog  *obs.Gauge   // stream.backlog_depth
+	obsStalls   *obs.Gauge   // stream.reorder_stalls
+	obsEPS      *obs.Gauge   // stream.events_per_sec
+	obsJoins    *obs.Counter // hb.vc_joins
+	obsRaces    *obs.Counter // hb.dynamic_races
+	obsMem      *obs.Counter // hb.mem_events
+	obsSync     *obs.Counter // hb.sync_events
+}
+
+// clockState is the producer-side view of one thread: its live vector
+// clock plus the immutable snapshot shards read. Sync events mutate vc
+// and mark it dirty; the next dispatched access re-snapshots.
+type clockState struct {
+	vc     hb.VC
+	pub    hb.VC
+	dirty  bool
+	memSeq uint64
+}
+
+// New starts a pipeline: the shard workers launch immediately and idle
+// until accesses arrive.
+func New(opts Options) *Pipeline {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	p := &Pipeline{
+		opts:    opts,
+		threads: make(map[int32]*clockState),
+		vars:    make(map[uint64]hb.VC),
+		pending: make([][]memAccess, opts.Shards),
+		done:    make(chan struct{}, opts.Shards),
+		start:   time.Now(),
+	}
+	p.degradeOrd.Store(^uint64(0))
+	if reg := opts.Obs; reg != nil {
+		p.obsBytes = reg.Counter("stream.bytes")
+		p.obsEvents = reg.Counter("stream.events")
+		p.obsDispatch = reg.Counter("stream.mem_dispatched")
+		p.obsBackpres = reg.Counter("stream.backpressure")
+		p.obsBacklog = reg.Gauge("stream.backlog_depth")
+		p.obsStalls = reg.Gauge("stream.reorder_stalls")
+		p.obsEPS = reg.Gauge("stream.events_per_sec")
+		p.obsJoins = reg.Counter("hb.vc_joins")
+		p.obsRaces = reg.Counter("hb.dynamic_races")
+		p.obsMem = reg.Counter("hb.mem_events")
+		p.obsSync = reg.Counter("hb.sync_events")
+	}
+	var onRace func(hb.DynamicRace)
+	if opts.OnRace != nil {
+		onRace = func(r hb.DynamicRace) {
+			p.raceMu.Lock()
+			defer p.raceMu.Unlock()
+			p.opts.OnRace(r)
+		}
+	}
+	for i := 0; i < opts.Shards; i++ {
+		s := &shard{
+			idx:        i,
+			ch:         make(chan []memAccess, shardChanDepth),
+			mem:        make(map[uint64]*addrHist),
+			degradeOrd: &p.degradeOrd,
+			onRace:     onRace,
+			evCnt:      opts.Obs.Counter(fmt.Sprintf("%s%d", ShardEventsCounterPrefix, i)),
+		}
+		p.shards = append(p.shards, s)
+		go s.run(p.done)
+	}
+	p.m = hb.NewMerger(hb.MergerOptions{
+		Obs:       opts.Obs,
+		Degraded:  &p.deg,
+		OnDegrade: p.onDegrade,
+	})
+	p.dec = trace.NewStream(p.onChunk)
+	return p
+}
+
+// onDegrade fires inside the merger before the first event whose
+// ordering was weakened is delivered: every access dispatched from now
+// on — starting with that event if it is a sampled access — produces
+// only unconfirmed races, exactly as hb.Detector.MarkDegraded would.
+func (p *Pipeline) onDegrade() {
+	if !p.degraded {
+		p.degraded = true
+		p.res.Degraded = true
+		p.degradeOrd.Store(p.ordinal)
+	}
+}
+
+// onChunk receives each accepted thread chunk from the decoder in byte
+// order and pumps the merge — the canonical per-chunk cadence batch
+// replay follows via trace.Log.ChunkOrder.
+func (p *Pipeline) onChunk(tid int32, evs []trace.Event, suspect bool) {
+	sf := len(evs)
+	if suspect {
+		sf = 0
+	}
+	p.m.Add(tid, evs, sf)
+	// handle never fails, and degraded-mode pumping has no other errors.
+	_ = p.m.Pump(p.handle)
+	p.obsBacklog.Set(float64(p.m.Backlog()))
+}
+
+// handle is the clock engine: the synchronization half of hb.Detector,
+// run single-threaded in merge order, plus the fan-out of sampled memory
+// accesses to shards.
+func (p *Pipeline) handle(e trace.Event) error {
+	p.obsEvents.Inc()
+	switch e.Kind {
+	case trace.KindAcquire:
+		p.res.SyncOps++
+		p.obsSync.Inc()
+		t := p.thread(e.TID)
+		if lv, ok := p.vars[e.Addr]; ok {
+			t.vc = t.vc.Join(lv)
+			t.dirty = true
+			p.obsJoins.Inc()
+		}
+	case trace.KindRelease:
+		p.res.SyncOps++
+		p.obsSync.Inc()
+		t := p.thread(e.TID)
+		p.vars[e.Addr] = p.vars[e.Addr].Join(t.vc)
+		p.obsJoins.Inc()
+		t.vc = t.vc.Tick(e.TID)
+		t.dirty = true
+	case trace.KindAcqRel:
+		p.res.SyncOps++
+		p.obsSync.Inc()
+		t := p.thread(e.TID)
+		if lv, ok := p.vars[e.Addr]; ok {
+			t.vc = t.vc.Join(lv)
+			p.obsJoins.Inc()
+		}
+		p.vars[e.Addr] = p.vars[e.Addr].Join(t.vc)
+		p.obsJoins.Inc()
+		t.vc = t.vc.Tick(e.TID)
+		t.dirty = true
+	case trace.KindRead, trace.KindWrite:
+		if p.opts.SamplerBit >= 0 && e.Mask&(1<<uint(p.opts.SamplerBit)) == 0 {
+			return nil
+		}
+		p.res.MemOps++
+		p.obsMem.Inc()
+		t := p.thread(e.TID)
+		t.memSeq++
+		if t.dirty || t.pub == nil {
+			t.pub = t.vc.Clone()
+			t.dirty = false
+		}
+		a := memAccess{
+			ord:   p.ordinal,
+			seq:   t.memSeq,
+			addr:  e.Addr,
+			tid:   e.TID,
+			write: e.Kind == trace.KindWrite,
+			pc:    e.PC,
+			vc:    t.pub,
+		}
+		p.ordinal++
+		p.obsDispatch.Inc()
+		i := p.shardOf(e.Addr)
+		p.pending[i] = append(p.pending[i], a)
+		if len(p.pending[i]) >= p.opts.BatchSize {
+			p.flush(i)
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) thread(tid int32) *clockState {
+	t := p.threads[tid]
+	if t == nil {
+		// A fresh thread starts at clock 1 so its epoch (tid, 1) is not
+		// vacuously happens-before everything (mirrors hb.Detector).
+		t = &clockState{vc: hb.VC{}.Set(tid, 1), dirty: true}
+		p.threads[tid] = t
+	}
+	return t
+}
+
+// shardOf partitions the address space: a multiplicative hash spreads
+// the (often aligned, clustered) addresses evenly across shards.
+func (p *Pipeline) shardOf(addr uint64) int {
+	return int((addr * 0x9E3779B97F4A7C15 >> 33) % uint64(len(p.shards)))
+}
+
+func (p *Pipeline) flush(i int) {
+	b := p.pending[i]
+	if len(b) == 0 {
+		return
+	}
+	p.pending[i] = nil
+	select {
+	case p.shards[i].ch <- b:
+	default:
+		// Inbox full: the shard is behind and the clock engine blocks.
+		p.backpres++
+		p.obsBackpres.Inc()
+		p.shards[i].ch <- b
+	}
+}
+
+func (p *Pipeline) flushAll() {
+	for i := range p.pending {
+		p.flush(i)
+	}
+}
+
+// Feed appends encoded log bytes. Chunks completed by this piece are
+// decoded, merged, and their sampled accesses dispatched immediately.
+// The error is non-nil only when the input is not an LTRC2 log at all
+// (including ErrLegacyStream for LTRC1); damage within the stream is
+// recovered from and accounted, never fatal.
+func (p *Pipeline) Feed(b []byte) error {
+	if p.finished {
+		return errors.New("stream: feed after finish")
+	}
+	p.obsBytes.Add(uint64(len(b)))
+	err := p.dec.Feed(b)
+	// Keep watch-style consumers current even when batches are small.
+	p.flushAll()
+	p.obsStalls.Set(float64(p.m.Stalls()))
+	return err
+}
+
+// Complete reports whether the log's metadata trailer has been decoded —
+// the writer closed the log, so no more chunks are coming.
+func (p *Pipeline) Complete() bool { return p.dec.Complete() }
+
+// Backlog returns the number of decoded events buffered in the merge
+// waiting for an earlier timestamp to arrive.
+func (p *Pipeline) Backlog() int { return p.m.Backlog() }
+
+// Finish declares the input over: the decoder applies its end-of-input
+// rules to any torn tail, the merge drains (fast-forwarding stuck
+// counters on damaged input), the shards flush, and their findings merge
+// back into replay order. Finish is idempotent; Feed errors afterwards.
+func (p *Pipeline) Finish() (*Result, error) {
+	if p.finished {
+		return p.finRes, p.finErr
+	}
+	p.finished = true
+	srep, derr := p.dec.Finish()
+	if derr == nil {
+		_ = p.m.Finish(p.handle)
+	}
+	p.flushAll()
+	for _, s := range p.shards {
+		close(s.ch)
+	}
+	for range p.shards {
+		<-p.done
+	}
+	if derr != nil {
+		// Not a log at all: shut down cleanly and surface the error.
+		p.finErr = derr
+		return nil, derr
+	}
+
+	var all []shardRace
+	shardEvents := make([]uint64, len(p.shards))
+	for i, s := range p.shards {
+		all = append(all, s.races...)
+		shardEvents[i] = s.events
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ord != all[j].ord {
+			return all[i].ord < all[j].ord
+		}
+		return all[i].sub < all[j].sub
+	})
+
+	res := &Result{
+		Result:       p.res,
+		Degradation:  p.deg,
+		Salvage:      srep,
+		Meta:         p.dec.Meta(),
+		Complete:     p.dec.Complete(),
+		Dispatched:   p.ordinal,
+		ShardEvents:  shardEvents,
+		Stalls:       p.m.Stalls(),
+		Backpressure: p.backpres,
+		Elapsed:      time.Since(p.start),
+	}
+	res.NumRaces = uint64(len(all))
+	p.obsRaces.Add(res.NumRaces)
+	for _, sr := range all {
+		if sr.r.Unconfirmed {
+			res.Unconfirmed++
+		}
+		if p.opts.KeepMax == 0 || len(res.Races) < p.opts.KeepMax {
+			res.Races = append(res.Races, sr.r)
+		}
+	}
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		res.EventsPerSec = float64(p.m.Delivered()) / sec
+	}
+	p.obsBacklog.Set(float64(p.m.Backlog()))
+	p.obsStalls.Set(float64(p.m.Stalls()))
+	p.obsEPS.Set(res.EventsPerSec)
+	if reg := p.opts.Obs; reg != nil {
+		total := res.Dispatched
+		if total == 0 {
+			total = 1
+		}
+		for i, n := range shardEvents {
+			reg.Gauge(fmt.Sprintf("%s%d", ShardUtilGaugePrefix, i)).Set(float64(n) / float64(total))
+		}
+	}
+	p.finRes = res
+	return res, nil
+}

@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"literace/internal/hb"
+	"literace/internal/lir"
+	"literace/internal/obs"
+	"sync/atomic"
+)
+
+// memAccess is one sampled memory event as dispatched to a shard: the
+// decoded event fields it needs, the immutable snapshot of its thread's
+// vector clock at access time, and the ordinals that make the sharded
+// results mergeable back into replay order.
+type memAccess struct {
+	ord   uint64 // global dispatch ordinal (replay order of analyzed mem events)
+	seq   uint64 // per-thread analyzed-memory ordinal (hb.DynamicRace.*Seq)
+	addr  uint64
+	tid   int32
+	write bool
+	pc    lir.PC
+	vc    hb.VC // immutable; shared across dispatches until the thread's clock changes
+}
+
+// shardRace is a race found by a shard, tagged with the ordinal of the
+// access that triggered it and its index among the races that access
+// produced, so the global merge can restore exact replay-order reporting.
+type shardRace struct {
+	r   hb.DynamicRace
+	ord uint64
+	sub int
+}
+
+// readRec and writeRec mirror hb's FastTrack-style compact access
+// history: a scalar (tid, clock) epoch plus the attribution fields a race
+// report needs.
+type readRec struct {
+	tid int32
+	clk uint64
+	pc  lir.PC
+	seq uint64
+}
+
+type addrHist struct {
+	hasWrite bool
+	wTID     int32
+	wClk     uint64
+	wPC      lir.PC
+	wSeq     uint64
+	reads    []readRec // reads since the last ordered write
+}
+
+// shard is one detection worker: it owns the access histories of the
+// addresses hashed to it and processes their events strictly in dispatch
+// order, so its view of each address is identical to a batch detector's.
+type shard struct {
+	idx        int
+	ch         chan []memAccess
+	mem        map[uint64]*addrHist
+	races      []shardRace
+	events     uint64
+	degradeOrd *atomic.Uint64
+	onRace     func(hb.DynamicRace) // serialized by the pipeline; may be nil
+	evCnt      *obs.Counter         // stream.shard_events.<idx>
+}
+
+func (s *shard) run(done chan<- struct{}) {
+	for batch := range s.ch {
+		for _, a := range batch {
+			s.access(a)
+		}
+		s.events += uint64(len(batch))
+		s.evCnt.Add(uint64(len(batch)))
+	}
+	done <- struct{}{}
+}
+
+// access mirrors hb.Detector's per-event analysis exactly, plus the
+// same-thread epoch fast path: a write by the thread that already owns
+// the address's last write, with no reads pending, cannot race — the
+// epoch advances without touching the vector-clock snapshot at all.
+func (s *shard) access(a memAccess) {
+	st := s.mem[a.addr]
+	if st == nil {
+		st = &addrHist{}
+		s.mem[a.addr] = st
+	}
+	if a.write && st.hasWrite && st.wTID == a.tid && len(st.reads) == 0 {
+		st.wClk = a.vc.At(a.tid)
+		st.wPC = a.pc
+		st.wSeq = a.seq
+		return
+	}
+	nowClk := a.vc.At(a.tid)
+	sub := 0
+
+	if st.hasWrite && st.wTID != a.tid && st.wClk > a.vc.At(st.wTID) {
+		s.report(hb.DynamicRace{
+			PrevPC: st.wPC, CurPC: a.pc,
+			PrevWrite: true, CurWrite: a.write,
+			PrevTID: st.wTID, CurTID: a.tid,
+			PrevSeq: st.wSeq, CurSeq: a.seq,
+			Addr: a.addr,
+		}, a.ord, sub)
+		sub++
+	}
+
+	if a.write {
+		for _, r := range st.reads {
+			if r.tid != a.tid && r.clk > a.vc.At(r.tid) {
+				s.report(hb.DynamicRace{
+					PrevPC: r.pc, CurPC: a.pc,
+					PrevWrite: false, CurWrite: true,
+					PrevTID: r.tid, CurTID: a.tid,
+					PrevSeq: r.seq, CurSeq: a.seq,
+					Addr: a.addr,
+				}, a.ord, sub)
+				sub++
+			}
+		}
+		st.hasWrite = true
+		st.wTID = a.tid
+		st.wClk = nowClk
+		st.wPC = a.pc
+		st.wSeq = a.seq
+		st.reads = st.reads[:0]
+		return
+	}
+
+	// Record the read, replacing any earlier read by the same thread
+	// (program order makes the newer one dominate).
+	for i := range st.reads {
+		if st.reads[i].tid == a.tid {
+			st.reads[i] = readRec{tid: a.tid, clk: nowClk, pc: a.pc, seq: a.seq}
+			return
+		}
+	}
+	st.reads = append(st.reads, readRec{tid: a.tid, clk: nowClk, pc: a.pc, seq: a.seq})
+}
+
+func (s *shard) report(r hb.DynamicRace, ord uint64, sub int) {
+	if ord >= s.degradeOrd.Load() {
+		r.Unconfirmed = true
+	}
+	s.races = append(s.races, shardRace{r: r, ord: ord, sub: sub})
+	if s.onRace != nil {
+		s.onRace(r)
+	}
+}

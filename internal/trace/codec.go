@@ -366,6 +366,21 @@ type Log struct {
 	// orderings derived from events at or past that index are suspect.
 	// ReadAll always leaves it nil; Salvage fills it in.
 	Degraded map[int32]int
+
+	// ChunkOrder lists the accepted thread chunks in the byte order they
+	// appear in the encoded log: entry i says "the next N events of thread
+	// TID". Replay uses it as the canonical arrival order, which is what
+	// lets the online pipeline (fed chunk by chunk) and a batch pass over
+	// the same bytes reach identical results. Nil for hand-built logs;
+	// replay then treats each per-thread stream as one batch.
+	ChunkOrder []ChunkRef
+}
+
+// ChunkRef locates one thread chunk within Log.ChunkOrder: the next N
+// events of thread TID.
+type ChunkRef struct {
+	TID int32
+	N   int
 }
 
 // NumEvents returns the total event count across threads.
@@ -477,6 +492,9 @@ func readAllV2(br *bufio.Reader) (*Log, error) {
 				return nil, err
 			}
 			log.Threads[tid] = append(log.Threads[tid], evs...)
+			if len(evs) > 0 {
+				log.ChunkOrder = append(log.ChunkOrder, ChunkRef{TID: tid, N: len(evs)})
+			}
 		}
 	}
 	if !sawMeta {
@@ -528,6 +546,9 @@ func readAllV1(br *bufio.Reader) (*Log, error) {
 			return nil, err
 		}
 		log.Threads[tid] = append(log.Threads[tid], evs...)
+		if len(evs) > 0 {
+			log.ChunkOrder = append(log.ChunkOrder, ChunkRef{TID: tid, N: len(evs)})
+		}
 	}
 	if !sawMeta {
 		return nil, errors.New("trace: truncated log: no metadata trailer")

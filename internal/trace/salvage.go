@@ -345,6 +345,9 @@ func salvageV2(data []byte) (*Log, *SalvageReport) {
 			tl.EventsSalvaged += len(evs)
 			rep.EventsSalvaged += len(evs)
 			log.Threads[tid] = append(log.Threads[tid], evs...)
+			if len(evs) > 0 {
+				log.ChunkOrder = append(log.ChunkOrder, ChunkRef{TID: tid, N: len(evs)})
+			}
 			if derr != nil {
 				// CRC-valid but undecodable tail (writer bug or a CRC
 				// collision): keep the prefix, mark the thread suspect.
@@ -426,6 +429,9 @@ func salvageV1(data []byte) (*Log, *SalvageReport) {
 		tl.EventsSalvaged += len(evs)
 		rep.EventsSalvaged += len(evs)
 		log.Threads[tid] = append(log.Threads[tid], evs...)
+		if len(evs) > 0 {
+			log.ChunkOrder = append(log.ChunkOrder, ChunkRef{TID: tid, N: len(evs)})
+		}
 		if derr != nil {
 			// Without CRCs a bad event byte may mean anything; keep the
 			// prefix and stop trusting the remainder of the stream.

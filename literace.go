@@ -37,6 +37,7 @@ import (
 	"literace/internal/obs/coverprof"
 	"literace/internal/race"
 	"literace/internal/sampler"
+	"literace/internal/stream"
 	"literace/internal/trace"
 )
 
@@ -489,6 +490,129 @@ func (p *Program) SourceContext(pc PC, window int) string {
 		fmt.Fprintf(&b, "  %s%4d: %s\n", marker, i, f.Code[i].String())
 	}
 	return b.String()
+}
+
+// StreamRace is one dynamic race as delivered live by a streaming
+// session, resolved to the same normalized "func:index" pair a Report
+// uses (First <= Second).
+type StreamRace struct {
+	First, Second string
+	// WriteWrite reports whether both accesses were writes.
+	WriteWrite bool
+	// Addr is the racing address.
+	Addr uint64
+	// Unconfirmed marks a race first observed after log damage weakened
+	// the happens-before orderings.
+	Unconfirmed bool
+}
+
+// StreamOptions configures a streaming detection session.
+type StreamOptions struct {
+	// Shards is the number of parallel detection workers (shadow memory
+	// partitioned by address); 0 means stream.DefaultShards.
+	Shards int
+	// Obs, when non-nil, receives live pipeline telemetry (the
+	// literace_stream_* metric families).
+	Obs *obs.Registry
+	// OnRace, when non-nil, is invoked as each dynamic race is found —
+	// in discovery order, which under sharding is not replay order. The
+	// final Report is the canonical deduplicated view.
+	OnRace func(StreamRace)
+}
+
+// StreamSession runs the online detection pipeline over an LTRC2 log
+// that may still be growing: Feed it bytes as they appear (tailing a
+// file, draining a socket) and Finish once the input is over. The final
+// Report is identical to what Detect/DetectSalvaged would produce on the
+// same bytes. See docs/STREAMING.md.
+type StreamSession struct {
+	p       *stream.Pipeline
+	resolve func(int32) string
+}
+
+// NewStreamSession starts a streaming detection session. resolve maps
+// original function indices to names (nil for raw indices).
+func NewStreamSession(resolve func(int32) string, opts StreamOptions) *StreamSession {
+	s := &StreamSession{resolve: resolve}
+	popts := stream.Options{
+		Shards:     opts.Shards,
+		SamplerBit: hb.AllEvents,
+		Obs:        opts.Obs,
+	}
+	if opts.OnRace != nil {
+		name := func(pc lir.PC) string { return fmt.Sprintf("fn%d:%d", pc.Func, pc.Index) }
+		if resolve != nil {
+			name = func(pc lir.PC) string { return fmt.Sprintf("%s:%d", resolve(pc.Func), pc.Index) }
+		}
+		popts.OnRace = func(r hb.DynamicRace) {
+			k := race.KeyOf(r)
+			opts.OnRace(StreamRace{
+				First:       name(k.A),
+				Second:      name(k.B),
+				WriteWrite:  r.PrevWrite && r.CurWrite,
+				Addr:        r.Addr,
+				Unconfirmed: r.Unconfirmed,
+			})
+		}
+	}
+	s.p = stream.New(popts)
+	return s
+}
+
+// Feed appends encoded log bytes; completed chunks are analyzed
+// immediately. The error is non-nil only when the input is not an LTRC2
+// log at all; damage within the stream is recovered from, never fatal.
+func (s *StreamSession) Feed(b []byte) error { return s.p.Feed(b) }
+
+// Complete reports whether the log's trailer has been seen — the writer
+// closed it, so no more events are coming.
+func (s *StreamSession) Complete() bool { return s.p.Complete() }
+
+// Backlog returns the number of decoded events buffered waiting for an
+// earlier timestamp to arrive.
+func (s *StreamSession) Backlog() int { return s.p.Backlog() }
+
+// Finish declares the input over and returns the final Report — equal to
+// a batch DetectSalvaged over the same bytes — plus the pipeline result
+// with its salvage, degradation, and throughput detail.
+func (s *StreamSession) Finish() (*Report, *stream.Result, error) {
+	res, err := s.p.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	set := race.NewSet()
+	set.AddResult(&res.Result)
+	rep := buildReport(set, res.Meta, &res.Result, s.resolve)
+	rep.Degraded = res.Degradation.Degraded() || res.Salvage.Lossy()
+	rep.DegradedSkips = res.Degradation.SlotsSkipped
+	return rep, res, nil
+}
+
+// DetectStream is the one-shot convenience: run the streaming pipeline
+// over a complete encoded log. The Report equals DetectSalvaged's on the
+// same bytes; the pipeline's only advantage here is sharded parallelism.
+func DetectStream(log io.Reader, resolve func(int32) string, reg *obs.Registry) (*Report, *trace.SalvageReport, error) {
+	s := NewStreamSession(resolve, StreamOptions{Obs: reg})
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := log.Read(buf)
+		if n > 0 {
+			if ferr := s.Feed(buf[:n]); ferr != nil {
+				return nil, nil, ferr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	rep, res, err := s.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, res.Salvage, nil
 }
 
 // VerifyLog checks an encoded log's structural invariants beyond what
