@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"literace/internal/obs/diag"
+)
+
+// readManifest loads and decodes a bundle's MANIFEST.json.
+func readManifest(t *testing.T, dir string) (members []bundleMember) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Schema  string         `json:"schema"`
+		Members []bundleMember `json:"members"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != diagBundleSchema {
+		t.Fatalf("manifest schema %q", m.Schema)
+	}
+	return m.Members
+}
+
+// TestCmdDiagBundleStable is the acceptance check: two diag runs over
+// the same log produce byte-identical deterministic members, and the
+// bundle contains every expected artifact.
+func TestCmdDiagBundleStable(t *testing.T) {
+	log := runTestTrace(t)
+	dirA := filepath.Join(t.TempDir(), "a")
+	dirB := filepath.Join(t.TempDir(), "b")
+	for _, dir := range []string{dirA, dirB} {
+		out, err := capture(t, func() error { return cmdDiag([]string{"-o", dir, log}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "diag bundle") {
+			t.Errorf("summary line: %q", out)
+		}
+	}
+
+	members := readManifest(t, dirA)
+	got := map[string]bool{}
+	for _, m := range members {
+		got[m.Name] = m.Deterministic
+	}
+	for name, det := range map[string]bool{
+		"MANIFEST.json":   true,
+		"config.json":     true,
+		"fsck.json":       true,
+		"report.txt":      true,
+		"health.json":     false,
+		"obs.json":        false,
+		"flightrec.jsonl": false,
+		"timeline.json":   false,
+		"goroutines.txt":  false,
+		"heap.pprof":      false,
+	} {
+		d, ok := got[name]
+		if !ok {
+			t.Errorf("bundle missing member %s", name)
+			continue
+		}
+		if d != det {
+			t.Errorf("member %s deterministic = %v, want %v", name, d, det)
+		}
+	}
+
+	for _, m := range members {
+		if !m.Deterministic {
+			continue
+		}
+		a, err := os.ReadFile(filepath.Join(dirA, m.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, m.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("deterministic member %s differs across reruns:\nA: %s\nB: %s", m.Name, a, b)
+		}
+	}
+
+	// report.txt must be exactly what detect prints.
+	want, err := capture(t, func() error { return cmdDetect([]string{log}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := os.ReadFile(filepath.Join(dirA, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// detect appends a log-verification line after the report on healthy
+	// logs; the bundle stores the bare report.
+	if !strings.HasPrefix(want, string(rep)) {
+		t.Errorf("bundle report diverges from detect:\nbundle: %q\ndetect: %q", rep, want)
+	}
+
+	// The flight-recorder dump must hold real span events.
+	fr, err := os.ReadFile(filepath.Join(dirA, "flightrec.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fr), `"kind":"span"`) || !strings.Contains(string(fr), "chunk-decode") {
+		t.Errorf("flight recorder dump lacks spans: %.200s", fr)
+	}
+
+	// The timeline must include the flight-recorder process track.
+	tl, err := os.ReadFile(filepath.Join(dirA, "timeline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tl), "flight recorder") {
+		t.Error("timeline lacks the flight-recorder track")
+	}
+}
+
+// TestCmdWatchSLOBreach checks the exit-4 path: a torn log breaches the
+// default corruption SLO (dropped bytes resync the decoder), the
+// watchdog latches, and cmdWatch returns the ErrSLOBreached sentinel —
+// while stdout stays byte-identical to detect -salvage.
+func TestCmdWatchSLOBreach(t *testing.T) {
+	src := runTestTrace(t)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "torn.trc")
+	if err := os.WriteFile(torn, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := capture(t, func() error { return cmdDetect([]string{"-salvage", torn}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, werr := capture(t, func() error {
+		return cmdWatch([]string{"-quiet", "-poll", "5ms", "-idle", "50ms",
+			"-slo", "-slo-sustain", "1", torn})
+	})
+	if !errors.Is(werr, diag.ErrSLOBreached) {
+		t.Fatalf("watch -slo on a torn log returned %v, want ErrSLOBreached", werr)
+	}
+	if got != want {
+		t.Errorf("-slo changed the report:\nwatch:  %q\nsalvage: %q", got, want)
+	}
+}
+
+// TestCmdWatchSLOClean checks the control: a healthy complete log under
+// -slo exits cleanly with detect's exact report.
+func TestCmdWatchSLOClean(t *testing.T) {
+	log := runTestTrace(t)
+	want, err := capture(t, func() error { return cmdDetect([]string{log}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := capture(t, func() error {
+		return cmdWatch([]string{"-quiet", "-slo", "-slo-sustain", "1", log})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("-slo changed the clean report:\nwatch:  %q\ndetect: %q", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// logCfg carries the shared structured-logging flags. Every subcommand
+// that emits diagnostics registers them with addLogFlags and builds
+// subsystem-scoped loggers with logger(); all diagnostic output goes to
+// stderr as slog lines (text or JSON), leaving stdout for the command's
+// data contract (reports, tables, JSON documents).
+type logCfg struct {
+	format string
+	level  string
+}
+
+// addLogFlags registers -log-format and -log-level on fs.
+func addLogFlags(fs *flag.FlagSet) *logCfg {
+	c := &logCfg{}
+	fs.StringVar(&c.format, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&c.level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	return c
+}
+
+// logger builds a stderr slog.Logger scoped to one subsystem (the "sub"
+// attribute: watch, stream, telemetry, report, bench, diag, ...).
+func (c *logCfg) logger(subsystem string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(c.level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", c.level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(c.format) {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", c.format)
+	}
+	return slog.New(h).With("sub", subsystem), nil
+}
+
+// rootLogger is the fallback logger for top-level errors, before any
+// subcommand has parsed its logging flags.
+func rootLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, nil)).With("sub", "cli")
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,6 +40,7 @@ import (
 	"literace/internal/harness"
 	"literace/internal/obs"
 	"literace/internal/obs/coverprof"
+	"literace/internal/obs/diag"
 	"literace/internal/obs/export"
 	"literace/internal/obs/ledger"
 	"literace/internal/obs/timeline"
@@ -72,6 +74,8 @@ func main() {
 		err = cmdDump(args)
 	case "timeline":
 		err = cmdTimeline(args)
+	case "diag":
+		err = cmdDiag(args)
 	case "report":
 		// `report ls|show|compare` operate on the run-report ledger; the
 		// legacy `report <prog.lir>` form runs the pipeline.
@@ -87,39 +91,49 @@ func main() {
 	case "help", "-h", "--help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "literace: unknown command %q\n", cmd)
+		rootLogger().Error("unknown command", "cmd", cmd)
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "literace:", err)
+		rootLogger().Error("command failed", "cmd", cmd, "err", err)
 		if errors.Is(err, ledger.ErrDriftExceeded) {
 			os.Exit(3)
+		}
+		if errors.Is(err, diag.ErrSLOBreached) {
+			os.Exit(4)
 		}
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|watch|fsck|dump|timeline|report|bench|stats> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|watch|fsck|dump|timeline|diag|report|bench|stats> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
   run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-report-out f] [-ledger dir] [-cpuprofile f] [-memprofile f]
   detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f] [-report-out f] [-ledger dir]
   watch   <log.trc> [-src prog.lir] [-shards N] [-poll d] [-idle d] [-quiet] [-serve ADDR] [-metrics f]
+          [-slo] [-slo-sustain N] [-slo-max-lag N] [-slo-max-stage-ms N] [-slo-max-crc N] [-slo-max-gaps N]
           online detection over a live or completed log: races stream to stderr as found,
-          the final report (identical to detect's) prints when the log completes or goes idle
+          the final report (identical to detect's) prints when the log completes or goes idle;
+          -slo arms the health watchdog (exit 4 on sustained breach)
   fsck    <log.trc>                 salvage-decode and print a JSON health report
   dump    <log.trc> [-n N]          print decoded log events
   timeline <log.trc> [-o t.json] [-src prog.lir] [-salvage]  export a Perfetto/Chrome trace timeline
+  diag    <log.trc> [-o dir] [-src prog.lir] [-shards N] [-ledger dir]
+          replay the log through the instrumented pipeline and write a diagnostics bundle
+          (flight recorder, health report, obs snapshot, fsck, profiles, timeline)
   report  <prog.lir> [-sampler S] [-seed N]          run + detect in one step
   report  ls       [-ledger dir]                     list run-report ledger entries
   report  show     [-ledger dir] [-json] <id>        print one ledger report
   report  compare  [-ledger dir] [-strict] [-json] <A> <B>   drift between two reports (exit 3 past thresholds)
   bench   [-list | key] [-serve ADDR] [-overhead-out f]
-          [-stream-out f [-stream-bench key]]                 run benchmarks (see -list)
-  stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry + coverage report`)
+          [-stream-out f [-stream-bench key] [-stream-baseline f]]  run benchmarks (see -list; exit 3 on baseline drift)
+  stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry + coverage report
+Commands that log diagnostics accept -log-format text|json and -log-level debug|info|warn|error
+(structured slog lines on stderr; stdout carries only the command's data output).`)
 }
 
 func loadProgram(path string) (*literace.Program, error) {
@@ -233,19 +247,22 @@ func writeMetrics(path string, reg *obs.Registry) error {
 }
 
 // serveTelemetry starts the embedded telemetry server when addr is
-// non-empty, returning a shutdown function (a no-op otherwise).
-func serveTelemetry(addr string, reg *obs.Registry) (func(), error) {
+// non-empty, returning a shutdown function (a no-op otherwise). health,
+// when non-nil, upgrades /healthz to the scored report (watch -slo).
+func serveTelemetry(addr string, reg *obs.Registry, health func() *diag.Health, log *slog.Logger) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
-	srv, err := export.Serve(addr, reg)
+	srv, err := export.ServeHealth(addr, reg, health)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (also /snapshot /healthz /debug/pprof)\n", srv.Addr())
+	log.Info("serving telemetry",
+		"url", fmt.Sprintf("http://%s/metrics", srv.Addr()),
+		"endpoints", "/metrics /snapshot /healthz /debug/pprof")
 	return func() {
 		if err := srv.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "telemetry: shutdown:", err)
+			log.Warn("telemetry shutdown", "err", err)
 		}
 	}, nil
 }
@@ -262,9 +279,14 @@ func cmdRun(args []string) error {
 	ledgerDir := fs.String("ledger", "", "append the run report to the ledger at this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	lcfg := addLogFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run wants one source file")
+	}
+	log, err := lcfg.logger("run")
+	if err != nil {
+		return err
 	}
 	stop, err := startCPUProfile(*cpuProfile)
 	if err != nil {
@@ -275,7 +297,7 @@ func cmdRun(args []string) error {
 	if *metricsPath != "" || *serveAddr != "" {
 		reg = obs.New()
 	}
-	shutdown, err := serveTelemetry(*serveAddr, reg)
+	shutdown, err := serveTelemetry(*serveAddr, reg, nil, log)
 	if err != nil {
 		return err
 	}
@@ -298,7 +320,7 @@ func cmdRun(args []string) error {
 	defer f.Close()
 	wantReport := *reportOut != "" || *ledgerDir != ""
 	res, err := p.Run(literace.Config{
-		Sampler: *samplerName, Seed: *seed, SchedTrace: *sched, LogTo: f, Obs: reg,
+		Sampler: *samplerName, Seed: *seed, SchedTrace: *sched, LogTo: f, Obs: reg, Log: log,
 		// A run report needs the coverage table and race→burst
 		// attribution, so the report flags force both collectors on.
 		Coverage: wantReport,
@@ -314,7 +336,7 @@ func cmdRun(args []string) error {
 	}
 	if wantReport {
 		rr := p.BuildRunReport(res, res.OnlineReport, 0)
-		if err := emitRunReport(rr, *reportOut, *ledgerDir); err != nil {
+		if err := emitRunReport(rr, *reportOut, *ledgerDir, log); err != nil {
 			return err
 		}
 	}
@@ -334,9 +356,14 @@ func cmdDetect(args []string) error {
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	reportOut := fs.String("report-out", "", "write a literace.runreport/v1 artifact (races, ESR; no coverage table offline) to this file")
 	ledgerDir := fs.String("ledger", "", "append the detection report to the ledger at this directory")
+	lcfg := addLogFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("detect wants one log file")
+	}
+	log, err := lcfg.logger("detect")
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -360,9 +387,9 @@ func cmdDetect(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(os.Stderr, "salvage:", srep.Summary())
+		log.Warn("salvage decode", "summary", srep.Summary())
 		fmt.Print(rep.String())
-		if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir); err != nil {
+		if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir, log); err != nil {
 			return err
 		}
 		return writeMetrics(*metricsPath, reg)
@@ -372,7 +399,7 @@ func cmdDetect(args []string) error {
 		return err
 	}
 	fmt.Print(rep.String())
-	if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir); err != nil {
+	if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir, log); err != nil {
 		return err
 	}
 	if _, err := f.Seek(0, 0); err == nil {
@@ -483,9 +510,14 @@ func cmdTimeline(args []string) error {
 	outPath := fs.String("o", "timeline.json", "output path for the trace-event JSON")
 	srcPath := fs.String("src", "", "original .lir source, to resolve function names on slices and arrows")
 	salvage := fs.Bool("salvage", false, "force the salvage decoder even on a healthy log")
+	lcfg := addLogFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("timeline wants one log file")
+	}
+	log, err := lcfg.logger("timeline")
+	if err != nil {
+		return err
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -520,9 +552,9 @@ func cmdTimeline(args []string) error {
 	}
 	fmt.Printf(", %d races\n", stats.Races)
 	if stats.Slices == 0 {
-		fmt.Fprintln(os.Stderr, "note: no scheduler markers in this log; time axis is replay order (record with `literace run -sched`)")
+		log.Warn("no scheduler markers in this log; time axis is replay order (record with `literace run -sched`)")
 	}
-	fmt.Fprintf(os.Stderr, "open it at https://ui.perfetto.dev (Open trace file) or chrome://tracing\n")
+	log.Info("open the timeline at https://ui.perfetto.dev (Open trace file) or chrome://tracing", "file", *outPath)
 	return nil
 }
 
@@ -669,12 +701,19 @@ func cmdBench(args []string) error {
 	overheadOut := fs.String("overhead-out", "", "run the full overhead sweep and write the BENCH_overhead.json artifact here")
 	streamOut := fs.String("stream-out", "", "run the streaming-vs-batch shard sweep and write the BENCH_stream.json artifact here")
 	streamBench := fs.String("stream-bench", "apache-1", "benchmark the -stream-out sweep traces")
+	streamBaseline := fs.String("stream-baseline", "", "compare the -stream-out artifact against this committed baseline (exit 3 on drift)")
+	lcfg := addLogFlags(fs)
 	fs.Parse(args)
+	log, err := lcfg.logger("bench")
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) { log.Info(fmt.Sprintf(format, args...)) }
 	var reg *obs.Registry
 	if *serveAddr != "" {
 		reg = obs.New()
 	}
-	shutdown, err := serveTelemetry(*serveAddr, reg)
+	shutdown, err := serveTelemetry(*serveAddr, reg, nil, log)
 	if err != nil {
 		return err
 	}
@@ -684,7 +723,7 @@ func cmdBench(args []string) error {
 			Seeds: []int64{*seed},
 			Scale: *scale,
 			Obs:   reg,
-			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Logf:  logf,
 		}
 		sum, err := harness.BuildOverheadSummary(cfg)
 		if err != nil {
@@ -710,7 +749,7 @@ func cmdBench(args []string) error {
 			Seeds: []int64{*seed},
 			Scale: *scale,
 			Obs:   reg,
-			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			Logf:  logf,
 		}
 		sum, err := harness.BuildStreamBenchSummary(cfg, *streamBench, nil)
 		if err != nil {
@@ -732,6 +771,16 @@ func cmdBench(args []string) error {
 		if !sum.Parity {
 			return fmt.Errorf("streaming detection lost parity with batch (see %s)", *streamOut)
 		}
+		if *streamBaseline != "" {
+			base, err := harness.ReadStreamSummary(*streamBaseline)
+			if err != nil {
+				return err
+			}
+			if err := harness.CompareStreamSummaries(base, sum); err != nil {
+				return fmt.Errorf("stream baseline %s: %w", *streamBaseline, err)
+			}
+			log.Info("stream artifact matches baseline", "baseline", *streamBaseline)
+		}
 		return nil
 	}
 	if *list || fs.NArg() == 0 {
@@ -751,7 +800,7 @@ func cmdBench(args []string) error {
 	if _, err := p.Instrument(); err != nil {
 		return err
 	}
-	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Obs: reg})
+	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Obs: reg, Log: log})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -12,16 +13,19 @@ import (
 
 // emitRunReport writes a run report to a file and/or appends it to a
 // ledger; a no-op when both destinations are empty.
-func emitRunReport(rr *ledger.RunReport, reportOut, ledgerDir string) error {
+func emitRunReport(rr *ledger.RunReport, reportOut, ledgerDir string, log *slog.Logger) error {
 	if rr == nil || (reportOut == "" && ledgerDir == "") {
 		return nil
+	}
+	if log == nil {
+		log = rootLogger()
 	}
 	if reportOut != "" {
 		if err := rr.WriteFile(reportOut); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "report: wrote %s (%s, %d coverage rows, %d races)\n",
-			reportOut, rr.Schema, len(rr.Coverage), len(rr.Races))
+		log.Info("wrote run report", "file", reportOut, "schema", rr.Schema,
+			"coverage_rows", len(rr.Coverage), "races", len(rr.Races))
 	}
 	if ledgerDir != "" {
 		l, err := ledger.Open(ledgerDir)
@@ -32,7 +36,7 @@ func emitRunReport(rr *ledger.RunReport, reportOut, ledgerDir string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "report: appended ledger entry %s (%s)\n", e.ID, ledgerDir)
+		log.Info("appended ledger entry", "id", e.ID, "ledger", ledgerDir)
 	}
 	return nil
 }

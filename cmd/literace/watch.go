@@ -9,15 +9,23 @@ import (
 
 	"literace"
 	"literace/internal/obs"
+	"literace/internal/obs/diag"
 )
 
 // cmdWatch attaches the online detection pipeline to a trace file that
 // may still be growing: it tails the file, analyzes chunks as the writer
 // flushes them, reports each dynamic race the moment it is found
-// (stderr), and prints the final report (stdout) once the log completes
-// — the trailer appears — or stops growing for -idle. On a completed
-// healthy trace the stdout report is byte-identical to `literace
-// detect`; on a damaged or torn one, to `literace detect -salvage`.
+// (structured stderr log), and prints the final report (stdout) once the
+// log completes — the trailer appears — or stops growing for -idle. On a
+// completed healthy trace the stdout report is byte-identical to
+// `literace detect`; on a damaged or torn one, to `literace detect
+// -salvage`.
+//
+// With -slo the flight recorder and health watchdog are armed: every
+// poll the watchdog evaluates the SLO policy against the recorder and
+// the pipeline probe, /healthz (when -serve is up) answers the scored
+// report, and a breach sustained for -slo-sustain consecutive polls
+// makes the command exit 4 after the final report.
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
@@ -27,9 +35,22 @@ func cmdWatch(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress incremental per-race output")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address while watching")
+	slo := fs.Bool("slo", false, "arm the SLO watchdog: exit 4 when a health check breaches for -slo-sustain consecutive polls")
+	sloSustain := fs.Int("slo-sustain", 0, "consecutive breaching polls before the breach counts as sustained (0 = default)")
+	sloMaxLag := fs.Int("slo-max-lag", -2, "max decode→deliver lag in events (-1 disables, -2 = default)")
+	sloMaxStageMS := fs.Int64("slo-max-stage-ms", -2, "max single-stage span in milliseconds (-1 disables, -2 = default)")
+	sloMaxCRC := fs.Int64("slo-max-crc", -2, "tolerated CRC failures (-1 disables, -2 = default)")
+	sloMaxGaps := fs.Int64("slo-max-gaps", -2, "tolerated sequence gaps (-1 disables, -2 = default)")
+	sloMaxBackpressure := fs.Int64("slo-max-backpressure", -2, "tolerated backpressure stalls (-1 disables, -2 = default)")
+	sloMaxDegrade := fs.Int64("slo-max-degrade", -2, "tolerated degrade-ordinal transitions (-1 disables, -2 = default)")
+	lcfg := addLogFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("watch wants one log file")
+	}
+	log, err := lcfg.logger("watch")
+	if err != nil {
+		return err
 	}
 	var resolve func(int32) string
 	if *srcPath != "" {
@@ -43,13 +64,58 @@ func cmdWatch(args []string) error {
 	if *metricsPath != "" || *serveAddr != "" {
 		reg = obs.New()
 	}
-	shutdown, err := serveTelemetry(*serveAddr, reg)
+
+	// The flight recorder rides along whenever the watchdog or any
+	// telemetry sink is on; it is nil (free) otherwise.
+	var rec *diag.Recorder
+	var wd *diag.Watchdog
+	if *slo || reg != nil {
+		rec = diag.NewRecorderObs(diag.DefaultCapacity, reg)
+	}
+	if *slo {
+		policy := diag.DefaultSLO()
+		if *sloSustain > 0 {
+			policy.SustainPolls = *sloSustain
+		}
+		if *sloMaxLag > -2 {
+			policy.MaxDecodeLag = *sloMaxLag
+		}
+		if *sloMaxStageMS > -2 {
+			if *sloMaxStageMS < 0 {
+				policy.MaxStageNanos = -1
+			} else {
+				policy.MaxStageNanos = *sloMaxStageMS * int64(time.Millisecond)
+			}
+		}
+		if *sloMaxCRC > -2 {
+			policy.MaxCRCFailures = *sloMaxCRC
+		}
+		if *sloMaxGaps > -2 {
+			policy.MaxSeqGaps = *sloMaxGaps
+		}
+		if *sloMaxBackpressure > -2 {
+			policy.MaxBackpressure = *sloMaxBackpressure
+		}
+		if *sloMaxDegrade > -2 {
+			policy.MaxDegradeTransitions = *sloMaxDegrade
+		}
+		wd = diag.NewWatchdog(policy)
+	}
+	var health func() *diag.Health
+	if wd != nil {
+		health = wd.Health
+	}
+	shutdown, err := serveTelemetry(*serveAddr, reg, health, log)
 	if err != nil {
 		return err
 	}
 	defer shutdown()
 
-	opts := literace.StreamOptions{Shards: *shards, Obs: reg}
+	streamLog, err := lcfg.logger("stream")
+	if err != nil {
+		return err
+	}
+	opts := literace.StreamOptions{Shards: *shards, Obs: reg, Diag: rec, Log: streamLog}
 	if !*quiet {
 		seen := make(map[string]bool)
 		opts.OnRace = func(r literace.StreamRace) {
@@ -58,16 +124,13 @@ func cmdWatch(args []string) error {
 				return
 			}
 			seen[key] = true
-			suffix := ""
-			if r.Unconfirmed {
-				suffix = " UNCONFIRMED"
-			}
 			kind := "read-write"
 			if r.WriteWrite {
 				kind = "write-write"
 			}
-			fmt.Fprintf(os.Stderr, "race: %s <-> %s (%s) addr=%#x%s\n",
-				r.First, r.Second, kind, r.Addr, suffix)
+			log.Info("race",
+				"first", r.First, "second", r.Second, "kind", kind,
+				"addr", fmt.Sprintf("%#x", r.Addr), "unconfirmed", r.Unconfirmed)
 		}
 	}
 	sess := literace.NewStreamSession(resolve, opts)
@@ -78,6 +141,17 @@ func cmdWatch(args []string) error {
 	}
 	defer f.Close()
 
+	pollWatchdog := func() {
+		if wd == nil {
+			return
+		}
+		h := wd.Poll(rec, sess.Probe())
+		if h != nil && !h.OK() {
+			log.Warn("SLO check failing", "status", h.Status, "score", h.Score,
+				"sustained", h.Sustained, "polls", h.Polls)
+		}
+	}
+
 	buf := make([]byte, 256<<10)
 	lastGrowth := time.Now()
 	for {
@@ -87,15 +161,18 @@ func cmdWatch(args []string) error {
 			if err := sess.Feed(buf[:n]); err != nil {
 				return err
 			}
+			pollWatchdog()
 		}
 		if sess.Complete() {
 			break
 		}
 		if rerr == io.EOF {
 			if time.Since(lastGrowth) >= *idle {
-				fmt.Fprintf(os.Stderr, "watch: no growth for %s; analyzing the tail as-is\n", *idle)
+				log.Info("no growth; analyzing the tail as-is", "idle", idle.String())
 				break
 			}
+			sess.Idle()
+			pollWatchdog()
 			time.Sleep(*poll)
 			continue
 		}
@@ -108,11 +185,25 @@ func cmdWatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	pollWatchdog()
 	if res.Salvage.Lossy() {
-		fmt.Fprintln(os.Stderr, "salvage:", res.Salvage.Summary())
+		log.Warn("salvage decode", "summary", res.Salvage.Summary())
 	}
-	fmt.Fprintf(os.Stderr, "stream: %d events (%.0f/s) over %d shards, %d mem ops dispatched, %d reorder stalls, %d backpressure waits\n",
-		res.MemOps+res.SyncOps, res.EventsPerSec, len(res.ShardEvents), res.Dispatched, res.Stalls, res.Backpressure)
+	log.Info("stream finished",
+		"events", res.MemOps+res.SyncOps, "events_per_sec", int64(res.EventsPerSec),
+		"shards", len(res.ShardEvents), "dispatched", res.Dispatched,
+		"stalls", res.Stalls, "backpressure", res.Backpressure)
 	fmt.Print(rep.String())
-	return writeMetrics(*metricsPath, reg)
+	if err := writeMetrics(*metricsPath, reg); err != nil {
+		return err
+	}
+	if wd != nil {
+		if err := wd.Err(); err != nil {
+			return err
+		}
+		if h := wd.Health(); h != nil {
+			log.Info("SLO healthy", "score", h.Score, "polls", h.Polls)
+		}
+	}
+	return nil
 }

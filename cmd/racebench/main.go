@@ -14,9 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"literace/internal/harness"
 	"literace/internal/obs"
@@ -36,8 +38,15 @@ func main() {
 		ledgerDir  = flag.String("ledger", "", "run-report ledger directory for the coverage study (persists the accumulation state across invocations)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racebench:", err)
+		os.Exit(2)
+	}
 
 	if *table == 0 && *figure == 0 && !*abl && *cover == "" {
 		*all = true
@@ -48,16 +57,45 @@ func main() {
 	}
 	if *v {
 		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			log.Info(fmt.Sprintf(format, args...))
 		}
 	}
 	if *metricsOut != "" {
 		cfg.Obs = obs.New()
 	}
 	if err := runProfiled(cfg, *all, *table, *figure, *abl, *cover, *metricsOut, *cpuProf, *memProf); err != nil {
-		fmt.Fprintln(os.Stderr, "racebench:", err)
+		log.Error("run failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the stderr slog logger shared by all racebench
+// diagnostics; stdout stays reserved for tables and figures.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
+	return slog.New(h).With("sub", "racebench"), nil
 }
 
 // runProfiled wraps run with the optional pprof and metrics outputs.

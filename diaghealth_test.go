@@ -1,0 +1,141 @@
+package literace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"literace/internal/obs"
+	"literace/internal/obs/diag"
+	"literace/internal/obs/export"
+	"literace/internal/trace"
+	"literace/internal/trace/faultinject"
+)
+
+// lossyCrashLog returns the crash-corpus log with one bit flipped at a
+// position that actually damages it (salvage reports loss). The scan is
+// deterministic, so the same mutation is chosen every run.
+func lossyCrashLog(t *testing.T) []byte {
+	t.Helper()
+	data, _ := crashCorpusLog(t)
+	for _, frac := range []int{2, 3, 4, 5, 6, 7} {
+		mut := faultinject.FlipBit(data, 8*(len(data)/frac))
+		if _, srep, err := trace.Salvage(bytes.NewReader(mut)); err == nil && srep.Lossy() {
+			return mut
+		}
+	}
+	t.Fatal("no bit flip produced a lossy log")
+	return nil
+}
+
+// TestWatchdogFaultInjection is the observability acceptance path: a
+// fault-injected log streamed through the instrumented pipeline must
+// surface as flight-recorder anomalies, a failed watchdog poll with a
+// degraded score, the ErrSLOBreached sentinel (what `watch -slo` maps
+// to exit 4), and a 503 /healthz answer with the scored report.
+func TestWatchdogFaultInjection(t *testing.T) {
+	mut := lossyCrashLog(t)
+
+	reg := obs.New()
+	rec := diag.NewRecorderObs(diag.DefaultCapacity, reg)
+	slo := diag.DefaultSLO()
+	slo.SustainPolls = 1
+	wd := diag.NewWatchdog(slo)
+
+	sess := NewStreamSession(nil, StreamOptions{Obs: reg, Diag: rec})
+	if err := sess.Feed(mut); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Anomalies() == 0 {
+		t.Fatal("damaged log recorded no flight-recorder anomalies")
+	}
+
+	h := wd.Poll(rec, sess.Probe())
+	if h == nil || h.OK() {
+		t.Fatalf("watchdog poll did not fail on a damaged log: %+v", h)
+	}
+	if h.Score >= 100 {
+		t.Fatalf("health score not degraded: %d", h.Score)
+	}
+	if !wd.Sustained() {
+		t.Fatal("single-poll sustain policy did not latch")
+	}
+	if err := wd.Err(); !errors.Is(err, diag.ErrSLOBreached) {
+		t.Fatalf("watchdog error %v does not wrap ErrSLOBreached", err)
+	}
+
+	// /healthz must carry the scored report and answer 503 once the
+	// breach is sustained.
+	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), nil, wd.Health))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status = %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Status    string `json:"status"`
+		Score     int    `json:"score"`
+		Sustained bool   `json:"sustained"`
+		Checks    []struct {
+			Name string `json:"name"`
+			OK   bool   `json:"ok"`
+		} `json:"checks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "breached" || !body.Sustained {
+		t.Fatalf("/healthz body: %+v", body)
+	}
+	if body.Score >= 100 || len(body.Checks) == 0 {
+		t.Fatalf("/healthz score/checks not degraded: %+v", body)
+	}
+}
+
+// TestWatchdogCleanLog is the control: the same pipeline over the
+// pristine log must stay healthy and keep /healthz at 200.
+func TestWatchdogCleanLog(t *testing.T) {
+	data, _ := crashCorpusLog(t)
+
+	reg := obs.New()
+	rec := diag.NewRecorderObs(diag.DefaultCapacity, reg)
+	slo := diag.DefaultSLO()
+	slo.SustainPolls = 1
+	wd := diag.NewWatchdog(slo)
+
+	sess := NewStreamSession(nil, StreamOptions{Obs: reg, Diag: rec})
+	if err := sess.Feed(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	h := wd.Poll(rec, sess.Probe())
+	if h == nil || !h.OK() {
+		t.Fatalf("clean log failed the SLO: %+v", h)
+	}
+	if err := wd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), nil, wd.Health))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+}

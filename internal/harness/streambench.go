@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"literace/internal/core"
 	"literace/internal/hb"
 	"literace/internal/instrument"
 	"literace/internal/interp"
+	"literace/internal/obs/ledger"
 	"literace/internal/sampler"
 	"literace/internal/stream"
 	"literace/internal/trace"
@@ -218,4 +221,85 @@ func (s *StreamBenchSummary) WriteJSON(w io.Writer) error {
 	buf = append(buf, '\n')
 	_, err = w.Write(buf)
 	return err
+}
+
+// ReadStreamSummary loads a BENCH_stream.json artifact from disk.
+func ReadStreamSummary(path string) (*StreamBenchSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamBenchSummary{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	if s.Schema != StreamBenchSchema {
+		return nil, fmt.Errorf("harness: %s: schema %q, want %q", path, s.Schema, StreamBenchSchema)
+	}
+	return s, nil
+}
+
+// Drift tolerances for CompareStreamSummaries. The encoded trace embeds
+// wall-clock metadata in its checkpoint/trailer chunks (Meta.WallNanos),
+// so the byte length — and with it the chunk interleaving the merger
+// sees — can shift by a few bytes between otherwise identical runs.
+// Static race sets are byte-identical regardless, but the *dynamic*
+// overlap count at the margin moves by a handful of occurrences. The
+// baseline check therefore allows a small absolute slack on those two
+// fields and is exact on everything else.
+const (
+	// streamLogBytesSlack bounds how far the encoded trace length may
+	// drift (digit-width changes in embedded wall-clock metadata).
+	streamLogBytesSlack = 64
+	// streamRaceSlack bounds the dynamic-race-count wobble caused by
+	// shifted chunk boundaries.
+	streamRaceSlack = 16
+)
+
+// CompareStreamSummaries checks the deterministic fields of a fresh
+// stream sweep against a committed baseline: benchmark identity, event
+// counts, per-shard event distribution, and parity are exact; the trace
+// byte length and dynamic race counts get the small slacks documented
+// above. Machine-dependent fields (wall clocks, events/sec, CPU count,
+// stall and backpressure counters) are deliberately ignored. A mismatch
+// returns an error wrapping ledger.ErrDriftExceeded so callers map it
+// to the drift exit code.
+func CompareStreamSummaries(base, cur *StreamBenchSummary) error {
+	var drifts []string
+	chk := func(name string, a, b any) {
+		if !reflect.DeepEqual(a, b) {
+			drifts = append(drifts, fmt.Sprintf("%s: baseline %v, current %v", name, a, b))
+		}
+	}
+	near := func(name string, a, b, slack int64) {
+		if d := a - b; d > slack || d < -slack {
+			drifts = append(drifts, fmt.Sprintf("%s: baseline %v, current %v (slack %d)", name, a, b, slack))
+		}
+	}
+	chk("schema", base.Schema, cur.Schema)
+	chk("benchmark", base.Benchmark, cur.Benchmark)
+	chk("scale", base.Scale, cur.Scale)
+	chk("seed", base.Seed, cur.Seed)
+	near("log_bytes", int64(base.LogBytes), int64(cur.LogBytes), streamLogBytesSlack)
+	chk("mem_ops", base.MemOps, cur.MemOps)
+	chk("sync_ops", base.SyncOps, cur.SyncOps)
+	near("batch_races", int64(base.BatchRaces), int64(cur.BatchRaces), streamRaceSlack)
+	chk("parity", base.Parity, cur.Parity)
+	if len(base.Runs) != len(cur.Runs) {
+		drifts = append(drifts, fmt.Sprintf("runs: baseline %d, current %d", len(base.Runs), len(cur.Runs)))
+	} else {
+		for i := range base.Runs {
+			a, b := base.Runs[i], cur.Runs[i]
+			pre := fmt.Sprintf("runs[%d].", i)
+			chk(pre+"shards", a.Shards, b.Shards)
+			near(pre+"races", int64(a.Races), int64(b.Races), streamRaceSlack)
+			chk(pre+"unconfirmed", a.Unconfirmed, b.Unconfirmed)
+			chk(pre+"shard_events", a.ShardEvents, b.ShardEvents)
+			chk(pre+"parity", a.Parity, b.Parity)
+		}
+	}
+	if len(drifts) > 0 {
+		return fmt.Errorf("%w: stream bench drift: %s", ledger.ErrDriftExceeded, strings.Join(drifts, "; "))
+	}
+	return nil
 }

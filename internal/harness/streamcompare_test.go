@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"literace/internal/obs/ledger"
+)
+
+func sampleStreamSummary() *StreamBenchSummary {
+	return &StreamBenchSummary{
+		Schema: StreamBenchSchema, Benchmark: "apache-1", Scale: 1, Seed: 1,
+		NumCPU: 8, LogBytes: 1000, MemOps: 500, SyncOps: 50,
+		BatchRaces: 100, BatchWallNanos: 12345, Parity: true,
+		Runs: []StreamShardRun{
+			{Shards: 1, WallNanos: 999, EventsPerSec: 1e6, Races: 100,
+				ShardEvents: []uint64{500}, Parity: true, SpeedupVsOneShard: 1},
+		},
+	}
+}
+
+func TestCompareStreamSummaries(t *testing.T) {
+	base := sampleStreamSummary()
+	cur := sampleStreamSummary()
+	// Machine-dependent wobble must not trip the check.
+	cur.NumCPU = 1
+	cur.BatchWallNanos = 99999
+	cur.Runs[0].WallNanos = 1
+	cur.Runs[0].EventsPerSec = 42
+	cur.Runs[0].Stalls = 7
+	cur.Runs[0].Backpressure = 3
+	// Within-slack drift on the tolerant fields is fine too.
+	cur.LogBytes = base.LogBytes + streamLogBytesSlack
+	cur.BatchRaces = base.BatchRaces - streamRaceSlack
+	cur.Runs[0].Races = base.Runs[0].Races + streamRaceSlack
+	if err := CompareStreamSummaries(base, cur); err != nil {
+		t.Fatalf("tolerated drift rejected: %v", err)
+	}
+
+	cur = sampleStreamSummary()
+	cur.MemOps = 501
+	err := CompareStreamSummaries(base, cur)
+	if !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Fatalf("mem_ops drift: %v", err)
+	}
+	if !strings.Contains(err.Error(), "mem_ops") {
+		t.Errorf("drift error does not name the field: %v", err)
+	}
+
+	cur = sampleStreamSummary()
+	cur.Runs[0].Races = base.Runs[0].Races + streamRaceSlack + 1
+	if err := CompareStreamSummaries(base, cur); !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Fatalf("race drift past slack: %v", err)
+	}
+
+	cur = sampleStreamSummary()
+	cur.Runs[0].Parity = false
+	if err := CompareStreamSummaries(base, cur); !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Fatalf("parity drift: %v", err)
+	}
+}
+
+func TestReadStreamSummaryRoundTrip(t *testing.T) {
+	sum := sampleStreamSummary()
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadStreamSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareStreamSummaries(sum, got); err != nil {
+		t.Fatalf("round trip drifted: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStreamSummary(bad); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -30,9 +30,10 @@ type Merger struct {
 	byTID  map[int32]*mergeQueue
 	next   [trace.NumCounters]uint64
 
-	remaining int
-	delivered uint64
-	nStalls   uint64
+	remaining  int
+	backlogHWM int
+	delivered  uint64
+	nStalls    uint64
 
 	stalls, rounds, skips *obs.Counter
 }
@@ -114,10 +115,19 @@ func (m *Merger) Add(tid int32, evs []trace.Event, suspectFrom int) {
 	}
 	q.evs = append(q.evs, evs...)
 	m.remaining += len(evs)
+	if m.remaining > m.backlogHWM {
+		m.backlogHWM = m.remaining
+	}
 }
 
 // Backlog returns the number of buffered, not-yet-delivered events.
 func (m *Merger) Backlog() int { return m.remaining }
+
+// BacklogHighWater returns the largest backlog ever observed — the peak
+// number of events buffered waiting for an earlier timestamp. A high
+// watermark far above the steady-state backlog marks a reordering storm
+// (chunks arriving badly out of order) even after the merge drains.
+func (m *Merger) BacklogHighWater() int { return m.backlogHWM }
 
 // Delivered returns the number of events delivered so far.
 func (m *Merger) Delivered() uint64 { return m.delivered }

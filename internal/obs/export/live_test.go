@@ -1,0 +1,164 @@
+package export_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"literace"
+	"literace/internal/obs"
+	"literace/internal/obs/diag"
+	"literace/internal/obs/export"
+)
+
+const liveProg = `
+glob shared 1
+func touch 1 4 {
+    glob r1, shared
+    store r1, 0, r0
+    ret r0
+}
+func main 0 4 {
+    movi r0, 1
+    fork r1, touch, r0
+    call _, touch, r0
+    join r1
+    exit
+}
+`
+
+// TestConcurrentScrapeDuringLiveWatch drives the telemetry handler the
+// way `watch -serve -slo` does: scrapers hammer /metrics, /snapshot and
+// /healthz from several goroutines while the streaming session is still
+// being fed, with watchdog polls interleaved. Every response must be
+// well-formed, and the final report must match a quiet batch detect of
+// the same bytes (the parity contract survives concurrent observation).
+func TestConcurrentScrapeDuringLiveWatch(t *testing.T) {
+	p, err := literace.Assemble("live", liveProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.Run(literace.Config{Sampler: "Full", Seed: 2, LogTo: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	want, err := literace.Detect(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.New()
+	rec := diag.NewRecorderObs(diag.DefaultCapacity, reg)
+	wd := diag.NewWatchdog(diag.DefaultSLO())
+	sess := literace.NewStreamSession(nil, literace.StreamOptions{Obs: reg, Diag: rec})
+
+	var scrapes atomic.Uint64
+	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), &scrapes, wd.Health))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapeErr atomic.Value
+	for _, path := range []string{"/metrics", "/snapshot", "/healthz"} {
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						scrapeErr.Store(err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						scrapeErr.Store(err)
+						return
+					}
+					switch path {
+					case "/metrics":
+						if resp.StatusCode != http.StatusOK {
+							t.Errorf("/metrics status %d", resp.StatusCode)
+						}
+					case "/snapshot":
+						if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+							t.Errorf("/snapshot status %d, valid JSON %v", resp.StatusCode, json.Valid(body))
+						}
+					case "/healthz":
+						// 200 while healthy; 503 only under a sustained
+						// breach, which a clean log must never cause.
+						if resp.StatusCode != http.StatusOK {
+							t.Errorf("/healthz status %d on a clean log: %s", resp.StatusCode, body)
+						}
+					}
+				}
+			}(path)
+		}
+	}
+
+	const piece = 4 << 10
+	for off := 0; off < len(data); off += piece {
+		end := off + piece
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := sess.Feed(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		wd.Poll(rec, sess.Probe())
+	}
+	rep, _, err := sess.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Poll(rec, sess.Probe())
+
+	// Let the scrapers observe the finished state too, then stop them.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err, ok := scrapeErr.Load().(error); ok && err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.String() != want.String() {
+		t.Errorf("concurrent scraping perturbed the report:\nstream: %q\nbatch:  %q", rep.String(), want.String())
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrapes were counted")
+	}
+	if h := wd.Health(); h == nil || !h.OK() {
+		t.Fatalf("clean live watch ended unhealthy: %+v", h)
+	}
+
+	// One final /metrics pass must include the diag mirrors and the
+	// stream gauges the live pipeline maintains.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"stream_events_per_sec", "diag_stage_ns"} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("final /metrics missing %s", metric)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"literace/internal/obs"
+	"literace/internal/obs/diag"
 )
 
 // Server is the embedded telemetry endpoint: a plain net/http server over
@@ -22,7 +23,8 @@ import (
 //
 //	/metrics        Prometheus text format (WriteProm of a fresh snapshot)
 //	/snapshot       the stable JSON snapshot (obs.Snapshot.MarshalStable)
-//	/healthz        liveness: {"status":"ok","uptime_seconds":...,"scrapes":N}
+//	/healthz        health: a scored diag.Health report when a health
+//	                source is wired (watch -slo), else a liveness ping
 //	/debug/pprof/*  the standard pprof handlers
 //
 // Mid-run freshness comes from two sides: hot-path instruments (burst
@@ -41,8 +43,12 @@ type Server struct {
 
 // NewHandler builds the telemetry mux over reg without binding a socket;
 // Serve uses it, and tests drive it through net/http/httptest. scrapes
-// may be nil.
-func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64) http.Handler {
+// may be nil. health, when non-nil, upgrades /healthz from a liveness
+// ping to a scored report: the latest diag.Health is embedded in the
+// response, and a sustained SLO breach answers 503 so load balancers
+// and probes see the state without parsing the body. A nil report from
+// health (no poll yet) falls back to the liveness shape.
+func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, health func() *diag.Health) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if scrapes != nil {
@@ -69,11 +75,24 @@ func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64) http
 		if scrapes != nil {
 			n = scrapes.Load()
 		}
-		_ = json.NewEncoder(w).Encode(map[string]any{
+		body := map[string]any{
 			"status":         "ok",
 			"uptime_seconds": time.Since(start).Seconds(),
 			"scrapes":        n,
-		})
+		}
+		if health != nil {
+			if h := health(); h != nil {
+				body["status"] = h.Status
+				body["score"] = h.Score
+				body["checks"] = h.Checks
+				body["sustained"] = h.Sustained
+				body["polls"] = h.Polls
+				if h.Sustained {
+					w.WriteHeader(http.StatusServiceUnavailable)
+				}
+			}
+		}
+		_ = json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -84,8 +103,15 @@ func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64) http
 }
 
 // Serve binds addr (":0" picks a free port) and serves reg's telemetry in
-// a background goroutine until Close.
+// a background goroutine until Close. /healthz stays a liveness ping;
+// use ServeHealth to wire a scored health source.
 func Serve(addr string, reg *obs.Registry) (*Server, error) {
+	return ServeHealth(addr, reg, nil)
+}
+
+// ServeHealth is Serve with a health source for /healthz (see
+// NewHandler); health may be nil.
+func ServeHealth(addr string, reg *obs.Registry, health func() *diag.Health) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("export: Serve needs a registry")
 	}
@@ -99,7 +125,7 @@ func Serve(addr string, reg *obs.Registry) (*Server, error) {
 		start: time.Now(),
 		done:  make(chan error, 1),
 	}
-	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes)}
+	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes, health)}
 	go func() { s.done <- s.srv.Serve(lis) }()
 	return s, nil
 }

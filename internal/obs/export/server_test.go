@@ -23,7 +23,7 @@ func TestServerRoundTrip(t *testing.T) {
 	reg.Histogram("core.burst_length").Observe(3)
 
 	var scrapes atomic.Uint64
-	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes))
+	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes, nil))
 	defer ts.Close()
 
 	get := func(path string) (string, string) {

@@ -24,6 +24,7 @@ import (
 
 	"literace/internal/hb"
 	"literace/internal/lir"
+	"literace/internal/obs/diag"
 	"literace/internal/trace"
 )
 
@@ -43,6 +44,13 @@ type Options struct {
 	// Resolve, when non-nil, maps original function indices to names in
 	// PC annotations (pass Program.FuncName); nil leaves raw indices.
 	Resolve func(int32) string
+	// FlightRecorder, when non-empty, adds a second process group of
+	// tracks rendering the pipeline flight recorder (diag.Recorder
+	// snapshot): one track per stage with wall-clock spans, plus an
+	// anomaly track with instant markers. Its time axis is wall
+	// nanoseconds since the recorder epoch (scaled to µs), not the
+	// virtual instruction clock of the replay tracks.
+	FlightRecorder []diag.Event
 }
 
 // pcName renders a PC with the optional function-name resolver.
@@ -68,6 +76,10 @@ type Stats struct {
 	Checkpoints  int    `json:"checkpoints"`
 	Salvaged     bool   `json:"salvaged"` // salvage decoding was used
 	Degraded     bool   `json:"degraded"` // orderings were weakened
+	// Flight-recorder track contents (zero unless Options.FlightRecorder
+	// was provided).
+	FlightSpans     int `json:"flight_spans"`
+	FlightAnomalies int `json:"flight_anomalies"`
 }
 
 // tev is one Chrome trace-event record.
@@ -211,6 +223,7 @@ func Build(data []byte, opts Options) ([]byte, *Stats, error) {
 		}
 	}
 	emitRecorderTrack(data, log, perThread, ts, maxTS, stats, emit)
+	emitFlightRecorder(opts.FlightRecorder, stats, emit)
 
 	stats.Events = len(evs)
 	out := map[string]any{
@@ -484,6 +497,55 @@ func emitRecorderTrack(data []byte, log *trace.Log, perThread map[int32][]int, t
 			TS: at, PID: pid, TID: ptid(tid),
 			Args: map[string]any{"suspect_from": idx}})
 		stats.Degraded = true
+	}
+}
+
+// Flight-recorder track layout: a second Perfetto process holding one
+// track per pipeline stage plus an anomaly track. Its time base is wall
+// nanoseconds since the diag.Recorder epoch, so it scrubs alongside the
+// replay tracks but measures real pipeline latency, not virtual time.
+const (
+	flightPID        = 2
+	flightAnomalyTID = 0
+)
+
+// emitFlightRecorder renders a diag snapshot as the pipeline process:
+// stage spans become X slices on per-stage tracks, anomalies become
+// instant markers with their magnitude and virtual clock attached.
+func emitFlightRecorder(events []diag.Event, stats *Stats, emit func(tev)) {
+	if len(events) == 0 {
+		return
+	}
+	emit(tev{Name: "process_name", Ph: "M", PID: flightPID, TID: flightAnomalyTID,
+		Args: map[string]any{"name": "detection pipeline (flight recorder)"}})
+	emit(tev{Name: "thread_name", Ph: "M", PID: flightPID, TID: flightAnomalyTID,
+		Args: map[string]any{"name": "anomalies"}})
+	named := map[int]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case diag.KindSpan:
+			tid := int(e.Stage) + 1
+			if !named[tid] {
+				named[tid] = true
+				emit(tev{Name: "thread_name", Ph: "M", PID: flightPID, TID: tid,
+					Args: map[string]any{"name": "stage " + e.Stage.String()}})
+			}
+			emit(tev{Name: e.Stage.String(), Cat: "flight", Ph: "X",
+				TS: e.Wall / 1000, Dur: max64(e.WallDur/1000, 1),
+				PID: flightPID, TID: tid,
+				Args: map[string]any{
+					"producer": e.TID, "items": e.Items, "vclock": e.VClock,
+					"wall_dur_ns": e.WallDur,
+				}})
+			stats.FlightSpans++
+		case diag.KindAnomaly:
+			emit(tev{Name: e.Anomaly.String(), Cat: "flight", Ph: "i", Scope: "p",
+				TS: e.Wall / 1000, PID: flightPID, TID: flightAnomalyTID,
+				Args: map[string]any{
+					"producer": e.TID, "magnitude": e.Items, "vclock": e.VClock,
+				}})
+			stats.FlightAnomalies++
+		}
 	}
 }
 

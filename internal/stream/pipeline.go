@@ -22,6 +22,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,7 @@ import (
 
 	"literace/internal/hb"
 	"literace/internal/obs"
+	"literace/internal/obs/diag"
 	"literace/internal/trace"
 )
 
@@ -50,6 +52,15 @@ type Options struct {
 	// literace_stream_* families; see docs/OBSERVABILITY.md) alongside
 	// the usual replay and detection counters.
 	Obs *obs.Registry
+	// Diag, when non-nil, is the flight recorder: every stage records
+	// spans (decode, deliver, clock, dispatch, detect) and every
+	// anomaly (CRC failure, seq gap, resync, backpressure, backlog
+	// high-watermark, degrade transition) leaves a structured record.
+	// Nil disables recording at zero cost.
+	Diag *diag.Recorder
+	// Log, when non-nil, receives structured warnings for pipeline
+	// anomalies (slog; the stream subsystem logger). Nil disables.
+	Log *slog.Logger
 	// OnRace, when non-nil, is invoked for each dynamic race as a shard
 	// finds it. Calls are serialized but arrive in discovery order, which
 	// under sharding is not replay order; Result.Races is the canonical
@@ -136,12 +147,37 @@ type Pipeline struct {
 	finRes   *Result
 	finErr   error
 
+	// Flight recorder + structured log (both may be nil).
+	rec *diag.Recorder
+	log *slog.Logger
+
+	// Anomaly delta tracking: the decoder's SalvageReport counters are
+	// cumulative, so each Feed diffs them to turn increases into
+	// flight-recorder anomaly records.
+	prevCRC     int
+	prevGaps    uint64
+	prevDropped int64 // bytes
+	prevChunks  int   // chunks dropped
+	hwmRecorded int   // last backlog HWM recorded as an anomaly
+
+	// Clock-engine accumulators for the current chunk (valid only while
+	// rec != nil): wall nanoseconds and ops spent in sync-event clock
+	// updates, flushed as one StageClockEngine span per chunk.
+	clkNs  int64
+	clkOps uint64
+
+	// Live events_per_sec window (fixes the gauge staleness: the rate is
+	// refreshed during Feed and decays to zero when Idle is called).
+	rateAt        time.Time
+	rateDelivered uint64
+
 	// Telemetry; nil-safe when opts.Obs is nil.
 	obsBytes    *obs.Counter // stream.bytes
 	obsEvents   *obs.Counter // stream.events
 	obsDispatch *obs.Counter // stream.mem_dispatched
 	obsBackpres *obs.Counter // stream.backpressure
 	obsBacklog  *obs.Gauge   // stream.backlog_depth
+	obsHWM      *obs.Gauge   // stream.backlog_hwm
 	obsStalls   *obs.Gauge   // stream.reorder_stalls
 	obsEPS      *obs.Gauge   // stream.events_per_sec
 	obsJoins    *obs.Counter // hb.vc_joins
@@ -176,7 +212,10 @@ func New(opts Options) *Pipeline {
 		pending: make([][]memAccess, opts.Shards),
 		done:    make(chan struct{}, opts.Shards),
 		start:   time.Now(),
+		rec:     opts.Diag,
+		log:     opts.Log,
 	}
+	p.rateAt = p.start
 	p.degradeOrd.Store(^uint64(0))
 	if reg := opts.Obs; reg != nil {
 		p.obsBytes = reg.Counter("stream.bytes")
@@ -184,6 +223,7 @@ func New(opts Options) *Pipeline {
 		p.obsDispatch = reg.Counter("stream.mem_dispatched")
 		p.obsBackpres = reg.Counter("stream.backpressure")
 		p.obsBacklog = reg.Gauge("stream.backlog_depth")
+		p.obsHWM = reg.Gauge("stream.backlog_hwm")
 		p.obsStalls = reg.Gauge("stream.reorder_stalls")
 		p.obsEPS = reg.Gauge("stream.events_per_sec")
 		p.obsJoins = reg.Counter("hb.vc_joins")
@@ -207,6 +247,7 @@ func New(opts Options) *Pipeline {
 			degradeOrd: &p.degradeOrd,
 			onRace:     onRace,
 			evCnt:      opts.Obs.Counter(fmt.Sprintf("%s%d", ShardEventsCounterPrefix, i)),
+			rec:        opts.Diag,
 		}
 		p.shards = append(p.shards, s)
 		go s.run(p.done)
@@ -229,6 +270,11 @@ func (p *Pipeline) onDegrade() {
 		p.degraded = true
 		p.res.Degraded = true
 		p.degradeOrd.Store(p.ordinal)
+		p.rec.Anomaly(diag.AnomDegradeTransition, -1, p.ordinal, p.m.Delivered())
+		if p.log != nil {
+			p.log.Warn("merge degraded: races from here on are unconfirmed",
+				"ordinal", p.ordinal, "delivered", p.m.Delivered())
+		}
 	}
 }
 
@@ -240,17 +286,53 @@ func (p *Pipeline) onChunk(tid int32, evs []trace.Event, suspect bool) {
 	if suspect {
 		sf = 0
 	}
+	var t0 time.Time
+	var d0 uint64
+	if p.rec != nil {
+		t0 = time.Now()
+		d0 = p.m.Delivered()
+		p.clkNs, p.clkOps = 0, 0
+	}
 	p.m.Add(tid, evs, sf)
 	// handle never fails, and degraded-mode pumping has no other errors.
 	_ = p.m.Pump(p.handle)
 	p.obsBacklog.Set(float64(p.m.Backlog()))
+	p.obsHWM.Set(float64(p.m.BacklogHighWater()))
+	if p.rec != nil {
+		delivered := p.m.Delivered()
+		p.rec.Span(diag.StageMergerDeliver, tid, t0, time.Since(t0), delivered, delivered-d0)
+		if p.clkOps > 0 {
+			p.rec.Span(diag.StageClockEngine, tid, t0, time.Duration(p.clkNs), delivered, p.clkOps)
+		}
+		// A new backlog high watermark at least double the last recorded
+		// one (and past a floor) is worth an anomaly record: the merge is
+		// buffering badly out-of-order arrivals.
+		if hwm := p.m.BacklogHighWater(); hwm >= backlogHWMFloor && hwm >= 2*p.hwmRecorded {
+			p.hwmRecorded = hwm
+			p.rec.Anomaly(diag.AnomBacklogHighWater, tid, uint64(hwm), delivered)
+			if p.log != nil {
+				p.log.Warn("merge backlog high watermark", "events", hwm)
+			}
+		}
+	}
 }
+
+// backlogHWMFloor is the backlog (events) below which high-watermark
+// growth is considered routine and not worth an anomaly record.
+const backlogHWMFloor = 1024
 
 // handle is the clock engine: the synchronization half of hb.Detector,
 // run single-threaded in merge order, plus the fan-out of sampled memory
 // accesses to shards.
 func (p *Pipeline) handle(e trace.Event) error {
 	p.obsEvents.Inc()
+	// Accumulate clock-engine wall time per chunk when the flight
+	// recorder is on (one span per chunk, flushed by onChunk).
+	var clkT0 time.Time
+	clkTimed := p.rec != nil && e.Kind.IsSync()
+	if clkTimed {
+		clkT0 = time.Now()
+	}
 	switch e.Kind {
 	case trace.KindAcquire:
 		p.res.SyncOps++
@@ -310,6 +392,10 @@ func (p *Pipeline) handle(e trace.Event) error {
 			p.flush(i)
 		}
 	}
+	if clkTimed {
+		p.clkNs += time.Since(clkT0).Nanoseconds()
+		p.clkOps++
+	}
 	return nil
 }
 
@@ -336,13 +422,26 @@ func (p *Pipeline) flush(i int) {
 		return
 	}
 	p.pending[i] = nil
+	var t0 time.Time
+	if p.rec != nil {
+		t0 = time.Now()
+	}
 	select {
 	case p.shards[i].ch <- b:
 	default:
 		// Inbox full: the shard is behind and the clock engine blocks.
 		p.backpres++
 		p.obsBackpres.Inc()
+		p.rec.Anomaly(diag.AnomBackpressure, int32(i), uint64(len(b)), p.ordinal)
+		if p.log != nil {
+			p.log.Debug("shard inbox full; clock engine blocked", "shard", i, "batch", len(b))
+		}
 		p.shards[i].ch <- b
+	}
+	if p.rec != nil {
+		// The span covers the channel send, so a backpressure wait shows
+		// up as dispatch latency on this shard's track.
+		p.rec.Span(diag.StageShardDispatch, int32(i), t0, time.Since(t0), p.ordinal, uint64(len(b)))
 	}
 }
 
@@ -362,11 +461,85 @@ func (p *Pipeline) Feed(b []byte) error {
 		return errors.New("stream: feed after finish")
 	}
 	p.obsBytes.Add(uint64(len(b)))
+	var t0 time.Time
+	if p.rec != nil {
+		t0 = time.Now()
+	}
 	err := p.dec.Feed(b)
+	if p.rec != nil {
+		p.rec.Span(diag.StageChunkDecode, -1, t0, time.Since(t0), p.m.Delivered(), uint64(len(b)))
+		p.recordSalvageAnomalies()
+	}
 	// Keep watch-style consumers current even when batches are small.
 	p.flushAll()
 	p.obsStalls.Set(float64(p.m.Stalls()))
+	p.updateRate()
 	return err
+}
+
+// recordSalvageAnomalies diffs the decoder's cumulative salvage
+// accounting against the last reading and turns every increase into a
+// flight-recorder anomaly record (and a structured warning).
+func (p *Pipeline) recordSalvageAnomalies() {
+	rep := p.dec.Report()
+	vclk := p.m.Delivered()
+	if d := rep.CRCFailures - p.prevCRC; d > 0 {
+		p.prevCRC = rep.CRCFailures
+		p.rec.Anomaly(diag.AnomCRCFailure, -1, uint64(d), vclk)
+		if p.log != nil {
+			p.log.Warn("chunk CRC failure; chunk dropped", "count", d, "total", rep.CRCFailures)
+		}
+	}
+	if d := rep.SeqGaps - p.prevGaps; d > 0 {
+		p.prevGaps = rep.SeqGaps
+		p.rec.Anomaly(diag.AnomSeqGap, -1, d, vclk)
+		if p.log != nil {
+			p.log.Warn("chunk sequence gap; events lost", "slots", d, "total", rep.SeqGaps)
+		}
+	}
+	// A resynchronization shows up as dropped bytes (the scan discards
+	// them) or dropped chunks; record the byte magnitude.
+	if d := rep.BytesDropped - p.prevDropped; d > 0 {
+		p.prevDropped = rep.BytesDropped
+		p.rec.Anomaly(diag.AnomMarkerResync, -1, uint64(d), vclk)
+		if p.log != nil {
+			p.log.Warn("resynchronized past damaged bytes", "bytes", d, "total", rep.BytesDropped)
+		}
+	} else if d := rep.ChunksDropped - p.prevChunks; d > 0 {
+		if p.log != nil {
+			p.log.Warn("chunk dropped", "count", d, "total", rep.ChunksDropped)
+		}
+	}
+	p.prevChunks = rep.ChunksDropped
+}
+
+// rateWindow is the minimum interval between events_per_sec gauge
+// refreshes during Feed.
+const rateWindow = 100 * time.Millisecond
+
+// updateRate refreshes the stream.events_per_sec gauge with the
+// delivery rate over the window since the last refresh, so the gauge
+// tracks the live rate instead of holding stale values.
+func (p *Pipeline) updateRate() {
+	now := time.Now()
+	el := now.Sub(p.rateAt)
+	if el < rateWindow {
+		return
+	}
+	delivered := p.m.Delivered()
+	p.obsEPS.Set(float64(delivered-p.rateDelivered) / el.Seconds())
+	p.rateAt, p.rateDelivered = now, delivered
+}
+
+// Idle tells the pipeline the input tail has gone idle (a poll interval
+// passed with no growth): the events_per_sec gauge decays to zero
+// immediately instead of advertising the last burst's rate forever.
+func (p *Pipeline) Idle() {
+	if p.finished {
+		return
+	}
+	p.obsEPS.Set(0)
+	p.rateAt, p.rateDelivered = time.Now(), p.m.Delivered()
 }
 
 // Complete reports whether the log's metadata trailer has been decoded —
@@ -376,6 +549,15 @@ func (p *Pipeline) Complete() bool { return p.dec.Complete() }
 // Backlog returns the number of decoded events buffered in the merge
 // waiting for an earlier timestamp to arrive.
 func (p *Pipeline) Backlog() int { return p.m.Backlog() }
+
+// BacklogHighWater returns the largest merge backlog ever observed.
+func (p *Pipeline) BacklogHighWater() int { return p.m.BacklogHighWater() }
+
+// Probe returns the live readings the SLO watchdog evaluates. Call it
+// from the feeding goroutine, like Feed.
+func (p *Pipeline) Probe() diag.Probe {
+	return diag.Probe{Backlog: p.m.Backlog(), BacklogHighWater: p.m.BacklogHighWater()}
+}
 
 // Finish declares the input over: the decoder applies its end-of-input
 // rules to any torn tail, the merge drains (fast-forwarding stuck
@@ -388,6 +570,10 @@ func (p *Pipeline) Finish() (*Result, error) {
 	p.finished = true
 	srep, derr := p.dec.Finish()
 	if derr == nil {
+		if p.rec != nil {
+			// The end-of-input rules may drop a torn tail; account it.
+			p.recordSalvageAnomalies()
+		}
 		_ = p.m.Finish(p.handle)
 	}
 	p.flushAll()
@@ -442,6 +628,7 @@ func (p *Pipeline) Finish() (*Result, error) {
 		res.EventsPerSec = float64(p.m.Delivered()) / sec
 	}
 	p.obsBacklog.Set(float64(p.m.Backlog()))
+	p.obsHWM.Set(float64(p.m.BacklogHighWater()))
 	p.obsStalls.Set(float64(p.m.Stalls()))
 	p.obsEPS.Set(res.EventsPerSec)
 	if reg := p.opts.Obs; reg != nil {

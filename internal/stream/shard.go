@@ -1,10 +1,13 @@
 package stream
 
 import (
+	"sync/atomic"
+	"time"
+
 	"literace/internal/hb"
 	"literace/internal/lir"
 	"literace/internal/obs"
-	"sync/atomic"
+	"literace/internal/obs/diag"
 )
 
 // memAccess is one sampled memory event as dispatched to a shard: the
@@ -61,15 +64,24 @@ type shard struct {
 	degradeOrd *atomic.Uint64
 	onRace     func(hb.DynamicRace) // serialized by the pipeline; may be nil
 	evCnt      *obs.Counter         // stream.shard_events.<idx>
+	rec        *diag.Recorder       // flight recorder; may be nil
 }
 
 func (s *shard) run(done chan<- struct{}) {
 	for batch := range s.ch {
+		var t0 time.Time
+		if s.rec != nil {
+			t0 = time.Now()
+		}
 		for _, a := range batch {
 			s.access(a)
 		}
 		s.events += uint64(len(batch))
 		s.evCnt.Add(uint64(len(batch)))
+		if s.rec != nil {
+			s.rec.Span(diag.StageShardDetect, int32(s.idx), t0, time.Since(t0),
+				batch[len(batch)-1].ord, uint64(len(batch)))
+		}
 	}
 	done <- struct{}{}
 }

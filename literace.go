@@ -25,7 +25,9 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
+	"time"
 
 	"literace/internal/asm"
 	"literace/internal/core"
@@ -35,6 +37,7 @@ import (
 	"literace/internal/lir"
 	"literace/internal/obs"
 	"literace/internal/obs/coverprof"
+	"literace/internal/obs/diag"
 	"literace/internal/race"
 	"literace/internal/sampler"
 	"literace/internal/stream"
@@ -140,6 +143,14 @@ type Config struct {
 	// pipeline records phase spans. Nil (the default) disables telemetry
 	// at zero per-event cost. See docs/OBSERVABILITY.md.
 	Obs *obs.Registry
+	// Diag, when non-nil, is the flight recorder: the interpreter's
+	// periodic live hook records run-live heartbeat spans (wall time
+	// against the virtual instruction clock) into it. Nil (the default)
+	// disables recording at zero cost. See docs/OBSERVABILITY.md.
+	Diag *diag.Recorder
+	// Log, when non-nil, receives structured diagnostics (log/slog).
+	// Nil keeps the pipeline silent.
+	Log *slog.Logger
 }
 
 // RunResult summarizes an execution.
@@ -218,14 +229,25 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	iOpts := interp.Options{
 		Seed: cfg.Seed, Runtime: rt, MaxInstrs: cfg.MaxInstrs, Obs: cfg.Obs,
 	}
-	if cfg.Obs != nil {
+	if cfg.Obs != nil || cfg.Diag != nil {
 		// Periodically fold thread-local counters and refresh the live ESR
 		// gauges so a telemetry scrape mid-run (literace run -serve) sees
 		// current sampler state. The hook runs on the interpreter's
-		// goroutine, which owns all ThreadState.
+		// goroutine, which owns all ThreadState. With a flight recorder
+		// attached, each firing also leaves a run-live heartbeat span:
+		// wall time between hooks against the virtual instruction clock,
+		// so a post-mortem can see where execution slowed or stopped.
+		lastLive := time.Now()
 		iOpts.OnLive = func(l interp.LiveStats) {
-			rt.FlushLiveStats()
-			rt.PublishESR(l.MemOps)
+			if cfg.Obs != nil {
+				rt.FlushLiveStats()
+				rt.PublishESR(l.MemOps)
+			}
+			if cfg.Diag != nil {
+				now := time.Now()
+				cfg.Diag.Span(diag.StageRunLive, -1, lastLive, now.Sub(lastLive), l.Instrs, l.MemOps)
+				lastLive = now
+			}
 		}
 	}
 	mach, err := interp.New(p.mod, iOpts)
@@ -245,6 +267,9 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 		// so what was logged stays salvageable instead of silently
 		// dropped in the thread buffers.
 		_ = w.Close(meta)
+		if cfg.Log != nil {
+			cfg.Log.Error("run failed; partial trace flushed", "err", runErr)
+		}
 		return nil, fmt.Errorf("literace: run failed: %w (partial trace flushed)", runErr)
 	}
 	if err := w.Close(meta); err != nil {
@@ -514,6 +539,13 @@ type StreamOptions struct {
 	// Obs, when non-nil, receives live pipeline telemetry (the
 	// literace_stream_* metric families).
 	Obs *obs.Registry
+	// Diag, when non-nil, is the flight recorder: every pipeline stage
+	// records spans and every anomaly (CRC failure, sequence gap,
+	// resync, backpressure, backlog high-watermark, degrade transition)
+	// leaves a structured record for post-mortem inspection.
+	Diag *diag.Recorder
+	// Log, when non-nil, receives structured pipeline warnings (slog).
+	Log *slog.Logger
 	// OnRace, when non-nil, is invoked as each dynamic race is found —
 	// in discovery order, which under sharding is not replay order. The
 	// final Report is the canonical deduplicated view.
@@ -538,6 +570,8 @@ func NewStreamSession(resolve func(int32) string, opts StreamOptions) *StreamSes
 		Shards:     opts.Shards,
 		SamplerBit: hb.AllEvents,
 		Obs:        opts.Obs,
+		Diag:       opts.Diag,
+		Log:        opts.Log,
 	}
 	if opts.OnRace != nil {
 		name := func(pc lir.PC) string { return fmt.Sprintf("fn%d:%d", pc.Func, pc.Index) }
@@ -571,6 +605,18 @@ func (s *StreamSession) Complete() bool { return s.p.Complete() }
 // Backlog returns the number of decoded events buffered waiting for an
 // earlier timestamp to arrive.
 func (s *StreamSession) Backlog() int { return s.p.Backlog() }
+
+// BacklogHighWater returns the largest backlog ever observed.
+func (s *StreamSession) BacklogHighWater() int { return s.p.BacklogHighWater() }
+
+// Idle tells the session the input tail has gone idle (a poll interval
+// passed without growth): the live stream.events_per_sec gauge decays
+// to zero instead of holding the last burst's rate.
+func (s *StreamSession) Idle() { s.p.Idle() }
+
+// Probe returns the live readings a diag.SLO evaluates (merge backlog
+// and its high watermark). Call it from the feeding goroutine.
+func (s *StreamSession) Probe() diag.Probe { return s.p.Probe() }
 
 // Finish declares the input over and returns the final Report — equal to
 // a batch DetectSalvaged over the same bytes — plus the pipeline result
