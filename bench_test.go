@@ -1,4 +1,7 @@
-package literace
+// External test package: harness (via the collector bench) links the
+// root package, so an in-package test file here would form an import
+// cycle.
+package literace_test
 
 // Benchmarks regenerating every table and figure of the paper's evaluation
 // (run with `go test -bench=. -benchmem`), plus micro-benchmarks for the

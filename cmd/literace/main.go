@@ -16,6 +16,8 @@
 //	literace report  <prog.lir>              run + detect in one step
 //	literace bench   [-list | key]           run a built-in benchmark program
 //	literace stats   <prog.lir>              run the pipeline, print telemetry
+//	literace serve-collector                 fleet ingestion service for shipped logs
+//	literace ship    <out.trc> -to ADDR -producer NAME  stream a log to a collector
 //
 // Shared flags for run/report: -sampler NAME (default TL-Ad), -seed N.
 // run and detect accept -metrics <file> to write a JSON telemetry
@@ -88,6 +90,10 @@ func main() {
 		err = cmdBench(args)
 	case "stats":
 		err = cmdStats(args)
+	case "serve-collector":
+		err = cmdServeCollector(args)
+	case "ship":
+		err = cmdShip(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -108,14 +114,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|watch|fsck|dump|timeline|diag|report|bench|stats> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|watch|fsck|dump|timeline|diag|report|bench|stats|serve-collector|ship> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
   run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-report-out f] [-ledger dir] [-cpuprofile f] [-memprofile f]
   detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f] [-report-out f] [-ledger dir]
   watch   <log.trc> [-src prog.lir] [-shards N] [-poll d] [-idle d] [-quiet] [-serve ADDR] [-metrics f]
-          [-slo] [-slo-sustain N] [-slo-max-lag N] [-slo-max-stage-ms N] [-slo-max-crc N] [-slo-max-gaps N]
+          [-forward ADDR [-producer NAME]] [-slo] [-slo-sustain N] [-slo-max-lag N] [-slo-max-stage-ms N] [-slo-max-crc N] [-slo-max-gaps N]
           online detection over a live or completed log: races stream to stderr as found,
           the final report (identical to detect's) prints when the log completes or goes idle;
           -slo arms the health watchdog (exit 4 on sustained breach)
@@ -130,10 +136,20 @@ func usage() {
   report  show     [-ledger dir] [-json] <id>        print one ledger report
   report  compare  [-ledger dir] [-strict] [-json] <A> <B>   drift between two reports (exit 3 past thresholds)
   bench   [-list | key] [-serve ADDR] [-overhead-out f]
-          [-stream-out f [-stream-bench key] [-stream-baseline f]]  run benchmarks (see -list; exit 3 on baseline drift)
+          [-stream-out f [-stream-bench key] [-stream-baseline f]]
+          [-collector-out f [-collector-producers N] [-collector-baseline f]]  run benchmarks (see -list; exit 3 on baseline drift)
   stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry + coverage report
+  serve-collector [-listen ADDR] [-serve ADDR] [-out dir] [-ledger dir] [-addr-file f] [-src prog.lir]
+          [-done-after N] [-done-timeout d] [-resume-grace d] [-idle-timeout d] [-max-sessions N] [-max-reorder N]
+          [-slo] [-slo-sustain N] [-slo-max-lag N] [-slo-max-crc N] [-slo-max-gaps N] [-slo-max-shed N] [-slo-max-disconnects N]
+          fleet ingestion: accept shipped logs from many producers, run detection per producer,
+          print the deduplicated fleet race report on shutdown (exit 4 on sustained SLO breach)
+  ship    <log.trc> -to ADDR -producer NAME [-module M] [-frame N] [-attempts N] [-throttle d] [-quiet]
+          stream a log to a collector with retry and resume; prints the collector's report
+          (byte-identical to detect's on a healthy link)
 Commands that log diagnostics accept -log-format text|json and -log-level debug|info|warn|error
-(structured slog lines on stderr; stdout carries only the command's data output).`)
+(structured slog lines on stderr; stdout carries only the command's data output).
+Exit codes: 0 ok, 1 error, 2 usage, 3 baseline/report drift, 4 sustained SLO breach (see docs/OBSERVABILITY.md).`)
 }
 
 func loadProgram(path string) (*literace.Program, error) {
@@ -702,6 +718,9 @@ func cmdBench(args []string) error {
 	streamOut := fs.String("stream-out", "", "run the streaming-vs-batch shard sweep and write the BENCH_stream.json artifact here")
 	streamBench := fs.String("stream-bench", "apache-1", "benchmark the -stream-out sweep traces")
 	streamBaseline := fs.String("stream-baseline", "", "compare the -stream-out artifact against this committed baseline (exit 3 on drift)")
+	collectorOut := fs.String("collector-out", "", "run the fleet collector parity sweep and write the BENCH_collector.json artifact here")
+	collectorProducers := fs.Int("collector-producers", 0, "concurrent producers in the -collector-out sweep (0 = default)")
+	collectorBaseline := fs.String("collector-baseline", "", "compare the -collector-out artifact against this committed baseline (exit 3 on drift)")
 	lcfg := addLogFlags(fs)
 	fs.Parse(args)
 	log, err := lcfg.logger("bench")
@@ -780,6 +799,45 @@ func cmdBench(args []string) error {
 				return fmt.Errorf("stream baseline %s: %w", *streamBaseline, err)
 			}
 			log.Info("stream artifact matches baseline", "baseline", *streamBaseline)
+		}
+		return nil
+	}
+	if *collectorOut != "" {
+		cfg := harness.Config{
+			Seeds: []int64{*seed},
+			Scale: *scale,
+			Obs:   reg,
+			Logf:  logf,
+		}
+		sum, err := harness.BuildCollectorBenchSummary(cfg, *collectorProducers)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*collectorOut)
+		if err != nil {
+			return err
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d producers, %d fleet races (%d confirmed), parity %v (schema %s, scale %d)\n",
+			*collectorOut, len(sum.Producers), sum.FleetRaces, sum.FleetConfirmed, sum.Parity, sum.Schema, sum.Scale)
+		if !sum.Parity {
+			return fmt.Errorf("collector reports lost parity with offline detection (see %s)", *collectorOut)
+		}
+		if *collectorBaseline != "" {
+			base, err := harness.ReadCollectorSummary(*collectorBaseline)
+			if err != nil {
+				return err
+			}
+			if err := harness.CompareCollectorSummaries(base, sum); err != nil {
+				return fmt.Errorf("collector baseline %s: %w", *collectorBaseline, err)
+			}
+			log.Info("collector artifact matches baseline", "baseline", *collectorBaseline)
 		}
 		return nil
 	}

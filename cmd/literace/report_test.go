@@ -16,8 +16,9 @@ import (
 func runReportOut(t *testing.T, prog string, seed string) []byte {
 	t.Helper()
 	out := filepath.Join(t.TempDir(), "report.json")
+	logPath := filepath.Join(t.TempDir(), "run.trc")
 	_, err := capture(t, func() error {
-		return cmdRun([]string{"-sampler", "TL-Ad", "-seed", seed, "-report-out", out, prog})
+		return cmdRun([]string{"-sampler", "TL-Ad", "-seed", seed, "-log", logPath, "-report-out", out, prog})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,8 +62,9 @@ func TestLedgerLsShowCompare(t *testing.T) {
 	prog := writeProg(t)
 	dir := filepath.Join(t.TempDir(), "ledger")
 	for _, seed := range []string{"1", "2"} {
+		logPath := filepath.Join(t.TempDir(), "run"+seed+".trc")
 		if _, err := capture(t, func() error {
-			return cmdRun([]string{"-sampler", "Full", "-seed", seed, "-ledger", dir, prog})
+			return cmdRun([]string{"-sampler", "Full", "-seed", seed, "-log", logPath, "-ledger", dir, prog})
 		}); err != nil {
 			t.Fatal(err)
 		}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"literace"
+	"literace/internal/collector"
 	"literace/internal/obs"
 	"literace/internal/obs/diag"
 )
@@ -33,6 +35,8 @@ func cmdWatch(args []string) error {
 	poll := fs.Duration("poll", 200*time.Millisecond, "how often to re-check a quiet file for growth")
 	idle := fs.Duration("idle", 2*time.Second, "give up waiting once the file has not grown for this long (the torn tail is then analyzed under salvage rules)")
 	quiet := fs.Bool("quiet", false, "suppress incremental per-race output")
+	forward := fs.String("forward", "", "also forward the log bytes to a fleet collector at this address (best-effort; local detection stays authoritative)")
+	forwardName := fs.String("producer", "", "producer name for -forward (default: the log file name)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address while watching")
 	slo := fs.Bool("slo", false, "arm the SLO watchdog: exit 4 when a health check breaches for -slo-sustain consecutive polls")
@@ -135,6 +139,29 @@ func cmdWatch(args []string) error {
 	}
 	sess := literace.NewStreamSession(resolve, opts)
 
+	// -forward mirrors every byte fed to the local session into a fleet
+	// collector. Forwarding is best-effort: link failures buffer and
+	// retry in the background, and a collector that never comes back
+	// only costs a warning — the local report below stays authoritative.
+	var fw *collector.Forwarder
+	if *forward != "" {
+		name := *forwardName
+		if name == "" {
+			name = fs.Arg(0)
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[i+1:]
+			}
+		}
+		fw, err = collector.NewForwarder(collector.ShipOptions{
+			Addr:     *forward,
+			Producer: name,
+			Log:      log,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
@@ -160,6 +187,9 @@ func cmdWatch(args []string) error {
 			lastGrowth = time.Now()
 			if err := sess.Feed(buf[:n]); err != nil {
 				return err
+			}
+			if fw != nil {
+				fw.Append(buf[:n])
 			}
 			pollWatchdog()
 		}
@@ -194,6 +224,14 @@ func cmdWatch(args []string) error {
 		"shards", len(res.ShardEvents), "dispatched", res.Dispatched,
 		"stalls", res.Stalls, "backpressure", res.Backpressure)
 	fmt.Print(rep.String())
+	if fw != nil {
+		if final, err := fw.Close(); err != nil {
+			log.Warn("forward to collector failed", "addr", *forward, "err", err)
+		} else {
+			log.Info("forwarded to collector", "addr", *forward,
+				"races", final.Races, "degraded", final.Degraded, "complete", final.Complete)
+		}
+	}
 	if err := writeMetrics(*metricsPath, reg); err != nil {
 		return err
 	}

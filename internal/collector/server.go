@@ -1,0 +1,872 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"literace"
+	"literace/internal/obs"
+	"literace/internal/obs/diag"
+	"literace/internal/obs/export"
+	"literace/internal/obs/ledger"
+)
+
+// Defaults for Options' resource bounds.
+const (
+	DefaultMaxSessions     = 64
+	DefaultMaxReorderBytes = 1 << 20
+	DefaultResumeGrace     = 3 * time.Second
+	DefaultIdleTimeout     = 30 * time.Second
+)
+
+// FleetSchema identifies the FLEET.json / GET /fleet artifact format.
+const FleetSchema = "literace.fleet/v1"
+
+// Options configures a Server. The zero value works: anonymous function
+// names, default shard count, and the default resource bounds.
+type Options struct {
+	// Resolve maps original function indices to names in race reports
+	// (nil for raw indices). It must match what producers will be
+	// detect-ed with for report parity.
+	Resolve func(int32) string
+	// Shards is each producer pipeline's detection worker count.
+	Shards int
+	// MaxSessions bounds concurrently live (active + parked) producer
+	// sessions; a hello past the bound is rejected. 0 = DefaultMaxSessions.
+	MaxSessions int
+	// MaxFrame bounds one frame payload. 0 = DefaultMaxFrame.
+	MaxFrame int
+	// MaxReorderBytes bounds each session's out-of-order buffer; overflow
+	// sheds (see session.shedLocked). 0 = DefaultMaxReorderBytes.
+	MaxReorderBytes int
+	// ResumeGrace is how long a disconnected session waits for the
+	// producer to reconnect before finalizing under salvage rules.
+	// 0 = DefaultResumeGrace.
+	ResumeGrace time.Duration
+	// IdleTimeout bounds how long a connection may take to deliver one
+	// frame (the slow-loris bound). 0 = DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// OutDir, when non-empty, receives <producer>.report.txt per
+	// finalized session and FLEET.json at Close.
+	OutDir string
+	// LedgerDir, when non-empty, appends one literace.runreport/v1 per
+	// finalized producer (Source "collector") to the ledger there.
+	LedgerDir string
+	// Obs, Diag, Log: the usual observability trio; all optional.
+	Obs  *obs.Registry
+	Diag *diag.Recorder
+	Log  *slog.Logger
+	// SLO, when non-nil, arms the watchdog: the server polls it against
+	// the flight recorder and the aggregate session backlog; a sustained
+	// breach surfaces from SLOErr (the CLI maps it to exit 4).
+	SLO *diag.SLO
+}
+
+// Server is the fleet collector. Create with New, attach a listener
+// with Serve, stop with Close.
+type Server struct {
+	opts Options
+	log  *slog.Logger
+	rec  *diag.Recorder
+	wd   *diag.Watchdog
+	led  *ledger.Ledger
+
+	lis net.Listener
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	names     []string // insertion order, for deterministic iteration
+	finalized int
+	finSignal chan struct{}
+	fleet     map[string]*FleetRace
+	panics    uint64
+
+	ledMu sync.Mutex
+
+	closing atomic.Bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	start   time.Time
+	scrapes atomic.Uint64
+}
+
+// New builds a collector server. It opens the ledger eagerly so a bad
+// ledger directory fails at startup, not at the first rollup.
+func New(opts Options) (*Server, error) {
+	log := opts.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// The flight recorder is always on: the fleet report's turbulence
+	// counters (sheds, disconnects) come from it, and a bounded ring is
+	// cheap even with telemetry off.
+	rec := opts.Diag
+	if rec == nil {
+		rec = diag.NewRecorderObs(diag.DefaultCapacity, opts.Obs)
+	}
+	s := &Server{
+		opts:      opts,
+		log:       log,
+		rec:       rec,
+		sessions:  make(map[string]*session),
+		finSignal: make(chan struct{}),
+		fleet:     make(map[string]*FleetRace),
+		done:      make(chan struct{}),
+		start:     time.Now(),
+	}
+	if opts.SLO != nil {
+		s.wd = diag.NewWatchdog(*opts.SLO)
+	}
+	if opts.LedgerDir != "" {
+		led, err := ledger.Open(opts.LedgerDir)
+		if err != nil {
+			return nil, err
+		}
+		s.led = led
+	}
+	return s, nil
+}
+
+func (s *Server) maxSessions() int {
+	if s.opts.MaxSessions > 0 {
+		return s.opts.MaxSessions
+	}
+	return DefaultMaxSessions
+}
+
+func (s *Server) maxFrame() int {
+	if s.opts.MaxFrame > 0 {
+		return s.opts.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+func (s *Server) maxReorder() int {
+	if s.opts.MaxReorderBytes > 0 {
+		return s.opts.MaxReorderBytes
+	}
+	return DefaultMaxReorderBytes
+}
+
+func (s *Server) resumeGrace() time.Duration {
+	if s.opts.ResumeGrace > 0 {
+		return s.opts.ResumeGrace
+	}
+	return DefaultResumeGrace
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	if s.opts.IdleTimeout > 0 {
+		return s.opts.IdleTimeout
+	}
+	return DefaultIdleTimeout
+}
+
+// Serve accepts producer connections on lis until Close. The janitor
+// (parked-session expiry) and, when an SLO is armed, the watchdog
+// poller run alongside. Serve returns nil after Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	if s.closing.Load() {
+		// Close won the race with Serve: don't accept on a listener the
+		// shutdown will never see again.
+		_ = lis.Close()
+		return nil
+	}
+	s.wg.Add(1)
+	go s.janitor()
+	if s.wd != nil {
+		s.wg.Add(1)
+		go s.sloPoller()
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listener's address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis == nil {
+		return ""
+	}
+	return lis.Addr().String()
+}
+
+// handleConn runs one producer connection, fault-isolated: panics are
+// recovered (failing only this producer's session), every read carries
+// the idle deadline, and a disconnect without EOF parks the session for
+// resume instead of losing it.
+func (s *Server) handleConn(conn net.Conn) {
+	var sess *session
+	gen := 0
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.panics++
+			s.mu.Unlock()
+			s.log.Error("session handler panicked; recovered", "panic", fmt.Sprint(r))
+			if sess != nil {
+				s.finalizeSession(sess, fmt.Errorf("collector: session handler panic: %v", r))
+			}
+		}
+		_ = conn.Close()
+	}()
+
+	idle := s.idleTimeout()
+	_ = conn.SetReadDeadline(time.Now().Add(idle))
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != Magic {
+		s.log.Warn("connection without collector magic dropped", "remote", conn.RemoteAddr().String())
+		return
+	}
+	var hello Hello
+	if err := readJSONLine(br, &hello); err != nil {
+		s.log.Warn("bad hello", "remote", conn.RemoteAddr().String(), "err", err)
+		return
+	}
+	var reply HelloReply
+	sess, gen, reply = s.openSession(conn, hello)
+	if err := writeJSONLine(conn, reply); err != nil || !reply.OK {
+		if !reply.OK {
+			s.log.Warn("hello rejected", "producer", hello.Producer, "err", reply.Err)
+		}
+		return
+	}
+	s.log.Info("producer attached", "producer", hello.Producer, "resume_at", reply.Next)
+
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+		flags, off, payload, err := readFrame(br, s.maxFrame())
+		if err != nil {
+			// Disconnect, timeout, or oversized frame: park for resume
+			// (unless a takeover already owns the session).
+			sess.park(gen)
+			return
+		}
+		if flags&frameEOF != 0 {
+			if !sess.current(gen) {
+				return // kicked by a takeover mid-stream
+			}
+			final := sess.finishEOF(off)
+			_ = conn.SetWriteDeadline(time.Now().Add(idle))
+			_ = writeJSONLine(conn, final)
+			return
+		}
+		if err := sess.ingest(off, payload); err != nil {
+			// Not an LTRC2 stream at all — fatal for this producer only.
+			final := s.finalizeSession(sess, err)
+			_ = conn.SetWriteDeadline(time.Now().Add(idle))
+			_ = writeJSONLine(conn, final)
+			return
+		}
+	}
+}
+
+// openSession resolves a hello to a (possibly resumed) session.
+func (s *Server) openSession(conn net.Conn, h Hello) (*session, int, HelloReply) {
+	if h.V != ProtocolVersion {
+		return nil, 0, HelloReply{Err: fmt.Sprintf("unsupported protocol version %d (want %d)", h.V, ProtocolVersion)}
+	}
+	if h.Producer == "" {
+		return nil, 0, HelloReply{Err: "hello without a producer name"}
+	}
+	if s.closing.Load() {
+		return nil, 0, HelloReply{Err: "collector shutting down"}
+	}
+	s.mu.Lock()
+	sess := s.sessions[h.Producer]
+	if sess == nil {
+		live := 0
+		for _, name := range s.names {
+			st := s.sessions[name]
+			st.mu.Lock()
+			if st.state == sessActive || st.state == sessParked {
+				live++
+			}
+			st.mu.Unlock()
+		}
+		if live >= s.maxSessions() {
+			s.mu.Unlock()
+			return nil, 0, HelloReply{Err: fmt.Sprintf("at capacity (%d live sessions)", live)}
+		}
+		sess = newSession(s, h.Producer, h.Module)
+		s.sessions[h.Producer] = sess
+		s.names = append(s.names, h.Producer)
+	}
+	s.mu.Unlock()
+	next, gen, err := sess.attach(conn)
+	if err != nil {
+		return nil, 0, HelloReply{Err: err.Error()}
+	}
+	return sess, gen, HelloReply{OK: true, Next: next}
+}
+
+// finalizeSession finishes a session's pipeline exactly once, records
+// the outcome, and rolls it into the fleet. ingestErr, when non-nil, is
+// a fatal ingest failure and wins over the pipeline result.
+func (s *Server) finalizeSession(sess *session, ingestErr error) FinalReply {
+	sess.mu.Lock()
+	return s.finalizeSessionLocked(sess, ingestErr)
+}
+
+// finalizeSessionLocked is finalizeSession with sess.mu already held; it
+// releases the lock before the fleet rollup.
+func (s *Server) finalizeSessionLocked(sess *session, ingestErr error) FinalReply {
+	if sess.state == sessDone || sess.state == sessFailed {
+		reply := replyLocked(sess)
+		sess.mu.Unlock()
+		return reply
+	}
+	err := ingestErr
+	if err == nil {
+		sess.rep, sess.res, err = sess.pipe.Finish()
+	}
+	if err != nil {
+		sess.state = sessFailed
+		sess.outErr = err
+		sess.rep, sess.res = nil, nil
+	} else {
+		sess.state = sessDone
+	}
+	sess.conn = nil
+	sess.backlog.Store(0)
+	reply := replyLocked(sess)
+	name, rep := sess.name, sess.rep
+	var complete bool
+	if sess.res != nil {
+		complete = sess.res.Complete
+	}
+	sess.mu.Unlock()
+
+	if err != nil {
+		s.log.Error("session failed", "producer", name, "err", err)
+	} else {
+		s.log.Info("session finalized", "producer", name,
+			"races", len(rep.Races), "degraded", rep.Degraded, "complete", complete)
+	}
+	s.rollup(sess, rep)
+	return reply
+}
+
+// replyLocked renders the FinalReply for a finalized session.
+func replyLocked(sess *session) FinalReply {
+	if sess.state == sessFailed {
+		msg := "session failed"
+		if sess.outErr != nil {
+			msg = sess.outErr.Error()
+		}
+		return FinalReply{Err: msg}
+	}
+	r := FinalReply{
+		OK:       true,
+		Report:   sess.rep.String(),
+		Races:    len(sess.rep.Races),
+		Degraded: sess.rep.Degraded,
+	}
+	r.Unconfirmed = len(sess.rep.Races) - len(sess.rep.Confirmed())
+	if sess.res != nil {
+		r.Complete = sess.res.Complete
+		r.Events = int64(sess.res.MemOps + sess.res.SyncOps)
+	}
+	return r
+}
+
+// rollup merges a finalized session into the fleet state and emits the
+// per-producer artifacts.
+func (s *Server) rollup(sess *session, rep *literace.Report) {
+	s.mu.Lock()
+	s.finalized++
+	if rep != nil {
+		for _, rc := range rep.Races {
+			key := rc.First + "\x00" + rc.Second
+			fr := s.fleet[key]
+			if fr == nil {
+				fr = &FleetRace{First: rc.First, Second: rc.Second}
+				s.fleet[key] = fr
+			}
+			fr.Count += rc.Count
+			fr.WriteWrite += rc.WriteWrite
+			fr.ReadWrite += rc.ReadWrite
+			if !rc.Unconfirmed {
+				fr.Confirmed = true
+			}
+			fr.Producers = append(fr.Producers, sess.name)
+		}
+	}
+	close(s.finSignal)
+	s.finSignal = make(chan struct{})
+	s.mu.Unlock()
+
+	if rep == nil {
+		return
+	}
+	if s.opts.OutDir != "" {
+		path := filepath.Join(s.opts.OutDir, sanitizeName(sess.name)+".report.txt")
+		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			s.log.Error("writing producer report", "producer", sess.name, "err", err)
+		}
+	}
+	if s.led != nil {
+		rr := literace.BuildDetectReport(rep, 0)
+		rr.Source = "collector"
+		if rr.Module == "" {
+			rr.Module = sess.module
+		}
+		if rr.Module == "" {
+			rr.Module = sess.name
+		}
+		s.ledMu.Lock()
+		_, err := s.led.Append(rr)
+		s.ledMu.Unlock()
+		if err != nil {
+			s.log.Error("ledger append", "producer", sess.name, "err", err)
+		}
+	}
+}
+
+var unsafeFile = regexp.MustCompile(`[^A-Za-z0-9._-]+`)
+
+func sanitizeName(name string) string {
+	out := unsafeFile.ReplaceAllString(name, "_")
+	if out == "" {
+		out = "producer"
+	}
+	return out
+}
+
+// janitor expires parked sessions whose resume grace has passed,
+// finalizing them under salvage rules (the torn tail degrades that
+// producer's analysis; confirmed races stay trustworthy).
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := s.resumeGrace() / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			for _, sess := range s.snapshotSessions() {
+				// Re-checking under the session lock closes the race with a
+				// producer resuming at the very edge of the grace window:
+				// either the attach wins and the session is active again, or
+				// the finalize wins and the attach is rejected.
+				sess.mu.Lock()
+				if sess.state == sessParked && time.Since(sess.parkedAt) >= s.resumeGrace() {
+					s.log.Warn("resume grace expired; finalizing torn session", "producer", sess.name)
+					s.finalizeSessionLocked(sess, nil)
+				} else {
+					sess.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// sloPoller drives the armed watchdog off the flight recorder and the
+// aggregate session backlog.
+func (s *Server) sloPoller() {
+	defer s.wg.Done()
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.wd.Poll(s.rec, s.probe())
+		}
+	}
+}
+
+// probe aggregates the live backlog across sessions.
+func (s *Server) probe() diag.Probe {
+	var sum int64
+	for _, sess := range s.snapshotSessions() {
+		sum += sess.backlog.Load()
+	}
+	return diag.Probe{Backlog: int(sum)}
+}
+
+func (s *Server) snapshotSessions() []*session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*session, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, s.sessions[name])
+	}
+	return out
+}
+
+// Finalized returns how many sessions have finalized (cleanly or not).
+func (s *Server) Finalized() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finalized
+}
+
+// WaitFinalized blocks until n sessions have finalized, or the timeout
+// passes (timeout <= 0 waits forever).
+func (s *Server) WaitFinalized(n int, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	s.mu.Lock()
+	for s.finalized < n {
+		ch := s.finSignal
+		s.mu.Unlock()
+		if deadline.IsZero() {
+			<-ch
+		} else {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return fmt.Errorf("collector: %d of %d sessions finalized before timeout", s.Finalized(), n)
+			}
+			select {
+			case <-ch:
+			case <-time.After(remain):
+			}
+		}
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// SLOErr returns nil, or the sustained-breach error once the armed
+// watchdog has latched (exit code 4 at the CLI). Always nil when no SLO
+// was armed.
+func (s *Server) SLOErr() error {
+	if s.wd == nil {
+		return nil
+	}
+	return s.wd.Err()
+}
+
+// Close shuts the collector down gracefully: stop accepting, kick and
+// finalize every live session (their torn tails analyzed under salvage
+// rules), wait for the handlers, and write FLEET.json when an OutDir is
+// configured.
+func (s *Server) Close() error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, sess := range s.snapshotSessions() {
+		sess.mu.Lock()
+		if sess.conn != nil {
+			_ = sess.conn.Close()
+		}
+		sess.mu.Unlock()
+	}
+	close(s.done)
+	s.wg.Wait()
+	for _, sess := range s.snapshotSessions() {
+		s.finalizeSession(sess, nil)
+	}
+	if s.opts.OutDir != "" {
+		rep := s.FleetReport()
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(filepath.Join(s.opts.OutDir, "FLEET.json"), append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			s.log.Error("writing FLEET.json", "err", err)
+			return err
+		}
+	}
+	return nil
+}
+
+// ProducerStatus is one producer's row in the fleet report.
+type ProducerStatus struct {
+	Name          string `json:"name"`
+	Module        string `json:"module,omitempty"`
+	State         string `json:"state"`
+	AcceptedBytes uint64 `json:"accepted_bytes"`
+	Frames        uint64 `json:"frames"`
+	DupFrames     uint64 `json:"dup_frames,omitempty"`
+	Reordered     uint64 `json:"reordered_frames,omitempty"`
+	Sheds         uint64 `json:"sheds,omitempty"`
+	ShedBytes     uint64 `json:"shed_bytes,omitempty"`
+	Reconnects    uint64 `json:"reconnects,omitempty"`
+	Races         int    `json:"races"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	Complete      bool   `json:"complete,omitempty"`
+	Err           string `json:"err,omitempty"`
+}
+
+// FleetRace is one static race deduplicated across the fleet. Confirmed
+// means at least one producer observed it with intact happens-before
+// orderings (the zero-false-positive guarantee covers it fleet-wide).
+type FleetRace struct {
+	First      string   `json:"first"`
+	Second     string   `json:"second"`
+	Count      uint64   `json:"count"`
+	WriteWrite uint64   `json:"write_write"`
+	ReadWrite  uint64   `json:"read_write"`
+	Confirmed  bool     `json:"confirmed"`
+	Producers  []string `json:"producers"`
+}
+
+// FleetReport is the aggregate view: every producer's status plus the
+// deduplicated fleet race set, deterministically ordered.
+type FleetReport struct {
+	Schema      string           `json:"schema"`
+	Producers   []ProducerStatus `json:"producers"`
+	Finalized   int              `json:"finalized"`
+	Races       []FleetRace      `json:"races"`
+	Confirmed   int              `json:"confirmed_races"`
+	Unconfirmed int              `json:"unconfirmed_races"`
+	Shed        uint64           `json:"shed_events"`
+	Disconnects uint64           `json:"disconnects"`
+	Panics      uint64           `json:"panics"`
+}
+
+// FleetReport snapshots the fleet state. Safe to call at any time.
+func (s *Server) FleetReport() *FleetReport {
+	sessions := s.snapshotSessions()
+	rep := &FleetReport{Schema: FleetSchema}
+	for _, sess := range sessions {
+		rep.Producers = append(rep.Producers, sess.status())
+	}
+	sort.Slice(rep.Producers, func(i, j int) bool { return rep.Producers[i].Name < rep.Producers[j].Name })
+
+	s.mu.Lock()
+	rep.Finalized = s.finalized
+	rep.Panics = s.panics
+	for _, fr := range s.fleet {
+		cp := *fr
+		cp.Producers = append([]string(nil), fr.Producers...)
+		sort.Strings(cp.Producers)
+		cp.Producers = dedupStrings(cp.Producers)
+		rep.Races = append(rep.Races, cp)
+	}
+	s.mu.Unlock()
+	sort.Slice(rep.Races, func(i, j int) bool {
+		a, b := rep.Races[i], rep.Races[j]
+		if a.First != b.First {
+			return a.First < b.First
+		}
+		return a.Second < b.Second
+	})
+	for _, fr := range rep.Races {
+		if fr.Confirmed {
+			rep.Confirmed++
+		} else {
+			rep.Unconfirmed++
+		}
+	}
+	rep.Shed = s.rec.AnomalyCount(diag.AnomShed)
+	rep.Disconnects = s.rec.AnomalyCount(diag.AnomDisconnect)
+	return rep
+}
+
+func dedupStrings(in []string) []string {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Health computes a fresh liveness-oriented health report: unlike the
+// latching SLO watchdog, these checks read the *current* fleet state,
+// so /healthz degrades while producers are disconnected or backlogged
+// and recovers once the storm passes. The armed SLO (exit code 4) is a
+// separate, deliberately latching judgment.
+func (s *Server) Health() *diag.Health {
+	nActive, nParked := 0, 0
+	var lag int64
+	for _, sess := range s.snapshotSessions() {
+		sess.mu.Lock()
+		switch sess.state {
+		case sessActive:
+			nActive++
+		case sessParked:
+			nParked++
+		}
+		sess.mu.Unlock()
+		lag += sess.backlog.Load()
+	}
+	maxLag := diag.DefaultSLO().MaxDecodeLag
+	if s.opts.SLO != nil && s.opts.SLO.MaxDecodeLag != 0 {
+		maxLag = s.opts.SLO.MaxDecodeLag
+	}
+	checks := []diag.Check{
+		{Name: "active_sessions", Value: int64(nActive), Limit: int64(s.maxSessions())},
+		{Name: "parked_sessions", Value: int64(nParked), Limit: 0},
+		{Name: "decode_lag", Value: lag, Limit: int64(maxLag)},
+	}
+	enabled, failing := 0, 0
+	for i := range checks {
+		c := &checks[i]
+		if c.Limit < 0 {
+			c.OK = true
+			continue
+		}
+		enabled++
+		c.OK = c.Value <= c.Limit
+		if !c.OK {
+			failing++
+		}
+	}
+	h := &diag.Health{Status: "ok", Score: 100, Checks: checks}
+	if enabled > 0 && failing > 0 {
+		h.Score = 100 - (100*failing+enabled-1)/enabled
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Handler returns the collector's HTTP surface: the standard telemetry
+// endpoints (/metrics, /snapshot, /healthz, /debug/pprof) over the
+// configured registry with /healthz answering the live fleet health,
+// plus GET /fleet (the FleetReport as JSON) and POST /ingest (one-shot
+// whole-log upload: ?producer=NAME, the body is the encoded log, the
+// response is the FinalReply JSON).
+func (s *Server) Handler() http.Handler {
+	reg := s.opts.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	base := export.NewHandler(reg, s.start, &s.scrapes, s.Health)
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(s.FleetReport(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(append(b, '\n'))
+	})
+	mux.HandleFunc("/ingest", s.handleIngest)
+	return mux
+}
+
+// handleIngest is the HTTP one-shot path: the whole log in one body.
+// It shares the session machinery (and its fault isolation) with the
+// TCP path, so an HTTP producer appears in the fleet like any other.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			s.panics++
+			s.mu.Unlock()
+			s.log.Error("ingest handler panicked; recovered", "panic", fmt.Sprint(p))
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}
+	}()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("producer")
+	if name == "" {
+		http.Error(w, "missing ?producer=", http.StatusBadRequest)
+		return
+	}
+	sess, gen, reply := s.openSession(nil, Hello{
+		V:        ProtocolVersion,
+		Producer: name,
+		Module:   r.URL.Query().Get("module"),
+	})
+	if !reply.OK {
+		http.Error(w, reply.Err, http.StatusConflict)
+		return
+	}
+	_ = gen
+	off := reply.Next
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := r.Body.Read(buf)
+		if n > 0 {
+			if ferr := sess.ingest(off, buf[:n]); ferr != nil {
+				writeFinal(w, s.finalizeSession(sess, ferr))
+				return
+			}
+			off += uint64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sess.park(gen)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	writeFinal(w, sess.finishEOF(off))
+}
+
+func writeFinal(w http.ResponseWriter, final FinalReply) {
+	w.Header().Set("Content-Type", "application/json")
+	if !final.OK {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	_ = json.NewEncoder(w).Encode(final)
+}
+
+// String renders a fleet report for human consumption, mirroring
+// Report.String's shape at fleet scope.
+func (f *FleetReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d producers (%d finalized), %d static races (%d confirmed, %d unconfirmed)\n",
+		len(f.Producers), f.Finalized, len(f.Races), f.Confirmed, f.Unconfirmed)
+	if f.Shed > 0 || f.Disconnects > 0 || f.Panics > 0 {
+		fmt.Fprintf(&b, "turbulence: %d sheds, %d disconnects, %d recovered panics\n",
+			f.Shed, f.Disconnects, f.Panics)
+	}
+	for _, rc := range f.Races {
+		conf := "confirmed"
+		if !rc.Confirmed {
+			conf = "UNCONFIRMED"
+		}
+		fmt.Fprintf(&b, "  %-11s %s <-> %s  count=%d (ww=%d, rw=%d) producers=%s\n",
+			conf, rc.First, rc.Second, rc.Count, rc.WriteWrite, rc.ReadWrite, strings.Join(rc.Producers, ","))
+	}
+	return b.String()
+}

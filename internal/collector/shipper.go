@@ -1,0 +1,407 @@
+package collector
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Shipper defaults.
+const (
+	DefaultFrameSize   = 64 << 10
+	DefaultMaxAttempts = 8
+	DefaultBackoff     = 50 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+	DefaultDialTimeout = 5 * time.Second
+)
+
+// ShipOptions configures a producer-side shipper.
+type ShipOptions struct {
+	// Addr is the collector's TCP address.
+	Addr string
+	// Producer names this session fleet-wide; required.
+	Producer string
+	// Module is the producer's module tag for the ledger rollup.
+	Module string
+	// FrameSize bounds one data frame's payload. 0 = DefaultFrameSize.
+	FrameSize int
+	// MaxAttempts bounds connect-and-stream attempts (each disconnect
+	// consumes one). 0 = DefaultMaxAttempts; negative retries forever.
+	MaxAttempts int
+	// Backoff and MaxBackoff shape the exponential retry delay; each
+	// retry doubles from Backoff up to MaxBackoff, with half jitter so a
+	// fleet of producers does not reconnect in lockstep.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Throttle sleeps between data frames — it paces a shipment so chaos
+	// tests can kill a producer mid-stream deterministically.
+	Throttle time.Duration
+	// DialTimeout bounds one dial. 0 = DefaultDialTimeout.
+	DialTimeout time.Duration
+	// WrapConn, when non-nil, wraps each new connection — the fault
+	// injection hook (see faultinject.NetFaults.WrapConn).
+	WrapConn func(net.Conn) net.Conn
+	// Rand drives the retry jitter; nil seeds from a fixed source (a
+	// deterministic shipper is a feature in tests, and jitter across a
+	// real fleet comes from per-producer seeds).
+	Rand *rand.Rand
+	// Log, when non-nil, receives retry/reconnect warnings.
+	Log *slog.Logger
+}
+
+func (o *ShipOptions) frameSize() int {
+	if o.FrameSize > 0 {
+		return o.FrameSize
+	}
+	return DefaultFrameSize
+}
+
+func (o *ShipOptions) maxAttempts() int {
+	if o.MaxAttempts == 0 {
+		return DefaultMaxAttempts
+	}
+	return o.MaxAttempts
+}
+
+func (o *ShipOptions) logger() *slog.Logger {
+	if o.Log != nil {
+		return o.Log
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func (o *ShipOptions) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := o.Backoff
+	if base <= 0 {
+		base = DefaultBackoff
+	}
+	max := o.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Half jitter: [d/2, d).
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// shipConn is one live connection to the collector, post-handshake.
+type shipConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	next uint64 // the offset the server asked to resume at
+}
+
+func (o *ShipOptions) dial(resume bool) (*shipConn, error) {
+	dt := o.DialTimeout
+	if dt <= 0 {
+		dt = DefaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", o.Addr, dt)
+	if err != nil {
+		return nil, err
+	}
+	if o.WrapConn != nil {
+		conn = o.WrapConn(conn)
+	}
+	_ = conn.SetDeadline(time.Now().Add(dt))
+	hello := Hello{V: ProtocolVersion, Producer: o.Producer, Module: o.Module, Resume: resume}
+	if _, err := conn.Write([]byte(Magic)); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := writeJSONLine(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, maxHelloLine)
+	var reply HelloReply
+	if err := readJSONLine(br, &reply); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if !reply.OK {
+		_ = conn.Close()
+		return nil, &RejectedError{Reason: reply.Err}
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &shipConn{conn: conn, br: br, next: reply.Next}, nil
+}
+
+// RejectedError is a hello the collector refused (capacity, finalized
+// session, version skew). It is permanent: retrying the same hello
+// cannot succeed, so the shipper stops instead of burning attempts.
+type RejectedError struct{ Reason string }
+
+func (e *RejectedError) Error() string { return "collector rejected producer: " + e.Reason }
+
+// Ship streams size bytes of an encoded log from src to the collector,
+// retrying with exponential backoff and resuming at the server's
+// accepted offset after every disconnect — a retried range arrives as a
+// duplicate offset and is dropped server-side, never double-counted.
+// On success it returns the collector's final reply, whose Report is
+// byte-identical to `literace detect` on the same log.
+func Ship(src io.ReaderAt, size int64, opts ShipOptions) (*FinalReply, error) {
+	if opts.Producer == "" {
+		return nil, fmt.Errorf("collector: ship needs a producer name")
+	}
+	log := opts.logger()
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var lastErr error
+	for attempt := 0; opts.maxAttempts() < 0 || attempt < opts.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			d := opts.backoff(attempt-1, rng)
+			log.Warn("ship attempt failed; backing off",
+				"producer", opts.Producer, "attempt", attempt, "backoff", d, "err", lastErr)
+			time.Sleep(d)
+		}
+		sc, err := opts.dial(attempt > 0)
+		if err != nil {
+			var rej *RejectedError
+			if errAs(err, &rej) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		reply, err := shipFrames(sc, src, size, &opts)
+		_ = sc.conn.Close()
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("collector: shipping %s failed after %d attempts: %w",
+		opts.Producer, opts.maxAttempts(), lastErr)
+}
+
+// errAs is errors.As without the reflection-heavy general form — the
+// shipper only ever asks about *RejectedError, which is never wrapped.
+func errAs(err error, target **RejectedError) bool {
+	re, ok := err.(*RejectedError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+// shipFrames sends [sc.next, size) as data frames, then EOF, and reads
+// the final reply.
+func shipFrames(sc *shipConn, src io.ReaderAt, size int64, opts *ShipOptions) (*FinalReply, error) {
+	buf := make([]byte, opts.frameSize())
+	for off := int64(sc.next); off < size; {
+		n := int64(len(buf))
+		if size-off < n {
+			n = size - off
+		}
+		if _, err := src.ReadAt(buf[:n], off); err != nil {
+			return nil, fmt.Errorf("collector: reading log at %d: %w", off, err)
+		}
+		if err := writeFrame(sc.conn, frameData, uint64(off), buf[:n]); err != nil {
+			return nil, err
+		}
+		off += n
+		if opts.Throttle > 0 {
+			time.Sleep(opts.Throttle)
+		}
+	}
+	if err := writeFrame(sc.conn, frameEOF, uint64(size), nil); err != nil {
+		return nil, err
+	}
+	_ = sc.conn.SetReadDeadline(time.Now().Add(time.Minute))
+	var final FinalReply
+	if err := readJSONLine(sc.br, &final); err != nil {
+		return nil, err
+	}
+	if !final.OK {
+		return &final, fmt.Errorf("collector: session failed: %s", final.Err)
+	}
+	return &final, nil
+}
+
+// Forwarder ships a log that is still growing — the `literace watch
+// -forward` path. Append buffers and (when connected) streams new
+// bytes; Close sends EOF and returns the collector's verdict. A broken
+// connection never fails an Append: the forwarder drops the link,
+// keeps buffering, and resumes from the server's accepted offset on the
+// next reconnect, trimming everything the server acknowledged.
+type Forwarder struct {
+	opts ShipOptions
+	rng  *rand.Rand
+	log  *slog.Logger
+
+	mu       sync.Mutex
+	base     uint64 // absolute offset of buf[0] (trimmed on reconnect ack)
+	buf      []byte
+	sc       *shipConn
+	sent     uint64 // absolute offset streamed on the current connection
+	fails    int    // consecutive connect/stream failures, for backoff
+	nextDial time.Time
+}
+
+// NewForwarder builds a forwarder; it connects lazily on first Append.
+func NewForwarder(opts ShipOptions) (*Forwarder, error) {
+	if opts.Producer == "" {
+		return nil, fmt.Errorf("collector: forwarder needs a producer name")
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Forwarder{opts: opts, rng: rng, log: opts.logger()}, nil
+}
+
+// Append buffers b and pushes any unsent tail if the link is up (or can
+// come up without waiting out a backoff window). It never returns an
+// error: transport failures are absorbed into the retry state.
+func (f *Forwarder) Append(b []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.buf = append(f.buf, b...)
+	f.pushLocked()
+}
+
+// Buffered returns the bytes held waiting for the collector to accept
+// them.
+func (f *Forwarder) Buffered() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf) - int(f.sent-f.base)
+}
+
+// pushLocked advances the stream as far as the current link allows.
+func (f *Forwarder) pushLocked() {
+	if f.sc == nil && !f.connectLocked() {
+		return
+	}
+	end := f.base + uint64(len(f.buf))
+	for f.sent < end {
+		n := uint64(f.opts.frameSize())
+		if end-f.sent < n {
+			n = end - f.sent
+		}
+		payload := f.buf[f.sent-f.base : f.sent-f.base+n]
+		if err := writeFrame(f.sc.conn, frameData, f.sent, payload); err != nil {
+			f.dropLinkLocked(err)
+			return
+		}
+		f.sent += n
+	}
+}
+
+// connectLocked tries to (re)establish the link, honoring the backoff
+// window. Returns whether the link is up.
+func (f *Forwarder) connectLocked() bool {
+	if !f.nextDial.IsZero() && time.Now().Before(f.nextDial) {
+		return false
+	}
+	sc, err := f.opts.dial(f.fails > 0 || f.base > 0 || f.sent > 0)
+	if err != nil {
+		f.dropLinkLocked(err)
+		return false
+	}
+	f.fails = 0
+	f.nextDial = time.Time{}
+	f.sc = sc
+	f.sent = sc.next
+	// Trim everything the server already accepted: the reconnect ack is
+	// the forwarder's only acknowledgement signal.
+	if sc.next > f.base {
+		drop := sc.next - f.base
+		if drop > uint64(len(f.buf)) {
+			drop = uint64(len(f.buf))
+		}
+		f.buf = f.buf[drop:]
+		f.base += drop
+	}
+	return true
+}
+
+func (f *Forwarder) dropLinkLocked(err error) {
+	if f.sc != nil {
+		_ = f.sc.conn.Close()
+		f.sc = nil
+	}
+	d := f.opts.backoff(f.fails, f.rng)
+	f.fails++
+	f.nextDial = time.Now().Add(d)
+	f.log.Warn("forwarder link down; buffering",
+		"producer", f.opts.Producer, "backoff", d, "err", err)
+}
+
+// Close flushes everything, sends EOF, and returns the collector's
+// final reply, falling back to the full retrying Ship path if the live
+// link will not cooperate.
+func (f *Forwarder) Close() (*FinalReply, error) {
+	f.mu.Lock()
+	total := f.base + uint64(len(f.buf))
+	f.pushLocked()
+	if f.sc != nil && f.sent == total {
+		sc := f.sc
+		f.sc = nil
+		f.mu.Unlock()
+		if err := writeFrame(sc.conn, frameEOF, total, nil); err == nil {
+			_ = sc.conn.SetReadDeadline(time.Now().Add(time.Minute))
+			var final FinalReply
+			if jerr := readJSONLine(sc.br, &final); jerr == nil {
+				_ = sc.conn.Close()
+				if !final.OK {
+					return &final, fmt.Errorf("collector: session failed: %s", final.Err)
+				}
+				return &final, nil
+			}
+		}
+		_ = sc.conn.Close()
+		f.mu.Lock()
+	} else if f.sc != nil {
+		_ = f.sc.conn.Close()
+		f.sc = nil
+	}
+	// Retrying fallback: resume-ship the buffered tail. Ship's offsets
+	// are absolute, so present a reader over [0, total) that only ever
+	// serves the buffered range — the server resumes past f.base anyway.
+	buf, base := f.buf, f.base
+	f.mu.Unlock()
+	opts := f.opts
+	opts.Rand = f.rng
+	return Ship(&tailReaderAt{buf: buf, base: int64(base)}, int64(total), opts)
+}
+
+// tailReaderAt serves the tail of a log whose prefix is gone (already
+// accepted by the server and trimmed from memory). Reads below the base
+// fail — they would mean the server lost acknowledged progress.
+type tailReaderAt struct {
+	buf  []byte
+	base int64
+}
+
+func (t *tailReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < t.base {
+		return 0, fmt.Errorf("collector: read below trimmed offset %d (server lost progress?)", t.base)
+	}
+	rel := off - t.base
+	if rel >= int64(len(t.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, t.buf[rel:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// ShipBytes is Ship over an in-memory log.
+func ShipBytes(log []byte, opts ShipOptions) (*FinalReply, error) {
+	return Ship(bytes.NewReader(log), int64(len(log)), opts)
+}

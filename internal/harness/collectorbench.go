@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"literace"
+	"literace/internal/collector"
+	"literace/internal/obs/ledger"
+	"literace/internal/workloads"
+)
+
+// CollectorBenchSchema versions the BENCH_collector.json layout; bump it
+// when a field changes meaning, never silently.
+const CollectorBenchSchema = "literace.bench.collector/v1"
+
+// DefaultCollectorProducers is how many concurrent producers the
+// benchmark ships through one collector.
+const DefaultCollectorProducers = 8
+
+// collectorBenchKeys is the benchmark rotation producers draw traces
+// from: producer i runs collectorBenchKeys[i%len] at seed i+1, so the
+// fleet mixes racy and race-free workloads deterministically.
+var collectorBenchKeys = []string{"dryad", "lkrhash", "concrt-msg", "lflist"}
+
+// CollectorProducerRun is one producer's row in the artifact.
+type CollectorProducerRun struct {
+	Producer  string `json:"producer"`
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
+	LogBytes  int    `json:"log_bytes"`
+	Events    int64  `json:"events"`
+	Races     int    `json:"races"`
+	// Parity reports whether the collector's report text for this
+	// producer is byte-identical to `literace detect` on the same log.
+	Parity bool `json:"parity"`
+}
+
+// CollectorBenchSummary is the machine-readable artifact written by
+// `literace bench -collector-out` (and gated by CI): N producers ship
+// concurrently into one in-process collector; every producer's report
+// must match offline detection byte for byte, and the fleet rollup's
+// race set is recorded. Every field except the two timing ones is
+// deterministic per (scale, producer count) up to the documented slacks.
+type CollectorBenchSummary struct {
+	Schema    string                 `json:"schema"`
+	Scale     int                    `json:"scale"`
+	Producers []CollectorProducerRun `json:"producers"`
+	// FleetRaces is the deduplicated static race count across the fleet;
+	// FleetConfirmed of those carry the zero-false-positive guarantee
+	// (all of them, on this healthy-path benchmark).
+	FleetRaces     int `json:"fleet_races"`
+	FleetConfirmed int `json:"fleet_confirmed"`
+	// Parity is the conjunction of every producer's Parity flag — the
+	// headline collector ≡ detect check CI asserts on.
+	Parity bool `json:"parity"`
+	// ShipWallNanos and EventsPerSec measure the concurrent shipping
+	// phase: total decoded events across the fleet over the wall time
+	// from first dial to last FinalReply. Like the stream sweep's timing
+	// fields they are machine-dependent, informational, and excluded
+	// from the baseline comparison.
+	ShipWallNanos int64   `json:"ship_wall_nanos"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+}
+
+// BuildCollectorBenchSummary traces one log per producer, stands up an
+// in-process collector on a loopback listener, ships all logs
+// concurrently, and checks each returned report against offline
+// detection on the same bytes. producers <= 0 uses
+// DefaultCollectorProducers.
+func BuildCollectorBenchSummary(cfg Config, producers int) (*CollectorBenchSummary, error) {
+	cfg.setDefaults()
+	if producers <= 0 {
+		producers = DefaultCollectorProducers
+	}
+
+	type producerLog struct {
+		name  string
+		bench workloads.Benchmark
+		seed  int64
+		data  []byte
+	}
+	logs := make([]producerLog, producers)
+	for i := range logs {
+		key := collectorBenchKeys[i%len(collectorBenchKeys)]
+		b, ok := workloads.ByKey(key)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", key)
+		}
+		seed := int64(i + 1)
+		data, err := traceBytes(b, seed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		logs[i] = producerLog{
+			name:  fmt.Sprintf("p%02d-%s", i, key),
+			bench: b,
+			seed:  seed,
+			data:  data,
+		}
+	}
+
+	srv, err := collector.New(collector.Options{Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(lis) }()
+	defer srv.Close()
+
+	replies := make([]*collector.FinalReply, producers)
+	errs := make([]error, producers)
+	shipStart := time.Now()
+	var wg sync.WaitGroup
+	for i := range logs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = collector.ShipBytes(logs[i].data, collector.ShipOptions{
+				Addr:     lis.Addr().String(),
+				Producer: logs[i].name,
+				Module:   logs[i].bench.Key,
+			})
+		}(i)
+	}
+	wg.Wait()
+	shipWall := time.Since(shipStart)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: shipping %s: %w", logs[i].name, err)
+		}
+	}
+
+	sum := &CollectorBenchSummary{Schema: CollectorBenchSchema, Scale: cfg.Scale, Parity: true}
+	for i, pl := range logs {
+		rep, err := literace.Detect(bytes.NewReader(pl.data), nil)
+		if err != nil {
+			return nil, fmt.Errorf("harness: detect reference for %s: %w", pl.name, err)
+		}
+		run := CollectorProducerRun{
+			Producer:  pl.name,
+			Benchmark: pl.bench.Key,
+			Seed:      pl.seed,
+			LogBytes:  len(pl.data),
+			Events:    replies[i].Events,
+			Races:     replies[i].Races,
+			Parity:    replies[i].Report == rep.String() && !replies[i].Degraded && replies[i].Complete,
+		}
+		sum.Parity = sum.Parity && run.Parity
+		sum.Producers = append(sum.Producers, run)
+		cfg.logf("collector %s: %d races, parity %v", pl.name, run.Races, run.Parity)
+	}
+	sort.Slice(sum.Producers, func(i, j int) bool {
+		return sum.Producers[i].Producer < sum.Producers[j].Producer
+	})
+
+	fleet := srv.FleetReport()
+	sum.FleetRaces = len(fleet.Races)
+	sum.FleetConfirmed = fleet.Confirmed
+	sum.ShipWallNanos = shipWall.Nanoseconds()
+	var events int64
+	for _, p := range sum.Producers {
+		events += p.Events
+	}
+	if s := shipWall.Seconds(); s > 0 {
+		sum.EventsPerSec = float64(events) / s
+	}
+	cfg.logf("collector fleet: %d events in %s (%.0f events/sec aggregate)",
+		events, shipWall, sum.EventsPerSec)
+	return sum, nil
+}
+
+// WriteJSON encodes the summary as stable, indented JSON.
+func (s *CollectorBenchSummary) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadCollectorSummary loads a BENCH_collector.json artifact from disk.
+func ReadCollectorSummary(path string) (*CollectorBenchSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &CollectorBenchSummary{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	if s.Schema != CollectorBenchSchema {
+		return nil, fmt.Errorf("harness: %s: schema %q, want %q", path, s.Schema, CollectorBenchSchema)
+	}
+	return s, nil
+}
+
+// Drift tolerances, matching the stream bench rationale: the encoded
+// trace embeds wall-clock digits, so byte lengths wobble slightly and
+// dynamic race counts at chunk margins move by a few occurrences.
+const (
+	collectorLogBytesSlack = 64
+	collectorRaceSlack     = 16
+)
+
+// CompareCollectorSummaries checks the deterministic fields of a fresh
+// collector sweep against a committed baseline: producer identity and
+// parity are exact; log bytes and race counts get the documented slacks.
+// A mismatch returns an error wrapping ledger.ErrDriftExceeded so
+// callers map it to the drift exit code.
+func CompareCollectorSummaries(base, cur *CollectorBenchSummary) error {
+	var drifts []string
+	chk := func(name string, a, b any) {
+		if !reflect.DeepEqual(a, b) {
+			drifts = append(drifts, fmt.Sprintf("%s: baseline %v, current %v", name, a, b))
+		}
+	}
+	near := func(name string, a, b, slack int64) {
+		if d := a - b; d > slack || d < -slack {
+			drifts = append(drifts, fmt.Sprintf("%s: baseline %v, current %v (slack %d)", name, a, b, slack))
+		}
+	}
+	chk("schema", base.Schema, cur.Schema)
+	chk("scale", base.Scale, cur.Scale)
+	chk("parity", base.Parity, cur.Parity)
+	near("fleet_races", int64(base.FleetRaces), int64(cur.FleetRaces), collectorRaceSlack)
+	near("fleet_confirmed", int64(base.FleetConfirmed), int64(cur.FleetConfirmed), collectorRaceSlack)
+	if len(base.Producers) != len(cur.Producers) {
+		drifts = append(drifts, fmt.Sprintf("producers: baseline %d, current %d", len(base.Producers), len(cur.Producers)))
+	} else {
+		for i := range base.Producers {
+			a, b := base.Producers[i], cur.Producers[i]
+			pre := fmt.Sprintf("producers[%d].", i)
+			chk(pre+"producer", a.Producer, b.Producer)
+			chk(pre+"benchmark", a.Benchmark, b.Benchmark)
+			chk(pre+"seed", a.Seed, b.Seed)
+			near(pre+"log_bytes", int64(a.LogBytes), int64(b.LogBytes), collectorLogBytesSlack)
+			near(pre+"events", a.Events, b.Events, collectorLogBytesSlack)
+			near(pre+"races", int64(a.Races), int64(b.Races), collectorRaceSlack)
+			chk(pre+"parity", a.Parity, b.Parity)
+		}
+	}
+	if len(drifts) > 0 {
+		return fmt.Errorf("%w: collector bench drift: %s", ledger.ErrDriftExceeded, strings.Join(drifts, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"literace/internal/obs/ledger"
+)
+
+// TestCollectorBenchSummary ships two producers through an in-process
+// collector and checks the headline: byte parity with offline detection
+// for every producer, and a stable JSON artifact that round-trips.
+func TestCollectorBenchSummary(t *testing.T) {
+	sum, err := BuildCollectorBenchSummary(testCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Schema != CollectorBenchSchema {
+		t.Fatalf("schema %q", sum.Schema)
+	}
+	if !sum.Parity {
+		t.Fatalf("collector lost parity with detect: %+v", sum.Producers)
+	}
+	if len(sum.Producers) != 2 {
+		t.Fatalf("%d producers, want 2", len(sum.Producers))
+	}
+	// Producer 0 runs dryad, which races; the parity check must not be
+	// vacuous.
+	racy := 0
+	for _, p := range sum.Producers {
+		if !p.Parity {
+			t.Errorf("producer %s lost parity", p.Producer)
+		}
+		if p.LogBytes == 0 {
+			t.Errorf("producer %s shipped an empty log", p.Producer)
+		}
+		if p.Races > 0 {
+			racy++
+		}
+	}
+	if racy == 0 {
+		t.Fatal("no producer found races; the sweep is vacuous")
+	}
+	if sum.FleetRaces == 0 || sum.FleetConfirmed != sum.FleetRaces {
+		t.Errorf("fleet rollup: %d races, %d confirmed", sum.FleetRaces, sum.FleetConfirmed)
+	}
+
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("artifact is not valid JSON")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_collector.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCollectorSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareCollectorSummaries(sum, back); err != nil {
+		t.Fatalf("round-trip drifted: %v", err)
+	}
+}
+
+func TestCompareCollectorSummaries(t *testing.T) {
+	base := &CollectorBenchSummary{
+		Schema: CollectorBenchSchema,
+		Parity: true,
+		Producers: []CollectorProducerRun{
+			{Producer: "p00-dryad", Benchmark: "dryad", Seed: 1, LogBytes: 10000, Races: 8, Parity: true},
+		},
+		FleetRaces:     8,
+		FleetConfirmed: 8,
+	}
+	clone := *base
+	clone.Producers = append([]CollectorProducerRun(nil), base.Producers...)
+
+	if err := CompareCollectorSummaries(base, &clone); err != nil {
+		t.Fatalf("identical summaries drifted: %v", err)
+	}
+
+	// Within slack: fine.
+	clone.Producers[0].LogBytes = base.Producers[0].LogBytes + collectorLogBytesSlack
+	clone.Producers[0].Races = base.Producers[0].Races + collectorRaceSlack
+	if err := CompareCollectorSummaries(base, &clone); err != nil {
+		t.Fatalf("within-slack drift flagged: %v", err)
+	}
+
+	// Past slack: exit-3 class error.
+	clone.Producers[0].LogBytes = base.Producers[0].LogBytes + collectorLogBytesSlack + 1
+	err := CompareCollectorSummaries(base, &clone)
+	if !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Fatalf("past-slack drift not flagged as ErrDriftExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "log_bytes") {
+		t.Errorf("drift message does not name the field: %v", err)
+	}
+
+	// Parity flips are exact, never slack.
+	clone.Producers[0].LogBytes = base.Producers[0].LogBytes
+	clone.Producers[0].Races = base.Producers[0].Races
+	clone.Producers[0].Parity = false
+	clone.Parity = false
+	if err := CompareCollectorSummaries(base, &clone); err == nil {
+		t.Fatal("parity flip not flagged")
+	}
+}

@@ -1,10 +1,22 @@
 package hb
 
 import (
+	"errors"
 	"fmt"
 
 	"literace/internal/obs"
 	"literace/internal/trace"
+)
+
+// Misuse guards: a Merger is single-shot. Feeding chunks into a merge
+// that already drained would silently deliver them out of the canonical
+// order (the counters have been fast-forwarded), so both misuses are
+// errors instead of corruption.
+var (
+	// ErrAddAfterFinish is returned by Add once Finish has run.
+	ErrAddAfterFinish = errors.New("hb: merger: Add after Finish")
+	// ErrDoubleFinish is returned by a second Finish call.
+	ErrDoubleFinish = errors.New("hb: merger: Finish called twice")
 )
 
 // Merger is the incremental ready-queue merge engine behind Replay: it
@@ -34,6 +46,7 @@ type Merger struct {
 	backlogHWM int
 	delivered  uint64
 	nStalls    uint64
+	finished   bool
 
 	stalls, rounds, skips *obs.Counter
 }
@@ -103,8 +116,12 @@ func (m *Merger) queue(tid int32) *mergeQueue {
 // Add appends one chunk of a thread's stream. suspectFrom is the index
 // within evs from which events follow a salvage loss (len(evs) or more
 // for "none", 0 for the whole chunk); once a thread turns suspect it
-// stays suspect.
-func (m *Merger) Add(tid int32, evs []trace.Event, suspectFrom int) {
+// stays suspect. Adding to a finished merge returns ErrAddAfterFinish
+// and buffers nothing.
+func (m *Merger) Add(tid int32, evs []trace.Event, suspectFrom int) error {
+	if m.finished {
+		return ErrAddAfterFinish
+	}
 	q := m.queue(tid)
 	if suspectFrom < len(evs) && !q.hasSuspect {
 		q.hasSuspect = true
@@ -118,6 +135,7 @@ func (m *Merger) Add(tid int32, evs []trace.Event, suspectFrom int) {
 	if m.remaining > m.backlogHWM {
 		m.backlogHWM = m.remaining
 	}
+	return nil
 }
 
 // Backlog returns the number of buffered, not-yet-delivered events.
@@ -219,8 +237,13 @@ func (m *Merger) Pump(fn func(trace.Event) error) error {
 // Finish drains everything left after the final Add. In strict mode a
 // remaining event means the log is corrupt or incomplete; in degraded
 // mode stuck timestamp counters are fast-forwarded over the missing
-// slots (smallest gap first) until the streams drain.
+// slots (smallest gap first) until the streams drain. A second Finish
+// returns ErrDoubleFinish.
 func (m *Merger) Finish(fn func(trace.Event) error) error {
+	if m.finished {
+		return ErrDoubleFinish
+	}
+	m.finished = true
 	for {
 		if err := m.Pump(fn); err != nil {
 			return err

@@ -105,7 +105,9 @@ func replay(log *trace.Log, reg *obs.Registry, deg *Degradation, onDegrade func(
 				continue
 			}
 			offs[c.TID] = end
-			m.Add(c.TID, evs[start:end], relSuspect(log, c.TID, start, end))
+			if err := m.Add(c.TID, evs[start:end], relSuspect(log, c.TID, start, end)); err != nil {
+				return deg, err
+			}
 			if err := m.Pump(fn); err != nil {
 				return deg, err
 			}
@@ -115,13 +117,17 @@ func replay(log *trace.Log, reg *obs.Registry, deg *Degradation, onDegrade func(
 		for _, tid := range log.TIDs() {
 			evs := log.Threads[tid]
 			if start := offs[tid]; start < len(evs) {
-				m.Add(tid, evs[start:], relSuspect(log, tid, start, len(evs)))
+				if err := m.Add(tid, evs[start:], relSuspect(log, tid, start, len(evs))); err != nil {
+					return deg, err
+				}
 			}
 		}
 	} else {
 		for _, tid := range log.TIDs() {
 			evs := log.Threads[tid]
-			m.Add(tid, evs, relSuspect(log, tid, 0, len(evs)))
+			if err := m.Add(tid, evs, relSuspect(log, tid, 0, len(evs))); err != nil {
+				return deg, err
+			}
 		}
 	}
 	if err := m.Finish(fn); err != nil {

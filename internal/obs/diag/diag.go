@@ -84,6 +84,15 @@ const (
 	// AnomDegradeTransition: the merge entered degraded mode; races found
 	// from this dispatch ordinal on are unconfirmed (magnitude = ordinal).
 	AnomDegradeTransition
+	// AnomShed: a collector session's bounded reorder buffer overflowed
+	// and bytes were abandoned to keep ingesting (magnitude = bytes shed).
+	// The byte gap degrades that producer's analysis; confirmed races
+	// stay zero-false-positive.
+	AnomShed
+	// AnomDisconnect: a producer connection dropped without a clean EOF
+	// (magnitude = bytes accepted so far). The session parks for the
+	// resume grace window, then finalizes under salvage rules.
+	AnomDisconnect
 	numAnomalies
 )
 
@@ -94,6 +103,8 @@ var anomalyNames = [numAnomalies]string{
 	"backpressure",
 	"backlog-high-water",
 	"degrade-transition",
+	"shed",
+	"disconnect",
 }
 
 func (a Anomaly) String() string {

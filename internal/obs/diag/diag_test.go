@@ -192,6 +192,8 @@ func TestSLOEvaluateScoring(t *testing.T) {
 		MaxResyncs:            -1,
 		MaxBackpressure:       -1,
 		MaxDegradeTransitions: -1,
+		MaxShedEvents:         -1,
+		MaxDisconnects:        -1,
 	}
 	h := slo.Evaluate(r, Probe{Backlog: 5})
 	if !h.OK() || h.Status != "ok" || h.Score != 100 {

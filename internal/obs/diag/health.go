@@ -33,6 +33,12 @@ type SLO struct {
 	// MaxDegradeTransitions bounds degrade-ordinal transitions; 0 makes
 	// any degradation a breach.
 	MaxDegradeTransitions int64 `json:"max_degrade_transitions"`
+	// MaxShedEvents bounds collector reorder-buffer sheds (bytes
+	// abandoned under overload; see AnomShed).
+	MaxShedEvents int64 `json:"max_shed_events"`
+	// MaxDisconnects bounds producer connections dropped without a clean
+	// EOF (see AnomDisconnect).
+	MaxDisconnects int64 `json:"max_disconnects"`
 	// SustainPolls is how many consecutive breaching evaluations make
 	// the breach "sustained" (watch -slo exits 4 only then); values
 	// below 1 mean a single breaching poll sustains.
@@ -52,6 +58,8 @@ func DefaultSLO() SLO {
 		MaxResyncs:            0,          // any resync scan breaches
 		MaxBackpressure:       -1,         // expected under load
 		MaxDegradeTransitions: 0,          // any degradation breaches
+		MaxShedEvents:         -1,         // overload response, not corruption
+		MaxDisconnects:        -1,         // producers come and go
 		SustainPolls:          3,
 	}
 }
@@ -106,6 +114,8 @@ func (s SLO) Evaluate(rec *Recorder, p Probe) *Health {
 		{Name: "resyncs", Value: int64(rec.AnomalyCount(AnomMarkerResync)), Limit: s.MaxResyncs},
 		{Name: "backpressure", Value: int64(rec.AnomalyCount(AnomBackpressure)), Limit: s.MaxBackpressure},
 		{Name: "degrade_transitions", Value: int64(rec.AnomalyCount(AnomDegradeTransition)), Limit: s.MaxDegradeTransitions},
+		{Name: "shed_events", Value: int64(rec.AnomalyCount(AnomShed)), Limit: s.MaxShedEvents},
+		{Name: "disconnects", Value: int64(rec.AnomalyCount(AnomDisconnect)), Limit: s.MaxDisconnects},
 	}
 	enabled, failing := 0, 0
 	for i := range checks {

@@ -71,7 +71,8 @@ type RunReport struct {
 	Seed    int64  `json:"seed"`
 	Scale   int    `json:"scale,omitempty"`
 	// Source says which pipeline produced the report: "run" (online
-	// execution), "detect" (offline log analysis), or "harness".
+	// execution), "detect" (offline log analysis), "collector" (fleet
+	// ingestion service), or "harness".
 	Source string `json:"source"`
 
 	Threads     int    `json:"threads"`
@@ -102,7 +103,7 @@ func (r *RunReport) Validate() error {
 		return fmt.Errorf("ledger: unsupported report schema %q (want %s)", r.Schema, ReportSchema)
 	}
 	switch r.Source {
-	case "run", "detect", "harness":
+	case "run", "detect", "collector", "harness":
 	default:
 		return fmt.Errorf("ledger: unknown report source %q", r.Source)
 	}

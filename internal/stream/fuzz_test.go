@@ -53,6 +53,8 @@ func FuzzStreamParity(f *testing.F) {
 		f.Add(c, uint16(3*i), uint8(5))
 	}
 
+	magic := []byte("LTRC2\n")
+
 	f.Fuzz(func(t *testing.T, data []byte, split uint16, shards uint8) {
 		if bytes.HasPrefix(data, []byte("LTRC1\n")) {
 			// Legacy logs have no markers: salvage handles them, the
@@ -79,6 +81,25 @@ func FuzzStreamParity(f *testing.F) {
 			gerr = ferr
 		}
 
+		if len(data) < len(magic) && bytes.HasPrefix(magic, data) {
+			// Dead-producer input: a proper prefix of the magic (or zero
+			// bytes). Batch salvage calls it not-a-log; the incremental
+			// decoder finishes cleanly with an empty result, accounting
+			// the bytes as dropped. This is the one intended divergence.
+			if serr == nil {
+				t.Fatalf("salvage accepted sub-header input: %q", data)
+			}
+			if gerr != nil {
+				t.Fatalf("stream failed on sub-header input %q: %v", data, gerr)
+			}
+			if res.NumRaces != 0 || res.MemOps != 0 || res.SyncOps != 0 {
+				t.Fatalf("sub-header input produced events: %+v", res.Result)
+			}
+			if res.Salvage.Truncated || res.Salvage.BytesDropped != int64(len(data)) {
+				t.Fatalf("sub-header salvage report: %+v", res.Salvage)
+			}
+			return
+		}
 		if (serr != nil) != (gerr != nil) {
 			t.Fatalf("salvage err %v, stream err %v", serr, gerr)
 		}

@@ -293,7 +293,14 @@ func (p *Pipeline) onChunk(tid int32, evs []trace.Event, suspect bool) {
 		d0 = p.m.Delivered()
 		p.clkNs, p.clkOps = 0, 0
 	}
-	p.m.Add(tid, evs, sf)
+	if err := p.m.Add(tid, evs, sf); err != nil {
+		// Unreachable in this pipeline — the decoder is finished before
+		// the merger — but a misuse must not be silently dropped.
+		if p.log != nil {
+			p.log.Error("merger rejected chunk", "tid", tid, "err", err)
+		}
+		return
+	}
 	// handle never fails, and degraded-mode pumping has no other errors.
 	_ = p.m.Pump(p.handle)
 	p.obsBacklog.Set(float64(p.m.Backlog()))

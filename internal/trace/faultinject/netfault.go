@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetFaults configures the network fault layer: a net.Conn wrapper that
+// mutilates a producer's transport the way hostile infrastructure does.
+// The zero value injects nothing. All fields compose; all randomness
+// flows through the explicit seed, so a faulty run is reproducible.
+type NetFaults struct {
+	// WriteDelay sleeps before every write — a slow-loris producer that
+	// keeps the connection alive while trickling bytes.
+	WriteDelay time.Duration
+	// MaxWrite chops each write into pieces of at most this many bytes
+	// (each sent separately), so the receiver sees fragmented, delayed
+	// delivery instead of whole frames. 0 disables.
+	MaxWrite int
+	// DropAfter kills the connection after this many bytes have been
+	// written (the write that crosses the line fails and the underlying
+	// conn closes — a producer dying mid-frame). 0 disables.
+	DropAfter int64
+	// FlipBitEvery XORs one pseudo-random bit into the stream every N
+	// bytes written — transport corruption the protocol's CRC and the
+	// salvage decoder must absorb. 0 disables.
+	FlipBitEvery int64
+	// Seed drives the bit-flip positions.
+	Seed int64
+}
+
+// ErrInjectedDrop is the error a FaultyConn write fails with when
+// NetFaults.DropAfter cuts the connection.
+var ErrInjectedDrop = fmt.Errorf("faultinject: injected connection drop")
+
+// FaultyConn wraps a net.Conn with NetFaults applied to its write side.
+// Reads pass through untouched: the fault model is a misbehaving
+// producer, and the producer's view of server replies stays honest.
+type FaultyConn struct {
+	net.Conn
+	cfg NetFaults
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	dropped bool
+}
+
+// WrapConn applies cfg to conn. A zero cfg returns conn unchanged.
+func (cfg NetFaults) WrapConn(conn net.Conn) net.Conn {
+	if cfg == (NetFaults{}) {
+		return conn
+	}
+	return &FaultyConn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Write applies the configured faults, piece by piece. The io.Writer
+// contract holds: a short count is always paired with an error.
+func (c *FaultyConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		if c.dropped {
+			return total, ErrInjectedDrop
+		}
+		if c.cfg.DropAfter > 0 && c.written >= c.cfg.DropAfter {
+			c.dropped = true
+			_ = c.Conn.Close()
+			return total, ErrInjectedDrop
+		}
+		piece := b
+		if c.cfg.MaxWrite > 0 && len(piece) > c.cfg.MaxWrite {
+			piece = piece[:c.cfg.MaxWrite]
+		}
+		// Never write past the drop line: the crossing write dies.
+		if c.cfg.DropAfter > 0 && c.written+int64(len(piece)) > c.cfg.DropAfter {
+			piece = piece[:c.cfg.DropAfter-c.written]
+			if len(piece) == 0 {
+				continue // next iteration drops
+			}
+		}
+		if c.cfg.WriteDelay > 0 {
+			time.Sleep(c.cfg.WriteDelay)
+		}
+		out := piece
+		if n := c.cfg.FlipBitEvery; n > 0 {
+			// Corrupt a copy; the caller's buffer stays intact.
+			if (c.written%n)+int64(len(piece)) >= n {
+				cp := append([]byte(nil), piece...)
+				cp[c.rng.Intn(len(cp))] ^= 1 << uint(c.rng.Intn(8))
+				out = cp
+			}
+		}
+		n, err := c.Conn.Write(out)
+		c.written += int64(n)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		b = b[n:]
+	}
+	return total, nil
+}

@@ -132,8 +132,16 @@ func (s *Stream) Finish() (*SalvageReport, error) {
 		return s.rep, s.finErr
 	}
 	if !s.magicDone {
-		s.finErr = errStreamNotALog
-		return s.rep, s.finErr
+		// A producer that connected and died before completing the
+		// 6-byte header left nothing decodable: zero bytes, or a proper
+		// prefix of the magic (anything else already made Feed error).
+		// There are no chunks to salvage and no tail to truncate, so
+		// Finish succeeds with the bytes accounted as dropped instead of
+		// inventing a torn-tail failure.
+		if n := len(s.buf); n > 0 {
+			s.drop(n)
+		}
+		return s.rep, nil
 	}
 	s.parse(true)
 	switch {

@@ -249,13 +249,81 @@ func TestStreamRejectsLegacyAndGarbage(t *testing.T) {
 	if err := s.Feed([]byte("GIF89a")); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	// A short prefix that can still become a magic is not an error yet.
+	// A short prefix that can still become a magic is not an error yet,
+	// and a producer dying there finishes cleanly with the bytes
+	// accounted as dropped (see TestStreamDeadProducerFinishesCleanly).
 	s = NewStream(nil)
 	if err := s.Feed([]byte("LT")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Finish(); err == nil {
-		t.Fatal("finish on an incomplete magic succeeded")
+	rep, err := s.Finish()
+	if err != nil {
+		t.Fatalf("finish on an incomplete magic: %v", err)
+	}
+	if rep.Truncated || rep.BytesDropped != 2 || rep.TotalBytes != 2 {
+		t.Fatalf("incomplete-magic report = %+v", rep)
+	}
+}
+
+// TestStreamDeadProducerFinishesCleanly covers a producer that connects
+// and dies before its first complete chunk: zero-byte and sub-header
+// inputs must Finish without error and with accurate accounting — no
+// spurious torn tail, no "not a log" failure for a prefix of a valid log.
+func TestStreamDeadProducerFinishesCleanly(t *testing.T) {
+	// Zero bytes: nothing arrived at all.
+	s := NewStream(nil)
+	rep, err := s.Finish()
+	if err != nil {
+		t.Fatalf("zero-byte finish: %v", err)
+	}
+	if rep.Truncated || rep.TotalBytes != 0 || rep.BytesDropped != 0 ||
+		rep.ChunksOK != 0 || rep.EventsSalvaged != 0 || rep.MetaSource != "none" {
+		t.Fatalf("zero-byte report = %+v", rep)
+	}
+
+	// Every proper prefix of the magic, fed in one piece and byte by
+	// byte: clean Finish, all bytes dropped, never truncated.
+	for cut := 1; cut < len("LTRC2\n"); cut++ {
+		for _, pieces := range [][]byte{[]byte("LTRC2\n")[:cut]} {
+			one := NewStream(nil)
+			if err := one.Feed(pieces); err != nil {
+				t.Fatalf("prefix %d feed: %v", cut, err)
+			}
+			rep, err := one.Finish()
+			if err != nil {
+				t.Fatalf("prefix %d finish: %v", cut, err)
+			}
+			if rep.Truncated || rep.TotalBytes != int64(cut) || rep.BytesDropped != int64(cut) {
+				t.Fatalf("prefix %d report = %+v", cut, rep)
+			}
+		}
+		drip := NewStream(nil)
+		for _, b := range []byte("LTRC2\n")[:cut] {
+			if err := drip.Feed([]byte{b}); err != nil {
+				t.Fatalf("prefix %d drip feed: %v", cut, err)
+			}
+		}
+		rep, err := drip.Finish()
+		if err != nil {
+			t.Fatalf("prefix %d drip finish: %v", cut, err)
+		}
+		if rep.Truncated || rep.BytesDropped != int64(cut) {
+			t.Fatalf("prefix %d drip report = %+v", cut, rep)
+		}
+	}
+
+	// The full magic and nothing else is still clean: the writer opened
+	// the log and never flushed a chunk.
+	m := NewStream(nil)
+	if err := m.Feed([]byte("LTRC2\n")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = m.Finish()
+	if err != nil {
+		t.Fatalf("magic-only finish: %v", err)
+	}
+	if rep.Truncated || rep.BytesDropped != 0 || rep.MagicBytes != 6 {
+		t.Fatalf("magic-only report = %+v", rep)
 	}
 }
 
