@@ -13,6 +13,7 @@ import (
 	"literace/internal/collector"
 	"literace/internal/obs"
 	"literace/internal/obs/diag"
+	"literace/internal/obs/tsdb"
 )
 
 // cmdServeCollector runs the fleet ingestion service: a TCP endpoint
@@ -66,8 +67,10 @@ func cmdServeCollector(args []string) error {
 		resolve = p.FuncName
 	}
 	var reg *obs.Registry
+	var store *tsdb.Store
 	if *serveAddr != "" {
 		reg = obs.New()
+		store = tsdb.New(tsdb.Options{})
 	}
 	var policy *diag.SLO
 	if *slo {
@@ -108,6 +111,7 @@ func cmdServeCollector(args []string) error {
 		OutDir:          *outDir,
 		LedgerDir:       *ledgerDir,
 		Obs:             reg,
+		TS:              store,
 		Log:             log,
 		SLO:             policy,
 	})
@@ -120,8 +124,19 @@ func cmdServeCollector(args []string) error {
 	}
 	log.Info("collector listening", "addr", lis.Addr().String())
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(lis.Addr().String()+"\n"), 0o644); err != nil {
-			return err
+		// Write-then-rename so a polling script never reads a torn file;
+		// a failure here is fatal (the script would hang forever waiting
+		// for an address), logged structured and exiting non-zero.
+		tmp := *addrFile + ".tmp"
+		err := os.WriteFile(tmp, []byte(lis.Addr().String()+"\n"), 0o644)
+		if err == nil {
+			err = os.Rename(tmp, *addrFile)
+		}
+		if err != nil {
+			log.Error("writing -addr-file failed; scripts polling it would hang",
+				"path", *addrFile, "err", err)
+			_ = os.Remove(tmp)
+			return fmt.Errorf("serve-collector: writing -addr-file %s: %w", *addrFile, err)
 		}
 	}
 
@@ -134,8 +149,8 @@ func cmdServeCollector(args []string) error {
 		httpSrv = &http.Server{Handler: srv.Handler()}
 		go func() { _ = httpSrv.Serve(hlis) }()
 		log.Info("serving fleet telemetry",
-			"url", fmt.Sprintf("http://%s/fleet", hlis.Addr().String()),
-			"endpoints", "/fleet /ingest /metrics /snapshot /healthz /debug/pprof")
+			"url", fmt.Sprintf("http://%s/dashboard", hlis.Addr().String()),
+			"endpoints", "/fleet /ingest /metrics /snapshot /healthz /api/timeseries /dashboard /debug/pprof")
 	}
 
 	serveErr := make(chan error, 1)
@@ -185,6 +200,7 @@ func cmdShip(args []string) error {
 	frame := fs.Int("frame", 0, "data frame payload size in bytes (0 = default)")
 	attempts := fs.Int("attempts", 0, "connect-and-stream attempts before giving up (0 = default, negative = forever)")
 	throttle := fs.Duration("throttle", 0, "sleep between data frames (paces the stream; chaos harnesses kill producers mid-ship)")
+	telemetry := fs.Bool("telemetry", false, "ship this producer's own metrics to the collector's fleet dashboard (ignored by old collectors)")
 	quiet := fs.Bool("quiet", false, "suppress the report; print only the summary line")
 	lcfg := addLogFlags(fs)
 	fs.Parse(args)
@@ -207,6 +223,10 @@ func cmdShip(args []string) error {
 	if err != nil {
 		return err
 	}
+	var treg *obs.Registry
+	if *telemetry {
+		treg = obs.New()
+	}
 	start := time.Now()
 	final, err := collector.Ship(f, st.Size(), collector.ShipOptions{
 		Addr:        *to,
@@ -215,6 +235,7 @@ func cmdShip(args []string) error {
 		FrameSize:   *frame,
 		MaxAttempts: *attempts,
 		Throttle:    *throttle,
+		Telemetry:   treg,
 		Log:         log,
 	})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"literace/internal/obs/diag"
 	"literace/internal/obs/ledger"
 	"literace/internal/obs/timeline"
+	"literace/internal/obs/tsdb"
 	"literace/internal/trace"
 )
 
@@ -129,6 +130,11 @@ func cmdDiag(args []string) error {
 	sess := literace.NewStreamSession(resolve, literace.StreamOptions{
 		Shards: *shards, Obs: reg, Diag: rec, Log: log,
 	})
+	// The replay records its own time series on a virtual clock — the
+	// cumulative bytes fed stand in for nanoseconds, so the history's
+	// shape depends on the log, not on this machine's speed. Backlog is
+	// still scheduling-dependent (the member stays nondeterministic).
+	store := tsdb.New(tsdb.Options{})
 	const feedSize = 256 << 10
 	for off := 0; off < len(data); off += feedSize {
 		end := off + feedSize
@@ -138,6 +144,11 @@ func cmdDiag(args []string) error {
 		if err := sess.Feed(data[off:end]); err != nil {
 			return err
 		}
+		vt := int64(end)
+		p := sess.Probe()
+		store.Append("diag.bytes_fed", tsdb.KindCounter, vt, float64(end))
+		store.Append("diag.backlog", tsdb.KindGauge, vt, float64(p.Backlog))
+		store.Append("diag.backlog_high_water", tsdb.KindGauge, vt, float64(p.BacklogHighWater))
 	}
 	rep, res, err := sess.Finish()
 	if err != nil {
@@ -212,6 +223,13 @@ func cmdDiag(args []string) error {
 		return err
 	}
 	if err := b.add("obs.json", false, "telemetry registry snapshot", snap); err != nil {
+		return err
+	}
+	tsdump, err := store.Dump().MarshalStable()
+	if err != nil {
+		return err
+	}
+	if err := b.add("timeseries.json", false, "replay time series over a virtual bytes-fed clock (backlog depends on scheduling)", tsdump); err != nil {
 		return err
 	}
 	var fr bytes.Buffer

@@ -62,6 +62,7 @@ func TestCmdDiagBundleStable(t *testing.T) {
 		"obs.json":        false,
 		"flightrec.jsonl": false,
 		"timeline.json":   false,
+		"timeseries.json": false,
 		"goroutines.txt":  false,
 		"heap.pprof":      false,
 	} {

@@ -23,8 +23,8 @@
 // run and detect accept -metrics <file> to write a JSON telemetry
 // snapshot; run also accepts -cpuprofile/-memprofile pprof hooks. run and
 // bench accept -serve ADDR to expose live telemetry over HTTP (/metrics
-// in Prometheus format, /snapshot, /healthz, /debug/pprof) while the
-// pipeline executes; see docs/OBSERVABILITY.md.
+// in Prometheus format, /snapshot, /healthz, /api/timeseries, /dashboard,
+// /debug/pprof) while the pipeline executes; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"literace"
 	"literace/internal/harness"
@@ -46,6 +47,7 @@ import (
 	"literace/internal/obs/export"
 	"literace/internal/obs/ledger"
 	"literace/internal/obs/timeline"
+	"literace/internal/obs/tsdb"
 	"literace/internal/trace"
 	"literace/internal/workloads"
 )
@@ -137,14 +139,17 @@ func usage() {
   report  compare  [-ledger dir] [-strict] [-json] <A> <B>   drift between two reports (exit 3 past thresholds)
   bench   [-list | key] [-serve ADDR] [-overhead-out f]
           [-stream-out f [-stream-bench key] [-stream-baseline f]]
-          [-collector-out f [-collector-producers N] [-collector-baseline f]]  run benchmarks (see -list; exit 3 on baseline drift)
+          [-collector-out f [-collector-producers N] [-collector-baseline f]]
+          [-soak-out f [-soak-seconds S] [-soak-producers N] [-soak-interval d] [-soak-min-samples N] [-soak-baseline f]]
+          run benchmarks (see -list; exit 3 on baseline drift; -soak-out churns a fault-injected
+          producer fleet through a collector and gates on bounded heap/backlog over the recorded history)
   stats   <prog.lir> [-sampler S] [-seed N] [-json]  pipeline telemetry + coverage report
   serve-collector [-listen ADDR] [-serve ADDR] [-out dir] [-ledger dir] [-addr-file f] [-src prog.lir]
           [-done-after N] [-done-timeout d] [-resume-grace d] [-idle-timeout d] [-max-sessions N] [-max-reorder N]
           [-slo] [-slo-sustain N] [-slo-max-lag N] [-slo-max-crc N] [-slo-max-gaps N] [-slo-max-shed N] [-slo-max-disconnects N]
           fleet ingestion: accept shipped logs from many producers, run detection per producer,
           print the deduplicated fleet race report on shutdown (exit 4 on sustained SLO breach)
-  ship    <log.trc> -to ADDR -producer NAME [-module M] [-frame N] [-attempts N] [-throttle d] [-quiet]
+  ship    <log.trc> -to ADDR -producer NAME [-module M] [-frame N] [-attempts N] [-throttle d] [-telemetry] [-quiet]
           stream a log to a collector with retry and resume; prints the collector's report
           (byte-identical to detect's on a healthy link)
 Commands that log diagnostics accept -log-format text|json and -log-level debug|info|warn|error
@@ -265,18 +270,25 @@ func writeMetrics(path string, reg *obs.Registry) error {
 // serveTelemetry starts the embedded telemetry server when addr is
 // non-empty, returning a shutdown function (a no-op otherwise). health,
 // when non-nil, upgrades /healthz to the scored report (watch -slo).
+// A background sampler fills a fixed-memory time-series store from the
+// registry so /api/timeseries and /dashboard show live history.
 func serveTelemetry(addr string, reg *obs.Registry, health func() *diag.Health, log *slog.Logger) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
-	srv, err := export.ServeHealth(addr, reg, health)
+	store := tsdb.New(tsdb.Options{})
+	samp := tsdb.NewSampler(store, reg, tsdb.SamplerOptions{Proc: true})
+	samp.Start()
+	srv, err := export.ServeStore(addr, reg, health, store)
 	if err != nil {
+		samp.Stop()
 		return nil, err
 	}
 	log.Info("serving telemetry",
-		"url", fmt.Sprintf("http://%s/metrics", srv.Addr()),
-		"endpoints", "/metrics /snapshot /healthz /debug/pprof")
+		"url", fmt.Sprintf("http://%s/dashboard", srv.Addr()),
+		"endpoints", "/metrics /snapshot /healthz /api/timeseries /dashboard /debug/pprof")
 	return func() {
+		samp.Stop()
 		if err := srv.Close(); err != nil {
 			log.Warn("telemetry shutdown", "err", err)
 		}
@@ -721,6 +733,12 @@ func cmdBench(args []string) error {
 	collectorOut := fs.String("collector-out", "", "run the fleet collector parity sweep and write the BENCH_collector.json artifact here")
 	collectorProducers := fs.Int("collector-producers", 0, "concurrent producers in the -collector-out sweep (0 = default)")
 	collectorBaseline := fs.String("collector-baseline", "", "compare the -collector-out artifact against this committed baseline (exit 3 on drift)")
+	soakOut := fs.String("soak-out", "", "run the long-haul collector soak and write the BENCH_soak.json artifact here")
+	soakSeconds := fs.Float64("soak-seconds", 0, "soak duration in seconds (0 = 30)")
+	soakProducers := fs.Int("soak-producers", 0, "concurrent producers churned by the soak (0 = 8)")
+	soakInterval := fs.Duration("soak-interval", 0, "soak time-series sample interval (0 = 250ms)")
+	soakMinSamples := fs.Int("soak-min-samples", 0, "per-series sample floor the soak gates on (0 = 50)")
+	soakBaseline := fs.String("soak-baseline", "", "compare the -soak-out artifact against this committed baseline (exit 3 on drift)")
 	lcfg := addLogFlags(fs)
 	fs.Parse(args)
 	log, err := lcfg.logger("bench")
@@ -838,6 +856,47 @@ func cmdBench(args []string) error {
 				return fmt.Errorf("collector baseline %s: %w", *collectorBaseline, err)
 			}
 			log.Info("collector artifact matches baseline", "baseline", *collectorBaseline)
+		}
+		return nil
+	}
+	if *soakOut != "" {
+		sum, err := harness.BuildSoakSummary(harness.SoakConfig{
+			Producers:      *soakProducers,
+			Duration:       time.Duration(*soakSeconds * float64(time.Second)),
+			SampleInterval: *soakInterval,
+			MinSamples:     *soakMinSamples,
+			Scale:          *scale,
+			Logf:           logf,
+		})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*soakOut)
+		if err != nil {
+			return err
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d shipments by %d producers over %.0fs, %d kills, %d series, pass %v (schema %s)\n",
+			*soakOut, sum.Shipments, sum.Producers, sum.DurationSecs, sum.Kills, sum.TotalSeries, sum.Pass, sum.Schema)
+		if !sum.Pass {
+			return fmt.Errorf("soak gates failed: samples_ok=%v bounded_heap=%v bounded_backlog=%v shipments_ok=%v (see %s)",
+				sum.SamplesOK, sum.BoundedHeap, sum.BoundedBacklog, sum.ShipmentsOK, *soakOut)
+		}
+		if *soakBaseline != "" {
+			base, err := harness.ReadSoakSummary(*soakBaseline)
+			if err != nil {
+				return err
+			}
+			if err := harness.CompareSoakSummaries(base, sum); err != nil {
+				return fmt.Errorf("soak baseline %s: %w", *soakBaseline, err)
+			}
+			log.Info("soak artifact matches baseline", "baseline", *soakBaseline)
 		}
 		return nil
 	}

@@ -156,6 +156,10 @@ func cmdWatch(args []string) error {
 			Addr:     *forward,
 			Producer: name,
 			Log:      log,
+			// Ship this watcher's own metrics alongside the bytes so the
+			// collector's fleet dashboard shows per-producer vitals (the
+			// capability degrades silently against an old collector).
+			Telemetry: reg,
 		})
 		if err != nil {
 			return err

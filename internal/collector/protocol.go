@@ -27,7 +27,15 @@
 //
 // Frame layout (big-endian): 1 flag byte, 8-byte absolute byte offset,
 // 4-byte payload length, payload. Flag 0 is data; flag 1 is EOF (no
-// payload; the offset is the log's total length).
+// payload; the offset is the log's total length); flag 2 is an optional
+// telemetry frame (payload: one TelemetryUpdate JSON document, offset
+// unused). Telemetry is capability-negotiated: a producer only sends
+// flag-2 frames when the HelloReply acked `telemetry`, so old
+// collectors never see one and old producers keep working unchanged.
+// A frame kind the collector does not understand is answered with a
+// structured Reject JSON line and skipped — the session keeps
+// streaming, so future frame types degrade gracefully instead of
+// tearing sessions down.
 package collector
 
 import (
@@ -55,6 +63,9 @@ const maxHelloLine = 4 << 10
 const (
 	frameData byte = 0
 	frameEOF  byte = 1
+	// frameTelemetry carries one TelemetryUpdate JSON payload. Optional:
+	// only sent after the server acks the capability in its HelloReply.
+	frameTelemetry byte = 2
 )
 
 const frameHeaderLen = 1 + 8 + 4
@@ -67,6 +78,11 @@ type Hello struct {
 	// Resume asks the server for its accepted offset so a reconnecting
 	// producer can skip everything already ingested.
 	Resume bool `json:"resume,omitempty"`
+	// Telemetry advertises that this producer wants to ship periodic
+	// obs-snapshot telemetry frames. The server acks the capability in
+	// HelloReply.Telemetry; without the ack the producer must not send
+	// flag-2 frames (an old collector would mistake them for data).
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // HelloReply answers a Hello. Next is the absolute byte offset the
@@ -75,7 +91,34 @@ type Hello struct {
 type HelloReply struct {
 	OK   bool   `json:"ok"`
 	Next uint64 `json:"next"`
-	Err  string `json:"err,omitempty"`
+	// Telemetry acks the producer's telemetry capability request; absent
+	// (false) from old collectors, which never negotiated it.
+	Telemetry bool   `json:"telemetry,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
+// TelemetryUpdate is the telemetry frame payload: a compact cut of the
+// producer's obs registry (counters and gauges only — histograms and
+// vectors stay on the producer's own /snapshot to bound wire size and
+// fleet series cardinality). At is the producer's clock; the collector
+// stamps series with its own receive time so fleet history stays
+// monotone under producer clock skew.
+type TelemetryUpdate struct {
+	At       int64              `json:"at"`
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Reject is the server's structured answer to a frame kind it does not
+// understand: one JSON line on the reply channel. The session is NOT
+// torn down — the offending frame is skipped and data keeps flowing.
+// Producers drain reject lines while waiting for the FinalReply (see
+// readFinalReply); old producers never trigger one, since they only
+// send frame kinds 0 and 1.
+type Reject struct {
+	Reject bool   `json:"reject"`
+	Flags  byte   `json:"flags"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // FinalReply answers the EOF frame: the producer's detection outcome.
@@ -93,6 +136,25 @@ type FinalReply struct {
 	Degraded bool   `json:"degraded"`
 	Complete bool   `json:"complete"`
 	Err      string `json:"err,omitempty"`
+}
+
+// readFinalReply reads the FinalReply line, draining any structured
+// Reject lines the server queued for optional frames it refused — a
+// reject is advisory, never a session failure.
+func readFinalReply(br *bufio.Reader) (*FinalReply, error) {
+	for {
+		var line struct {
+			FinalReply
+			Reject bool `json:"reject"`
+		}
+		if err := readJSONLine(br, &line); err != nil {
+			return nil, err
+		}
+		if line.Reject {
+			continue
+		}
+		return &line.FinalReply, nil
+	}
 }
 
 // writeJSONLine encodes v followed by one newline.

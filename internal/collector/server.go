@@ -22,6 +22,7 @@ import (
 	"literace/internal/obs/diag"
 	"literace/internal/obs/export"
 	"literace/internal/obs/ledger"
+	"literace/internal/obs/tsdb"
 )
 
 // Defaults for Options' resource bounds.
@@ -30,6 +31,15 @@ const (
 	DefaultMaxReorderBytes = 1 << 20
 	DefaultResumeGrace     = 3 * time.Second
 	DefaultIdleTimeout     = 30 * time.Second
+	// DefaultRetainFinalized bounds how many finalized sessions stay
+	// resident for /fleet history; older ones are retired once their
+	// outcome is rolled into the fleet race set. Long-haul soaks churn
+	// through thousands of short-lived producers — without this bound
+	// the session map is a slow leak.
+	DefaultRetainFinalized = 256
+	// DefaultTSInterval is the collector's time-series sampling cadence
+	// when a store is wired but no interval given.
+	DefaultTSInterval = time.Second
 )
 
 // FleetSchema identifies the FLEET.json / GET /fleet artifact format.
@@ -73,6 +83,18 @@ type Options struct {
 	// the flight recorder and the aggregate session backlog; a sustained
 	// breach surfaces from SLOErr (the CLI maps it to exit 4).
 	SLO *diag.SLO
+	// TS, when non-nil, receives fleet time-series history: a background
+	// poller samples the registry (plus collector.* aggregates and proc
+	// stats) every TSInterval, and accepted producer telemetry frames
+	// land as fleet.<producer>.<metric> series. Served on
+	// /api/timeseries and /dashboard.
+	TS *tsdb.Store
+	// TSInterval is the TS sampling cadence. 0 = DefaultTSInterval.
+	TSInterval time.Duration
+	// RetainFinalized bounds resident finalized sessions (oldest retired
+	// first, after their rollup). 0 = DefaultRetainFinalized; negative
+	// retains everything (the pre-soak behavior).
+	RetainFinalized int
 }
 
 // Server is the fleet collector. Create with New, attach a listener
@@ -90,6 +112,7 @@ type Server struct {
 	sessions  map[string]*session
 	names     []string // insertion order, for deterministic iteration
 	finalized int
+	retired   int
 	finSignal chan struct{}
 	fleet     map[string]*FleetRace
 	panics    uint64
@@ -175,6 +198,23 @@ func (s *Server) idleTimeout() time.Duration {
 	return DefaultIdleTimeout
 }
 
+func (s *Server) retainFinalized() int {
+	switch {
+	case s.opts.RetainFinalized > 0:
+		return s.opts.RetainFinalized
+	case s.opts.RetainFinalized < 0:
+		return int(^uint(0) >> 1) // retain everything
+	}
+	return DefaultRetainFinalized
+}
+
+func (s *Server) tsInterval() time.Duration {
+	if s.opts.TSInterval > 0 {
+		return s.opts.TSInterval
+	}
+	return DefaultTSInterval
+}
+
 // Serve accepts producer connections on lis until Close. The janitor
 // (parked-session expiry) and, when an SLO is armed, the watchdog
 // poller run alongside. Serve returns nil after Close.
@@ -193,6 +233,10 @@ func (s *Server) Serve(lis net.Listener) error {
 	if s.wd != nil {
 		s.wg.Add(1)
 		go s.sloPoller()
+	}
+	if s.opts.TS != nil {
+		s.wg.Add(1)
+		go s.tsPoller()
 	}
 	for {
 		conn, err := lis.Accept()
@@ -272,7 +316,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			sess.park(gen)
 			return
 		}
-		if flags&frameEOF != 0 {
+		switch flags {
+		case frameEOF:
 			if !sess.current(gen) {
 				return // kicked by a takeover mid-stream
 			}
@@ -280,13 +325,27 @@ func (s *Server) handleConn(conn net.Conn) {
 			_ = conn.SetWriteDeadline(time.Now().Add(idle))
 			_ = writeJSONLine(conn, final)
 			return
-		}
-		if err := sess.ingest(off, payload); err != nil {
-			// Not an LTRC2 stream at all — fatal for this producer only.
-			final := s.finalizeSession(sess, err)
+		case frameData:
+			if err := sess.ingest(off, payload); err != nil {
+				// Not an LTRC2 stream at all — fatal for this producer only.
+				final := s.finalizeSession(sess, err)
+				_ = conn.SetWriteDeadline(time.Now().Add(idle))
+				_ = writeJSONLine(conn, final)
+				return
+			}
+		case frameTelemetry:
+			s.acceptTelemetry(sess, payload)
+		default:
+			// Unknown frame kind (a future protocol extension, or a
+			// confused producer): answer with a structured reject and keep
+			// the session alive. The producer drains reject lines while
+			// waiting for its FinalReply.
+			s.rec.Anomaly(diag.AnomUnknownFrame, -1, uint64(flags), off)
+			s.log.Warn("unknown frame kind rejected",
+				"producer", sess.name, "flags", flags, "bytes", len(payload))
 			_ = conn.SetWriteDeadline(time.Now().Add(idle))
-			_ = writeJSONLine(conn, final)
-			return
+			_ = writeJSONLine(conn, Reject{Reject: true, Flags: flags,
+				Reason: fmt.Sprintf("unknown frame kind %d", flags)})
 		}
 	}
 }
@@ -327,7 +386,80 @@ func (s *Server) openSession(conn net.Conn, h Hello) (*session, int, HelloReply)
 	if err != nil {
 		return nil, 0, HelloReply{Err: err.Error()}
 	}
-	return sess, gen, HelloReply{OK: true, Next: next}
+	// Ack the telemetry capability iff the producer asked: the producer
+	// must not send flag-2 frames without this ack.
+	return sess, gen, HelloReply{OK: true, Next: next, Telemetry: h.Telemetry}
+}
+
+// acceptTelemetry ingests one telemetry frame: the latest update is
+// pinned on the session (for /metrics per-producer families) and every
+// metric lands in the fleet time-series store stamped with the
+// collector's receive time. A malformed payload is counted and skipped
+// — telemetry is best-effort and must never fail a data session.
+func (s *Server) acceptTelemetry(sess *session, payload []byte) {
+	upd := &TelemetryUpdate{}
+	if err := json.Unmarshal(payload, upd); err != nil {
+		s.log.Debug("malformed telemetry frame ignored", "producer", sess.name, "err", err)
+		return
+	}
+	now := time.Now()
+	sess.noteTelemetry(upd, now)
+	if ts := s.opts.TS; ts != nil {
+		t := now.UnixNano()
+		prefix := "fleet." + sess.name + "."
+		for name, v := range upd.Gauges {
+			ts.Append(prefix+name, tsdb.KindGauge, t, v)
+		}
+		for name, c := range upd.Counters {
+			ts.Append(prefix+name, tsdb.KindCounter, t, float64(c))
+		}
+	}
+}
+
+// tsPoller fills the wired time-series store: the registry's families
+// (via a sampler, with proc stats) plus collector.* aggregates every
+// tsInterval.
+func (s *Server) tsPoller() {
+	defer s.wg.Done()
+	samp := tsdb.NewSampler(s.opts.TS, s.opts.Obs, tsdb.SamplerOptions{Proc: true})
+	t := time.NewTicker(s.tsInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			now := time.Now()
+			samp.PollAt(now)
+			ts := now.UnixNano()
+			active, parked := s.sessionCounts()
+			s.opts.TS.Append("collector.backlog", tsdb.KindGauge, ts, float64(s.probe().Backlog))
+			s.opts.TS.Append("collector.sessions_active", tsdb.KindGauge, ts, float64(active))
+			s.opts.TS.Append("collector.sessions_parked", tsdb.KindGauge, ts, float64(parked))
+			s.opts.TS.Append("collector.sheds", tsdb.KindCounter, ts, float64(s.rec.AnomalyCount(diag.AnomShed)))
+			s.opts.TS.Append("collector.disconnects", tsdb.KindCounter, ts, float64(s.rec.AnomalyCount(diag.AnomDisconnect)))
+			s.mu.Lock()
+			panics, retired := s.panics, s.retired
+			s.mu.Unlock()
+			s.opts.TS.Append("collector.panics", tsdb.KindCounter, ts, float64(panics))
+			s.opts.TS.Append("collector.sessions_retired", tsdb.KindCounter, ts, float64(retired))
+		}
+	}
+}
+
+// sessionCounts tallies live sessions by state.
+func (s *Server) sessionCounts() (active, parked int) {
+	for _, sess := range s.snapshotSessions() {
+		sess.mu.Lock()
+		switch sess.state {
+		case sessActive:
+			active++
+		case sessParked:
+			parked++
+		}
+		sess.mu.Unlock()
+	}
+	return active, parked
 }
 
 // finalizeSession finishes a session's pipeline exactly once, records
@@ -424,6 +556,7 @@ func (s *Server) rollup(sess *session, rep *literace.Report) {
 	}
 	close(s.finSignal)
 	s.finSignal = make(chan struct{})
+	s.retireLocked()
 	s.mu.Unlock()
 
 	if rep == nil {
@@ -451,6 +584,44 @@ func (s *Server) rollup(sess *session, rep *literace.Report) {
 			s.log.Error("ledger append", "producer", sess.name, "err", err)
 		}
 	}
+}
+
+// retireLocked (s.mu held) evicts the oldest finalized sessions past
+// the retention bound. Their outcome is already rolled into the fleet
+// race set and counters; only the per-producer status row disappears
+// from /fleet. A retired name that reconnects starts a fresh session
+// at offset zero — exactly what a soak's churning short-lived
+// producers want, and long-lived producers are never retired while
+// active or parked.
+func (s *Server) retireLocked() {
+	retain := s.retainFinalized()
+	resident := 0
+	for _, name := range s.names {
+		sess := s.sessions[name]
+		sess.mu.Lock()
+		if sess.state == sessDone || sess.state == sessFailed {
+			resident++
+		}
+		sess.mu.Unlock()
+	}
+	if resident <= retain {
+		return
+	}
+	kept := s.names[:0]
+	for _, name := range s.names {
+		sess := s.sessions[name]
+		sess.mu.Lock()
+		final := sess.state == sessDone || sess.state == sessFailed
+		sess.mu.Unlock()
+		if final && resident > retain {
+			delete(s.sessions, name)
+			resident--
+			s.retired++
+			continue
+		}
+		kept = append(kept, name)
+	}
+	s.names = kept
 }
 
 var unsafeFile = regexp.MustCompile(`[^A-Za-z0-9._-]+`)
@@ -529,6 +700,21 @@ func (s *Server) snapshotSessions() []*session {
 		out = append(out, s.sessions[name])
 	}
 	return out
+}
+
+// Backlog returns the aggregate live decode backlog across sessions —
+// the soak harness's bounded-backlog probe.
+func (s *Server) Backlog() int {
+	return s.probe().Backlog
+}
+
+// Turbulence returns the fleet's cumulative shed, disconnect, and
+// recovered-panic counts.
+func (s *Server) Turbulence() (sheds, disconnects, panics uint64) {
+	s.mu.Lock()
+	panics = s.panics
+	s.mu.Unlock()
+	return s.rec.AnomalyCount(diag.AnomShed), s.rec.AnomalyCount(diag.AnomDisconnect), panics
 }
 
 // Finalized returns how many sessions have finalized (cleanly or not).
@@ -629,10 +815,12 @@ type ProducerStatus struct {
 	Sheds         uint64 `json:"sheds,omitempty"`
 	ShedBytes     uint64 `json:"shed_bytes,omitempty"`
 	Reconnects    uint64 `json:"reconnects,omitempty"`
-	Races         int    `json:"races"`
-	Degraded      bool   `json:"degraded,omitempty"`
-	Complete      bool   `json:"complete,omitempty"`
-	Err           string `json:"err,omitempty"`
+	// Telemetry counts accepted telemetry frames from this producer.
+	Telemetry uint64 `json:"telemetry_updates,omitempty"`
+	Races     int    `json:"races"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Complete  bool   `json:"complete,omitempty"`
+	Err       string `json:"err,omitempty"`
 }
 
 // FleetRace is one static race deduplicated across the fleet. Confirmed
@@ -651,15 +839,19 @@ type FleetRace struct {
 // FleetReport is the aggregate view: every producer's status plus the
 // deduplicated fleet race set, deterministically ordered.
 type FleetReport struct {
-	Schema      string           `json:"schema"`
-	Producers   []ProducerStatus `json:"producers"`
-	Finalized   int              `json:"finalized"`
-	Races       []FleetRace      `json:"races"`
-	Confirmed   int              `json:"confirmed_races"`
-	Unconfirmed int              `json:"unconfirmed_races"`
-	Shed        uint64           `json:"shed_events"`
-	Disconnects uint64           `json:"disconnects"`
-	Panics      uint64           `json:"panics"`
+	Schema    string           `json:"schema"`
+	Producers []ProducerStatus `json:"producers"`
+	Finalized int              `json:"finalized"`
+	// Retired counts finalized sessions evicted by the retention bound;
+	// their races and turbulence stay in the aggregates, only their
+	// status rows are gone.
+	Retired     int         `json:"retired,omitempty"`
+	Races       []FleetRace `json:"races"`
+	Confirmed   int         `json:"confirmed_races"`
+	Unconfirmed int         `json:"unconfirmed_races"`
+	Shed        uint64      `json:"shed_events"`
+	Disconnects uint64      `json:"disconnects"`
+	Panics      uint64      `json:"panics"`
 }
 
 // FleetReport snapshots the fleet state. Safe to call at any time.
@@ -673,6 +865,7 @@ func (s *Server) FleetReport() *FleetReport {
 
 	s.mu.Lock()
 	rep.Finalized = s.finalized
+	rep.Retired = s.retired
 	rep.Panics = s.panics
 	for _, fr := range s.fleet {
 		cp := *fr
@@ -761,8 +954,10 @@ func (s *Server) Health() *diag.Health {
 }
 
 // Handler returns the collector's HTTP surface: the standard telemetry
-// endpoints (/metrics, /snapshot, /healthz, /debug/pprof) over the
-// configured registry with /healthz answering the live fleet health,
+// endpoints (/metrics, /snapshot, /healthz, /debug/pprof — plus
+// /api/timeseries and /dashboard when a time-series store is wired)
+// over the configured registry with /healthz answering the live fleet
+// health, /metrics extended with per-producer-labeled fleet families,
 // plus GET /fleet (the FleetReport as JSON) and POST /ingest (one-shot
 // whole-log upload: ?producer=NAME, the body is the encoded log, the
 // response is the FinalReply JSON).
@@ -771,9 +966,15 @@ func (s *Server) Handler() http.Handler {
 	if reg == nil {
 		reg = obs.New()
 	}
-	base := export.NewHandler(reg, s.start, &s.scrapes, s.Health)
+	base := export.NewHandler(reg, s.start, &s.scrapes, s.Health, s.opts.TS)
 	mux := http.NewServeMux()
 	mux.Handle("/", base)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.scrapes.Add(1)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = export.WriteProm(w, reg.Snapshot())
+		s.writeFleetProm(w)
+	})
 	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		b, err := json.MarshalIndent(s.FleetReport(), "", "  ")
@@ -785,6 +986,80 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/ingest", s.handleIngest)
 	return mux
+}
+
+// writeFleetProm appends the per-producer labeled families to a
+// /metrics scrape: one literace_fleet_producer_* family per session
+// counter, plus literace_fleet_producer_metric{producer,metric} rows
+// carrying each producer's latest shipped telemetry. Rows are sorted
+// by producer (and metric) so scrapes are deterministic for a fixed
+// fleet state.
+func (s *Server) writeFleetProm(w io.Writer) {
+	type row struct {
+		st  ProducerStatus
+		upd *TelemetryUpdate
+	}
+	sessions := s.snapshotSessions()
+	rows := make([]row, 0, len(sessions))
+	for _, sess := range sessions {
+		upd, _ := sess.latestTelemetry()
+		rows = append(rows, row{st: sess.status(), upd: upd})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Name < rows[j].st.Name })
+
+	families := []struct {
+		name, help string
+		val        func(ProducerStatus) float64
+	}{
+		{"accepted_bytes", "contiguous bytes accepted from this producer (its resume offset)",
+			func(p ProducerStatus) float64 { return float64(p.AcceptedBytes) }},
+		{"frames", "frames received from this producer",
+			func(p ProducerStatus) float64 { return float64(p.Frames) }},
+		{"reconnects", "times this producer re-attached",
+			func(p ProducerStatus) float64 { return float64(p.Reconnects) }},
+		{"sheds", "reorder-budget sheds charged to this producer",
+			func(p ProducerStatus) float64 { return float64(p.Sheds) }},
+		{"shed_bytes", "bytes abandoned to sheds for this producer",
+			func(p ProducerStatus) float64 { return float64(p.ShedBytes) }},
+		{"telemetry_updates", "telemetry frames accepted from this producer",
+			func(p ProducerStatus) float64 { return float64(p.Telemetry) }},
+		{"races", "static races in this producer's finalized report",
+			func(p ProducerStatus) float64 { return float64(p.Races) }},
+	}
+	for _, f := range families {
+		fam := "literace_fleet_producer_" + f.name
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", fam, f.help, fam)
+		for _, r := range rows {
+			// These are all integral session counters; %.0f keeps big
+			// offsets out of scientific notation.
+			fmt.Fprintf(w, "%s{producer=\"%s\"} %.0f\n", fam, export.PromLabel(r.st.Name), f.val(r.st))
+		}
+	}
+
+	fam := "literace_fleet_producer_metric"
+	fmt.Fprintf(w, "# HELP %s latest telemetry shipped by each producer\n# TYPE %s gauge\n", fam, fam)
+	for _, r := range rows {
+		if r.upd == nil {
+			continue
+		}
+		names := make([]string, 0, len(r.upd.Gauges)+len(r.upd.Counters))
+		for name := range r.upd.Gauges {
+			names = append(names, name)
+		}
+		for name := range r.upd.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		names = dedupStrings(names)
+		for _, name := range names {
+			v, ok := r.upd.Gauges[name]
+			if !ok {
+				v = float64(r.upd.Counters[name])
+			}
+			fmt.Fprintf(w, "%s{producer=\"%s\",metric=\"%s\"} %g\n",
+				fam, export.PromLabel(r.st.Name), export.PromLabel(name), v)
+		}
+	}
 }
 
 // handleIngest is the HTTP one-shot path: the whole log in one body.

@@ -76,6 +76,13 @@ type session struct {
 	shedBytes  uint64
 	reconnects uint64
 
+	// Latest telemetry frame from this producer (nil until one arrives)
+	// and how many were accepted; served on /metrics as per-producer
+	// labeled families and folded into the fleet time-series store.
+	telemetry   *TelemetryUpdate
+	telemetryAt time.Time
+	telemetryN  uint64
+
 	parkedAt time.Time
 	eofAt    uint64 // offset announced by the EOF frame (0 until seen)
 	sawEOF   bool
@@ -296,6 +303,23 @@ func (s *session) park(gen int) {
 		"producer", s.name, "accepted_bytes", s.accepted)
 }
 
+// noteTelemetry stores the latest accepted telemetry update.
+func (s *session) noteTelemetry(upd *TelemetryUpdate, at time.Time) {
+	s.mu.Lock()
+	s.telemetry = upd
+	s.telemetryAt = at
+	s.telemetryN++
+	s.mu.Unlock()
+}
+
+// latestTelemetry returns the most recent update (nil if none) and the
+// accepted count.
+func (s *session) latestTelemetry() (*TelemetryUpdate, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.telemetry, s.telemetryN
+}
+
 // status is the /fleet snapshot row.
 func (s *session) status() ProducerStatus {
 	s.mu.Lock()
@@ -311,6 +335,7 @@ func (s *session) status() ProducerStatus {
 		Sheds:         s.sheds,
 		ShedBytes:     s.shedBytes,
 		Reconnects:    s.reconnects,
+		Telemetry:     s.telemetryN,
 	}
 	if s.rep != nil {
 		ps.Races = len(s.rep.Races)

@@ -3,6 +3,7 @@ package collector
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -10,15 +11,18 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"literace/internal/obs"
 )
 
 // Shipper defaults.
 const (
-	DefaultFrameSize   = 64 << 10
-	DefaultMaxAttempts = 8
-	DefaultBackoff     = 50 * time.Millisecond
-	DefaultMaxBackoff  = 2 * time.Second
-	DefaultDialTimeout = 5 * time.Second
+	DefaultFrameSize         = 64 << 10
+	DefaultMaxAttempts       = 8
+	DefaultBackoff           = 50 * time.Millisecond
+	DefaultMaxBackoff        = 2 * time.Second
+	DefaultDialTimeout       = 5 * time.Second
+	DefaultTelemetryInterval = time.Second
 )
 
 // ShipOptions configures a producer-side shipper.
@@ -53,6 +57,16 @@ type ShipOptions struct {
 	Rand *rand.Rand
 	// Log, when non-nil, receives retry/reconnect warnings.
 	Log *slog.Logger
+	// Telemetry, when non-nil, asks the collector for the telemetry
+	// capability and ships compact snapshots of this registry (counters
+	// and gauges) over flag-2 frames every TelemetryInterval, plus one
+	// final snapshot before EOF. The shipper also instruments itself
+	// into this registry (ship.frames_sent, ship.bytes_sent,
+	// ship.telemetry_sent). Old collectors never ack the capability, so
+	// no telemetry frame is ever sent to one.
+	Telemetry *obs.Registry
+	// TelemetryInterval paces telemetry frames. 0 = DefaultTelemetryInterval.
+	TelemetryInterval time.Duration
 }
 
 func (o *ShipOptions) frameSize() int {
@@ -67,6 +81,13 @@ func (o *ShipOptions) maxAttempts() int {
 		return DefaultMaxAttempts
 	}
 	return o.MaxAttempts
+}
+
+func (o *ShipOptions) telemetryInterval() time.Duration {
+	if o.TelemetryInterval > 0 {
+		return o.TelemetryInterval
+	}
+	return DefaultTelemetryInterval
 }
 
 func (o *ShipOptions) logger() *slog.Logger {
@@ -98,6 +119,32 @@ type shipConn struct {
 	conn net.Conn
 	br   *bufio.Reader
 	next uint64 // the offset the server asked to resume at
+	// telemetry reports whether the server acked the capability; without
+	// it no flag-2 frame may be written (an old collector would mistake
+	// one for data and fail the session).
+	telemetry bool
+}
+
+// sendTelemetry writes one telemetry frame carrying the registry's
+// current counters and gauges. No-op without the server ack.
+func (sc *shipConn) sendTelemetry(o *ShipOptions) error {
+	if !sc.telemetry || o.Telemetry == nil {
+		return nil
+	}
+	snap := o.Telemetry.Snapshot()
+	payload, err := json.Marshal(TelemetryUpdate{
+		At:       time.Now().UnixNano(),
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(sc.conn, frameTelemetry, 0, payload); err != nil {
+		return err
+	}
+	o.Telemetry.Counter("ship.telemetry_sent").Inc()
+	return nil
 }
 
 func (o *ShipOptions) dial(resume bool) (*shipConn, error) {
@@ -113,7 +160,8 @@ func (o *ShipOptions) dial(resume bool) (*shipConn, error) {
 		conn = o.WrapConn(conn)
 	}
 	_ = conn.SetDeadline(time.Now().Add(dt))
-	hello := Hello{V: ProtocolVersion, Producer: o.Producer, Module: o.Module, Resume: resume}
+	hello := Hello{V: ProtocolVersion, Producer: o.Producer, Module: o.Module,
+		Resume: resume, Telemetry: o.Telemetry != nil}
 	if _, err := conn.Write([]byte(Magic)); err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -133,7 +181,7 @@ func (o *ShipOptions) dial(resume bool) (*shipConn, error) {
 		return nil, &RejectedError{Reason: reply.Err}
 	}
 	_ = conn.SetDeadline(time.Time{})
-	return &shipConn{conn: conn, br: br, next: reply.Next}, nil
+	return &shipConn{conn: conn, br: br, next: reply.Next, telemetry: reply.Telemetry}, nil
 }
 
 // RejectedError is a hello the collector refused (capacity, finalized
@@ -200,6 +248,7 @@ func errAs(err error, target **RejectedError) bool {
 // the final reply.
 func shipFrames(sc *shipConn, src io.ReaderAt, size int64, opts *ShipOptions) (*FinalReply, error) {
 	buf := make([]byte, opts.frameSize())
+	lastTel := time.Now()
 	for off := int64(sc.next); off < size; {
 		n := int64(len(buf))
 		if size-off < n {
@@ -211,23 +260,36 @@ func shipFrames(sc *shipConn, src io.ReaderAt, size int64, opts *ShipOptions) (*
 		if err := writeFrame(sc.conn, frameData, uint64(off), buf[:n]); err != nil {
 			return nil, err
 		}
+		opts.Telemetry.Counter("ship.frames_sent").Inc()
+		opts.Telemetry.Counter("ship.bytes_sent").Add(uint64(n))
 		off += n
+		if sc.telemetry && time.Since(lastTel) >= opts.telemetryInterval() {
+			lastTel = time.Now()
+			if err := sc.sendTelemetry(opts); err != nil {
+				return nil, err
+			}
+		}
 		if opts.Throttle > 0 {
 			time.Sleep(opts.Throttle)
 		}
+	}
+	// One final snapshot so even a shipment shorter than the interval
+	// leaves its closing counters in the fleet history.
+	if err := sc.sendTelemetry(opts); err != nil {
+		return nil, err
 	}
 	if err := writeFrame(sc.conn, frameEOF, uint64(size), nil); err != nil {
 		return nil, err
 	}
 	_ = sc.conn.SetReadDeadline(time.Now().Add(time.Minute))
-	var final FinalReply
-	if err := readJSONLine(sc.br, &final); err != nil {
+	final, err := readFinalReply(sc.br)
+	if err != nil {
 		return nil, err
 	}
 	if !final.OK {
-		return &final, fmt.Errorf("collector: session failed: %s", final.Err)
+		return final, fmt.Errorf("collector: session failed: %s", final.Err)
 	}
-	return &final, nil
+	return final, nil
 }
 
 // Forwarder ships a log that is still growing — the `literace watch
@@ -248,6 +310,7 @@ type Forwarder struct {
 	sent     uint64 // absolute offset streamed on the current connection
 	fails    int    // consecutive connect/stream failures, for backoff
 	nextDial time.Time
+	lastTel  time.Time
 }
 
 // NewForwarder builds a forwarder; it connects lazily on first Append.
@@ -296,7 +359,15 @@ func (f *Forwarder) pushLocked() {
 			f.dropLinkLocked(err)
 			return
 		}
+		f.opts.Telemetry.Counter("ship.frames_sent").Inc()
+		f.opts.Telemetry.Counter("ship.bytes_sent").Add(n)
 		f.sent += n
+	}
+	if f.sc.telemetry && time.Since(f.lastTel) >= f.opts.telemetryInterval() {
+		f.lastTel = time.Now()
+		if err := f.sc.sendTelemetry(&f.opts); err != nil {
+			f.dropLinkLocked(err)
+		}
 	}
 }
 
@@ -351,15 +422,17 @@ func (f *Forwarder) Close() (*FinalReply, error) {
 		sc := f.sc
 		f.sc = nil
 		f.mu.Unlock()
+		// Closing telemetry snapshot first, so the fleet history carries
+		// this producer's final counters.
+		_ = sc.sendTelemetry(&f.opts)
 		if err := writeFrame(sc.conn, frameEOF, total, nil); err == nil {
 			_ = sc.conn.SetReadDeadline(time.Now().Add(time.Minute))
-			var final FinalReply
-			if jerr := readJSONLine(sc.br, &final); jerr == nil {
+			if final, jerr := readFinalReply(sc.br); jerr == nil {
 				_ = sc.conn.Close()
 				if !final.OK {
-					return &final, fmt.Errorf("collector: session failed: %s", final.Err)
+					return final, fmt.Errorf("collector: session failed: %s", final.Err)
 				}
-				return &final, nil
+				return final, nil
 			}
 		}
 		_ = sc.conn.Close()

@@ -1,0 +1,346 @@
+// Telemetry-frame and mixed-version compatibility tests: the LRCOL1
+// telemetry extension must be invisible to old peers in both
+// directions, and unknown frame kinds must degrade per-frame (a
+// structured reject) rather than per-producer (session teardown).
+package collector_test
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"literace/internal/collector"
+	"literace/internal/obs"
+	"literace/internal/obs/tsdb"
+)
+
+// Wire constants, duplicated from the protocol doc on purpose: these
+// tests speak raw bytes so they keep passing (or failing loudly) if the
+// package constants ever drift from the documented protocol.
+const (
+	wireMagic     = "LRCOL1\n"
+	wireData      = byte(0)
+	wireEOF       = byte(1)
+	wireTelemetry = byte(2)
+)
+
+// wireChunks sends payload as data frames under the server's 4 MiB
+// frame cap, starting at offset off.
+func wireChunks(w io.Writer, off uint64, payload []byte) error {
+	const chunk = 1 << 20
+	for len(payload) > 0 {
+		n := len(payload)
+		if n > chunk {
+			n = chunk
+		}
+		if err := wireFrame(w, wireData, off, payload[:n]); err != nil {
+			return err
+		}
+		off += uint64(n)
+		payload = payload[n:]
+	}
+	return nil
+}
+
+func wireFrame(w io.Writer, flags byte, off uint64, payload []byte) error {
+	var hdr [13]byte
+	hdr[0] = flags
+	binary.BigEndian.PutUint64(hdr[1:9], off)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// TestTelemetryEndToEnd ships with a telemetry registry against a
+// store-wired collector and checks all three observation surfaces: the
+// session's accepted-update count, the fleet.<producer>.* series in
+// the time-series store, and the per-producer labeled families on
+// /metrics.
+func TestTelemetryEndToEnd(t *testing.T) {
+	store := tsdb.New(tsdb.Options{})
+	srv, addr := startCollector(t, collector.Options{Obs: obs.New(), TS: store})
+
+	data := genLog(t, "dryad", 1)
+	prodReg := obs.New()
+	prodReg.Gauge("app.inflight").Set(3)
+	final, err := collector.ShipBytes(data, collector.ShipOptions{
+		Addr:      addr,
+		Producer:  "tel-1",
+		Telemetry: prodReg,
+		// Interval 0 -> default 1s; the final pre-EOF snapshot still
+		// guarantees at least one update lands.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.OK || final.Report != detectText(t, data) {
+		t.Fatalf("telemetry shipment lost report parity: %+v", final)
+	}
+
+	rep := srv.FleetReport()
+	if len(rep.Producers) != 1 || rep.Producers[0].Telemetry == 0 {
+		t.Fatalf("no telemetry updates recorded: %+v", rep.Producers)
+	}
+
+	dump := store.Dump()
+	for _, name := range []string{
+		"fleet.tel-1.ship.bytes_sent",
+		"fleet.tel-1.ship.frames_sent",
+		"fleet.tel-1.app.inflight",
+	} {
+		sd := dump.Lookup(name)
+		if sd == nil || sd.Total == 0 {
+			t.Errorf("fleet series %q missing from store dump", name)
+		}
+	}
+	if sd := dump.Lookup("fleet.tel-1.app.inflight"); sd != nil && sd.Last != 3 {
+		t.Errorf("app.inflight = %g, want 3", sd.Last)
+	}
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`literace_fleet_producer_accepted_bytes{producer="tel-1"} ` + fmt.Sprint(len(data)),
+		`literace_fleet_producer_telemetry_updates{producer="tel-1"}`,
+		`literace_fleet_producer_metric{producer="tel-1",metric="app.inflight"} 3`,
+		`literace_fleet_producer_metric{producer="tel-1",metric="ship.bytes_sent"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestNewProducerOldCollector stands up a stub speaking the PR-7
+// protocol (no telemetry ack in its hello reply) and asserts a
+// telemetry-enabled shipper never sends a flag-2 frame to it — an old
+// collector would fatally mis-read one as data.
+func TestNewProducerOldCollector(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	sawTelemetry := make(chan byte, 16)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		magic := make([]byte, len(wireMagic))
+		if _, err := io.ReadFull(br, magic); err != nil {
+			return
+		}
+		if _, err := br.ReadSlice('\n'); err != nil { // hello (ignored, like an old server ignores unknown fields)
+			return
+		}
+		// Old reply shape: no "telemetry" field at all.
+		_, _ = conn.Write([]byte(`{"ok":true,"next":0}` + "\n"))
+		for {
+			var hdr [13]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			n := binary.BigEndian.Uint32(hdr[9:13])
+			if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+				return
+			}
+			if hdr[0] != wireData && hdr[0] != wireEOF {
+				sawTelemetry <- hdr[0]
+			}
+			if hdr[0] == wireEOF {
+				_, _ = conn.Write([]byte(`{"ok":true,"report":"","races":0,"unconfirmed":0,"events":0,"degraded":false,"complete":true}` + "\n"))
+				return
+			}
+		}
+	}()
+
+	final, err := collector.ShipBytes(genLog(t, "dryad", 1), collector.ShipOptions{
+		Addr:      lis.Addr().String(),
+		Producer:  "new-to-old",
+		Telemetry: obs.New(), // wants telemetry, but the old server won't ack
+	})
+	if err != nil {
+		t.Fatalf("new producer failed against old collector: %v", err)
+	}
+	if !final.OK {
+		t.Fatalf("final = %+v", final)
+	}
+	select {
+	case flags := <-sawTelemetry:
+		t.Fatalf("producer sent frame kind %d to a collector that never acked telemetry", flags)
+	default:
+	}
+}
+
+// TestOldProducerNewCollector speaks the PR-7 producer protocol raw —
+// no telemetry field in the hello, plain FinalReply read — against the
+// current server, proving old producers keep working unchanged.
+func TestOldProducerNewCollector(t *testing.T) {
+	_, addr := startCollector(t, collector.Options{})
+	data := genLog(t, "dryad", 1)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(wireMagic)); err != nil {
+		t.Fatal(err)
+	}
+	// Old hello: exactly the PR-7 fields.
+	if _, err := conn.Write([]byte(`{"v":1,"producer":"old-prod"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply collector.HelloReply
+	if err := json.Unmarshal(line, &reply); err != nil || !reply.OK {
+		t.Fatalf("hello reply %s (err %v)", line, err)
+	}
+	if reply.Telemetry {
+		t.Fatal("server acked telemetry to a producer that never asked")
+	}
+	if err := wireChunks(conn, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := wireFrame(conn, wireEOF, uint64(len(data)), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(time.Minute))
+	line, err = br.ReadSlice('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final collector.FinalReply
+	if err := json.Unmarshal(line, &final); err != nil {
+		t.Fatalf("final reply %s: %v", line, err)
+	}
+	if !final.OK || final.Report != detectText(t, data) {
+		t.Fatalf("old producer lost parity: ok=%v", final.OK)
+	}
+}
+
+// TestUnknownFrameRejectedNotFatal sends a frame kind from the future
+// mid-stream: the server must answer a structured reject, keep the
+// session alive, and still finalize with a detect-identical report.
+func TestUnknownFrameRejectedNotFatal(t *testing.T) {
+	_, addr := startCollector(t, collector.Options{})
+	data := genLog(t, "dryad", 1)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(wireMagic)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte(`{"v":1,"producer":"futur","telemetry":true}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	if _, err := br.ReadSlice('\n'); err != nil { // hello reply
+		t.Fatal(err)
+	}
+	half := len(data) / 2
+	if err := wireChunks(conn, 0, data[:half]); err != nil {
+		t.Fatal(err)
+	}
+	// A frame kind this server has never heard of, mid-stream.
+	if err := wireFrame(conn, 9, 0, []byte("from the future")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wireChunks(conn, uint64(half), data[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := wireFrame(conn, wireEOF, uint64(len(data)), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(time.Minute))
+
+	var sawReject bool
+	for {
+		line, err := br.ReadSlice('\n')
+		if err != nil {
+			t.Fatalf("reading replies: %v (reject seen: %v)", err, sawReject)
+		}
+		var rej collector.Reject
+		if json.Unmarshal(line, &rej) == nil && rej.Reject {
+			if rej.Flags != 9 {
+				t.Errorf("reject flags = %d, want 9", rej.Flags)
+			}
+			sawReject = true
+			continue
+		}
+		var final collector.FinalReply
+		if err := json.Unmarshal(line, &final); err != nil {
+			t.Fatalf("final reply %s: %v", line, err)
+		}
+		if !final.OK || final.Report != detectText(t, data) {
+			t.Fatalf("unknown frame degraded the session: %+v", final)
+		}
+		break
+	}
+	if !sawReject {
+		t.Fatal("server never sent the structured reject")
+	}
+}
+
+// TestFinalizedSessionRetention churns more unique producers than the
+// retention bound and checks old finalized sessions are retired while
+// the fleet aggregates (race set, finalized count) keep everything.
+func TestFinalizedSessionRetention(t *testing.T) {
+	srv, addr := startCollector(t, collector.Options{RetainFinalized: 2})
+	data := genLog(t, "dryad", 1)
+	wantRaces := len(raceKeys(t, data))
+	const churn = 5
+	for i := 0; i < churn; i++ {
+		final, err := collector.ShipBytes(data, collector.ShipOptions{
+			Addr: addr, Producer: fmt.Sprintf("churn-%d", i),
+		})
+		if err != nil || !final.OK {
+			t.Fatalf("ship %d: %v (%+v)", i, err, final)
+		}
+	}
+	rep := srv.FleetReport()
+	if rep.Finalized != churn {
+		t.Errorf("finalized = %d, want %d", rep.Finalized, churn)
+	}
+	if rep.Retired != churn-2 {
+		t.Errorf("retired = %d, want %d", rep.Retired, churn-2)
+	}
+	if len(rep.Producers) != 2 {
+		t.Errorf("resident producers = %d, want 2", len(rep.Producers))
+	}
+	if len(rep.Races) != wantRaces {
+		t.Errorf("fleet races = %d, want %d (retention must not lose races)", len(rep.Races), wantRaces)
+	}
+	// A retired name reconnecting starts a fresh session at offset 0.
+	final, err := collector.ShipBytes(data, collector.ShipOptions{Addr: addr, Producer: "churn-0"})
+	if err != nil || !final.OK {
+		t.Fatalf("retired name could not start fresh: %v", err)
+	}
+}

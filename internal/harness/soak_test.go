@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"literace/internal/obs/ledger"
+)
+
+// TestSoakShortRun is a miniature soak: 3 producers for ~2 seconds with
+// a low sample floor. It must pass every gate and record the full
+// tracked-series set — the 30s CI shape only stretches the duration.
+func TestSoakShortRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run in -short mode")
+	}
+	sum, err := BuildSoakSummary(SoakConfig{
+		Producers:      3,
+		Duration:       2 * time.Second,
+		SampleInterval: 50 * time.Millisecond,
+		MinSamples:     10,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Pass {
+		t.Errorf("soak failed gates: samples=%v heap=%v backlog=%v ships=%v (failures %d)",
+			sum.SamplesOK, sum.BoundedHeap, sum.BoundedBacklog, sum.ShipmentsOK, sum.Failures)
+	}
+	if len(sum.Series) != len(soakTrackedSeries) {
+		t.Errorf("tracked series = %d, want %d", len(sum.Series), len(soakTrackedSeries))
+	}
+	if sum.Kills == 0 {
+		t.Error("fault injection never fired")
+	}
+	if sum.Shipments < uint64(sum.Producers) {
+		t.Errorf("only %d shipments across %d producers", sum.Shipments, sum.Producers)
+	}
+	if sum.TotalSeries <= len(soakTrackedSeries) {
+		t.Errorf("store holds %d series; expected fleet.* telemetry beyond the %d tracked",
+			sum.TotalSeries, len(soakTrackedSeries))
+	}
+
+	// Round-trip through the artifact file and the drift gate.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_soak.json")
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSoakSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareSoakSummaries(back, sum); err != nil {
+		t.Errorf("self-compare drifted: %v", err)
+	}
+}
+
+// TestCompareSoakSummariesDrift checks the gate trips on deterministic
+// fields and wraps the sentinel drift error.
+func TestCompareSoakSummariesDrift(t *testing.T) {
+	base := &SoakSummary{
+		Schema: SoakSchema, Producers: 8, DurationSecs: 30, SampleIntervalMS: 250,
+		MinSamples: 50, Workloads: []string{"dryad"},
+		SamplesOK: true, BoundedHeap: true, BoundedBacklog: true, ShipmentsOK: true, Pass: true,
+		Series: []SoakSeries{{Name: "proc.heap_bytes", Kind: "gauge", Samples: 120, Mean: 1e6}},
+	}
+	cur := &SoakSummary{}
+	if err := json.Unmarshal(mustJSON(t, base), cur); err != nil {
+		t.Fatal(err)
+	}
+	// Informational wobble must NOT drift.
+	cur.Series[0].Samples = 119
+	cur.Series[0].Mean = 2e6
+	cur.Shipments = 999
+	if err := CompareSoakSummaries(base, cur); err != nil {
+		t.Errorf("informational fields tripped the gate: %v", err)
+	}
+	// A failed gate must.
+	cur.BoundedHeap = false
+	err := CompareSoakSummaries(base, cur)
+	if !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Errorf("gate flip: got %v, want ErrDriftExceeded", err)
+	}
+	// So must a renamed series.
+	cur.BoundedHeap = true
+	cur.Series[0].Name = "proc.heap"
+	if err := CompareSoakSummaries(base, cur); !errors.Is(err, ledger.ErrDriftExceeded) {
+		t.Errorf("series rename: got %v, want ErrDriftExceeded", err)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -93,6 +93,12 @@ const (
 	// (magnitude = bytes accepted so far). The session parks for the
 	// resume grace window, then finalizes under salvage rules.
 	AnomDisconnect
+	// AnomUnknownFrame: a collector connection carried a frame kind this
+	// build does not understand (magnitude = the flag byte). The frame is
+	// answered with a structured reject and skipped; the session keeps
+	// streaming, so mixed-version fleets degrade per-frame, not
+	// per-producer.
+	AnomUnknownFrame
 	numAnomalies
 )
 
@@ -105,6 +111,7 @@ var anomalyNames = [numAnomalies]string{
 	"degrade-transition",
 	"shed",
 	"disconnect",
+	"unknown-frame",
 }
 
 func (a Anomaly) String() string {

@@ -1,0 +1,152 @@
+package export
+
+// dashboardHTML is the single-file live dashboard served at /dashboard
+// by every export server (run/watch/bench -serve and serve-collector).
+// It is deliberately dependency-free: no external scripts, fonts, or
+// stylesheets — just inline JS polling /api/timeseries (and /healthz,
+// plus /fleet when the collector serves one) and drawing SVG
+// sparklines, so it works air-gapped and adds nothing to the supply
+// chain. Featured process series (ESR, events/sec, backlog, heap) are
+// pinned first; fleet.<producer>.* series group into per-producer
+// cards with resume offsets and shed/disconnect history pulled from
+// /fleet.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>literace dashboard</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 1.2em;
+         background: Canvas; color: CanvasText; }
+  h1 { font-size: 1.2em; margin: 0 0 .2em 0; }
+  h2 { font-size: 1em; margin: 1.2em 0 .4em 0; border-bottom: 1px solid color-mix(in srgb, CanvasText 20%, transparent); }
+  #status { display: inline-block; padding: .1em .6em; border-radius: 1em;
+            font-weight: 600; }
+  #status.ok { background: #2e7d3222; color: #2e7d32; }
+  #status.degraded { background: #e6510022; color: #e65100; }
+  #status.breached, #status.down { background: #c6282822; color: #c62828; }
+  #meta { opacity: .7; margin-bottom: 1em; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(240px, 1fr));
+          gap: .6em; }
+  .card { border: 1px solid color-mix(in srgb, CanvasText 18%, transparent);
+          border-radius: 6px; padding: .5em .7em; }
+  .card .name { font-family: ui-monospace, monospace; font-size: .85em;
+                overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  .card .val { font-size: 1.25em; font-weight: 600; }
+  .card .range { opacity: .6; font-size: .8em; }
+  .card svg { width: 100%; height: 42px; display: block; }
+  .spark { fill: none; stroke: #1976d2; stroke-width: 1.5; }
+  .sparkfill { fill: #1976d222; stroke: none; }
+  table { border-collapse: collapse; font-size: .9em; }
+  th, td { text-align: left; padding: .2em .8em .2em 0; font-variant-numeric: tabular-nums; }
+  th { opacity: .7; font-weight: 600; }
+  td.mono { font-family: ui-monospace, monospace; }
+</style>
+</head>
+<body>
+<h1>literace <span id="status" class="ok">…</span></h1>
+<div id="meta">waiting for first sample…</div>
+<div id="fleet"></div>
+<div id="featured"></div>
+<div id="rest"></div>
+<script>
+"use strict";
+const FEATURED = [/^core\.esr\./, /^stream\.events_per_sec$/, /^stream\.backlog/, /^proc\.heap_bytes$/, /^collector\./];
+const fmt = v => {
+  if (!isFinite(v)) return "–";
+  const a = Math.abs(v);
+  if (a >= 1e9) return (v/1e9).toFixed(2)+"G";
+  if (a >= 1e6) return (v/1e6).toFixed(2)+"M";
+  if (a >= 1e3) return (v/1e3).toFixed(1)+"k";
+  if (a > 0 && a < 0.01) return v.toExponential(1);
+  return (Math.round(v*100)/100).toString();
+};
+function spark(points) {
+  const w = 220, h = 42, pad = 2;
+  if (points.length < 2) return "<svg viewBox='0 0 "+w+" "+h+"'></svg>";
+  let tmin = points[0].t, tmax = points[points.length-1].t;
+  let vmin = Infinity, vmax = -Infinity;
+  for (const p of points) { vmin = Math.min(vmin, p.v); vmax = Math.max(vmax, p.v); }
+  if (tmax === tmin) tmax = tmin + 1;
+  if (vmax === vmin) { vmax += 1; vmin -= 1; }
+  const X = t => pad + (w - 2*pad) * (t - tmin) / (tmax - tmin);
+  const Y = v => h - pad - (h - 2*pad) * (v - vmin) / (vmax - vmin);
+  const pts = points.map(p => X(p.t).toFixed(1)+","+Y(p.v).toFixed(1)).join(" ");
+  const fill = pad+","+(h-pad)+" "+pts+" "+(w-pad)+","+(h-pad);
+  return "<svg viewBox='0 0 "+w+" "+h+"' preserveAspectRatio='none'>"+
+    "<polygon class='sparkfill' points='"+fill+"'/>"+
+    "<polyline class='spark' points='"+pts+"'/></svg>";
+}
+function card(s) {
+  return "<div class='card'><div class='name' title='"+s.name+"'>"+s.name+"</div>"+
+    "<div class='val'>"+fmt(s.last)+"</div>"+spark(s.points)+
+    "<div class='range'>min "+fmt(s.min)+" · max "+fmt(s.max)+" · n="+s.total+"</div></div>";
+}
+function grid(title, series) {
+  if (!series.length) return "";
+  return (title ? "<h2>"+title+"</h2>" : "") +
+    "<div class='grid'>"+series.map(card).join("")+"</div>";
+}
+async function getJSON(url) {
+  const r = await fetch(url, {cache: "no-store"});
+  if (!r.ok && r.status !== 503) throw new Error(url+": "+r.status);
+  return r.json();
+}
+async function tick() {
+  const status = document.getElementById("status");
+  try {
+    const ts = await getJSON("/api/timeseries");
+    const series = ts.series || [];
+    const fleetSeries = series.filter(s => s.name.startsWith("fleet."));
+    const local = series.filter(s => !s.name.startsWith("fleet."));
+    const featured = local.filter(s => FEATURED.some(re => re.test(s.name)));
+    const rest = local.filter(s => !FEATURED.some(re => re.test(s.name)));
+    document.getElementById("featured").innerHTML = grid("", featured) ;
+    document.getElementById("rest").innerHTML = grid("all series", rest);
+
+    // Per-producer fleet sections (collector only).
+    const byProducer = new Map();
+    for (const s of fleetSeries) {
+      const m = s.name.match(/^fleet\.([^.]+)\.(.+)$/);
+      if (!m) continue;
+      if (!byProducer.has(m[1])) byProducer.set(m[1], []);
+      byProducer.get(m[1]).push({...s, name: m[2]});
+    }
+    let fleetHTML = "";
+    let fleet = null;
+    try { fleet = await getJSON("/fleet"); } catch (e) { /* not a collector */ }
+    if (fleet && fleet.producers && fleet.producers.length) {
+      fleetHTML += "<h2>fleet sessions</h2><table><tr><th>producer</th><th>state</th>"+
+        "<th>resume offset</th><th>frames</th><th>reconnects</th><th>sheds</th><th>races</th></tr>";
+      for (const p of fleet.producers) {
+        fleetHTML += "<tr><td class='mono'>"+p.producer+"</td><td>"+p.state+"</td>"+
+          "<td>"+fmt(p.accepted_bytes)+"</td><td>"+(p.frames||0)+"</td>"+
+          "<td>"+(p.reconnects||0)+"</td><td>"+(p.sheds||0)+"</td><td>"+(p.races||0)+"</td></tr>";
+      }
+      fleetHTML += "</table>";
+    }
+    for (const [prod, ss] of [...byProducer.entries()].sort()) {
+      fleetHTML += grid("producer "+prod, ss);
+    }
+    document.getElementById("fleet").innerHTML = fleetHTML;
+
+    const hz = await getJSON("/healthz");
+    status.textContent = hz.status || "ok";
+    status.className = hz.status === "breached" ? "breached" :
+      (hz.status === "degraded" ? "degraded" : "ok");
+    document.getElementById("meta").textContent =
+      series.length+" series · uptime "+fmt(hz.uptime_seconds)+"s · "+
+      (hz.scrapes||0)+" scrapes · refreshed "+new Date().toLocaleTimeString();
+  } catch (e) {
+    status.textContent = "unreachable";
+    status.className = "down";
+    document.getElementById("meta").textContent = String(e);
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

@@ -49,6 +49,14 @@ func promLabel(v string) string {
 	return r.Replace(v)
 }
 
+// PromName exposes the metric-name mangling for sibling packages that
+// append their own labeled families after WriteProm (the collector's
+// per-producer fleet export).
+func PromName(name string) string { return promName(name) }
+
+// PromLabel exposes the label-value escaping for the same callers.
+func PromLabel(v string) string { return promLabel(v) }
+
 // fmtFloat renders a float the way Prometheus expects (Go 'g' format
 // round-trips and the scraper accepts scientific notation).
 func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -12,6 +12,7 @@ import (
 
 	"literace/internal/obs"
 	"literace/internal/obs/diag"
+	"literace/internal/obs/tsdb"
 )
 
 // Server is the embedded telemetry endpoint: a plain net/http server over
@@ -21,11 +22,15 @@ import (
 //
 // Endpoints:
 //
-//	/metrics        Prometheus text format (WriteProm of a fresh snapshot)
-//	/snapshot       the stable JSON snapshot (obs.Snapshot.MarshalStable)
-//	/healthz        health: a scored diag.Health report when a health
-//	                source is wired (watch -slo), else a liveness ping
-//	/debug/pprof/*  the standard pprof handlers
+//	/metrics         Prometheus text format (WriteProm of a fresh snapshot)
+//	/snapshot        the stable JSON snapshot (obs.Snapshot.MarshalStable)
+//	/api/timeseries  ring-buffer history (tsdb.Dump JSON) when a store is
+//	                 wired, else an empty schema-tagged dump
+//	/dashboard       embedded single-page HTML dashboard (SVG sparklines
+//	                 over /api/timeseries; no external assets)
+//	/healthz         health: a scored diag.Health report when a health
+//	                 source is wired (watch -slo), else a liveness ping
+//	/debug/pprof/*   the standard pprof handlers
 //
 // Mid-run freshness comes from two sides: hot-path instruments (burst
 // histogram, timestamp-counter draws) are atomic and always current, and
@@ -47,8 +52,10 @@ type Server struct {
 // ping to a scored report: the latest diag.Health is embedded in the
 // response, and a sustained SLO breach answers 503 so load balancers
 // and probes see the state without parsing the body. A nil report from
-// health (no poll yet) falls back to the liveness shape.
-func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, health func() *diag.Health) http.Handler {
+// health (no poll yet) falls back to the liveness shape. ts may be nil:
+// /api/timeseries then serves an empty dump and /dashboard still loads
+// (it just shows no history).
+func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, health func() *diag.Health, ts *tsdb.Store) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if scrapes != nil {
@@ -68,6 +75,22 @@ func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, heal
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/api/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if scrapes != nil {
+			scrapes.Add(1)
+		}
+		data, err := ts.Dump().MarshalStable()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = fmt.Fprint(w, dashboardHTML)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -112,6 +135,13 @@ func Serve(addr string, reg *obs.Registry) (*Server, error) {
 // ServeHealth is Serve with a health source for /healthz (see
 // NewHandler); health may be nil.
 func ServeHealth(addr string, reg *obs.Registry, health func() *diag.Health) (*Server, error) {
+	return ServeStore(addr, reg, health, nil)
+}
+
+// ServeStore is ServeHealth with a time-series store backing
+// /api/timeseries and /dashboard; ts may be nil (endpoints stay up,
+// history is empty). The caller owns the store's sampler lifecycle.
+func ServeStore(addr string, reg *obs.Registry, health func() *diag.Health, ts *tsdb.Store) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("export: Serve needs a registry")
 	}
@@ -125,7 +155,7 @@ func ServeHealth(addr string, reg *obs.Registry, health func() *diag.Health) (*S
 		start: time.Now(),
 		done:  make(chan error, 1),
 	}
-	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes, health)}
+	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes, health, ts)}
 	go func() { s.done <- s.srv.Serve(lis) }()
 	return s, nil
 }

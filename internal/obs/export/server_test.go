@@ -1,16 +1,19 @@
 package export
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"literace/internal/obs"
+	"literace/internal/obs/tsdb"
 )
 
 // TestServerRoundTrip drives the handler through httptest: /metrics must
@@ -23,7 +26,7 @@ func TestServerRoundTrip(t *testing.T) {
 	reg.Histogram("core.burst_length").Observe(3)
 
 	var scrapes atomic.Uint64
-	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes, nil))
+	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes, nil, nil))
 	defer ts.Close()
 
 	get := func(path string) (string, string) {
@@ -136,4 +139,152 @@ func TestServeLifecycle(t *testing.T) {
 	if _, err := Serve("127.0.0.1:0", nil); err == nil {
 		t.Error("nil registry accepted")
 	}
+}
+
+// TestTimeseriesAndDashboard covers the history endpoints: a store-backed
+// handler serves the dump on /api/timeseries and the embedded page on
+// /dashboard; a store-less handler still answers both (empty history).
+func TestTimeseriesAndDashboard(t *testing.T) {
+	reg := obs.New()
+	store := tsdb.New(tsdb.Options{Capacity: 8})
+	store.Append("stream.backlog_depth", tsdb.KindGauge, 1e9, 3)
+	store.Append("stream.backlog_depth", tsdb.KindGauge, 2e9, 5)
+
+	srv := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, store))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("timeseries content type %q", ct)
+	}
+	var dump tsdb.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("timeseries not JSON: %v", err)
+	}
+	if dump.Schema != tsdb.Schema {
+		t.Errorf("schema = %q", dump.Schema)
+	}
+	sd := dump.Lookup("stream.backlog_depth")
+	if sd == nil || sd.Last != 5 || len(sd.Points) != 2 {
+		t.Fatalf("series = %+v", sd)
+	}
+
+	resp, err = http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard content type %q", ct)
+	}
+	for _, want := range []string{"<!doctype html", "/api/timeseries", "<script>"} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("dashboard page missing %q", want)
+		}
+	}
+
+	// Store-less handler: endpoints stay up, dump is empty but tagged.
+	bare := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, nil))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/api/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &dump); err != nil || dump.Schema != tsdb.Schema || len(dump.Series) != 0 {
+		t.Fatalf("nil-store dump = %s (err %v)", body, err)
+	}
+}
+
+// TestSnapshotAndTimeseriesDeterministic is the satellite determinism
+// audit: with no writes in between, consecutive reads of /snapshot and
+// /api/timeseries must be byte-identical (no map-iteration order leaks).
+func TestSnapshotAndTimeseriesDeterministic(t *testing.T) {
+	reg := obs.New()
+	for _, n := range []string{"z.last", "a.first", "m.mid", "core.esr.live"} {
+		reg.Gauge(n).Set(1.5)
+		reg.Counter(n + ".count").Add(3)
+	}
+	store := tsdb.New(tsdb.Options{})
+	samp := tsdb.NewSampler(store, reg, tsdb.SamplerOptions{})
+	samp.PollAt(time.Unix(100, 0))
+	samp.PollAt(time.Unix(101, 0))
+
+	srv := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, store))
+	defer srv.Close()
+
+	read := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	for _, path := range []string{"/snapshot", "/api/timeseries"} {
+		a, b := read(path), read(path)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s not byte-stable across reads:\n%s\n---\n%s", path, a, b)
+		}
+	}
+}
+
+// TestServerScrapeVsCloseRace is the satellite race test: hammer every
+// endpoint (including /dashboard and /api/timeseries) from many
+// goroutines while the server shuts down. Run under -race in CI; the
+// assertion here is simply "no panic, no deadlock".
+func TestServerScrapeVsCloseRace(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("x").Inc()
+	store := tsdb.New(tsdb.Options{Capacity: 16})
+	samp := tsdb.NewSampler(store, reg, tsdb.SamplerOptions{Interval: time.Millisecond, Proc: true})
+	samp.Start()
+	defer samp.Stop()
+
+	s, err := ServeStore("127.0.0.1:0", reg, nil, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	paths := []string{"/metrics", "/snapshot", "/api/timeseries", "/dashboard", "/healthz"}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + paths[(i+j)%len(paths)])
+				if err != nil {
+					return // server closed under us: expected
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				reg.Counter("x").Inc() // concurrent writes during scrapes
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Errorf("close during scrape storm: %v", err)
+	}
+	close(stop)
+	wg.Wait()
 }

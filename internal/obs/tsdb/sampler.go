@@ -1,0 +1,146 @@
+package tsdb
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"literace/internal/obs"
+)
+
+// DefaultSampleInterval is the Start() polling cadence when
+// SamplerOptions.Interval is zero.
+const DefaultSampleInterval = time.Second
+
+// SamplerOptions configures a Sampler.
+type SamplerOptions struct {
+	// Interval is the Start() polling cadence (default 1s). Poll/PollAt
+	// ignore it.
+	Interval time.Duration
+	// Proc also records process-level series on every poll:
+	// proc.heap_bytes, proc.goroutines, proc.gc_cycles.
+	Proc bool
+	// Prefix is prepended to every series name (e.g. "fleet.p01.").
+	Prefix string
+}
+
+// Sampler periodically folds an obs.Registry snapshot into a Store:
+// every gauge becomes a gauge series, every counter a cumulative
+// counter series plus a derived <name>.rate series (per-second delta
+// via Snapshot.Delta between consecutive polls). Histograms and
+// vectors are intentionally skipped to bound series cardinality; their
+// point-in-time shapes stay on /snapshot.
+type Sampler struct {
+	store *Store
+	reg   *obs.Registry
+	opts  SamplerOptions
+
+	mu     sync.Mutex
+	prev   *obs.Snapshot
+	prevAt time.Time
+
+	startMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewSampler builds a sampler. A nil store yields a nil sampler (all
+// methods no-op), keeping the disabled path free.
+func NewSampler(store *Store, reg *obs.Registry, opts SamplerOptions) *Sampler {
+	if store == nil {
+		return nil
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSampleInterval
+	}
+	return &Sampler{store: store, reg: reg, opts: opts}
+}
+
+// Poll takes one sample at the current wall clock. Nil-safe.
+func (s *Sampler) Poll() {
+	if s == nil {
+		return
+	}
+	s.PollAt(time.Now())
+}
+
+// PollAt takes one sample stamped with the given time — tests and
+// virtual-clock callers drive this directly for determinism. Nil-safe.
+func (s *Sampler) PollAt(now time.Time) {
+	if s == nil {
+		return
+	}
+	t := now.UnixNano()
+	snap := s.reg.Snapshot()
+
+	s.mu.Lock()
+	prev, prevAt := s.prev, s.prevAt
+	s.prev, s.prevAt = snap, now
+	s.mu.Unlock()
+
+	for name, v := range snap.Gauges {
+		s.store.Append(s.opts.Prefix+name, KindGauge, t, v)
+	}
+	var delta *obs.Snapshot
+	dt := now.Sub(prevAt).Seconds()
+	if prev != nil && dt > 0 {
+		delta = snap.Delta(prev)
+	}
+	for name, c := range snap.Counters {
+		s.store.Append(s.opts.Prefix+name, KindCounter, t, float64(c))
+		if delta != nil {
+			s.store.Append(s.opts.Prefix+name+".rate", KindRate, t, float64(delta.Counters[name])/dt)
+		}
+	}
+	if s.opts.Proc {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.store.Append(s.opts.Prefix+"proc.heap_bytes", KindGauge, t, float64(ms.HeapAlloc))
+		s.store.Append(s.opts.Prefix+"proc.goroutines", KindGauge, t, float64(runtime.NumGoroutine()))
+		s.store.Append(s.opts.Prefix+"proc.gc_cycles", KindCounter, t, float64(ms.NumGC))
+	}
+}
+
+// Start launches a background polling goroutine at the configured
+// interval. Idempotent; Stop ends it. Nil-safe.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(s.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.Poll()
+			}
+		}
+	}(s.stop, s.done)
+}
+
+// Stop halts the background goroutine and waits for it. Nil-safe,
+// idempotent, and a no-op if Start was never called.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+}

@@ -1,0 +1,309 @@
+// Package tsdb is a zero-dependency, fixed-memory time-series store
+// for observability history: each named series is a ring buffer of
+// [timestamp, value] points with all-time rollups (count, min, max,
+// last, mean), so a process can answer "what did backlog do over the
+// last N samples" without ever growing its heap. It follows the obs
+// and diag idiom: a nil *Store is a valid no-op sink (the disabled
+// path allocates nothing — proven by benchmark), dumps are
+// deterministic (series sorted by name, stable JSON), and the schema
+// is versioned so artifacts and bundles can gate on it.
+package tsdb
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Schema versions the JSON dump layout; bump on breaking change, never
+// silently.
+const Schema = "literace.timeseries/v1"
+
+// Defaults for Options zero values.
+const (
+	DefaultCapacity  = 512
+	DefaultMaxSeries = 4096
+)
+
+// Kind labels how a series should be read: a gauge is a level, a
+// counter is cumulative and monotone, a rate is a per-second delta.
+type Kind string
+
+const (
+	KindGauge   Kind = "gauge"
+	KindCounter Kind = "counter"
+	KindRate    Kind = "rate"
+)
+
+// Point is one sample. T is nanoseconds (Unix epoch for wall-clock
+// samplers; any monotone integer for virtual clocks, e.g. the diag
+// bundle uses cumulative bytes fed so dumps stay byte-stable).
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Options configures a Store. Zero values take the defaults above.
+type Options struct {
+	// Capacity is the per-series ring size: how many most-recent points
+	// each series retains.
+	Capacity int
+	// MaxSeries bounds the number of distinct series; appends to new
+	// names beyond it are counted in Dropped and otherwise ignored, so
+	// a label-cardinality explosion cannot grow memory.
+	MaxSeries int
+}
+
+// series is the internal ring plus all-time rollups. Rollups cover
+// every point ever appended, not just the retained window, so eviction
+// never loses the extremes.
+type series struct {
+	kind  Kind
+	buf   []Point
+	start int
+	n     int
+
+	total uint64
+	sum   float64
+	min   float64
+	max   float64
+	last  Point
+}
+
+func (s *series) append(p Point) {
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = p
+		s.n++
+	} else {
+		s.buf[s.start] = p
+		s.start = (s.start + 1) % len(s.buf)
+	}
+	if s.total == 0 || p.V < s.min {
+		s.min = p.V
+	}
+	if s.total == 0 || p.V > s.max {
+		s.max = p.V
+	}
+	s.total++
+	s.sum += p.V
+	s.last = p
+}
+
+// points returns the retained window oldest-first.
+func (s *series) points() []Point {
+	out := make([]Point, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Store is a fixed-memory collection of named series. The zero value
+// is not usable; call New. A nil *Store is a valid disabled store:
+// every method is a no-op (or returns an empty dump) and the append
+// path performs zero allocations.
+type Store struct {
+	capacity  int
+	maxSeries int
+
+	mu      sync.RWMutex
+	series  map[string]*series
+	dropped uint64
+}
+
+// New builds a Store. Zero/negative option fields take defaults.
+func New(opts Options) *Store {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.MaxSeries <= 0 {
+		opts.MaxSeries = DefaultMaxSeries
+	}
+	return &Store{
+		capacity:  opts.Capacity,
+		maxSeries: opts.MaxSeries,
+		series:    make(map[string]*series),
+	}
+}
+
+// Append records one sample into the named series, creating it (with
+// the given kind) on first use. NaN and ±Inf values are dropped so a
+// division hiccup upstream cannot poison rollups. Nil-safe no-op.
+func (st *Store) Append(name string, kind Kind, tNanos int64, v float64) {
+	if st == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	st.mu.Lock()
+	s := st.series[name]
+	if s == nil {
+		if len(st.series) >= st.maxSeries {
+			st.dropped++
+			st.mu.Unlock()
+			return
+		}
+		s = &series{kind: kind, buf: make([]Point, st.capacity)}
+		st.series[name] = s
+	}
+	s.append(Point{T: tNanos, V: v})
+	st.mu.Unlock()
+}
+
+// Len reports the number of live series. Nil-safe.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// Dropped reports how many appends were refused by the MaxSeries
+// bound. Nil-safe.
+func (st *Store) Dropped() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.dropped
+}
+
+// SeriesDump is one series in a Dump: all-time rollups plus the
+// retained window oldest-first.
+type SeriesDump struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Total counts every point ever appended; Evicted = Total -
+	// len(Points) is how many fell off the ring.
+	Total   uint64  `json:"total"`
+	Evicted uint64  `json:"evicted,omitempty"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Last    float64 `json:"last"`
+	LastT   int64   `json:"last_t"`
+	Points  []Point `json:"points"`
+}
+
+// Dump is the versioned JSON shape served by /api/timeseries and
+// embedded in diag bundles. Series are sorted by name so encoding is
+// deterministic.
+type Dump struct {
+	Schema string       `json:"schema"`
+	Series []SeriesDump `json:"series"`
+	// DroppedSeries counts appends refused by the MaxSeries bound.
+	DroppedSeries uint64 `json:"dropped_series,omitempty"`
+}
+
+// Dump snapshots every series, sorted by name. Nil-safe: a nil store
+// dumps an empty (but schema-tagged) document.
+func (st *Store) Dump() *Dump {
+	d := &Dump{Schema: Schema, Series: []SeriesDump{}}
+	if st == nil {
+		return d
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	d.DroppedSeries = st.dropped
+	names := make([]string, 0, len(st.series))
+	for name := range st.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := st.series[name]
+		sd := SeriesDump{
+			Name:    name,
+			Kind:    s.kind,
+			Total:   s.total,
+			Evicted: s.total - uint64(s.n),
+			Min:     s.min,
+			Max:     s.max,
+			Last:    s.last.V,
+			LastT:   s.last.T,
+			Points:  s.points(),
+		}
+		if s.total > 0 {
+			sd.Mean = s.sum / float64(s.total)
+		}
+		d.Series = append(d.Series, sd)
+	}
+	return d
+}
+
+// MarshalJSON renders the dump as compact deterministic JSON with a
+// trailing newline (encoding/json already sorts any map keys; Dump
+// contains none, and series order is fixed by Dump()).
+func (d *Dump) MarshalStable() ([]byte, error) {
+	buf, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Lookup returns the named series from a dump, or nil.
+func (d *Dump) Lookup(name string) *SeriesDump {
+	for i := range d.Series {
+		if d.Series[i].Name == name {
+			return &d.Series[i]
+		}
+	}
+	return nil
+}
+
+// SlopePerSec fits an ordinary least-squares line over the retained
+// points and returns its slope in value-units per second. Fewer than
+// two points (or zero time span) yield 0.
+func (sd *SeriesDump) SlopePerSec() float64 {
+	n := len(sd.Points)
+	if n < 2 {
+		return 0
+	}
+	// Center timestamps to keep the sums well-conditioned.
+	t0 := sd.Points[0].T
+	var sumT, sumV, sumTT, sumTV float64
+	for _, p := range sd.Points {
+		t := float64(p.T-t0) / 1e9
+		sumT += t
+		sumV += p.V
+		sumTT += t * t
+		sumTV += t * p.V
+	}
+	fn := float64(n)
+	den := fn*sumTT - sumT*sumT
+	if den == 0 {
+		return 0
+	}
+	return (fn*sumTV - sumT*sumV) / den
+}
+
+// GrowthFrac is the linear-growth detector the soak gate uses: the
+// fitted slope extrapolated across the retained window, as a fraction
+// of the window mean. A flat series scores ~0; a series that doubled
+// linearly over the window scores ~1. Series with a non-positive mean
+// report 0 (nothing meaningful to normalize against).
+func (sd *SeriesDump) GrowthFrac() float64 {
+	n := len(sd.Points)
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, p := range sd.Points {
+		mean += p.V
+	}
+	mean /= float64(n)
+	if mean <= 0 {
+		return 0
+	}
+	spanSecs := float64(sd.Points[n-1].T-sd.Points[0].T) / 1e9
+	if spanSecs <= 0 {
+		return 0
+	}
+	return sd.SlopePerSec() * spanSecs / mean
+}

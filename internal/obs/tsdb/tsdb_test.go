@@ -1,0 +1,260 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"literace/internal/obs"
+)
+
+// TestRingEvictionKeepsNewest is the satellite property test: however
+// many samples stream through a ring, the dump always holds the most
+// recent capacity-many in append order, and the newest sample is never
+// lost.
+func TestRingEvictionKeepsNewest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		capacity := 1 + rng.Intn(16)
+		total := rng.Intn(4 * capacity)
+		st := New(Options{Capacity: capacity})
+		var all []Point
+		for i := 0; i < total; i++ {
+			p := Point{T: int64(i), V: rng.NormFloat64()}
+			all = append(all, p)
+			st.Append("s", KindGauge, p.T, p.V)
+		}
+		d := st.Dump()
+		if total == 0 {
+			if len(d.Series) != 0 {
+				t.Fatalf("trial %d: empty store dumped %d series", trial, len(d.Series))
+			}
+			continue
+		}
+		sd := d.Lookup("s")
+		if sd == nil {
+			t.Fatalf("trial %d: series missing from dump", trial)
+		}
+		want := all
+		if len(want) > capacity {
+			want = want[len(want)-capacity:]
+		}
+		if len(sd.Points) != len(want) {
+			t.Fatalf("trial %d: retained %d points, want %d", trial, len(sd.Points), len(want))
+		}
+		for i := range want {
+			if sd.Points[i] != want[i] {
+				t.Fatalf("trial %d: point %d = %+v, want %+v", trial, i, sd.Points[i], want[i])
+			}
+		}
+		if sd.Points[len(sd.Points)-1] != all[len(all)-1] {
+			t.Fatalf("trial %d: newest sample lost: dump ends %+v, appended %+v",
+				trial, sd.Points[len(sd.Points)-1], all[len(all)-1])
+		}
+	}
+}
+
+// TestRollupsMatchBruteForce recomputes min/max/mean/last/total over
+// every appended point (including evicted ones) and checks the dump's
+// rollups agree.
+func TestRollupsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		capacity := 1 + rng.Intn(8)
+		total := 1 + rng.Intn(64)
+		st := New(Options{Capacity: capacity})
+		min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+		var last float64
+		for i := 0; i < total; i++ {
+			v := float64(rng.Intn(100)) - 50
+			st.Append("s", KindCounter, int64(i), v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+			sum += v
+			last = v
+		}
+		sd := st.Dump().Lookup("s")
+		if sd.Total != uint64(total) {
+			t.Fatalf("trial %d: total %d, want %d", trial, sd.Total, total)
+		}
+		wantEvicted := 0
+		if total > capacity {
+			wantEvicted = total - capacity
+		}
+		if sd.Evicted != uint64(wantEvicted) {
+			t.Fatalf("trial %d: evicted %d, want %d", trial, sd.Evicted, wantEvicted)
+		}
+		if sd.Min != min || sd.Max != max || sd.Last != last {
+			t.Fatalf("trial %d: rollups min=%g max=%g last=%g, want %g/%g/%g",
+				trial, sd.Min, sd.Max, sd.Last, min, max, last)
+		}
+		if mean := sum / float64(total); math.Abs(sd.Mean-mean) > 1e-9 {
+			t.Fatalf("trial %d: mean %g, want %g", trial, sd.Mean, mean)
+		}
+	}
+}
+
+func TestDumpDeterministicAndSorted(t *testing.T) {
+	st := New(Options{Capacity: 4})
+	for _, name := range []string{"zeta", "alpha", "mid.dle", "alpha.rate"} {
+		for i := 0; i < 6; i++ {
+			st.Append(name, KindGauge, int64(i), float64(i))
+		}
+	}
+	a, err := st.Dump().MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Dump().MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two dumps of an unchanged store differ")
+	}
+	d := st.Dump()
+	for i := 1; i < len(d.Series); i++ {
+		if d.Series[i-1].Name >= d.Series[i].Name {
+			t.Fatalf("series not sorted: %q before %q", d.Series[i-1].Name, d.Series[i].Name)
+		}
+	}
+}
+
+func TestMaxSeriesBound(t *testing.T) {
+	st := New(Options{Capacity: 2, MaxSeries: 3})
+	st.Append("a", KindGauge, 1, 1)
+	st.Append("b", KindGauge, 1, 1)
+	st.Append("c", KindGauge, 1, 1)
+	st.Append("d", KindGauge, 1, 1) // refused
+	st.Append("a", KindGauge, 2, 2) // existing: fine
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if st.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped())
+	}
+	if d := st.Dump(); d.DroppedSeries != 1 {
+		t.Fatalf("dump DroppedSeries = %d, want 1", d.DroppedSeries)
+	}
+}
+
+func TestNonFiniteDropped(t *testing.T) {
+	st := New(Options{})
+	st.Append("s", KindGauge, 1, math.NaN())
+	st.Append("s", KindGauge, 2, math.Inf(1))
+	if st.Len() != 0 {
+		t.Fatal("non-finite values must not create series")
+	}
+}
+
+func TestSlopeAndGrowth(t *testing.T) {
+	st := New(Options{})
+	// Exact line: v = 100 + 2*t over 10 seconds.
+	for i := 0; i <= 10; i++ {
+		st.Append("lin", KindGauge, int64(i)*1e9, 100+2*float64(i))
+	}
+	// Flat series.
+	for i := 0; i <= 10; i++ {
+		st.Append("flat", KindGauge, int64(i)*1e9, 42)
+	}
+	d := st.Dump()
+	if s := d.Lookup("lin").SlopePerSec(); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("linear slope = %g, want 2", s)
+	}
+	if s := d.Lookup("flat").SlopePerSec(); math.Abs(s) > 1e-9 {
+		t.Fatalf("flat slope = %g, want 0", s)
+	}
+	// lin grows 20 over a mean of 110 across the window.
+	if g := d.Lookup("lin").GrowthFrac(); math.Abs(g-20.0/110.0) > 1e-9 {
+		t.Fatalf("growth frac = %g, want %g", g, 20.0/110.0)
+	}
+	if g := d.Lookup("flat").GrowthFrac(); math.Abs(g) > 1e-9 {
+		t.Fatalf("flat growth frac = %g, want 0", g)
+	}
+}
+
+func TestNilStoreSafe(t *testing.T) {
+	var st *Store
+	st.Append("s", KindGauge, 1, 1)
+	if st.Len() != 0 || st.Dropped() != 0 {
+		t.Fatal("nil store must report empty")
+	}
+	d := st.Dump()
+	if d.Schema != Schema || len(d.Series) != 0 {
+		t.Fatalf("nil dump = %+v", d)
+	}
+	var s *Sampler
+	s.Poll()
+	s.Start()
+	s.Stop()
+	if NewSampler(nil, nil, SamplerOptions{}) != nil {
+		t.Fatal("NewSampler(nil store) must be nil")
+	}
+}
+
+func TestSamplerRecordsGaugesCountersRates(t *testing.T) {
+	reg := obs.New()
+	reg.Gauge("g.level").Set(7)
+	reg.Counter("c.total").Add(10)
+
+	st := New(Options{})
+	s := NewSampler(st, reg, SamplerOptions{Proc: true})
+	base := time.Unix(1000, 0)
+	s.PollAt(base)
+	reg.Counter("c.total").Add(30)
+	reg.Gauge("g.level").Set(9)
+	s.PollAt(base.Add(2 * time.Second))
+
+	d := st.Dump()
+	g := d.Lookup("g.level")
+	if g == nil || g.Last != 9 || g.Total != 2 {
+		t.Fatalf("gauge series = %+v", g)
+	}
+	c := d.Lookup("c.total")
+	if c == nil || c.Last != 40 || c.Kind != KindCounter {
+		t.Fatalf("counter series = %+v", c)
+	}
+	r := d.Lookup("c.total.rate")
+	if r == nil || r.Kind != KindRate {
+		t.Fatalf("rate series missing: %+v", r)
+	}
+	// 30 increments over 2 seconds.
+	if r.Last != 15 {
+		t.Fatalf("rate = %g, want 15", r.Last)
+	}
+	for _, name := range []string{"proc.heap_bytes", "proc.goroutines", "proc.gc_cycles"} {
+		if d.Lookup(name) == nil {
+			t.Fatalf("proc series %q missing", name)
+		}
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := obs.New()
+	reg.Gauge("g").Set(1)
+	st := New(Options{})
+	s := NewSampler(st, reg, SamplerOptions{Interval: 5 * time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if st.Len() == 0 {
+		t.Fatal("background sampler recorded nothing")
+	}
+}
+
+// BenchmarkDisabledAppend proves the nil-store path costs nothing —
+// the same contract obs and diag keep for disabled instrumentation.
+func BenchmarkDisabledAppend(b *testing.B) {
+	var st *Store
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Append("hot.path", KindCounter, int64(i), 1)
+	}
+}
