@@ -11,6 +11,8 @@ import (
 	"runtime/pprof"
 
 	"literace"
+	"literace/internal/forensics"
+	"literace/internal/hb"
 	"literace/internal/obs"
 	"literace/internal/obs/diag"
 	"literace/internal/obs/ledger"
@@ -129,6 +131,11 @@ func cmdDiag(args []string) error {
 	wd := diag.NewWatchdog(diag.DefaultSLO())
 	sess := literace.NewStreamSession(resolve, literace.StreamOptions{
 		Shards: *shards, Obs: reg, Diag: rec, Log: log,
+		// Evidence capture and near-miss analytics feed the bundle's
+		// forensics.json member; cost is bounded by the logged accesses
+		// the replay analyzes anyway.
+		Evidence:       true,
+		NearMissMargin: hb.DefaultNearMissMargin,
 	})
 	// The replay records its own time series on a virtual clock — the
 	// cumulative bytes fed stand in for nanoseconds, so the history's
@@ -194,6 +201,26 @@ func cmdDiag(args []string) error {
 		return err
 	}
 	if err := b.add("report.txt", true, "race detection report (identical to detect/detect -salvage)", []byte(rep.String())); err != nil {
+		return err
+	}
+	// forensics.json carries the full evidence view of the same replay:
+	// per-occurrence vector clocks, sync frontiers, locksets, witness
+	// windows, and the near-miss table. Deterministic for a fixed shard
+	// count — occurrence order follows the pipeline's shard-merge order,
+	// which is fixed per (log bytes, -shards).
+	fxRep, err := forensics.Build(tlog, &res.Result, forensics.Options{
+		Resolve:  resolve,
+		Margin:   hb.DefaultNearMissMargin,
+		Degraded: res.Degradation.Degraded() || res.Salvage.Lossy(),
+	})
+	if err != nil {
+		return err
+	}
+	fxDoc, err := fxRep.MarshalStable()
+	if err != nil {
+		return err
+	}
+	if err := b.add("forensics.json", true, "forensic race report: evidence, witnesses, near misses (literace.forensics/v1)", fxDoc); err != nil {
 		return err
 	}
 	if *ledgerDir != "" {

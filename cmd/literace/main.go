@@ -9,6 +9,7 @@
 //	literace rewrite <prog.lir>              show instrumentation statistics
 //	literace run     <prog.lir> -log out.trc execute, writing an event log
 //	literace detect  <out.trc> [-src p.lir]  offline race detection on a log
+//	literace explain <prog.lir | out.trc>    forensic race report: evidence, witnesses, near misses
 //	literace watch   <out.trc> [-src p.lir]  online detection, tailing a live or completed log
 //	literace fsck    <out.trc>               log health report (JSON)
 //	literace dump    <out.trc> [-n N]        print decoded log events
@@ -70,6 +71,8 @@ func main() {
 		err = cmdRun(args)
 	case "detect":
 		err = cmdDetect(args)
+	case "explain":
+		err = cmdExplain(args)
 	case "watch":
 		err = cmdWatch(args)
 	case "fsck":
@@ -116,13 +119,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|watch|fsck|dump|timeline|diag|report|bench|stats|serve-collector|ship> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: literace <asm|disasm|rewrite|run|detect|explain|watch|fsck|dump|timeline|diag|report|bench|stats|serve-collector|ship> [flags] [args]
   asm     <prog.lir>                assemble and validate
   disasm  <prog.lir>                print canonical disassembly
   rewrite <prog.lir>                print instrumentation statistics
   run     <prog.lir> [-log f] [-sampler S] [-seed N] [-sched] [-serve ADDR] [-metrics f] [-report-out f] [-ledger dir] [-cpuprofile f] [-memprofile f]
-  detect  <log.trc> [-src prog.lir] [-salvage] [-metrics f] [-report-out f] [-ledger dir]
-  watch   <log.trc> [-src prog.lir] [-shards N] [-poll d] [-idle d] [-quiet] [-serve ADDR] [-metrics f]
+  detect  <log.trc> [-src prog.lir] [-salvage] [-json] [-metrics f] [-report-out f] [-ledger dir]
+  explain <prog.lir> [-sampler S] [-seed N] [-scale N] [-margin N] [-window N] [-max-occ N] [-o f] [-html|-json]
+  explain <log.trc> -src prog.lir [same rendering flags]
+          forensic race report: per-occurrence vector-clock evidence, sync frontiers, locksets,
+          witness interleavings, burst attribution, near-miss analytics; always exits 0 on success
+  watch   <log.trc> [-src prog.lir] [-shards N] [-poll d] [-idle d] [-quiet] [-json] [-serve ADDR] [-metrics f]
           [-forward ADDR [-producer NAME]] [-slo] [-slo-sustain N] [-slo-max-lag N] [-slo-max-stage-ms N] [-slo-max-crc N] [-slo-max-gaps N]
           online detection over a live or completed log: races stream to stderr as found,
           the final report (identical to detect's) prints when the log completes or goes idle;
@@ -269,24 +276,26 @@ func writeMetrics(path string, reg *obs.Registry) error {
 
 // serveTelemetry starts the embedded telemetry server when addr is
 // non-empty, returning a shutdown function (a no-op otherwise). health,
-// when non-nil, upgrades /healthz to the scored report (watch -slo).
-// A background sampler fills a fixed-memory time-series store from the
-// registry so /api/timeseries and /dashboard show live history.
-func serveTelemetry(addr string, reg *obs.Registry, health func() *diag.Health, log *slog.Logger) (func(), error) {
+// when non-nil, upgrades /healthz to the scored report (watch -slo);
+// races, when non-nil, backs /races with a live literace.races/v1
+// document (a raceFeed). A background sampler fills a fixed-memory
+// time-series store from the registry so /api/timeseries and /dashboard
+// show live history.
+func serveTelemetry(addr string, reg *obs.Registry, health func() *diag.Health, races func() []byte, log *slog.Logger) (func(), error) {
 	if addr == "" {
 		return func() {}, nil
 	}
 	store := tsdb.New(tsdb.Options{})
 	samp := tsdb.NewSampler(store, reg, tsdb.SamplerOptions{Proc: true})
 	samp.Start()
-	srv, err := export.ServeStore(addr, reg, health, store)
+	srv, err := export.ServeRaces(addr, reg, health, store, races)
 	if err != nil {
 		samp.Stop()
 		return nil, err
 	}
 	log.Info("serving telemetry",
 		"url", fmt.Sprintf("http://%s/dashboard", srv.Addr()),
-		"endpoints", "/metrics /snapshot /healthz /api/timeseries /dashboard /debug/pprof")
+		"endpoints", "/metrics /snapshot /healthz /races /api/timeseries /dashboard /debug/pprof")
 	return func() {
 		samp.Stop()
 		if err := srv.Close(); err != nil {
@@ -303,7 +312,7 @@ func cmdRun(args []string) error {
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
 	serveAddr := fs.String("serve", "", "serve live telemetry over HTTP at this address (e.g. :9090) while running")
 	sched := fs.Bool("sched", true, "log scheduler slice markers (enables `literace timeline` thread tracks)")
-	reportOut := fs.String("report-out", "", "write a literace.runreport/v1 artifact (coverage table, races, ESR) to this file")
+	reportOut := fs.String("report-out", "", "write a literace.runreport/v2 artifact (coverage table, races, ESR) to this file")
 	ledgerDir := fs.String("ledger", "", "append the run report to the ledger at this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
@@ -325,7 +334,13 @@ func cmdRun(args []string) error {
 	if *metricsPath != "" || *serveAddr != "" {
 		reg = obs.New()
 	}
-	shutdown, err := serveTelemetry(*serveAddr, reg, nil, log)
+	var feed *raceFeed
+	var races func() []byte
+	if *serveAddr != "" {
+		feed = newRaceFeed()
+		races = feed.doc
+	}
+	shutdown, err := serveTelemetry(*serveAddr, reg, nil, races, log)
 	if err != nil {
 		return err
 	}
@@ -357,6 +372,9 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if feed != nil && res.OnlineReport != nil {
+		feed.setFinal(res.OnlineReport)
+	}
 	fmt.Printf("ran %s: %d instrs, %d mem ops (%.2f%% logged), %d sync ops, log %s\n",
 		fs.Arg(0), res.Meta.Instrs, res.Meta.MemOps, res.EffectiveRate*100, res.Meta.SyncOps, *logPath)
 	for _, v := range res.Prints {
@@ -381,8 +399,9 @@ func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	srcPath := fs.String("src", "", "original .lir source, to resolve function names")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged log: drop corrupt chunks, weaken orderings, split races into confirmed/unconfirmed")
+	asJSON := fs.Bool("json", false, "emit the machine-readable literace.races/v1 race list instead of the text report")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
-	reportOut := fs.String("report-out", "", "write a literace.runreport/v1 artifact (races, ESR; no coverage table offline) to this file")
+	reportOut := fs.String("report-out", "", "write a literace.runreport/v2 artifact (races, ESR; no coverage table offline) to this file")
 	ledgerDir := fs.String("ledger", "", "append the detection report to the ledger at this directory")
 	lcfg := addLogFlags(fs)
 	fs.Parse(args)
@@ -410,13 +429,29 @@ func cmdDetect(args []string) error {
 	if *metricsPath != "" {
 		reg = obs.New()
 	}
+	// The stdout payload is either the text report or, with -json, the
+	// machine-readable literace.races/v1 document (MarshalRaces).
+	printReport := func(rep *literace.Report) error {
+		if !*asJSON {
+			fmt.Print(rep.String())
+			return nil
+		}
+		doc, err := rep.MarshalRaces()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
 	if *salvage {
 		rep, srep, err := literace.DetectSalvaged(f, resolve, reg)
 		if err != nil {
 			return err
 		}
 		log.Warn("salvage decode", "summary", srep.Summary())
-		fmt.Print(rep.String())
+		if err := printReport(rep); err != nil {
+			return err
+		}
 		if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir, log); err != nil {
 			return err
 		}
@@ -426,13 +461,20 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(rep.String())
+	if err := printReport(rep); err != nil {
+		return err
+	}
 	if err := emitRunReport(literace.BuildDetectReport(rep, 0), *reportOut, *ledgerDir, log); err != nil {
 		return err
 	}
 	if _, err := f.Seek(0, 0); err == nil {
 		if verr := literace.VerifyLog(f); verr != nil {
-			fmt.Printf("log verification: %v\n", verr)
+			if *asJSON {
+				// stdout carries only the JSON document.
+				log.Warn("log verification", "err", verr)
+			} else {
+				fmt.Printf("log verification: %v\n", verr)
+			}
 		}
 	}
 	return writeMetrics(*metricsPath, reg)
@@ -750,7 +792,13 @@ func cmdBench(args []string) error {
 	if *serveAddr != "" {
 		reg = obs.New()
 	}
-	shutdown, err := serveTelemetry(*serveAddr, reg, nil, log)
+	var feed *raceFeed
+	var races func() []byte
+	if *serveAddr != "" {
+		feed = newRaceFeed()
+		races = feed.doc
+	}
+	shutdown, err := serveTelemetry(*serveAddr, reg, nil, races, log)
 	if err != nil {
 		return err
 	}
@@ -920,6 +968,9 @@ func cmdBench(args []string) error {
 	res, rep, err := p.RunAndDetect(literace.Config{Sampler: *samplerName, Seed: *seed, Obs: reg, Log: log})
 	if err != nil {
 		return err
+	}
+	if feed != nil {
+		feed.setFinal(rep)
 	}
 	fmt.Printf("%s under %s: %.2f%% of %d memory ops logged\n",
 		b.Name, *samplerName, res.EffectiveRate*100, res.Meta.MemOps)

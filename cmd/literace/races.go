@@ -1,0 +1,86 @@
+package main
+
+import (
+	"sort"
+	"sync"
+
+	"literace"
+)
+
+// raceFeed backs the /races telemetry endpoint for commands that detect
+// races while serving (-serve). While detection is in flight it
+// aggregates the live OnRace stream into per-pair rows and renders a
+// non-final literace.races/v1 document on demand; once the final report
+// is in, setFinal switches the endpoint to the authoritative
+// end-of-run document (byte-identical to `detect -json` on the same
+// input).
+type raceFeed struct {
+	mu    sync.Mutex
+	rows  map[string]*literace.Race
+	order []string
+	final []byte
+}
+
+func newRaceFeed() *raceFeed { return &raceFeed{rows: make(map[string]*literace.Race)} }
+
+// note folds one live dynamic race into its static pair's row. A pair
+// stays unconfirmed until a confirmed occurrence arrives, matching
+// race.Static semantics.
+func (rf *raceFeed) note(r literace.StreamRace) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	key := r.First + "\x00" + r.Second
+	row := rf.rows[key]
+	if row == nil {
+		row = &literace.Race{First: r.First, Second: r.Second, Addr: r.Addr, Unconfirmed: true}
+		rf.rows[key] = row
+		rf.order = append(rf.order, key)
+	}
+	row.Count++
+	if r.WriteWrite {
+		row.WriteWrite++
+	} else {
+		row.ReadWrite++
+	}
+	if !r.Unconfirmed {
+		row.Unconfirmed = false
+	}
+}
+
+// setFinal installs the report's canonical race list as the served
+// document. A marshal failure leaves the live view in place.
+func (rf *raceFeed) setFinal(rep *literace.Report) {
+	doc, err := rep.MarshalRaces()
+	if err != nil {
+		return
+	}
+	rf.mu.Lock()
+	rf.final = doc
+	rf.mu.Unlock()
+}
+
+// doc renders the current /races body: the final document when set,
+// else the sorted live aggregate with final=false.
+func (rf *raceFeed) doc() []byte {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	if rf.final != nil {
+		return rf.final
+	}
+	list := literace.RaceList{Races: make([]literace.Race, 0, len(rf.rows))}
+	for _, key := range rf.order {
+		list.Races = append(list.Races, *rf.rows[key])
+	}
+	sort.Slice(list.Races, func(i, j int) bool {
+		a, b := list.Races[i], list.Races[j]
+		if a.First != b.First {
+			return a.First < b.First
+		}
+		return a.Second < b.Second
+	})
+	b, err := list.MarshalStable()
+	if err != nil {
+		return nil
+	}
+	return b
+}

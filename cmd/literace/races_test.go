@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"literace"
+)
+
+func feedDoc(t *testing.T, f *raceFeed) literace.RaceList {
+	t.Helper()
+	var doc literace.RaceList
+	if err := json.Unmarshal(f.doc(), &doc); err != nil {
+		t.Fatalf("feed doc not JSON: %v\n%s", err, f.doc())
+	}
+	return doc
+}
+
+func TestRaceFeedLiveAggregation(t *testing.T) {
+	f := newRaceFeed()
+
+	// Empty feed: a valid non-final doc with an empty array.
+	doc := feedDoc(t, f)
+	if doc.Schema != literace.RacesSchema || doc.Final || doc.Count != 0 || doc.Races == nil {
+		t.Errorf("empty feed doc = %+v", doc)
+	}
+
+	f.note(literace.StreamRace{First: "b:1", Second: "c:2", WriteWrite: true, Addr: 0x10})
+	f.note(literace.StreamRace{First: "b:1", Second: "c:2", Addr: 0x10})
+	f.note(literace.StreamRace{First: "a:0", Second: "z:9", WriteWrite: true, Addr: 0x20, Unconfirmed: true})
+
+	doc = feedDoc(t, f)
+	if doc.Final || doc.Count != 2 || len(doc.Races) != 2 {
+		t.Fatalf("live doc = %+v", doc)
+	}
+	// Sorted by pair, not insertion order.
+	if doc.Races[0].First != "a:0" || doc.Races[1].First != "b:1" {
+		t.Errorf("live races not sorted: %+v", doc.Races)
+	}
+	if r := doc.Races[1]; r.Count != 2 || r.WriteWrite != 1 || r.ReadWrite != 1 || r.Unconfirmed {
+		t.Errorf("aggregated row = %+v", r)
+	}
+	if !doc.Races[0].Unconfirmed {
+		t.Error("unconfirmed-only race not flagged")
+	}
+
+	// A later confirmed occurrence clears the flag for good.
+	f.note(literace.StreamRace{First: "a:0", Second: "z:9", Addr: 0x20})
+	if doc = feedDoc(t, f); doc.Races[0].Unconfirmed {
+		t.Error("confirmed occurrence did not clear the flag")
+	}
+
+	// The live rendering is byte-stable between notes.
+	if d1, d2 := f.doc(), f.doc(); !bytes.Equal(d1, d2) {
+		t.Error("live doc not byte-stable")
+	}
+}
+
+func TestRaceFeedFinalSwitch(t *testing.T) {
+	f := newRaceFeed()
+	f.note(literace.StreamRace{First: "x:0", Second: "y:1", WriteWrite: true})
+	f.setFinal(&literace.Report{MemOpsAnalyzed: 11})
+	doc := feedDoc(t, f)
+	if !doc.Final {
+		t.Fatal("setFinal did not switch the served doc")
+	}
+	if doc.MemOpsAnalyzed != 11 || doc.Count != 0 {
+		t.Errorf("final doc = %+v", doc)
+	}
+}

@@ -21,7 +21,9 @@ import (
 // log completes — the trailer appears — or stops growing for -idle. On a
 // completed healthy trace the stdout report is byte-identical to
 // `literace detect`; on a damaged or torn one, to `literace detect
-// -salvage`.
+// -salvage`. With -json the final stdout payload is the machine-readable
+// literace.races/v1 document instead (byte-identical to `detect -json`
+// on the same bytes).
 //
 // With -slo the flight recorder and health watchdog are armed: every
 // poll the watchdog evaluates the SLO policy against the recorder and
@@ -35,6 +37,7 @@ func cmdWatch(args []string) error {
 	poll := fs.Duration("poll", 200*time.Millisecond, "how often to re-check a quiet file for growth")
 	idle := fs.Duration("idle", 2*time.Second, "give up waiting once the file has not grown for this long (the torn tail is then analyzed under salvage rules)")
 	quiet := fs.Bool("quiet", false, "suppress incremental per-race output")
+	asJSON := fs.Bool("json", false, "emit the machine-readable literace.races/v1 race list instead of the final text report")
 	forward := fs.String("forward", "", "also forward the log bytes to a fleet collector at this address (best-effort; local detection stays authoritative)")
 	forwardName := fs.String("producer", "", "producer name for -forward (default: the log file name)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry snapshot to this file")
@@ -109,7 +112,15 @@ func cmdWatch(args []string) error {
 	if wd != nil {
 		health = wd.Health
 	}
-	shutdown, err := serveTelemetry(*serveAddr, reg, health, log)
+	// When serving, /races answers the live per-pair aggregate while the
+	// log is still growing and the final canonical list after Finish.
+	var feed *raceFeed
+	var races func() []byte
+	if *serveAddr != "" {
+		feed = newRaceFeed()
+		races = feed.doc
+	}
+	shutdown, err := serveTelemetry(*serveAddr, reg, health, races, log)
 	if err != nil {
 		return err
 	}
@@ -120,9 +131,10 @@ func cmdWatch(args []string) error {
 		return err
 	}
 	opts := literace.StreamOptions{Shards: *shards, Obs: reg, Diag: rec, Log: streamLog}
+	var announce func(literace.StreamRace)
 	if !*quiet {
 		seen := make(map[string]bool)
-		opts.OnRace = func(r literace.StreamRace) {
+		announce = func(r literace.StreamRace) {
 			key := r.First + "\x00" + r.Second
 			if seen[key] {
 				return
@@ -135,6 +147,16 @@ func cmdWatch(args []string) error {
 			log.Info("race",
 				"first", r.First, "second", r.Second, "kind", kind,
 				"addr", fmt.Sprintf("%#x", r.Addr), "unconfirmed", r.Unconfirmed)
+		}
+	}
+	if announce != nil || feed != nil {
+		opts.OnRace = func(r literace.StreamRace) {
+			if feed != nil {
+				feed.note(r)
+			}
+			if announce != nil {
+				announce(r)
+			}
 		}
 	}
 	sess := literace.NewStreamSession(resolve, opts)
@@ -220,6 +242,9 @@ func cmdWatch(args []string) error {
 		return err
 	}
 	pollWatchdog()
+	if feed != nil {
+		feed.setFinal(rep)
+	}
 	if res.Salvage.Lossy() {
 		log.Warn("salvage decode", "summary", res.Salvage.Summary())
 	}
@@ -227,7 +252,17 @@ func cmdWatch(args []string) error {
 		"events", res.MemOps+res.SyncOps, "events_per_sec", int64(res.EventsPerSec),
 		"shards", len(res.ShardEvents), "dispatched", res.Dispatched,
 		"stalls", res.Stalls, "backpressure", res.Backpressure)
-	fmt.Print(rep.String())
+	if *asJSON {
+		doc, err := rep.MarshalRaces()
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(doc); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.String())
+	}
 	if fw != nil {
 		if final, err := fw.Close(); err != nil {
 			log.Warn("forward to collector failed", "addr", *forward, "err", err)

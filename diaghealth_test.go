@@ -73,7 +73,7 @@ func TestWatchdogFaultInjection(t *testing.T) {
 
 	// /healthz must carry the scored report and answer 503 once the
 	// breach is sustained.
-	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), nil, wd.Health, nil))
+	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), nil, wd.Health, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -128,7 +128,7 @@ func TestWatchdogCleanLog(t *testing.T) {
 	if err := wd.Err(); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), nil, wd.Health, nil))
+	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), nil, wd.Health, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {

@@ -1,0 +1,250 @@
+package literace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"literace/internal/forensics"
+	"literace/internal/hb"
+	"literace/internal/trace"
+	"literace/internal/workloads"
+)
+
+var digestRE = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func explainRacy(t *testing.T) (*Program, *forensics.Report) {
+	t.Helper()
+	p, err := Assemble("racy", racyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := p.Explain(Config{Sampler: "Full", Seed: 1}, ForensicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, rep
+}
+
+func TestExplainEvidence(t *testing.T) {
+	_, rep := explainRacy(t)
+	if len(rep.Races) == 0 {
+		t.Fatal("explain found no races in the planted-race program")
+	}
+	for _, rf := range rep.Races {
+		if !digestRE.MatchString(rf.Digest) {
+			t.Errorf("race %s<->%s digest %q not 16 hex chars", rf.First, rf.Second, rf.Digest)
+		}
+		if len(rf.Occurrences) == 0 {
+			t.Fatalf("race %s<->%s has no detailed occurrences", rf.First, rf.Second)
+		}
+		for _, o := range rf.Occurrences {
+			if o.Prev.VC == "" || o.Cur.VC == "" {
+				t.Errorf("occurrence missing vector-clock evidence: %+v", o)
+			}
+			if o.Frontier == "" {
+				t.Error("occurrence missing the no-ordering frontier line")
+			}
+			if len(o.Witness) == 0 {
+				t.Error("occurrence missing the witness window")
+			}
+			// Full-sampler runs with coverage attribute both sides to a
+			// sampling burst.
+			if len(o.PrevBursts) == 0 || len(o.CurBursts) == 0 {
+				t.Errorf("occurrence missing burst attribution: prev=%v cur=%v", o.PrevBursts, o.CurBursts)
+			}
+		}
+	}
+	text := rep.Text()
+	for _, want := range []string{"LiteRace forensic report", "evidence digest", "locks held"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("text report missing %q", want)
+		}
+	}
+}
+
+// Explain is byte-stable per (module, sampler, scale, seed) in all three
+// renderings.
+func TestExplainByteStable(t *testing.T) {
+	p, rep1 := explainRacy(t)
+	rep2, _, err := p.Explain(Config{Sampler: "Full", Seed: 1}, ForensicConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Text() != rep2.Text() {
+		t.Error("text rendering not byte-stable across reruns")
+	}
+	if rep1.HTML() != rep2.HTML() {
+		t.Error("HTML rendering not byte-stable across reruns")
+	}
+	j1, err := rep1.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := rep2.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON rendering not byte-stable across reruns")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(j1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != forensics.Schema {
+		t.Errorf("schema = %v", doc["schema"])
+	}
+}
+
+// ExplainLog over the recorded bytes reaches the same evidence as
+// Explain over a fresh run at the same (sampler, seed): per-race digests
+// match (burst attribution is the only thing the log path loses).
+func TestExplainLogDigestParity(t *testing.T) {
+	p, rep := explainRacy(t)
+	var buf bytes.Buffer
+	if _, err := p.Run(Config{Sampler: "Full", Seed: 1, LogTo: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	lrep, srep, err := ExplainLog(bytes.NewReader(buf.Bytes()), p.FuncName, ForensicConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Lossy() {
+		t.Fatalf("healthy log reported lossy: %s", srep.Summary())
+	}
+	if len(lrep.Races) != len(rep.Races) {
+		t.Fatalf("race count: log path %d vs run path %d", len(lrep.Races), len(rep.Races))
+	}
+	for i := range rep.Races {
+		if lrep.Races[i].Digest != rep.Races[i].Digest {
+			t.Errorf("race %s<->%s digest diverged: log %s vs run %s",
+				rep.Races[i].First, rep.Races[i].Second, lrep.Races[i].Digest, rep.Races[i].Digest)
+		}
+	}
+	// The log path is itself byte-stable.
+	lrep2, _, err := ExplainLog(bytes.NewReader(buf.Bytes()), p.FuncName, ForensicConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.Text() != lrep2.Text() {
+		t.Error("ExplainLog text not byte-stable")
+	}
+}
+
+// The tentpole parity claim: forensic evidence captured by the batch
+// detector and by the streaming pipeline over the same bytes is
+// byte-identical — per-race digests (order-independent content hashes of
+// every occurrence's rendered evidence) and near-miss rows agree across
+// the full evaluated benchmark matrix.
+func TestEvidenceParityBatchStream(t *testing.T) {
+	sawRace := false
+	for _, b := range workloads.Evaluated() {
+		b := b
+		t.Run(b.Key, func(t *testing.T) {
+			p, err := Assemble(b.Key, b.Source(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Instrument(); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := p.Run(Config{Sampler: "TL-Ad", Seed: 1, LogTo: &buf}); err != nil {
+				t.Fatal(err)
+			}
+
+			decoded, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := hb.Detect(decoded, hb.Options{
+				SamplerBit: hb.AllEvents, Evidence: true, NearMissMargin: hb.DefaultNearMissMargin,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sess := NewStreamSession(p.FuncName, StreamOptions{
+				Evidence: true, NearMissMargin: hb.DefaultNearMissMargin,
+			})
+			if err := sess.Feed(buf.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+			_, sres, err := sess.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bd := forensics.EvidenceDigests(batch.Races)
+			sd := forensics.EvidenceDigests(sres.Result.Races)
+			if !reflect.DeepEqual(bd, sd) {
+				t.Errorf("evidence digests diverged:\nbatch  %v\nstream %v", bd, sd)
+			}
+			if len(bd) > 0 {
+				sawRace = true
+			}
+			if !reflect.DeepEqual(batch.NearMisses, sres.Result.NearMisses) {
+				t.Errorf("near-miss rows diverged:\nbatch  %+v\nstream %+v", batch.NearMisses, sres.Result.NearMisses)
+			}
+		})
+	}
+	if !sawRace {
+		t.Error("no benchmark produced a race; parity check was vacuous")
+	}
+}
+
+func TestMarshalRacesStable(t *testing.T) {
+	p, err := Assemble("racy", racyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := p.RunAndDetect(Config{Sampler: "Full", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := rep.MarshalRaces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := rep.MarshalRaces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Error("MarshalRaces not byte-stable")
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Final  bool   `json:"final"`
+		Count  int    `json:"count"`
+		Races  []Race `json:"races"`
+	}
+	if err := json.Unmarshal(d1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != RacesSchema || !doc.Final {
+		t.Errorf("doc header = %+v", doc)
+	}
+	if doc.Count != len(rep.Races) || len(doc.Races) != len(rep.Races) {
+		t.Errorf("count %d races %d, want %d", doc.Count, len(doc.Races), len(rep.Races))
+	}
+
+	// A raceless report still emits an empty array, never null.
+	empty := &Report{}
+	de, err := empty.MarshalRaces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(de, []byte(`"races": []`)) {
+		t.Errorf("empty race list: %s", de)
+	}
+}

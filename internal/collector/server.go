@@ -72,7 +72,7 @@ type Options struct {
 	// OutDir, when non-empty, receives <producer>.report.txt per
 	// finalized session and FLEET.json at Close.
 	OutDir string
-	// LedgerDir, when non-empty, appends one literace.runreport/v1 per
+	// LedgerDir, when non-empty, appends one literace.runreport/v2 per
 	// finalized producer (Source "collector") to the ledger there.
 	LedgerDir string
 	// Obs, Diag, Log: the usual observability trio; all optional.
@@ -966,7 +966,7 @@ func (s *Server) Handler() http.Handler {
 	if reg == nil {
 		reg = obs.New()
 	}
-	base := export.NewHandler(reg, s.start, &s.scrapes, s.Health, s.opts.TS)
+	base := export.NewHandler(reg, s.start, &s.scrapes, s.Health, s.opts.TS, nil)
 	mux := http.NewServeMux()
 	mux.Handle("/", base)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -983,6 +983,34 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		_, _ = w.Write(append(b, '\n'))
+	})
+	// /races is the fleet race set in the cross-surface literace.races/v1
+	// shape (every -serve surface answers it; see docs/OBSERVABILITY.md).
+	// The fleet aggregates by resolved name across heterogeneous producer
+	// modules, so the per-race PC and address fields stay zero here — the
+	// name pair is the identity. The document is never final: producers
+	// can keep arriving until shutdown prints the authoritative report.
+	mux.HandleFunc("/races", func(w http.ResponseWriter, r *http.Request) {
+		s.scrapes.Add(1)
+		fleet := s.FleetReport()
+		doc := literace.RaceList{Races: make([]literace.Race, 0, len(fleet.Races))}
+		for _, fr := range fleet.Races {
+			doc.Races = append(doc.Races, literace.Race{
+				First:       fr.First,
+				Second:      fr.Second,
+				Count:       fr.Count,
+				WriteWrite:  fr.WriteWrite,
+				ReadWrite:   fr.ReadWrite,
+				Unconfirmed: !fr.Confirmed,
+			})
+		}
+		b, err := doc.MarshalStable()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
 	})
 	mux.HandleFunc("/ingest", s.handleIngest)
 	return mux

@@ -1,0 +1,577 @@
+// Package forensics turns a detection result with evidence capture
+// (hb.Options.Evidence) plus the decoded LTRC2 log into a self-contained,
+// deterministic forensic report: for every static race, the vector-clock
+// evidence proving no ordering existed between the two accesses, each
+// thread's happens-before frontier (last release/acquire) and held
+// lockset, the sampling bursts that captured the accesses, and a witness
+// window — the surrounding per-thread events rendered as one interleaving.
+// Near-miss analytics (hb.Options.NearMissMargin) quantify how close the
+// observed orderings came to racing, estimating what lighter sampling
+// would likely have missed.
+//
+// Everything the package emits — text, HTML, and the JSON artifact — is
+// byte-stable for a given (module, sampler, scale, seed): it depends only
+// on the log bytes and the build options, never on wall time, map order,
+// or scheduling.
+package forensics
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"literace/internal/hb"
+	"literace/internal/lir"
+	"literace/internal/obs/coverprof"
+	"literace/internal/race"
+	"literace/internal/trace"
+)
+
+// Schema versions the JSON artifact (the forensics.json diag-bundle
+// member and `literace explain -json`).
+const Schema = "literace.forensics/v1"
+
+// Defaults for Options.
+const (
+	DefaultWindow         = 4 // witness events kept on each side, per thread
+	DefaultMaxOccurrences = 3 // dynamic occurrences detailed per static race
+)
+
+// Options configures report construction.
+type Options struct {
+	// Resolve maps original function indices to names; nil prints fnN.
+	Resolve func(int32) string
+	// Window is the number of non-scheduler events kept on each side of a
+	// racing access in its thread's witness stream; 0 means DefaultWindow,
+	// negative disables witness reconstruction.
+	Window int
+	// MaxOccurrences bounds the dynamic occurrences detailed (with
+	// evidence and witness) per static race; 0 means
+	// DefaultMaxOccurrences. Counts are never truncated.
+	MaxOccurrences int
+	// Margin is the near-miss margin the detection pass ran with, echoed
+	// into the report header (0 when analytics were off).
+	Margin int
+	// Cov, when non-nil, attributes each access to the sampling bursts
+	// that captured it (valid only for AllEvents passes over a log the
+	// same process recorded; see coverprof.Collector.BurstOf).
+	Cov *coverprof.Collector
+	// Scale is the workload scale the run used (0 when not applicable).
+	Scale int
+	// Degraded marks the analysis as having run on a damaged log.
+	Degraded bool
+}
+
+// Report is the forensic artifact. All fields are deterministic.
+type Report struct {
+	SchemaName string `json:"schema"`
+	Module     string `json:"module,omitempty"`
+	Sampler    string `json:"sampler,omitempty"`
+	Seed       int64  `json:"seed"`
+	Scale      int    `json:"scale,omitempty"`
+	Threads    int    `json:"threads"`
+	MemOps     uint64 `json:"mem_ops_analyzed"`
+	SyncOps    uint64 `json:"sync_ops_analyzed"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Margin     int    `json:"near_miss_margin,omitempty"`
+
+	Races      []RaceForensics `json:"races"`
+	NearMisses []NearMissRow   `json:"near_misses,omitempty"`
+
+	// CandidateMisses counts the near-miss pairs that are NOT in the
+	// detected race set: orderings observed with little slack and no
+	// racing occurrence — the sampler's best estimate of races a lighter
+	// sampling rate or a slightly different schedule would surface.
+	CandidateMisses int `json:"candidate_misses,omitempty"`
+}
+
+// RaceForensics is one static race with its forensic detail.
+type RaceForensics struct {
+	First       string       `json:"first"`
+	Second      string       `json:"second"`
+	Count       uint64       `json:"count"`
+	Confirmed   uint64       `json:"confirmed"`
+	WriteWrite  uint64       `json:"write_write"`
+	ReadWrite   uint64       `json:"read_write"`
+	Unconfirmed bool         `json:"unconfirmed,omitempty"`
+	Digest      string       `json:"evidence_digest,omitempty"`
+	Occurrences []Occurrence `json:"occurrences"`
+	// TotalOccurrences is Count; Occurrences is capped at
+	// Options.MaxOccurrences.
+}
+
+// Occurrence is one detailed dynamic occurrence.
+type Occurrence struct {
+	Confirmed  bool           `json:"confirmed"`
+	Prev       AccessView     `json:"prev"`
+	Cur        AccessView     `json:"cur"`
+	Frontier   string         `json:"frontier,omitempty"`
+	PrevBursts []uint32       `json:"prev_bursts,omitempty"`
+	CurBursts  []uint32       `json:"cur_bursts,omitempty"`
+	Witness    []WitnessEvent `json:"witness,omitempty"`
+}
+
+// AccessView renders one side of an occurrence.
+type AccessView struct {
+	PC          string   `json:"pc"`
+	TID         int32    `json:"tid"`
+	Write       bool     `json:"write"`
+	Seq         uint64   `json:"seq"`
+	Addr        string   `json:"addr"`
+	VC          string   `json:"vc,omitempty"`
+	LastRelease string   `json:"last_release,omitempty"`
+	LastAcquire string   `json:"last_acquire,omitempty"`
+	Locks       []string `json:"locks,omitempty"`
+}
+
+// WitnessEvent is one line of the reconstructed interleaving.
+type WitnessEvent struct {
+	Ord    uint64 `json:"ord"` // global replay ordinal (1-based)
+	TID    int32  `json:"tid"`
+	Racing bool   `json:"racing,omitempty"` // one of the two racing accesses
+	Sync   bool   `json:"sync,omitempty"`
+	Text   string `json:"text"`
+}
+
+// NearMissRow is one near-miss aggregate, names resolved.
+type NearMissRow struct {
+	First     string `json:"first"`
+	Second    string `json:"second"`
+	Count     uint64 `json:"count"`
+	MinMargin uint64 `json:"min_margin"`
+	// InRaceSet marks pairs that also raced outright; the rest are
+	// candidate misses.
+	InRaceSet bool `json:"in_race_set,omitempty"`
+}
+
+// Build assembles the forensic report. res must come from an evidence-
+// enabled (hb.Options.Evidence) pass with SamplerBit == AllEvents over
+// log — the per-thread ordinals must line up with log positions for
+// witness reconstruction and burst attribution to be valid.
+func Build(log *trace.Log, res *hb.Result, opts Options) (*Report, error) {
+	resolve := opts.Resolve
+	if resolve == nil {
+		resolve = func(f int32) string { return fmt.Sprintf("fn%d", f) }
+	}
+	name := func(pc lir.PC) string { return fmt.Sprintf("%s:%d", resolve(pc.Func), pc.Index) }
+	window := opts.Window
+	if window == 0 {
+		window = DefaultWindow
+	}
+	maxOcc := opts.MaxOccurrences
+	if maxOcc <= 0 {
+		maxOcc = DefaultMaxOccurrences
+	}
+
+	rep := &Report{
+		SchemaName: Schema,
+		Module:     log.Meta.Module,
+		Sampler:    log.Meta.Primary,
+		Seed:       log.Meta.Seed,
+		Scale:      opts.Scale,
+		Threads:    log.Meta.Threads,
+		MemOps:     res.MemOps,
+		SyncOps:    res.SyncOps,
+		Degraded:   opts.Degraded || res.Degraded,
+		Margin:     opts.Margin,
+	}
+
+	// Group dynamic occurrences per static race, preserving replay order.
+	set := race.NewSet()
+	occ := make(map[race.Key][]hb.DynamicRace)
+	for _, dr := range res.Races {
+		set.Add(dr)
+		occ[race.KeyOf(dr)] = append(occ[race.KeyOf(dr)], dr)
+	}
+	digests := EvidenceDigests(res.Races)
+
+	var wit *witnessIndex
+	if window > 0 && len(res.Races) > 0 {
+		wit = buildWitnessIndex(log)
+	}
+
+	for _, st := range set.Races() {
+		rf := RaceForensics{
+			First:       name(st.Key.A),
+			Second:      name(st.Key.B),
+			Count:       st.Count,
+			Confirmed:   st.Confirmed,
+			WriteWrite:  st.WriteWrite,
+			ReadWrite:   st.ReadWrite,
+			Unconfirmed: st.Unconfirmed(),
+			Digest:      digests[st.Key.A.String()+"|"+st.Key.B.String()],
+		}
+		for i, dr := range occ[st.Key] {
+			if i >= maxOcc {
+				break
+			}
+			o := Occurrence{
+				Confirmed: !dr.Unconfirmed,
+				Prev:      accessView(name, dr.PrevPC, dr.PrevTID, dr.PrevWrite, dr.PrevSeq, dr.Addr, dr.PrevEvidence),
+				Cur:       accessView(name, dr.CurPC, dr.CurTID, dr.CurWrite, dr.CurSeq, dr.Addr, dr.CurEvidence),
+				Frontier:  frontier(dr),
+			}
+			if opts.Cov != nil {
+				if b, ok := opts.Cov.BurstOf(dr.PrevTID, dr.PrevPC.Func, dr.PrevSeq); ok {
+					o.PrevBursts = []uint32{b}
+				}
+				if b, ok := opts.Cov.BurstOf(dr.CurTID, dr.CurPC.Func, dr.CurSeq); ok {
+					o.CurBursts = []uint32{b}
+				}
+			}
+			if wit != nil {
+				o.Witness = wit.window(log, resolve, dr, window)
+			}
+			rf.Occurrences = append(rf.Occurrences, o)
+		}
+		rep.Races = append(rep.Races, rf)
+	}
+
+	for _, nm := range res.NearMisses {
+		row := NearMissRow{
+			First:     name(nm.A),
+			Second:    name(nm.B),
+			Count:     nm.Count,
+			MinMargin: nm.MinMargin,
+			InRaceSet: set.Contains(race.Key{A: nm.A, B: nm.B}),
+		}
+		if !row.InRaceSet {
+			rep.CandidateMisses++
+		}
+		rep.NearMisses = append(rep.NearMisses, row)
+	}
+	return rep, nil
+}
+
+func accessView(name func(lir.PC) string, pc lir.PC, tid int32, write bool, seq, addr uint64, ev *hb.AccessEvidence) AccessView {
+	v := AccessView{
+		PC:    name(pc),
+		TID:   tid,
+		Write: write,
+		Seq:   seq,
+		Addr:  fmt.Sprintf("%#x", addr),
+	}
+	if ev != nil {
+		v.VC = hb.VCString(ev.VC)
+		v.LastRelease = ev.LastRel.String()
+		v.LastAcquire = ev.LastAcq.String()
+		for _, l := range ev.Locks {
+			v.Locks = append(v.Locks, fmt.Sprintf("%#x", l))
+		}
+	}
+	return v
+}
+
+// frontier renders the no-ordering proof: the earlier access's clock
+// entry for its own thread exceeds what the later thread had observed of
+// it (and, being a race, symmetrically the other way).
+func frontier(dr hb.DynamicRace) string {
+	pe, ce := dr.PrevEvidence, dr.CurEvidence
+	if pe == nil || ce == nil {
+		return ""
+	}
+	prevClk := pe.VC.At(dr.PrevTID)
+	curSaw := ce.VC.At(dr.PrevTID)
+	return fmt.Sprintf("no ordering: prev t%d@%d but cur (t%d) saw t%d only up to %d",
+		dr.PrevTID, prevClk, dr.CurTID, dr.PrevTID, curSaw)
+}
+
+// witnessIndex maps every logged event to its global replay ordinal,
+// built with one degraded-tolerant replay (delivery order is the same
+// legal order detection analyzed).
+type witnessIndex struct {
+	ord map[int32][]uint64 // per-thread event index -> 1-based global ordinal
+	mem map[int32][]int    // per-thread analyzed-mem ordinal (1-based) -> event index
+}
+
+func buildWitnessIndex(log *trace.Log) *witnessIndex {
+	w := &witnessIndex{ord: make(map[int32][]uint64), mem: make(map[int32][]int)}
+	for tid, evs := range log.Threads {
+		w.ord[tid] = make([]uint64, len(evs))
+		for i, e := range evs {
+			if e.Kind.IsMem() {
+				w.mem[tid] = append(w.mem[tid], i)
+			}
+		}
+	}
+	next := make(map[int32]int)
+	var ord uint64
+	_, err := hb.ReplayDegraded(log, nil, func() {}, func(e trace.Event) error {
+		ord++
+		i := next[e.TID]
+		next[e.TID] = i + 1
+		if i < len(w.ord[e.TID]) {
+			w.ord[e.TID][i] = ord
+		}
+		return nil
+	})
+	if err != nil {
+		return nil
+	}
+	return w
+}
+
+// window renders the interleaved witness: up to `window` non-scheduler
+// events on each side of both racing accesses, merged by replay ordinal.
+func (w *witnessIndex) window(log *trace.Log, resolve func(int32) string, dr hb.DynamicRace, window int) []WitnessEvent {
+	picked := make(map[int32]map[int]bool)
+	racing := make(map[int32]map[int]bool)
+	side := func(tid int32, seq uint64) {
+		mems := w.mem[tid]
+		if seq == 0 || int(seq) > len(mems) {
+			return
+		}
+		center := mems[seq-1]
+		if picked[tid] == nil {
+			picked[tid] = make(map[int]bool)
+			racing[tid] = make(map[int]bool)
+		}
+		racing[tid][center] = true
+		evs := log.Threads[tid]
+		// Walk outwards, skipping scheduler markers, until `window`
+		// non-sched events are kept on each side.
+		picked[tid][center] = true
+		for i, kept := center-1, 0; i >= 0 && kept < window; i-- {
+			if evs[i].Kind.IsSched() {
+				continue
+			}
+			picked[tid][i] = true
+			kept++
+		}
+		for i, kept := center+1, 0; i < len(evs) && kept < window; i++ {
+			if evs[i].Kind.IsSched() {
+				continue
+			}
+			picked[tid][i] = true
+			kept++
+		}
+	}
+	side(dr.PrevTID, dr.PrevSeq)
+	side(dr.CurTID, dr.CurSeq)
+
+	var out []WitnessEvent
+	idxOf := make([]int, 0, 16) // parallel per-thread indices, for tie-breaking
+	for tid, idxs := range picked {
+		evs := log.Threads[tid]
+		ords := w.ord[tid]
+		for i := range idxs {
+			e := evs[i]
+			var ord uint64
+			if i < len(ords) {
+				ord = ords[i]
+			}
+			out = append(out, WitnessEvent{
+				Ord:    ord,
+				TID:    tid,
+				Racing: racing[tid][i],
+				Sync:   e.Kind.IsSync(),
+				Text:   renderEvent(e, resolve),
+			})
+			idxOf = append(idxOf, i)
+		}
+	}
+	sort.Sort(&witnessSorter{evs: out, idx: idxOf})
+	return out
+}
+
+// witnessSorter orders witness events by replay ordinal, breaking ties
+// (ordinal 0 fallbacks) by thread then per-thread index, so the rendering
+// never depends on map iteration order.
+type witnessSorter struct {
+	evs []WitnessEvent
+	idx []int
+}
+
+func (s *witnessSorter) Len() int { return len(s.evs) }
+func (s *witnessSorter) Swap(i, j int) {
+	s.evs[i], s.evs[j] = s.evs[j], s.evs[i]
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+}
+func (s *witnessSorter) Less(i, j int) bool {
+	a, b := s.evs[i], s.evs[j]
+	if a.Ord != b.Ord {
+		return a.Ord < b.Ord
+	}
+	if a.TID != b.TID {
+		return a.TID < b.TID
+	}
+	return s.idx[i] < s.idx[j]
+}
+
+// renderEvent renders one logged event for the witness, with function
+// names resolved.
+func renderEvent(e trace.Event, resolve func(int32) string) string {
+	pc := fmt.Sprintf("%s:%d", resolve(e.PC.Func), e.PC.Index)
+	if e.Kind.IsMem() {
+		return fmt.Sprintf("%s %s addr=%#x", e.Kind, pc, e.Addr)
+	}
+	return fmt.Sprintf("%s(%s) var=%#x c%d#%d @%s", e.Kind, e.Op, e.Addr, e.Counter, e.TS, pc)
+}
+
+// EvidenceDigests hashes the captured evidence per static race,
+// keyed "<A>|<B>" with the normalized raw PC pair (lir.PC.String).
+// The digest is order-independent: occurrence renderings are normalized
+// (sides sorted) and the set sorted before hashing, so an online pass and
+// a batch replay that see the same evidence produce the same digest.
+// Races without evidence (capture off) produce no entry.
+func EvidenceDigests(races []hb.DynamicRace) map[string]string {
+	byKey := make(map[string][]string)
+	for _, dr := range races {
+		if dr.PrevEvidence == nil && dr.CurEvidence == nil {
+			continue
+		}
+		k := race.KeyOf(dr)
+		a := sideString(dr.PrevPC, dr.PrevTID, dr.PrevWrite, dr.PrevSeq, dr.Addr, dr.PrevEvidence)
+		b := sideString(dr.CurPC, dr.CurTID, dr.CurWrite, dr.CurSeq, dr.Addr, dr.CurEvidence)
+		if b < a {
+			a, b = b, a
+		}
+		key := k.A.String() + "|" + k.B.String()
+		byKey[key] = append(byKey[key], a+"||"+b)
+	}
+	out := make(map[string]string, len(byKey))
+	for key, lines := range byKey {
+		sort.Strings(lines)
+		sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+		out[key] = hex.EncodeToString(sum[:8])
+	}
+	return out
+}
+
+func sideString(pc lir.PC, tid int32, write bool, seq, addr uint64, ev *hb.AccessEvidence) string {
+	return fmt.Sprintf("%v t%d w=%t seq=%d addr=%#x %s", pc, tid, write, seq, addr, ev.String())
+}
+
+// MarshalStable encodes the report as the canonical JSON artifact
+// (trailing newline, fixed field order).
+func (r *Report) MarshalStable() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Text renders the report for terminals. The output is byte-stable.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LiteRace forensic report\n")
+	fmt.Fprintf(&b, "module=%s sampler=%s seed=%d", orDash(r.Module), orDash(r.Sampler), r.Seed)
+	if r.Scale > 0 {
+		fmt.Fprintf(&b, " scale=%d", r.Scale)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "threads=%d mem_ops=%d sync_ops=%d\n", r.Threads, r.MemOps, r.SyncOps)
+	if r.Degraded {
+		b.WriteString("degraded analysis: log damage weakened orderings; unconfirmed races may be false positives\n")
+	}
+	var confirmed int
+	for _, rf := range r.Races {
+		if !rf.Unconfirmed {
+			confirmed++
+		}
+	}
+	fmt.Fprintf(&b, "%d static data race(s): %d confirmed, %d unconfirmed\n",
+		len(r.Races), confirmed, len(r.Races)-confirmed)
+	if r.Margin > 0 {
+		fmt.Fprintf(&b, "near-miss margin %d: %d pair(s), %d candidate miss(es)\n",
+			r.Margin, len(r.NearMisses), r.CandidateMisses)
+	}
+
+	for i, rf := range r.Races {
+		suffix := ""
+		if rf.Unconfirmed {
+			suffix = " UNCONFIRMED"
+		}
+		fmt.Fprintf(&b, "\nrace %d: %s <-> %s  count=%d confirmed=%d (ww=%d rw=%d)%s\n",
+			i+1, rf.First, rf.Second, rf.Count, rf.Confirmed, rf.WriteWrite, rf.ReadWrite, suffix)
+		if rf.Digest != "" {
+			fmt.Fprintf(&b, "  evidence digest %s\n", rf.Digest)
+		}
+		for j, o := range rf.Occurrences {
+			tag := "confirmed"
+			if !o.Confirmed {
+				tag = "unconfirmed"
+			}
+			fmt.Fprintf(&b, "  occurrence %d [%s]\n", j+1, tag)
+			writeAccess(&b, "prev", o.Prev)
+			writeAccess(&b, "cur ", o.Cur)
+			if o.Frontier != "" {
+				fmt.Fprintf(&b, "    %s\n", o.Frontier)
+			}
+			if len(o.PrevBursts) > 0 || len(o.CurBursts) > 0 {
+				fmt.Fprintf(&b, "    bursts: prev=%s cur=%s\n", burstList(o.PrevBursts), burstList(o.CurBursts))
+			}
+			if len(o.Witness) > 0 {
+				fmt.Fprintf(&b, "    witness (replay order, > marks racing access, * marks sync):\n")
+				for _, we := range o.Witness {
+					mark := "  "
+					if we.Racing {
+						mark = "> "
+					} else if we.Sync {
+						mark = "* "
+					}
+					fmt.Fprintf(&b, "      [%6d] t%-3d %s%s\n", we.Ord, we.TID, mark, we.Text)
+				}
+			}
+		}
+		if int(rf.Count) > len(rf.Occurrences) {
+			fmt.Fprintf(&b, "  (%d further occurrence(s) not detailed)\n", int(rf.Count)-len(rf.Occurrences))
+		}
+	}
+
+	if len(r.NearMisses) > 0 {
+		fmt.Fprintf(&b, "\nnear misses (ordered conflicting pairs within margin %d):\n", r.Margin)
+		for _, nm := range r.NearMisses {
+			note := " (candidate miss)"
+			if nm.InRaceSet {
+				note = ""
+			}
+			fmt.Fprintf(&b, "  %s <-> %s  count=%d min_margin=%d%s\n",
+				nm.First, nm.Second, nm.Count, nm.MinMargin, note)
+		}
+	}
+	return b.String()
+}
+
+func writeAccess(b *strings.Builder, label string, v AccessView) {
+	kind := "read "
+	if v.Write {
+		kind = "write"
+	}
+	fmt.Fprintf(b, "    %s: t%-3d %s %s addr=%s seq=%d\n", label, v.TID, kind, v.PC, v.Addr, v.Seq)
+	if v.VC != "" {
+		fmt.Fprintf(b, "          vc %s\n", v.VC)
+		fmt.Fprintf(b, "          last release: %s\n", v.LastRelease)
+		fmt.Fprintf(b, "          last acquire: %s\n", v.LastAcquire)
+		fmt.Fprintf(b, "          locks held: %s\n", lockList(v.Locks))
+	}
+}
+
+func lockList(locks []string) string {
+	if len(locks) == 0 {
+		return "none"
+	}
+	return strings.Join(locks, ", ")
+}
+
+func burstList(bs []uint32) string {
+	if len(bs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package forensics_test
+
+import (
+	"strings"
+	"testing"
+
+	"literace"
+	"literace/internal/forensics"
+)
+
+// A two-thread program with one unprotected counter (the planted race)
+// and one lock-protected counter (must not race).
+const racySrc = `
+glob shared 1
+glob protected 1
+glob lk 1
+func touch 1 6 {
+    glob r1, shared
+    load r4, r1, 0
+    addi r4, r4, 1
+    store r1, 0, r4
+    glob r2, lk
+    lock r2
+    glob r3, protected
+    load r4, r3, 0
+    addi r4, r4, 1
+    store r3, 0, r4
+    unlock r2
+    ret r0
+}
+func main 0 6 {
+    movi r0, 1
+    fork r1, touch, r0
+    call _, touch, r0
+    join r1
+    exit
+}
+`
+
+func explain(t *testing.T, fc literace.ForensicConfig) *forensics.Report {
+	t.Helper()
+	p, err := literace.Assemble("forensic", racySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := p.Explain(literace.Config{Sampler: "Full", Seed: 1}, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestBuildReport(t *testing.T) {
+	rep := explain(t, literace.ForensicConfig{})
+	if rep.SchemaName != forensics.Schema {
+		t.Errorf("schema = %q", rep.SchemaName)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("planted race not in the forensic report")
+	}
+	for _, rf := range rep.Races {
+		if strings.Contains(rf.First, "protected") || strings.Contains(rf.Second, "protected") {
+			t.Errorf("lock-protected access reported racing: %s <-> %s", rf.First, rf.Second)
+		}
+		if rf.Digest == "" {
+			t.Error("race missing evidence digest")
+		}
+		if len(rf.Occurrences) == 0 || len(rf.Occurrences) > forensics.DefaultMaxOccurrences {
+			t.Errorf("occurrences = %d, want 1..%d", len(rf.Occurrences), forensics.DefaultMaxOccurrences)
+		}
+	}
+}
+
+func TestWitnessWindow(t *testing.T) {
+	rep := explain(t, literace.ForensicConfig{Window: 2})
+	for _, rf := range rep.Races {
+		for _, o := range rf.Occurrences {
+			if len(o.Witness) == 0 {
+				t.Fatal("witness reconstruction empty with window 2")
+			}
+			racing := 0
+			for _, we := range o.Witness {
+				if we.Racing {
+					racing++
+				}
+				if we.Text == "" {
+					t.Error("witness line with empty text")
+				}
+			}
+			if racing == 0 {
+				t.Error("witness window does not mark any racing access")
+			}
+			// Ordinals are sorted (the reconstructed interleaving).
+			for i := 1; i < len(o.Witness); i++ {
+				if o.Witness[i].Ord < o.Witness[i-1].Ord {
+					t.Fatal("witness events out of order")
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessDisabled(t *testing.T) {
+	rep := explain(t, literace.ForensicConfig{Window: -1})
+	for _, rf := range rep.Races {
+		for _, o := range rf.Occurrences {
+			if len(o.Witness) != 0 {
+				t.Fatal("negative window must disable witness reconstruction")
+			}
+			if o.Prev.VC == "" {
+				t.Error("evidence must survive with witness off")
+			}
+		}
+	}
+	if !strings.Contains(rep.Text(), "race 1:") {
+		t.Error("text report broken with witness off")
+	}
+}
+
+func TestMaxOccurrencesCap(t *testing.T) {
+	rep := explain(t, literace.ForensicConfig{MaxOccurrences: 1})
+	for _, rf := range rep.Races {
+		if len(rf.Occurrences) > 1 {
+			t.Fatalf("occurrences = %d despite cap 1", len(rf.Occurrences))
+		}
+		if int(rf.Count) > 1 {
+			if !strings.Contains(rep.Text(), "further occurrence(s) not detailed") {
+				t.Error("text report missing the truncation note")
+			}
+		}
+	}
+}
+
+func TestHTMLSelfContained(t *testing.T) {
+	rep := explain(t, literace.ForensicConfig{})
+	page := rep.HTML()
+	if !strings.HasPrefix(page, "<!DOCTYPE html>") || !strings.HasSuffix(page, "</html>\n") {
+		t.Error("not a complete HTML document")
+	}
+	for _, banned := range []string{"<script", "src=\"http", "href=\"http", "@import"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("page not self-contained: found %q", banned)
+		}
+	}
+	for _, want := range []string{"<style>", "LiteRace forensic report", "vector clock", "class=\"witness\""} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Stability: two builds of the same run render identical pages.
+	if rep2 := explain(t, literace.ForensicConfig{}); rep2.HTML() != page {
+		t.Error("HTML not byte-stable across rebuilds")
+	}
+}
+
+func TestNearMissTable(t *testing.T) {
+	// The lock-protected counter produces ordered conflicting pairs: with
+	// a generous margin they must show up as near misses, and pairs that
+	// never raced are candidate misses.
+	rep := explain(t, literace.ForensicConfig{NearMissMargin: 64})
+	if len(rep.NearMisses) == 0 {
+		t.Fatal("no near misses with margin 64 on a lock-ordered counter")
+	}
+	candidates := 0
+	for _, nm := range rep.NearMisses {
+		if nm.Count == 0 {
+			t.Errorf("near-miss row with zero count: %+v", nm)
+		}
+		if nm.MinMargin >= 64 {
+			t.Errorf("min margin %d not under the margin", nm.MinMargin)
+		}
+		if !nm.InRaceSet {
+			candidates++
+		}
+	}
+	if rep.CandidateMisses != candidates {
+		t.Errorf("CandidateMisses = %d, want %d", rep.CandidateMisses, candidates)
+	}
+	if !strings.Contains(rep.Text(), "near misses") {
+		t.Error("text report missing the near-miss table")
+	}
+
+	// Negative margin disables the analytics entirely.
+	off := explain(t, literace.ForensicConfig{NearMissMargin: -1})
+	if len(off.NearMisses) != 0 || off.Margin != 0 {
+		t.Errorf("negative margin: %d rows, margin %d", len(off.NearMisses), off.Margin)
+	}
+}

@@ -1,0 +1,148 @@
+package forensics
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// HTML renders the report as one self-contained page: embedded CSS, no
+// external assets, no scripts, and — like Text — byte-stable per
+// (module, sampler, scale, seed).
+func (r *Report) HTML() string {
+	var b strings.Builder
+	esc := html.EscapeString
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>LiteRace forensic report — %s</title>\n", esc(orDash(r.Module)))
+	b.WriteString("<style>\n" + reportCSS + "</style>\n</head>\n<body>\n")
+	b.WriteString("<h1>LiteRace forensic report</h1>\n")
+	fmt.Fprintf(&b, "<p class=\"meta\">module <b>%s</b> · sampler <b>%s</b> · seed <b>%d</b>",
+		esc(orDash(r.Module)), esc(orDash(r.Sampler)), r.Seed)
+	if r.Scale > 0 {
+		fmt.Fprintf(&b, " · scale <b>%d</b>", r.Scale)
+	}
+	fmt.Fprintf(&b, "<br>threads %d · %d mem ops · %d sync ops analyzed</p>\n",
+		r.Threads, r.MemOps, r.SyncOps)
+	if r.Degraded {
+		b.WriteString("<p class=\"warn\">degraded analysis: log damage weakened orderings; unconfirmed races may be false positives</p>\n")
+	}
+	var confirmed int
+	for _, rf := range r.Races {
+		if !rf.Unconfirmed {
+			confirmed++
+		}
+	}
+	fmt.Fprintf(&b, "<p>%d static data race(s): %d confirmed, %d unconfirmed", len(r.Races), confirmed, len(r.Races)-confirmed)
+	if r.Margin > 0 {
+		fmt.Fprintf(&b, " · near-miss margin %d: %d pair(s), %d candidate miss(es)",
+			r.Margin, len(r.NearMisses), r.CandidateMisses)
+	}
+	b.WriteString("</p>\n")
+
+	for i, rf := range r.Races {
+		cls := "race"
+		if rf.Unconfirmed {
+			cls = "race unconfirmed"
+		}
+		fmt.Fprintf(&b, "<section class=\"%s\">\n", cls)
+		fmt.Fprintf(&b, "<h2>race %d: <code>%s</code> &harr; <code>%s</code></h2>\n", i+1, esc(rf.First), esc(rf.Second))
+		fmt.Fprintf(&b, "<p>count %d · confirmed %d · write/write %d · read/write %d", rf.Count, rf.Confirmed, rf.WriteWrite, rf.ReadWrite)
+		if rf.Unconfirmed {
+			b.WriteString(" · <span class=\"tag\">UNCONFIRMED</span>")
+		}
+		if rf.Digest != "" {
+			fmt.Fprintf(&b, " · evidence digest <code>%s</code>", esc(rf.Digest))
+		}
+		b.WriteString("</p>\n")
+		for j, o := range rf.Occurrences {
+			tag := "confirmed"
+			if !o.Confirmed {
+				tag = "unconfirmed"
+			}
+			fmt.Fprintf(&b, "<h3>occurrence %d <span class=\"tag\">%s</span></h3>\n", j+1, tag)
+			b.WriteString("<table class=\"ev\"><tr><th></th><th>prev</th><th>cur</th></tr>\n")
+			writeRowPair(&b, "access", accessCell(o.Prev), accessCell(o.Cur))
+			if o.Prev.VC != "" || o.Cur.VC != "" {
+				writeRowPair(&b, "vector clock", esc(o.Prev.VC), esc(o.Cur.VC))
+				writeRowPair(&b, "last release", esc(o.Prev.LastRelease), esc(o.Cur.LastRelease))
+				writeRowPair(&b, "last acquire", esc(o.Prev.LastAcquire), esc(o.Cur.LastAcquire))
+				writeRowPair(&b, "locks held", esc(lockList(o.Prev.Locks)), esc(lockList(o.Cur.Locks)))
+			}
+			if len(o.PrevBursts) > 0 || len(o.CurBursts) > 0 {
+				writeRowPair(&b, "sampling bursts", esc(burstList(o.PrevBursts)), esc(burstList(o.CurBursts)))
+			}
+			b.WriteString("</table>\n")
+			if o.Frontier != "" {
+				fmt.Fprintf(&b, "<p class=\"frontier\">%s</p>\n", esc(o.Frontier))
+			}
+			if len(o.Witness) > 0 {
+				b.WriteString("<pre class=\"witness\">")
+				for _, we := range o.Witness {
+					cls := "w"
+					mark := "  "
+					if we.Racing {
+						cls = "w racing"
+						mark = "&gt; "
+					} else if we.Sync {
+						cls = "w sync"
+						mark = "* "
+					}
+					fmt.Fprintf(&b, "<span class=\"%s\">[%6d] t%-3d %s%s</span>\n",
+						cls, we.Ord, we.TID, mark, esc(we.Text))
+				}
+				b.WriteString("</pre>\n")
+			}
+		}
+		if int(rf.Count) > len(rf.Occurrences) {
+			fmt.Fprintf(&b, "<p class=\"more\">%d further occurrence(s) not detailed</p>\n", int(rf.Count)-len(rf.Occurrences))
+		}
+		b.WriteString("</section>\n")
+	}
+
+	if len(r.NearMisses) > 0 {
+		b.WriteString("<section class=\"near\">\n<h2>near misses</h2>\n")
+		fmt.Fprintf(&b, "<p>ordered conflicting pairs within margin %d — how close observed orderings came to racing</p>\n", r.Margin)
+		b.WriteString("<table class=\"ev\"><tr><th>pair</th><th>count</th><th>min margin</th><th></th></tr>\n")
+		for _, nm := range r.NearMisses {
+			note := "candidate miss"
+			if nm.InRaceSet {
+				note = "also raced"
+			}
+			fmt.Fprintf(&b, "<tr><td><code>%s &harr; %s</code></td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+				esc(nm.First), esc(nm.Second), nm.Count, nm.MinMargin, note)
+		}
+		b.WriteString("</table>\n</section>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+func accessCell(v AccessView) string {
+	kind := "read"
+	if v.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("t%d %s <code>%s</code> addr=%s seq=%d",
+		v.TID, kind, html.EscapeString(v.PC), html.EscapeString(v.Addr), v.Seq)
+}
+
+func writeRowPair(b *strings.Builder, label, prev, cur string) {
+	fmt.Fprintf(b, "<tr><td class=\"l\">%s</td><td>%s</td><td>%s</td></tr>\n",
+		html.EscapeString(label), prev, cur)
+}
+
+const reportCSS = `body{font:14px/1.5 -apple-system,Segoe UI,sans-serif;margin:2em auto;max-width:70em;padding:0 1em;color:#222}
+h1{font-size:1.5em}h2{font-size:1.15em;margin-top:1.5em}h3{font-size:1em}
+code,pre{font-family:SFMono-Regular,Consolas,Menlo,monospace;font-size:13px}
+.meta{color:#555}.warn{color:#a40000;font-weight:600}
+section.race{border:1px solid #ddd;border-radius:6px;padding:0 1em 1em;margin:1em 0}
+section.race.unconfirmed{border-color:#e0b000;background:#fffbf0}
+.tag{font-size:11px;letter-spacing:.05em;text-transform:uppercase;color:#a40}
+table.ev{border-collapse:collapse;margin:.5em 0}
+table.ev th,table.ev td{border:1px solid #e5e5e5;padding:.25em .6em;text-align:left;vertical-align:top}
+table.ev td.l{color:#555;white-space:nowrap}
+.frontier{color:#a40000}
+pre.witness{background:#f6f8fa;border:1px solid #e5e5e5;border-radius:4px;padding:.5em;overflow-x:auto}
+.w.racing{color:#a40000;font-weight:700}.w.sync{color:#0550ae}
+.more{color:#777;font-style:italic}
+`

@@ -35,6 +35,13 @@ type DynamicRace struct {
 	// false positive. The paper's zero-false-positive guarantee (§4)
 	// holds only for confirmed races.
 	Unconfirmed bool
+
+	// PrevEvidence and CurEvidence carry the forensic snapshots of the
+	// two accesses when Options.Evidence is set; nil otherwise. The
+	// snapshots are immutable and byte-comparable between the batch
+	// detector and the streaming pipeline.
+	PrevEvidence *AccessEvidence
+	CurEvidence  *AccessEvidence
 }
 
 // Edge is one cross-thread happens-before edge: a release by FromTID on
@@ -80,6 +87,19 @@ type Options struct {
 	// counts, vector-clock join counts, dynamic races found, and (via
 	// Detect) replay ready-queue stalls.
 	Obs *obs.Registry
+
+	// Evidence enables forensic evidence capture: every reported race
+	// carries an immutable AccessEvidence snapshot for both accesses
+	// (vector clock, last release/acquire, held lockset). Costs one
+	// small allocation per tracked access; off by default.
+	Evidence bool
+
+	// NearMissMargin enables near-miss analytics when positive: every
+	// cross-thread conflicting pair that IS ordered by happens-before,
+	// with strictly fewer than NearMissMargin clock ticks of slack, is
+	// counted per static PC pair (Result.NearMisses and the
+	// hb.near_miss.* obs family). 0 (the default) disables.
+	NearMissMargin int
 }
 
 // AllEvents is the SamplerBit value that disables mask filtering.
@@ -97,6 +117,11 @@ type Result struct {
 	Unconfirmed uint64
 	// Degraded reports whether the detector ever entered degraded mode.
 	Degraded bool
+
+	// NearMisses lists the ordered conflicting pairs that stayed within
+	// Options.NearMissMargin, grouped per static pair and sorted; nil
+	// when near-miss analytics were off.
+	NearMisses []NearMiss
 }
 
 // Confirmed returns the dynamic races found while every happens-before
@@ -114,6 +139,7 @@ type Detector struct {
 	vars     map[uint64]VC         // SyncVar -> clock published by last release
 	mem      map[uint64]*addrState // address -> access history
 	lastRel  map[uint64]relInfo    // SyncVar -> last release, only when OnEdge is set
+	near     *NearAccum            // near-miss accumulator; nil when disabled
 
 	// Telemetry instruments; nil (no-op) when opts.Obs is nil.
 	obsJoins *obs.Counter // hb.vc_joins
@@ -127,6 +153,14 @@ type threadState struct {
 	// memSeq counts this thread's analyzed memory events (1-based after
 	// the first access); see DynamicRace.PrevSeq.
 	memSeq uint64
+
+	// Evidence-mode state (maintained only when Options.Evidence): pub is
+	// the immutable clock snapshot accesses share until the next sync
+	// event dirties it — the same clone-on-write discipline the streaming
+	// clock engine uses, so captured clocks are byte-identical.
+	pub   VC
+	dirty bool
+	ev    EvidenceState
 }
 
 // relInfo remembers the last release on a sync var so a later acquire
@@ -141,15 +175,17 @@ type relInfo struct {
 type readInfo struct {
 	epoch
 	pc  lir.PC
-	seq uint64 // per-thread analyzed-memory ordinal of the read
+	seq uint64          // per-thread analyzed-memory ordinal of the read
+	ev  *AccessEvidence // forensic snapshot; nil unless Options.Evidence
 }
 
 type addrState struct {
 	hasWrite bool
 	write    epoch
 	writePC  lir.PC
-	writeSeq uint64     // per-thread analyzed-memory ordinal of the write
-	reads    []readInfo // reads since the last ordered write
+	writeSeq uint64          // per-thread analyzed-memory ordinal of the write
+	writeEv  *AccessEvidence // forensic snapshot; nil unless Options.Evidence
+	reads    []readInfo      // reads since the last ordered write
 }
 
 // NewDetector returns a detector with the given options.
@@ -163,6 +199,7 @@ func NewDetector(opts Options) *Detector {
 	if opts.OnEdge != nil {
 		d.lastRel = make(map[uint64]relInfo)
 	}
+	d.near = NewNearAccum(opts.NearMissMargin)
 	if opts.Obs != nil {
 		d.obsJoins = opts.Obs.Counter("hb.vc_joins")
 		d.obsRaces = opts.Obs.Counter("hb.dynamic_races")
@@ -195,6 +232,7 @@ func (d *Detector) Process(e trace.Event) {
 			d.obsJoins.Inc()
 			d.emitEdge(e)
 		}
+		d.noteSync(t, e)
 	case trace.KindRelease:
 		d.res.SyncOps++
 		d.obsSync.Inc()
@@ -203,6 +241,7 @@ func (d *Detector) Process(e trace.Event) {
 		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
 		d.recordRelease(e)
+		d.noteSync(t, e)
 	case trace.KindAcqRel:
 		d.res.SyncOps++
 		d.obsSync.Inc()
@@ -216,6 +255,7 @@ func (d *Detector) Process(e trace.Event) {
 		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
 		d.recordRelease(e)
+		d.noteSync(t, e)
 	case trace.KindRead, trace.KindWrite:
 		if d.opts.SamplerBit >= 0 && e.Mask&(1<<uint(d.opts.SamplerBit)) == 0 {
 			return
@@ -257,6 +297,17 @@ func (d *Detector) emitEdge(e trace.Event) {
 	})
 }
 
+// noteSync folds a synchronization event into the thread's evidence
+// state; no-op unless Options.Evidence. Any sync event invalidates the
+// published clock snapshot (clone-on-write at the next access).
+func (d *Detector) noteSync(t *threadState, e trace.Event) {
+	if !d.opts.Evidence {
+		return
+	}
+	t.dirty = true
+	t.ev.OnSync(e)
+}
+
 func (d *Detector) access(e trace.Event) {
 	t := d.thread(e.TID)
 	t.memSeq++
@@ -267,33 +318,53 @@ func (d *Detector) access(e trace.Event) {
 	}
 	now := epoch{tid: e.TID, clk: t.vc.At(e.TID)}
 	isWrite := e.Kind == trace.KindWrite
+	var ev *AccessEvidence
+	if d.opts.Evidence {
+		if t.dirty || t.pub == nil {
+			t.pub = t.vc.Clone()
+			t.dirty = false
+		}
+		ev = t.ev.Snapshot(t.pub)
+	}
 
-	if st.hasWrite && st.write.tid != e.TID && !st.write.happensBefore(t.vc) {
-		d.report(DynamicRace{
-			PrevPC: st.writePC, CurPC: e.PC,
-			PrevWrite: true, CurWrite: isWrite,
-			PrevTID: st.write.tid, CurTID: e.TID,
-			PrevSeq: st.writeSeq, CurSeq: t.memSeq,
-			Addr: e.Addr,
-		})
+	if st.hasWrite && st.write.tid != e.TID {
+		if !st.write.happensBefore(t.vc) {
+			d.report(DynamicRace{
+				PrevPC: st.writePC, CurPC: e.PC,
+				PrevWrite: true, CurWrite: isWrite,
+				PrevTID: st.write.tid, CurTID: e.TID,
+				PrevSeq: st.writeSeq, CurSeq: t.memSeq,
+				Addr:         e.Addr,
+				PrevEvidence: st.writeEv, CurEvidence: ev,
+			})
+		} else {
+			d.near.Note(st.writePC, e.PC, t.vc.At(st.write.tid)-st.write.clk)
+		}
 	}
 
 	if isWrite {
 		for _, r := range st.reads {
-			if r.tid != e.TID && !r.happensBefore(t.vc) {
+			if r.tid == e.TID {
+				continue
+			}
+			if !r.happensBefore(t.vc) {
 				d.report(DynamicRace{
 					PrevPC: r.pc, CurPC: e.PC,
 					PrevWrite: false, CurWrite: true,
 					PrevTID: r.tid, CurTID: e.TID,
 					PrevSeq: r.seq, CurSeq: t.memSeq,
-					Addr: e.Addr,
+					Addr:         e.Addr,
+					PrevEvidence: r.ev, CurEvidence: ev,
 				})
+			} else {
+				d.near.Note(r.pc, e.PC, t.vc.At(r.tid)-r.clk)
 			}
 		}
 		st.hasWrite = true
 		st.write = now
 		st.writePC = e.PC
 		st.writeSeq = t.memSeq
+		st.writeEv = ev
 		st.reads = st.reads[:0]
 		return
 	}
@@ -302,11 +373,11 @@ func (d *Detector) access(e trace.Event) {
 	// (program order makes the newer one dominate).
 	for i := range st.reads {
 		if st.reads[i].tid == e.TID {
-			st.reads[i] = readInfo{epoch: now, pc: e.PC, seq: t.memSeq}
+			st.reads[i] = readInfo{epoch: now, pc: e.PC, seq: t.memSeq, ev: ev}
 			return
 		}
 	}
-	st.reads = append(st.reads, readInfo{epoch: now, pc: e.PC, seq: t.memSeq})
+	st.reads = append(st.reads, readInfo{epoch: now, pc: e.PC, seq: t.memSeq, ev: ev})
 }
 
 // MarkDegraded switches the detector into degraded mode: every race
@@ -333,7 +404,17 @@ func (d *Detector) report(r DynamicRace) {
 }
 
 // Result returns the accumulated detection result.
-func (d *Detector) Result() *Result { return &d.res }
+func (d *Detector) Result() *Result {
+	d.res.NearMisses = d.near.Rows()
+	return &d.res
+}
+
+// PublishNearMisses publishes the accumulated near-miss telemetry into
+// Options.Obs. Call it once, after the pass is over; Detect and
+// DetectDegraded do so themselves.
+func (d *Detector) PublishNearMisses() {
+	PublishNearMisses(d.opts.Obs, d.near.Rows())
+}
 
 // Detect replays log and runs happens-before detection over it.
 func Detect(log *trace.Log, opts Options) (*Result, error) {
@@ -344,6 +425,7 @@ func Detect(log *trace.Log, opts Options) (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
+	d.PublishNearMisses()
 	return d.Result(), nil
 }
 
@@ -360,5 +442,6 @@ func DetectDegraded(log *trace.Log, opts Options) (*Result, *Degradation, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	d.PublishNearMisses()
 	return d.Result(), deg, nil
 }

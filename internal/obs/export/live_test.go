@@ -64,7 +64,7 @@ func TestConcurrentScrapeDuringLiveWatch(t *testing.T) {
 	sess := literace.NewStreamSession(nil, literace.StreamOptions{Obs: reg, Diag: rec})
 
 	var scrapes atomic.Uint64
-	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), &scrapes, wd.Health, nil))
+	srv := httptest.NewServer(export.NewHandler(reg, time.Now(), &scrapes, wd.Health, nil, nil))
 	defer srv.Close()
 
 	stop := make(chan struct{})

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"literace/internal/hb"
 	"literace/internal/obs"
 	"literace/internal/obs/coverprof"
 	"literace/internal/stream"
@@ -79,6 +80,8 @@ func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
 //   - low-coverage gauges (coverprof.low_coverage.<func>) -> one labeled
 //     family literace_coverprof_low_coverage_esr{func="<func>"} instead
 //     of a mangled gauge per function
+//   - per-pair near-miss counters (hb.near_miss.<A><-><B>) -> one
+//     labeled family literace_hb_near_miss{pair="<A><-><B>"}
 //   - per-shard stream instruments (stream.shard_events.<i> counters,
 //     stream.shard_util.<i> gauges) -> labeled families
 //     literace_stream_shard_events{shard="i"} and
@@ -89,15 +92,27 @@ func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
 func WriteProm(w io.Writer, s *obs.Snapshot) error {
 	var b strings.Builder
 
-	var shardEv []string
+	var shardEv, nearMiss []string
 	for _, name := range sortedKeys(s.Counters) {
-		if strings.HasPrefix(name, stream.ShardEventsCounterPrefix) {
+		switch {
+		case strings.HasPrefix(name, stream.ShardEventsCounterPrefix):
 			shardEv = append(shardEv, name)
+			continue
+		case strings.HasPrefix(name, hb.NearMissCounterPrefix):
+			nearMiss = append(nearMiss, name)
 			continue
 		}
 		n := promName(name)
 		fmt.Fprintf(&b, "# HELP %s LiteRace counter %s\n# TYPE %s counter\n%s %d\n",
 			n, name, n, n, s.Counters[name])
+	}
+	if len(nearMiss) > 0 {
+		fam := namePrefix + "hb_near_miss"
+		fmt.Fprintf(&b, "# HELP %s ordered conflicting access pairs within the near-miss margin\n# TYPE %s counter\n", fam, fam)
+		for _, name := range nearMiss {
+			pair := strings.TrimPrefix(name, hb.NearMissCounterPrefix)
+			fmt.Fprintf(&b, "%s{pair=\"%s\"} %d\n", fam, promLabel(pair), s.Counters[name])
+		}
 	}
 	if len(shardEv) > 0 {
 		fam := namePrefix + "stream_shard_events"

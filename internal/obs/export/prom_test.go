@@ -178,3 +178,30 @@ func TestSnapshotDelta(t *testing.T) {
 		t.Errorf("backwards histogram count = %d, want 0", got)
 	}
 }
+
+// Near-miss pair counters fold into one labeled family; the dot-less
+// total stays a plain counter.
+func TestWritePromNearMissFold(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("hb.near_miss.f1:0<->f2:3").Add(3)
+	reg.Counter("hb.near_miss.f4:1<->f5:0").Add(2)
+	reg.Counter("hb.near_miss_total").Add(5)
+	var b strings.Builder
+	if err := WriteProm(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE literace_hb_near_miss counter",
+		`literace_hb_near_miss{pair="f1:0<->f2:3"} 3`,
+		`literace_hb_near_miss{pair="f4:1<->f5:0"} 2`,
+		"literace_hb_near_miss_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "literace_hb_near_miss_f1") {
+		t.Error("per-pair counter leaked as a mangled scalar family")
+	}
+}

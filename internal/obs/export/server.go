@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -30,6 +31,8 @@ import (
 //	                 over /api/timeseries; no external assets)
 //	/healthz         health: a scored diag.Health report when a health
 //	                 source is wired (watch -slo), else a liveness ping
+//	/races           the literace.races/v1 race list when a races source
+//	                 is wired, else an empty non-final document
 //	/debug/pprof/*   the standard pprof handlers
 //
 // Mid-run freshness comes from two sides: hot-path instruments (burst
@@ -54,8 +57,11 @@ type Server struct {
 // and probes see the state without parsing the body. A nil report from
 // health (no poll yet) falls back to the liveness shape. ts may be nil:
 // /api/timeseries then serves an empty dump and /dashboard still loads
-// (it just shows no history).
-func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, health func() *diag.Health, ts *tsdb.Store) http.Handler {
+// (it just shows no history). races, when non-nil, backs /races with a
+// literace.races/v1 document (detected races so far, or the final list
+// once the run completes); nil — from the source or the parameter —
+// serves an empty non-final document so the endpoint shape is uniform.
+func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, health func() *diag.Health, ts *tsdb.Store, races func() []byte) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if scrapes != nil {
@@ -117,6 +123,19 @@ func NewHandler(reg *obs.Registry, start time.Time, scrapes *atomic.Uint64, heal
 		}
 		_ = json.NewEncoder(w).Encode(body)
 	})
+	mux.HandleFunc("/races", func(w http.ResponseWriter, r *http.Request) {
+		if scrapes != nil {
+			scrapes.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if races != nil {
+			if b := races(); b != nil {
+				_, _ = w.Write(b)
+				return
+			}
+		}
+		_, _ = io.WriteString(w, emptyRacesDoc)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -142,6 +161,13 @@ func ServeHealth(addr string, reg *obs.Registry, health func() *diag.Health) (*S
 // /api/timeseries and /dashboard; ts may be nil (endpoints stay up,
 // history is empty). The caller owns the store's sampler lifecycle.
 func ServeStore(addr string, reg *obs.Registry, health func() *diag.Health, ts *tsdb.Store) (*Server, error) {
+	return ServeRaces(addr, reg, health, ts, nil)
+}
+
+// ServeRaces is the full form: ServeStore with a races source backing
+// /races (see NewHandler); races may be nil (the endpoint serves an
+// empty non-final literace.races/v1 document).
+func ServeRaces(addr string, reg *obs.Registry, health func() *diag.Health, ts *tsdb.Store, races func() []byte) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("export: Serve needs a registry")
 	}
@@ -155,10 +181,25 @@ func ServeStore(addr string, reg *obs.Registry, health func() *diag.Health, ts *
 		start: time.Now(),
 		done:  make(chan error, 1),
 	}
-	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes, health, ts)}
+	s.srv = &http.Server{Handler: NewHandler(reg, s.start, &s.scrapes, health, ts, races)}
 	go func() { s.done <- s.srv.Serve(lis) }()
 	return s, nil
 }
+
+// emptyRacesDoc is the placeholder /races body when no races source is
+// wired: the zero-value literace.races/v1 document (the schema constant
+// is literace.RacesSchema; duplicated here as a literal so the serving
+// layer does not import the root package).
+const emptyRacesDoc = `{
+  "schema": "literace.races/v1",
+  "seed": 0,
+  "final": false,
+  "mem_ops_analyzed": 0,
+  "sync_ops_analyzed": 0,
+  "count": 0,
+  "races": []
+}
+`
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.lis.Addr().String() }

@@ -26,7 +26,7 @@ func TestServerRoundTrip(t *testing.T) {
 	reg.Histogram("core.burst_length").Observe(3)
 
 	var scrapes atomic.Uint64
-	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes, nil, nil))
+	ts := httptest.NewServer(NewHandler(reg, time.Now(), &scrapes, nil, nil, nil))
 	defer ts.Close()
 
 	get := func(path string) (string, string) {
@@ -150,7 +150,7 @@ func TestTimeseriesAndDashboard(t *testing.T) {
 	store.Append("stream.backlog_depth", tsdb.KindGauge, 1e9, 3)
 	store.Append("stream.backlog_depth", tsdb.KindGauge, 2e9, 5)
 
-	srv := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, store))
+	srv := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, store, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/api/timeseries")
@@ -190,7 +190,7 @@ func TestTimeseriesAndDashboard(t *testing.T) {
 	}
 
 	// Store-less handler: endpoints stay up, dump is empty but tagged.
-	bare := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, nil))
+	bare := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, nil, nil))
 	defer bare.Close()
 	resp, err = http.Get(bare.URL + "/api/timeseries")
 	if err != nil {
@@ -217,7 +217,7 @@ func TestSnapshotAndTimeseriesDeterministic(t *testing.T) {
 	samp.PollAt(time.Unix(100, 0))
 	samp.PollAt(time.Unix(101, 0))
 
-	srv := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, store))
+	srv := httptest.NewServer(NewHandler(reg, time.Now(), nil, nil, store, nil))
 	defer srv.Close()
 
 	read := func(path string) []byte {
@@ -287,4 +287,67 @@ func TestServerScrapeVsCloseRace(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// The /races endpoint serves whatever document its source supplies and
+// a schema-tagged empty list when there is none (nil source or a source
+// that has nothing yet), so scrapers can poll it unconditionally.
+func TestRacesEndpoint(t *testing.T) {
+	var scrapes atomic.Uint64
+	bare := httptest.NewServer(NewHandler(obs.New(), time.Now(), &scrapes, nil, nil, nil))
+	defer bare.Close()
+
+	fetch := func(url string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(url + "/races")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /races: status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := fetch(bare.URL)
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("content type %q", ctype)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Final  bool   `json:"final"`
+		Count  int    `json:"count"`
+		Races  []any  `json:"races"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("empty /races doc not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != "literace.races/v1" || doc.Final || doc.Count != 0 || doc.Races == nil {
+		t.Errorf("empty doc = %+v", doc)
+	}
+	if scrapes.Load() != 1 {
+		t.Errorf("scrapes = %d after one /races hit", scrapes.Load())
+	}
+
+	// A live source is served verbatim; a nil return falls back to the
+	// empty doc.
+	var payload []byte
+	src := func() []byte { return payload }
+	live := httptest.NewServer(NewHandler(obs.New(), time.Now(), &scrapes, nil, nil, src))
+	defer live.Close()
+
+	payload = []byte(`{"schema":"literace.races/v1","count":1,"races":[{}]}`)
+	if body, _ := fetch(live.URL); body != string(payload) {
+		t.Errorf("live doc not served verbatim: %s", body)
+	}
+	payload = nil
+	body2, _ := fetch(live.URL)
+	if err := json.Unmarshal([]byte(body2), &doc); err != nil || doc.Count != 0 {
+		t.Errorf("nil source return should serve the empty doc: %s (err %v)", body2, err)
+	}
 }

@@ -1,5 +1,5 @@
 // Package ledger defines the schema-versioned run-report artifact
-// (literace.runreport/v1) and an append-only directory ledger of such
+// (literace.runreport/v2) and an append-only directory ledger of such
 // reports with drift comparison. It is the cross-run half of the
 // observability layer: one report captures what one execution's sampler
 // actually saw (coverage table, effective sampling rate, detected races
@@ -23,8 +23,14 @@ import (
 	"os"
 )
 
-// ReportSchema identifies the run-report artifact format.
-const ReportSchema = "literace.runreport/v1"
+// ReportSchema identifies the run-report artifact format. v2 added the
+// optional per-race evidence_digest field (a short content hash of the
+// forensic evidence captured for the race), so the ledger can diff
+// evidence — not just counts — across runs. v1 reports remain readable.
+const (
+	ReportSchema   = "literace.runreport/v2"
+	ReportSchemaV1 = "literace.runreport/v1"
+)
 
 // FuncCoverage is one function's row in the report's coverage table,
 // aggregated over threads (see internal/obs/coverprof).
@@ -61,9 +67,16 @@ type RaceReport struct {
 	Unconfirmed  bool     `json:"unconfirmed,omitempty"`
 	FirstBursts  []uint32 `json:"first_bursts,omitempty"`
 	SecondBursts []uint32 `json:"second_bursts,omitempty"`
+	// EvidenceDigest is a short, order-independent content hash of the
+	// race's captured forensic evidence (vector clocks, frontiers,
+	// locksets of every occurrence); empty when evidence capture was off.
+	// Same digest across runs ⇒ the race manifested with identical
+	// evidence; a changed digest flags a behavioral shift even when the
+	// occurrence count is unchanged.
+	EvidenceDigest string `json:"evidence_digest,omitempty"`
 }
 
-// RunReport is the literace.runreport/v1 artifact.
+// RunReport is the literace.runreport/v2 artifact.
 type RunReport struct {
 	Schema  string `json:"schema"`
 	Module  string `json:"module"`
@@ -97,10 +110,11 @@ type RunReport struct {
 	Warnings []string `json:"warnings,omitempty"`
 }
 
-// Validate checks the schema tag and basic invariants.
+// Validate checks the schema tag and basic invariants. Both the current
+// schema and v1 (which simply lacks evidence digests) are accepted.
 func (r *RunReport) Validate() error {
-	if r.Schema != ReportSchema {
-		return fmt.Errorf("ledger: unsupported report schema %q (want %s)", r.Schema, ReportSchema)
+	if r.Schema != ReportSchema && r.Schema != ReportSchemaV1 {
+		return fmt.Errorf("ledger: unsupported report schema %q (want %s or %s)", r.Schema, ReportSchema, ReportSchemaV1)
 	}
 	switch r.Source {
 	case "run", "detect", "collector", "harness":

@@ -47,10 +47,21 @@ type Static struct {
 	WriteWrite uint64
 	ReadWrite  uint64
 
-	// SampleAddr is one racing address, for debugging reports.
+	// SampleAddr is one racing address, for debugging reports, and
+	// SampleTIDs the matching thread pair. They come from the first
+	// *confirmed* dynamic occurrence when one exists — an occurrence
+	// covered by the paper's no-false-positive guarantee — falling back
+	// to the first sighting for all-unconfirmed races. Both detection
+	// engines fold races in a deterministic order (batch in replay
+	// order, streaming in shard-merge order fixed per input and shard
+	// count), so the samples are stable per input.
 	SampleAddr uint64
-	// SampleTIDs is one racing thread pair.
+	// SampleTIDs is one racing thread pair (see SampleAddr).
 	SampleTIDs [2]int32
+
+	// sampleConfirmed records whether the samples above already come
+	// from a confirmed occurrence.
+	sampleConfirmed bool
 }
 
 // RatePerMillion returns dynamic occurrences per million non-stack memory
@@ -86,6 +97,14 @@ func (s *Set) Add(r hb.DynamicRace) {
 	if st == nil {
 		st = &Static{Key: k, SampleAddr: r.Addr, SampleTIDs: [2]int32{r.PrevTID, r.CurTID}}
 		s.m[k] = st
+	}
+	// Prefer the first confirmed occurrence's address and threads over
+	// an earlier unconfirmed sighting: a report's sample should point at
+	// evidence the no-false-positive guarantee stands behind.
+	if !r.Unconfirmed && !st.sampleConfirmed {
+		st.SampleAddr = r.Addr
+		st.SampleTIDs = [2]int32{r.PrevTID, r.CurTID}
+		st.sampleConfirmed = true
 	}
 	st.Count++
 	if !r.Unconfirmed {

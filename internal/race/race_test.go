@@ -171,3 +171,108 @@ func TestReport(t *testing.T) {
 		t.Errorf("raw report: %s", rep)
 	}
 }
+
+// A log whose sampled accesses all hit the stack has zero non-stack
+// memory ops: the rate is defined as 0 (no division by zero) and every
+// race renders as rare.
+func TestReportZeroNonStackOps(t *testing.T) {
+	s := NewSet()
+	s.Add(dyn(0, 1, 1, 2, true, true))
+	rep := s.Report(0, nil)
+	if !strings.Contains(rep, "1 static data races (1 rare, 0 frequent)") {
+		t.Errorf("zero-op report header wrong:\n%s", rep)
+	}
+	if !strings.Contains(rep, "rare") || strings.Contains(rep, "frequent  ") {
+		t.Errorf("zero-op rows should all be rare:\n%s", rep)
+	}
+	if got := (&Static{Count: 7}).RatePerMillion(0); got != 0 {
+		t.Errorf("RatePerMillion(0) = %v, want 0", got)
+	}
+}
+
+// A set whose every race is unconfirmed renders the banner and marks
+// every row, and the banner count matches the set size.
+func TestReportAllUnconfirmed(t *testing.T) {
+	s := NewSet()
+	for i := int32(0); i < 3; i++ {
+		r := dyn(i, 0, i, 1, true, true)
+		r.Unconfirmed = true
+		s.Add(r)
+	}
+	rep := s.Report(1000, nil)
+	if !strings.Contains(rep, "3 unconfirmed (first observed after log damage; may be false positives)") {
+		t.Errorf("missing all-unconfirmed banner:\n%s", rep)
+	}
+	if got := strings.Count(rep, " UNCONFIRMED"); got != 3 {
+		t.Errorf("%d rows marked UNCONFIRMED, want 3:\n%s", got, rep)
+	}
+	conf, unconf := s.SplitConfirmed()
+	if len(conf) != 0 || len(unconf) != 3 {
+		t.Errorf("SplitConfirmed = %d confirmed, %d unconfirmed", len(conf), len(unconf))
+	}
+}
+
+// The Table 4 cutoff is strict: exactly 3.0 occurrences per million
+// non-stack memory instructions is frequent, one occurrence fewer is
+// rare.
+func TestReportRareBoundaryExact(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 3; i++ {
+		s.Add(dyn(1, 0, 1, 1, true, true)) // 3 per million: frequent
+	}
+	st := s.Races()[0]
+	if got := st.RatePerMillion(1_000_000); got != RareThreshold {
+		t.Fatalf("rate = %v, want exactly %v", got, RareThreshold)
+	}
+	if st.Rare(1_000_000) {
+		t.Error("rate exactly at the threshold must classify frequent")
+	}
+	rep := s.Report(1_000_000, nil)
+	if !strings.Contains(rep, "(0 rare, 1 frequent)") || !strings.Contains(rep, "frequent") {
+		t.Errorf("boundary report:\n%s", rep)
+	}
+	// One fewer dynamic occurrence tips it to rare.
+	s2 := NewSet()
+	for i := 0; i < 2; i++ {
+		s2.Add(dyn(1, 0, 1, 1, true, true))
+	}
+	if !s2.Races()[0].Rare(1_000_000) {
+		t.Error("2 per million must classify rare")
+	}
+}
+
+// SampleAddr/SampleTIDs prefer the first confirmed occurrence over an
+// earlier unconfirmed one, and keep it once set.
+func TestSampleFromFirstConfirmed(t *testing.T) {
+	unconf := dyn(1, 0, 2, 0, true, true)
+	unconf.Unconfirmed = true
+	unconf.Addr = 0xbad
+	unconf.PrevTID, unconf.CurTID = 7, 8
+
+	conf := dyn(1, 0, 2, 0, true, true)
+	conf.Addr = 0x600d
+	conf.PrevTID, conf.CurTID = 1, 2
+
+	later := dyn(1, 0, 2, 0, true, true)
+	later.Addr = 0x1a7e
+	later.PrevTID, later.CurTID = 3, 4
+
+	s := NewSet()
+	s.Add(unconf)
+	s.Add(conf)
+	s.Add(later)
+	st := s.Races()[0]
+	if st.SampleAddr != 0x600d || st.SampleTIDs != [2]int32{1, 2} {
+		t.Errorf("sample = %#x %v, want first confirmed occurrence 0x600d [1 2]", st.SampleAddr, st.SampleTIDs)
+	}
+	if st.Count != 3 || st.Confirmed != 2 {
+		t.Errorf("counts = %d/%d, want 3/2", st.Count, st.Confirmed)
+	}
+
+	// All-unconfirmed: the first sighting's sample stands.
+	s2 := NewSet()
+	s2.Add(unconf)
+	if st2 := s2.Races()[0]; st2.SampleAddr != 0xbad || st2.SampleTIDs != [2]int32{7, 8} {
+		t.Errorf("all-unconfirmed sample = %#x %v, want first sighting", st2.SampleAddr, st2.SampleTIDs)
+	}
+}

@@ -66,6 +66,14 @@ type Options struct {
 	// under sharding is not replay order; Result.Races is the canonical
 	// ordered list.
 	OnRace func(hb.DynamicRace)
+	// Evidence enables forensic evidence capture, exactly as
+	// hb.Options.Evidence does: every reported race carries immutable
+	// AccessEvidence snapshots byte-identical to a batch pass.
+	Evidence bool
+	// NearMissMargin enables near-miss analytics as
+	// hb.Options.NearMissMargin does; the per-shard accumulators merge at
+	// Finish into the same rows a batch pass produces.
+	NearMissMargin int
 }
 
 // DefaultShards is the shard count when Options.Shards is 0.
@@ -188,12 +196,15 @@ type Pipeline struct {
 
 // clockState is the producer-side view of one thread: its live vector
 // clock plus the immutable snapshot shards read. Sync events mutate vc
-// and mark it dirty; the next dispatched access re-snapshots.
+// and mark it dirty; the next dispatched access re-snapshots. In
+// evidence mode ev tracks the thread's happens-before frontier and held
+// lockset (mirrors hb.Detector's threadState exactly).
 type clockState struct {
 	vc     hb.VC
 	pub    hb.VC
 	dirty  bool
 	memSeq uint64
+	ev     hb.EvidenceState
 }
 
 // New starts a pipeline: the shard workers launch immediately and idle
@@ -246,6 +257,7 @@ func New(opts Options) *Pipeline {
 			mem:        make(map[uint64]*addrHist),
 			degradeOrd: &p.degradeOrd,
 			onRace:     onRace,
+			near:       hb.NewNearAccum(opts.NearMissMargin),
 			evCnt:      opts.Obs.Counter(fmt.Sprintf("%s%d", ShardEventsCounterPrefix, i)),
 			rec:        opts.Diag,
 		}
@@ -350,6 +362,9 @@ func (p *Pipeline) handle(e trace.Event) error {
 			t.dirty = true
 			p.obsJoins.Inc()
 		}
+		if p.opts.Evidence {
+			t.ev.OnSync(e)
+		}
 	case trace.KindRelease:
 		p.res.SyncOps++
 		p.obsSync.Inc()
@@ -358,6 +373,9 @@ func (p *Pipeline) handle(e trace.Event) error {
 		p.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
 		t.dirty = true
+		if p.opts.Evidence {
+			t.ev.OnSync(e)
+		}
 	case trace.KindAcqRel:
 		p.res.SyncOps++
 		p.obsSync.Inc()
@@ -370,6 +388,9 @@ func (p *Pipeline) handle(e trace.Event) error {
 		p.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
 		t.dirty = true
+		if p.opts.Evidence {
+			t.ev.OnSync(e)
+		}
 	case trace.KindRead, trace.KindWrite:
 		if p.opts.SamplerBit >= 0 && e.Mask&(1<<uint(p.opts.SamplerBit)) == 0 {
 			return nil
@@ -390,6 +411,9 @@ func (p *Pipeline) handle(e trace.Event) error {
 			write: e.Kind == trace.KindWrite,
 			pc:    e.PC,
 			vc:    t.pub,
+		}
+		if p.opts.Evidence {
+			a.ev = t.ev.Snapshot(t.pub)
 		}
 		p.ordinal++
 		p.obsDispatch.Inc()
@@ -598,9 +622,11 @@ func (p *Pipeline) Finish() (*Result, error) {
 
 	var all []shardRace
 	shardEvents := make([]uint64, len(p.shards))
+	near := hb.NewNearAccum(p.opts.NearMissMargin)
 	for i, s := range p.shards {
 		all = append(all, s.races...)
 		shardEvents[i] = s.events
+		near.Merge(s.near)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].ord != all[j].ord {
@@ -621,6 +647,8 @@ func (p *Pipeline) Finish() (*Result, error) {
 		Backpressure: p.backpres,
 		Elapsed:      time.Since(p.start),
 	}
+	res.NearMisses = near.Rows()
+	hb.PublishNearMisses(p.opts.Obs, res.NearMisses)
 	res.NumRaces = uint64(len(all))
 	p.obsRaces.Add(res.NumRaces)
 	for _, sr := range all {

@@ -21,7 +21,8 @@ type memAccess struct {
 	tid   int32
 	write bool
 	pc    lir.PC
-	vc    hb.VC // immutable; shared across dispatches until the thread's clock changes
+	vc    hb.VC              // immutable; shared across dispatches until the thread's clock changes
+	ev    *hb.AccessEvidence // forensic snapshot; nil unless Options.Evidence
 }
 
 // shardRace is a race found by a shard, tagged with the ordinal of the
@@ -41,6 +42,7 @@ type readRec struct {
 	clk uint64
 	pc  lir.PC
 	seq uint64
+	ev  *hb.AccessEvidence // nil unless evidence mode
 }
 
 type addrHist struct {
@@ -49,7 +51,8 @@ type addrHist struct {
 	wClk     uint64
 	wPC      lir.PC
 	wSeq     uint64
-	reads    []readRec // reads since the last ordered write
+	wEv      *hb.AccessEvidence // nil unless evidence mode
+	reads    []readRec          // reads since the last ordered write
 }
 
 // shard is one detection worker: it owns the access histories of the
@@ -63,6 +66,7 @@ type shard struct {
 	events     uint64
 	degradeOrd *atomic.Uint64
 	onRace     func(hb.DynamicRace) // serialized by the pipeline; may be nil
+	near       *hb.NearAccum        // near-miss accumulator; nil when disabled
 	evCnt      *obs.Counter         // stream.shard_events.<idx>
 	rec        *diag.Recorder       // flight recorder; may be nil
 }
@@ -100,33 +104,45 @@ func (s *shard) access(a memAccess) {
 		st.wClk = a.vc.At(a.tid)
 		st.wPC = a.pc
 		st.wSeq = a.seq
+		st.wEv = a.ev
 		return
 	}
 	nowClk := a.vc.At(a.tid)
 	sub := 0
 
-	if st.hasWrite && st.wTID != a.tid && st.wClk > a.vc.At(st.wTID) {
-		s.report(hb.DynamicRace{
-			PrevPC: st.wPC, CurPC: a.pc,
-			PrevWrite: true, CurWrite: a.write,
-			PrevTID: st.wTID, CurTID: a.tid,
-			PrevSeq: st.wSeq, CurSeq: a.seq,
-			Addr: a.addr,
-		}, a.ord, sub)
-		sub++
+	if st.hasWrite && st.wTID != a.tid {
+		if st.wClk > a.vc.At(st.wTID) {
+			s.report(hb.DynamicRace{
+				PrevPC: st.wPC, CurPC: a.pc,
+				PrevWrite: true, CurWrite: a.write,
+				PrevTID: st.wTID, CurTID: a.tid,
+				PrevSeq: st.wSeq, CurSeq: a.seq,
+				Addr:         a.addr,
+				PrevEvidence: st.wEv, CurEvidence: a.ev,
+			}, a.ord, sub)
+			sub++
+		} else {
+			s.near.Note(st.wPC, a.pc, a.vc.At(st.wTID)-st.wClk)
+		}
 	}
 
 	if a.write {
 		for _, r := range st.reads {
-			if r.tid != a.tid && r.clk > a.vc.At(r.tid) {
+			if r.tid == a.tid {
+				continue
+			}
+			if r.clk > a.vc.At(r.tid) {
 				s.report(hb.DynamicRace{
 					PrevPC: r.pc, CurPC: a.pc,
 					PrevWrite: false, CurWrite: true,
 					PrevTID: r.tid, CurTID: a.tid,
 					PrevSeq: r.seq, CurSeq: a.seq,
-					Addr: a.addr,
+					Addr:         a.addr,
+					PrevEvidence: r.ev, CurEvidence: a.ev,
 				}, a.ord, sub)
 				sub++
+			} else {
+				s.near.Note(r.pc, a.pc, a.vc.At(r.tid)-r.clk)
 			}
 		}
 		st.hasWrite = true
@@ -134,6 +150,7 @@ func (s *shard) access(a memAccess) {
 		st.wClk = nowClk
 		st.wPC = a.pc
 		st.wSeq = a.seq
+		st.wEv = a.ev
 		st.reads = st.reads[:0]
 		return
 	}
@@ -142,11 +159,11 @@ func (s *shard) access(a memAccess) {
 	// (program order makes the newer one dominate).
 	for i := range st.reads {
 		if st.reads[i].tid == a.tid {
-			st.reads[i] = readRec{tid: a.tid, clk: nowClk, pc: a.pc, seq: a.seq}
+			st.reads[i] = readRec{tid: a.tid, clk: nowClk, pc: a.pc, seq: a.seq, ev: a.ev}
 			return
 		}
 	}
-	st.reads = append(st.reads, readRec{tid: a.tid, clk: nowClk, pc: a.pc, seq: a.seq})
+	st.reads = append(st.reads, readRec{tid: a.tid, clk: nowClk, pc: a.pc, seq: a.seq, ev: a.ev})
 }
 
 func (s *shard) report(r hb.DynamicRace, ord uint64, sub int) {

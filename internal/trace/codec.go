@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 	"sync"
 
 	"literace/internal/obs"
@@ -269,6 +270,11 @@ func (w *Writer) Close(meta Meta) error {
 		tws = append(tws, tw)
 	}
 	w.mu.Unlock()
+	// Flush in thread order, not map order: the final chunks' positions
+	// are part of the log's canonical arrival order (replay delivers by
+	// chunk order), so a deterministic execution must close into a log
+	// with a deterministic chunk sequence.
+	sort.Slice(tws, func(i, j int) bool { return tws[i].tid < tws[j].tid })
 
 	for _, tw := range tws {
 		if err := tw.Flush(); err != nil {

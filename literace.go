@@ -214,7 +214,12 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 	}
 	var online *hb.Detector
 	if cfg.Online {
-		online = hb.NewDetector(hb.Options{SamplerBit: hb.AllEvents, Obs: cfg.Obs})
+		// Evidence rides along when coverage profiling is on: the pair is
+		// what BuildRunReport needs to stamp evidence digests, and the
+		// capture cost is bounded by the sampled (logged) access count.
+		online = hb.NewDetector(hb.Options{
+			SamplerBit: hb.AllEvents, Obs: cfg.Obs, Evidence: cfg.Coverage,
+		})
 		rtCfg.OnEvent = func(e trace.Event) { online.Process(e) }
 	}
 	if cfg.Coverage {
@@ -298,31 +303,36 @@ func (p *Program) Run(cfg Config) (*RunResult, error) {
 // PC identifies an instruction in the original (pre-instrumentation)
 // program.
 type PC struct {
-	Func  int32 // original function index
-	Index int32 // instruction index within the function
+	Func  int32 `json:"func"`  // original function index
+	Index int32 `json:"index"` // instruction index within the function
 }
 
-// Race is one static data race, resolved to function names.
+// Race is one static data race, resolved to function names. The JSON
+// field order is part of the literace.races/v1 contract (see
+// Report.MarshalRaces) and must stay stable.
 type Race struct {
 	// First and Second identify the racing instructions ("func:index"),
 	// normalized so First <= Second.
-	First, Second string
+	First  string `json:"first"`
+	Second string `json:"second"`
 	// FirstPC and SecondPC are the same locations in structured form,
 	// usable with Program.SourceContext.
-	FirstPC, SecondPC PC
+	FirstPC  PC `json:"first_pc"`
+	SecondPC PC `json:"second_pc"`
 	// Count is the number of dynamic occurrences observed.
-	Count uint64
+	Count uint64 `json:"count"`
 	// WriteWrite and ReadWrite split Count by access-pair kind.
-	WriteWrite, ReadWrite uint64
+	WriteWrite uint64 `json:"write_write"`
+	ReadWrite  uint64 `json:"read_write"`
 	// Rare reports the paper's Table 4 classification: fewer than 3
 	// occurrences per million non-stack memory instructions.
-	Rare bool
+	Rare bool `json:"rare"`
 	// Unconfirmed marks a race only ever observed after log damage
 	// weakened the happens-before orderings (salvaged logs, degraded
 	// replay). The zero-false-positive guarantee does not cover it.
-	Unconfirmed bool
+	Unconfirmed bool `json:"unconfirmed"`
 	// Addr is one racing address, for debugging.
-	Addr uint64
+	Addr uint64 `json:"addr"`
 }
 
 // Report is the outcome of race detection on one log.
@@ -550,6 +560,14 @@ type StreamOptions struct {
 	// in discovery order, which under sharding is not replay order. The
 	// final Report is the canonical deduplicated view.
 	OnRace func(StreamRace)
+	// Evidence enables forensic evidence capture (hb.Options.Evidence):
+	// every race in the final stream.Result carries immutable vector-
+	// clock, frontier, and lockset snapshots, byte-identical to a batch
+	// evidence pass over the same bytes.
+	Evidence bool
+	// NearMissMargin enables near-miss analytics
+	// (hb.Options.NearMissMargin); 0 disables.
+	NearMissMargin int
 }
 
 // StreamSession runs the online detection pipeline over an LTRC2 log
@@ -567,11 +585,13 @@ type StreamSession struct {
 func NewStreamSession(resolve func(int32) string, opts StreamOptions) *StreamSession {
 	s := &StreamSession{resolve: resolve}
 	popts := stream.Options{
-		Shards:     opts.Shards,
-		SamplerBit: hb.AllEvents,
-		Obs:        opts.Obs,
-		Diag:       opts.Diag,
-		Log:        opts.Log,
+		Shards:         opts.Shards,
+		SamplerBit:     hb.AllEvents,
+		Obs:            opts.Obs,
+		Diag:           opts.Diag,
+		Log:            opts.Log,
+		Evidence:       opts.Evidence,
+		NearMissMargin: opts.NearMissMargin,
 	}
 	if opts.OnRace != nil {
 		name := func(pc lir.PC) string { return fmt.Sprintf("fn%d:%d", pc.Func, pc.Index) }

@@ -3,6 +3,7 @@ package literace
 import (
 	"sort"
 
+	"literace/internal/forensics"
 	"literace/internal/hb"
 	"literace/internal/lir"
 	"literace/internal/obs/coverprof"
@@ -10,7 +11,7 @@ import (
 	"literace/internal/trace"
 )
 
-// BuildRunReport assembles the literace.runreport/v1 artifact for an
+// BuildRunReport assembles the literace.runreport/v2 artifact for an
 // execution of p: run metadata, the coverage table (when Config.Coverage
 // was set), the race report rep (typically res.OnlineReport), and — when
 // both coverage and online detection were on — the sampling bursts that
@@ -99,7 +100,14 @@ func coverageRows(p *coverprof.Profile) []ledger.FuncCoverage {
 // Attribution is valid because the log preserves per-thread order and
 // the online pass analyzes every logged access, so the detector's
 // per-thread memory ordinals equal the runtime's logged-memory ordinals.
+// When the detection pass captured evidence (hb.Options.Evidence), each
+// row also carries the race's evidence digest so the ledger can diff
+// evidence across runs.
 func raceRows(rep *Report, cov *coverprof.Collector, res *hb.Result) []ledger.RaceReport {
+	var digests map[string]string
+	if res != nil {
+		digests = forensics.EvidenceDigests(res.Races)
+	}
 	type burstSets struct{ first, second map[uint32]bool }
 	attrib := make(map[string]*burstSets)
 	if cov != nil && res != nil {
@@ -142,6 +150,7 @@ func raceRows(rep *Report, cov *coverprof.Collector, res *hb.Result) []ledger.Ra
 			row.FirstBursts = sortedBursts(bs.first)
 			row.SecondBursts = sortedBursts(bs.second)
 		}
+		row.EvidenceDigest = digests[key]
 		rows = append(rows, row)
 	}
 	return rows
