@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"literace/internal/hb"
+	"literace/internal/obs/ledger"
+	"literace/internal/trace"
+	"literace/internal/workloads"
+)
+
+// TestEpochBenchSummary runs the full epoch-vs-vc sweep and checks the
+// headline: parity on every benchmark, sane accounting, and a stable
+// JSON artifact. Timing fields are asserted present, not fast — wall
+// clocks are machine noise in CI.
+func TestEpochBenchSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark-matrix sweep")
+	}
+	sum, err := BuildEpochBenchSummary(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Schema != EpochBenchSchema {
+		t.Fatalf("schema %q", sum.Schema)
+	}
+	if !sum.Parity {
+		t.Fatalf("epoch engine lost parity with the oracle: %+v", sum.Benchmarks)
+	}
+	if len(sum.Benchmarks) == 0 {
+		t.Fatal("no benchmarks measured")
+	}
+	var races int
+	var events uint64
+	for _, run := range sum.Benchmarks {
+		if !run.Parity {
+			t.Errorf("%s lost parity", run.Benchmark)
+		}
+		if run.MemOps == 0 {
+			t.Errorf("%s analyzed no memory ops", run.Benchmark)
+		}
+		if run.VCWallNanos <= 0 || run.EpochWallNanos <= 0 {
+			t.Errorf("%s has unmeasured walls: vc %d epoch %d",
+				run.Benchmark, run.VCWallNanos, run.EpochWallNanos)
+		}
+		if run.Evictions != 0 {
+			t.Errorf("%s evicted %d cells from an unbounded table", run.Benchmark, run.Evictions)
+		}
+		if run.FastpathHits > run.MemOps {
+			t.Errorf("%s counted %d fastpath hits over %d accesses", run.Benchmark, run.FastpathHits, run.MemOps)
+		}
+		if run.Races > 0 && run.DepotStacks == 0 {
+			t.Errorf("%s reported %d races but interned no identities", run.Benchmark, run.Races)
+		}
+		races += run.Races
+	}
+	events = sum.TotalEvents
+	if races == 0 {
+		t.Fatal("benchmark matrix produced no races; the parity claim is vacuous")
+	}
+	if events == 0 {
+		t.Fatal("no events replayed")
+	}
+	if sum.Speedup <= 0 {
+		t.Fatalf("aggregate speedup %g", sum.Speedup)
+	}
+
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back EpochBenchSummary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Schema != EpochBenchSchema || len(back.Benchmarks) != len(sum.Benchmarks) {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if !strings.HasPrefix(buf.String(), "{\n") || !strings.HasSuffix(buf.String(), "}\n") {
+		t.Error("artifact not indented/newline-terminated")
+	}
+
+	// Baseline comparison: a summary matches itself, and each guarded
+	// field drifts when pushed past its slack.
+	if err := CompareEpochSummaries(sum, sum); err != nil {
+		t.Fatalf("summary drifted from itself: %v", err)
+	}
+}
+
+// TestCompareEpochSummariesDrift pins the drift classifier on synthetic
+// summaries: exact fields reject any change, slacked fields absorb small
+// wobble and reject large, and every rejection wraps ErrDriftExceeded.
+func TestCompareEpochSummariesDrift(t *testing.T) {
+	mk := func() *EpochBenchSummary {
+		return &EpochBenchSummary{
+			Schema: EpochBenchSchema,
+			Scale:  1,
+			Seed:   1,
+			Parity: true,
+			Benchmarks: []EpochBenchRun{{
+				Benchmark:    "apache-1",
+				LogBytes:     10000,
+				MemOps:       5000,
+				SyncOps:      700,
+				Races:        12,
+				FastpathHits: 4000,
+				Promotions:   40,
+				DepotStacks:  6,
+				Parity:       true,
+			}},
+		}
+	}
+	base := mk()
+	if err := CompareEpochSummaries(base, mk()); err != nil {
+		t.Fatalf("identical summaries drifted: %v", err)
+	}
+
+	within := mk()
+	within.Benchmarks[0].Races += epochRaceSlack
+	within.Benchmarks[0].FastpathHits += epochCounterSlack
+	within.Benchmarks[0].LogBytes += epochLogBytesSlack
+	within.Benchmarks[0].DepotStacks += epochDepotSlack
+	if err := CompareEpochSummaries(base, within); err != nil {
+		t.Fatalf("wobble within slack rejected: %v", err)
+	}
+
+	for name, mut := range map[string]func(*EpochBenchSummary){
+		"mem_ops":       func(s *EpochBenchSummary) { s.Benchmarks[0].MemOps++ },
+		"sync_ops":      func(s *EpochBenchSummary) { s.Benchmarks[0].SyncOps++ },
+		"evictions":     func(s *EpochBenchSummary) { s.Benchmarks[0].Evictions = 1 },
+		"parity":        func(s *EpochBenchSummary) { s.Benchmarks[0].Parity = false },
+		"races":         func(s *EpochBenchSummary) { s.Benchmarks[0].Races += epochRaceSlack + 1 },
+		"fastpath_hits": func(s *EpochBenchSummary) { s.Benchmarks[0].FastpathHits += epochCounterSlack + 1 },
+		"depot_stacks":  func(s *EpochBenchSummary) { s.Benchmarks[0].DepotStacks += epochDepotSlack + 1 },
+		"seed":          func(s *EpochBenchSummary) { s.Seed = 2 },
+	} {
+		cur := mk()
+		mut(cur)
+		err := CompareEpochSummaries(base, cur)
+		if err == nil {
+			t.Errorf("%s drift accepted", name)
+			continue
+		}
+		if !errors.Is(err, ledger.ErrDriftExceeded) {
+			t.Errorf("%s drift error does not wrap ErrDriftExceeded: %v", name, err)
+		}
+	}
+}
+
+// benchEvents materializes one benchmark's merged event sequence for the
+// engine microbenchmarks.
+func benchEvents(b *testing.B, key string) []trace.Event {
+	b.Helper()
+	wl, ok := workloads.ByKey(key)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", key)
+	}
+	data, err := traceBytes(wl, 1, Config{Seeds: []int64{1}, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	log, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events []trace.Event
+	if err := hb.Replay(log, func(e trace.Event) error {
+		events = append(events, e)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return events
+}
+
+func benchEngine(b *testing.B, engine string) {
+	events := benchEvents(b, "apache-1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := hb.NewDetector(hb.Options{
+			SamplerBit: hb.AllEvents, Engine: engine, KeepMax: epochBenchKeepMax,
+		})
+		d.ProcessBatch(events)
+		_ = d.Result()
+	}
+}
+
+func BenchmarkEngineVC(b *testing.B)    { benchEngine(b, hb.EngineVC) }
+func BenchmarkEngineEpoch(b *testing.B) { benchEngine(b, hb.EngineEpoch) }

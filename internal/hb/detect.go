@@ -1,10 +1,40 @@
 package hb
 
 import (
+	"fmt"
+
 	"literace/internal/lir"
 	"literace/internal/obs"
+	"literace/internal/shadow"
 	"literace/internal/trace"
 )
+
+// Engine names select the memory-access analysis core backing a
+// detection pass. Both engines share the sync-clock side (vector clocks,
+// happens-before edges, evidence capture) and report byte-identical race
+// sets; the vector-clock core is the differential oracle for the epoch
+// core.
+const (
+	// EngineVC is the vector-clock detector, the default.
+	EngineVC = "vc"
+	// EngineEpoch is the epoch fast-path core in internal/shadow:
+	// O(1) same-epoch/ordered decisions over a word-granular
+	// open-addressed shadow-memory table.
+	EngineEpoch = "epoch"
+)
+
+// ValidEngine reports whether name selects a known detection engine.
+// The empty string selects EngineVC.
+func ValidEngine(name string) bool {
+	return name == "" || name == EngineVC || name == EngineEpoch
+}
+
+func checkEngine(name string) error {
+	if !ValidEngine(name) {
+		return fmt.Errorf("unknown detection engine %q (valid: %s, %s)", name, EngineVC, EngineEpoch)
+	}
+	return nil
+}
 
 // DynamicRace is one detected conflicting access pair: the earlier access
 // (in the replayed order) is Prev, the later one is Cur, and neither
@@ -100,6 +130,23 @@ type Options struct {
 	// counted per static PC pair (Result.NearMisses and the
 	// hb.near_miss.* obs family). 0 (the default) disables.
 	NearMissMargin int
+
+	// Engine selects the memory-access analysis core: EngineVC (also
+	// the empty string) or EngineEpoch. Detect and DetectDegraded
+	// reject unknown names; NewDetector treats any non-epoch value as
+	// the vector-clock core.
+	Engine string
+
+	// ShadowMaxCells bounds the epoch engine's shadow-memory table
+	// (see shadow.Options.MaxCells); 0 means unbounded. Only the
+	// unbounded default preserves exact parity with the vector-clock
+	// oracle — a bounded table may miss races, never invent them.
+	ShadowMaxCells int
+
+	// ShadowDepot, when non-nil, is the stack depot the epoch engine
+	// interns race identities into; share one to deduplicate across
+	// detectors. Ignored by the vector-clock engine.
+	ShadowDepot *shadow.Depot
 }
 
 // AllEvents is the SamplerBit value that disables mask filtering.
@@ -122,6 +169,11 @@ type Result struct {
 	// Options.NearMissMargin, grouped per static pair and sorted; nil
 	// when near-miss analytics were off.
 	NearMisses []NearMiss
+
+	// Epoch carries the epoch engine's core statistics when the pass
+	// ran under Options.Engine == EngineEpoch; nil under the
+	// vector-clock engine.
+	Epoch *shadow.Stats
 }
 
 // Confirmed returns the dynamic races found while every happens-before
@@ -140,6 +192,12 @@ type Detector struct {
 	mem      map[uint64]*addrState // address -> access history
 	lastRel  map[uint64]relInfo    // SyncVar -> last release, only when OnEdge is set
 	near     *NearAccum            // near-miss accumulator; nil when disabled
+
+	// Epoch-engine state (Options.Engine == EngineEpoch): eng replaces
+	// the mem map as the access-history store, and tcache is a
+	// tid-indexed shortcut past the threads map on the access hot path.
+	eng    *shadow.Engine
+	tcache []*threadState
 
 	// Telemetry instruments; nil (no-op) when opts.Obs is nil.
 	obsJoins *obs.Counter // hb.vc_joins
@@ -206,6 +264,35 @@ func NewDetector(opts Options) *Detector {
 		d.obsMem = opts.Obs.Counter("hb.mem_events")
 		d.obsSync = opts.Obs.Counter("hb.sync_events")
 	}
+	if opts.Engine == EngineEpoch {
+		so := shadow.Options{
+			MaxCells: opts.ShadowMaxCells,
+			Depot:    opts.ShadowDepot,
+			Obs:      opts.Obs,
+			OnRace: func(prev shadow.Prev, cur *shadow.Access, _ int) {
+				r := DynamicRace{
+					PrevPC: prev.PC, CurPC: cur.PC,
+					PrevWrite: prev.Write, CurWrite: cur.Write,
+					PrevTID: prev.TID, CurTID: cur.TID,
+					PrevSeq: prev.Seq, CurSeq: cur.Seq,
+					Addr: cur.Addr,
+				}
+				if prev.Ev != nil {
+					r.PrevEvidence = prev.Ev.(*AccessEvidence)
+				}
+				if cur.Ev != nil {
+					r.CurEvidence = cur.Ev.(*AccessEvidence)
+				}
+				d.report(r)
+			},
+		}
+		if opts.NearMissMargin > 0 {
+			so.OnOrdered = func(prevPC, curPC lir.PC, margin uint64) {
+				d.near.Note(prevPC, curPC, margin)
+			}
+		}
+		d.eng = shadow.NewEngine(so)
+	}
 	return d
 }
 
@@ -221,7 +308,20 @@ func (d *Detector) thread(tid int32) *threadState {
 }
 
 // Process consumes one event.
-func (d *Detector) Process(e trace.Event) {
+func (d *Detector) Process(e trace.Event) { d.process(&e) }
+
+// ProcessBatch consumes a pre-materialized event sequence in order. It
+// is equivalent to calling Process per element, minus one 48-byte
+// event copy per call — at tens of millions of events per second the
+// copies are a measurable tax on either engine.
+func (d *Detector) ProcessBatch(events []trace.Event) {
+	for i := range events {
+		d.process(&events[i])
+	}
+}
+
+// process never retains e past the call.
+func (d *Detector) process(e *trace.Event) {
 	switch e.Kind {
 	case trace.KindAcquire:
 		d.res.SyncOps++
@@ -230,9 +330,9 @@ func (d *Detector) Process(e trace.Event) {
 		if lv, ok := d.vars[e.Addr]; ok {
 			t.vc = t.vc.Join(lv)
 			d.obsJoins.Inc()
-			d.emitEdge(e)
+			d.emitEdge(*e)
 		}
-		d.noteSync(t, e)
+		d.noteSync(t, *e)
 	case trace.KindRelease:
 		d.res.SyncOps++
 		d.obsSync.Inc()
@@ -240,8 +340,8 @@ func (d *Detector) Process(e trace.Event) {
 		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
 		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
-		d.recordRelease(e)
-		d.noteSync(t, e)
+		d.recordRelease(*e)
+		d.noteSync(t, *e)
 	case trace.KindAcqRel:
 		d.res.SyncOps++
 		d.obsSync.Inc()
@@ -249,19 +349,43 @@ func (d *Detector) Process(e trace.Event) {
 		if lv, ok := d.vars[e.Addr]; ok {
 			t.vc = t.vc.Join(lv)
 			d.obsJoins.Inc()
-			d.emitEdge(e)
+			d.emitEdge(*e)
 		}
 		d.vars[e.Addr] = d.vars[e.Addr].Join(t.vc)
 		d.obsJoins.Inc()
 		t.vc = t.vc.Tick(e.TID)
-		d.recordRelease(e)
-		d.noteSync(t, e)
+		d.recordRelease(*e)
+		d.noteSync(t, *e)
 	case trace.KindRead, trace.KindWrite:
 		if d.opts.SamplerBit >= 0 && e.Mask&(1<<uint(d.opts.SamplerBit)) == 0 {
 			return
 		}
 		d.res.MemOps++
 		d.obsMem.Inc()
+		if d.eng != nil {
+			// Dispatch straight into the epoch core: no event copy
+			// through d.access, no intermediate frame. Plain runs hop
+			// Process -> engine in one register call. The thread-cache
+			// hit is open-coded: threadFast just misses the inlining
+			// budget, and a call here costs more than the lookup.
+			var t *threadState
+			if int(e.TID) < len(d.tcache) {
+				t = d.tcache[e.TID]
+			}
+			if t == nil {
+				t = d.threadSlow(e.TID)
+			}
+			t.memSeq++
+			switch {
+			case d.opts.Evidence:
+				d.accessEpochEv(t, e.Addr, e.TID, e.PC, e.Kind == trace.KindWrite)
+			case e.Kind == trace.KindWrite:
+				d.eng.Write(e.Addr, t.memSeq, e.TID, e.PC, t.vc)
+			default:
+				d.eng.Read(e.Addr, t.memSeq, e.TID, e.PC, t.vc)
+			}
+			return
+		}
 		d.access(e)
 	}
 }
@@ -308,7 +432,69 @@ func (d *Detector) noteSync(t *threadState, e trace.Event) {
 	t.ev.OnSync(e)
 }
 
-func (d *Detector) access(e trace.Event) {
+// threadFast is d.thread with a tid-indexed cache in front of the map —
+// the epoch core's access hot path resolves the thread in O(1). The
+// cache-hit check is small enough to inline at the call site; misses
+// fall through to threadSlow.
+func (d *Detector) threadFast(tid int32) *threadState {
+	if int(tid) < len(d.tcache) {
+		if ts := d.tcache[tid]; ts != nil {
+			return ts
+		}
+	}
+	return d.threadSlow(tid)
+}
+
+func (d *Detector) threadSlow(tid int32) *threadState {
+	ts := d.thread(tid)
+	for int(tid) >= len(d.tcache) {
+		d.tcache = append(d.tcache, nil)
+	}
+	d.tcache[tid] = ts
+	return ts
+}
+
+// accessEpoch routes one sampled access through the epoch fast-path
+// core. The sync-clock and evidence side is exactly the vector-clock
+// path's; only the per-address history analysis differs. Scalar
+// arguments keep the hop into the engine in registers.
+func (d *Detector) accessEpoch(addr uint64, tid int32, pc lir.PC, isWrite bool) {
+	t := d.threadFast(tid)
+	t.memSeq++
+	if d.opts.Evidence {
+		d.accessEpochEv(t, addr, tid, pc, isWrite)
+		return
+	}
+	if isWrite {
+		d.eng.Write(addr, t.memSeq, tid, pc, t.vc)
+	} else {
+		d.eng.Read(addr, t.memSeq, tid, pc, t.vc)
+	}
+}
+
+// accessEpochEv is the evidence-mode tail of accessEpoch, kept out of
+// line so plain runs never pay for the snapshot plumbing.
+func (d *Detector) accessEpochEv(t *threadState, addr uint64, tid int32, pc lir.PC, isWrite bool) {
+	if t.dirty || t.pub == nil {
+		t.pub = t.vc.Clone()
+		t.dirty = false
+	}
+	var evAny any
+	if ev := t.ev.Snapshot(t.pub); ev != nil {
+		evAny = ev
+	}
+	if isWrite {
+		d.eng.WriteEv(addr, t.memSeq, tid, pc, t.vc, evAny)
+	} else {
+		d.eng.ReadEv(addr, t.memSeq, tid, pc, t.vc, evAny)
+	}
+}
+
+func (d *Detector) access(e *trace.Event) {
+	if d.eng != nil {
+		d.accessEpoch(e.Addr, e.TID, e.PC, e.Kind == trace.KindWrite)
+		return
+	}
 	t := d.thread(e.TID)
 	t.memSeq++
 	st := d.mem[e.Addr]
@@ -406,7 +592,28 @@ func (d *Detector) report(r DynamicRace) {
 // Result returns the accumulated detection result.
 func (d *Detector) Result() *Result {
 	d.res.NearMisses = d.near.Rows()
+	if d.eng != nil {
+		s := d.eng.Stats()
+		d.res.Epoch = &s
+	}
 	return &d.res
+}
+
+// Shadow returns the epoch engine backing this detector, or nil under
+// the vector-clock engine.
+func (d *Detector) Shadow() *shadow.Engine { return d.eng }
+
+// publishEpochStats publishes the epoch engine's end-of-pass gauges
+// (shadow.cells, shadow.depot_stacks) into Options.Obs; the counters
+// (epoch.fastpath_hits, epoch.promotions, shadow.evictions) stream
+// live during the pass.
+func (d *Detector) publishEpochStats() {
+	if d.eng == nil || d.opts.Obs == nil {
+		return
+	}
+	s := d.eng.Stats()
+	d.opts.Obs.Gauge("shadow.cells").Set(float64(s.Cells))
+	d.opts.Obs.Gauge("shadow.depot_stacks").Set(float64(s.DepotStacks))
 }
 
 // PublishNearMisses publishes the accumulated near-miss telemetry into
@@ -418,6 +625,9 @@ func (d *Detector) PublishNearMisses() {
 
 // Detect replays log and runs happens-before detection over it.
 func Detect(log *trace.Log, opts Options) (*Result, error) {
+	if err := checkEngine(opts.Engine); err != nil {
+		return nil, err
+	}
 	d := NewDetector(opts)
 	if err := ReplayObs(log, opts.Obs, func(e trace.Event) error {
 		d.Process(e)
@@ -426,6 +636,7 @@ func Detect(log *trace.Log, opts Options) (*Result, error) {
 		return nil, err
 	}
 	d.PublishNearMisses()
+	d.publishEpochStats()
 	return d.Result(), nil
 }
 
@@ -434,6 +645,9 @@ func Detect(log *trace.Log, opts Options) (*Result, error) {
 // replay weakened an ordering are tagged unconfirmed; the confirmed
 // subset keeps the no-false-positive guarantee.
 func DetectDegraded(log *trace.Log, opts Options) (*Result, *Degradation, error) {
+	if err := checkEngine(opts.Engine); err != nil {
+		return nil, nil, err
+	}
 	d := NewDetector(opts)
 	deg, err := ReplayDegraded(log, opts.Obs, d.MarkDegraded, func(e trace.Event) error {
 		d.Process(e)
@@ -443,5 +657,6 @@ func DetectDegraded(log *trace.Log, opts Options) (*Result, *Degradation, error)
 		return nil, nil, err
 	}
 	d.PublishNearMisses()
+	d.publishEpochStats()
 	return d.Result(), deg, nil
 }

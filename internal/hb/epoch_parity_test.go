@@ -1,0 +1,193 @@
+package hb
+
+import (
+	"reflect"
+	"testing"
+
+	"literace/internal/trace"
+)
+
+// detectBoth runs one log through the vector-clock oracle and the epoch
+// engine under otherwise identical options and returns both results.
+func detectBoth(t testing.TB, seed int64, opts Options) (vc, ep *Result) {
+	t.Helper()
+	log := randomLog(seed)
+	optsVC := opts
+	optsVC.Engine = EngineVC
+	vc, err := Detect(log, optsVC)
+	if err != nil {
+		t.Fatalf("seed %d: vc detect: %v", seed, err)
+	}
+	optsEp := opts
+	optsEp.Engine = EngineEpoch
+	ep, err = Detect(randomLog(seed), optsEp)
+	if err != nil {
+		t.Fatalf("seed %d: epoch detect: %v", seed, err)
+	}
+	return vc, ep
+}
+
+// assertSameResult demands byte-identical confirmed race reporting:
+// the full dynamic race slices (order, attribution, evidence), the
+// counters, and the near-miss rows all match.
+func assertSameResult(t testing.TB, seed int64, vc, ep *Result) {
+	t.Helper()
+	if vc.NumRaces != ep.NumRaces || vc.MemOps != ep.MemOps || vc.SyncOps != ep.SyncOps ||
+		vc.Unconfirmed != ep.Unconfirmed || vc.Degraded != ep.Degraded {
+		t.Fatalf("seed %d: counters diverge: vc={races %d mem %d sync %d unconf %d} epoch={races %d mem %d sync %d unconf %d}",
+			seed, vc.NumRaces, vc.MemOps, vc.SyncOps, vc.Unconfirmed,
+			ep.NumRaces, ep.MemOps, ep.SyncOps, ep.Unconfirmed)
+	}
+	if !reflect.DeepEqual(vc.Races, ep.Races) {
+		if len(vc.Races) != len(ep.Races) {
+			t.Fatalf("seed %d: race counts diverge: vc %d, epoch %d", seed, len(vc.Races), len(ep.Races))
+		}
+		for i := range vc.Races {
+			if !reflect.DeepEqual(vc.Races[i], ep.Races[i]) {
+				t.Fatalf("seed %d: race %d diverges:\n  vc:    %+v\n  epoch: %+v", seed, i, vc.Races[i], ep.Races[i])
+			}
+		}
+		t.Fatalf("seed %d: race slices diverge", seed)
+	}
+	if !reflect.DeepEqual(vc.NearMisses, ep.NearMisses) {
+		t.Fatalf("seed %d: near-miss rows diverge:\n  vc:    %+v\n  epoch: %+v", seed, vc.NearMisses, ep.NearMisses)
+	}
+}
+
+func TestEpochMatchesVCRandom(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		vc, ep := detectBoth(t, seed, Options{SamplerBit: AllEvents})
+		assertSameResult(t, seed, vc, ep)
+		if ep.Epoch == nil {
+			t.Fatalf("seed %d: epoch result missing engine stats", seed)
+		}
+		if ep.Epoch.Accesses != ep.MemOps {
+			t.Fatalf("seed %d: engine analyzed %d accesses, result says %d", seed, ep.Epoch.Accesses, ep.MemOps)
+		}
+		if vc.Epoch != nil {
+			t.Fatalf("seed %d: vc result carries epoch stats", seed)
+		}
+	}
+}
+
+func TestEpochMatchesVCWithEvidenceAndNearMisses(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		vc, ep := detectBoth(t, seed, Options{
+			SamplerBit:     AllEvents,
+			Evidence:       true,
+			NearMissMargin: DefaultNearMissMargin,
+		})
+		assertSameResult(t, seed, vc, ep)
+	}
+}
+
+func TestEpochMatchesVCDegraded(t *testing.T) {
+	// Degrade both detectors at the same replay midpoint: unconfirmed
+	// tagging must line up exactly.
+	var sawUnconfirmed bool
+	for seed := int64(0); seed < 40; seed++ {
+		total := 0
+		if err := Replay(randomLog(seed), func(e trace.Event) error {
+			total++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		run := func(engine string) *Result {
+			d := NewDetector(Options{SamplerBit: AllEvents, Engine: engine, Evidence: true})
+			n := 0
+			if err := Replay(randomLog(seed), func(e trace.Event) error {
+				if n == total/2 {
+					d.MarkDegraded()
+				}
+				n++
+				d.Process(e)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return d.Result()
+		}
+		vc, ep := run(EngineVC), run(EngineEpoch)
+		assertSameResult(t, seed, vc, ep)
+		if vc.Unconfirmed > 0 {
+			sawUnconfirmed = true
+		}
+	}
+	if !sawUnconfirmed {
+		t.Fatal("no seed produced an unconfirmed race; the test is vacuous")
+	}
+}
+
+func TestEpochBoundedTableNeverInventsRaces(t *testing.T) {
+	// A bounded shadow table loses history on eviction. That may hide
+	// races (false negatives, like sampling) but must never invent one:
+	// the bounded engine's static race multiset is contained in the
+	// oracle's.
+	var sawEviction, sawMiss bool
+	for seed := int64(0); seed < 60; seed++ {
+		vcRes, err := Detect(randomLog(seed), Options{SamplerBit: AllEvents})
+		if err != nil {
+			t.Fatal(err)
+		}
+		epRes, err := Detect(randomLog(seed), Options{
+			SamplerBit: AllEvents, Engine: EngineEpoch, ShadowMaxCells: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epRes.Epoch.Evictions > 0 {
+			sawEviction = true
+		}
+		if epRes.NumRaces < vcRes.NumRaces {
+			sawMiss = true
+		}
+		want := staticSet(vcRes.Races)
+		for k, n := range staticSet(epRes.Races) {
+			if n > want[k] {
+				t.Fatalf("seed %d: bounded engine reported %v %d times, oracle %d — false positive",
+					seed, k, n, want[k])
+			}
+		}
+	}
+	if !sawEviction {
+		t.Fatal("no seed triggered an eviction; the bound is not exercised")
+	}
+	if !sawMiss {
+		t.Log("note: evictions never cost a race on these seeds")
+	}
+}
+
+// FuzzEpochParity replays random seeded traces through the vector-clock
+// oracle and the epoch engine and asserts identical confirmed race
+// sets — the differential gate the epoch core must clear on arbitrary
+// interleavings, with and without evidence capture, plus the
+// no-false-positive containment property for bounded shadow tables.
+func FuzzEpochParity(f *testing.F) {
+	f.Add(int64(1), uint16(0), false)
+	f.Add(int64(42), uint16(0), true)
+	f.Add(int64(7), uint16(3), true)
+	f.Add(int64(1234567), uint16(16), false)
+	f.Fuzz(func(t *testing.T, seed int64, maxCells uint16, evidence bool) {
+		opts := Options{SamplerBit: AllEvents, Evidence: evidence, NearMissMargin: DefaultNearMissMargin}
+		vc, ep := detectBoth(t, seed, opts)
+		assertSameResult(t, seed, vc, ep)
+
+		if maxCells > 0 {
+			optsB := opts
+			optsB.Engine = EngineEpoch
+			optsB.ShadowMaxCells = int(maxCells)
+			bounded, err := Detect(randomLog(seed), optsB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := staticSet(vc.Races)
+			for k, n := range staticSet(bounded.Races) {
+				if n > want[k] {
+					t.Fatalf("seed %d maxCells %d: bounded engine invented race %v (%d > %d)",
+						seed, maxCells, k, n, want[k])
+				}
+			}
+		}
+	})
+}

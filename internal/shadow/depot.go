@@ -1,0 +1,153 @@
+package shadow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"literace/internal/lir"
+)
+
+// Frame is one access site of an interned racing stack: the program
+// counter and the access kind at that site.
+type Frame struct {
+	PC    lir.PC
+	Write bool
+}
+
+// ID is a stable race identity handed out by the depot: the 64-bit
+// FNV-1a hash of the canonical frame encoding, rendered as 16 lowercase
+// hex digits. The fixed-width rendering makes lexicographic and numeric
+// order agree, so sorted ID lists are stable across runs, engines and
+// intern order.
+type ID uint64
+
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Depot interns the access stacks of racing pairs into deduplicated
+// race identities. Interning the same frames always yields the same ID
+// (content-addressed); distinct stacks that collide on the 64-bit hash
+// are disambiguated deterministically by probing upward from the hash,
+// so IDs stay unique within a depot. A single Depot is safe for
+// concurrent intern from many goroutines (the streaming shards share
+// one).
+type Depot struct {
+	mu     sync.Mutex
+	stacks map[ID]string // ID -> canonical encoding
+	hits   uint64        // interns answered by an existing entry
+}
+
+// NewDepot returns an empty depot.
+func NewDepot() *Depot {
+	return &Depot{stacks: make(map[ID]string)}
+}
+
+// canonical encodes frames into the content-addressed key: frame count,
+// then per frame the PC pair and the access kind, all little-endian.
+func canonical(frames []Frame) string {
+	buf := make([]byte, 0, 1+len(frames)*9)
+	buf = append(buf, byte(len(frames)))
+	for _, f := range frames {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.PC.Func))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.PC.Index))
+		if f.Write {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return string(buf)
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Intern deduplicates frames into a stable identity. The first intern
+// of a stack claims the ID; later interns of equal stacks return the
+// same ID without growing the depot.
+func (d *Depot) Intern(frames []Frame) ID {
+	key := canonical(frames)
+	id := ID(fnv1a(key))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		got, ok := d.stacks[id]
+		if !ok {
+			d.stacks[id] = key
+			return id
+		}
+		if got == key {
+			d.hits++
+			return id
+		}
+		id++ // hash collision between distinct stacks: probe upward
+	}
+}
+
+// InternPair interns a racing access pair normalized the way the race
+// package normalizes static races (lower PC first), so both orders of
+// discovery yield one identity.
+func (d *Depot) InternPair(a, b Frame) ID {
+	if b.PC.Less(a.PC) {
+		a, b = b, a
+	}
+	return d.Intern([]Frame{a, b})
+}
+
+// Len returns the number of distinct stacks interned.
+func (d *Depot) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.stacks)
+}
+
+// Hits returns how many interns were answered by an existing entry.
+func (d *Depot) Hits() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits
+}
+
+// IDs returns every interned identity in ascending order — the stable
+// enumeration order for reports and tests.
+func (d *Depot) IDs() []ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]ID, 0, len(d.stacks))
+	for id := range d.stacks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Frames decodes the stack interned under id; ok is false for an
+// unknown identity.
+func (d *Depot) Frames(id ID) (frames []Frame, ok bool) {
+	d.mu.Lock()
+	key, ok := d.stacks[id]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	n := int(key[0])
+	frames = make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		off := 1 + i*9
+		frames = append(frames, Frame{
+			PC: lir.PC{
+				Func:  int32(binary.LittleEndian.Uint32([]byte(key[off : off+4]))),
+				Index: int32(binary.LittleEndian.Uint32([]byte(key[off+4 : off+8]))),
+			},
+			Write: key[off+8] == 1,
+		})
+	}
+	return frames, true
+}

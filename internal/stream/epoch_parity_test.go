@@ -1,0 +1,136 @@
+package stream_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"literace/internal/hb"
+	"literace/internal/stream"
+	"literace/internal/trace"
+)
+
+// runEpochPipeline feeds data through an epoch-engine pipeline in
+// pieces of the given size (0 = all at once) and returns the result.
+func runEpochPipeline(t *testing.T, data []byte, shards, piece int, evidence bool) *stream.Result {
+	t.Helper()
+	p := stream.New(stream.Options{
+		Shards:     shards,
+		SamplerBit: hb.AllEvents,
+		Engine:     hb.EngineEpoch,
+		Evidence:   evidence,
+	})
+	if piece <= 0 {
+		piece = len(data)
+	}
+	for off := 0; off < len(data); off += piece {
+		end := off + piece
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := p.Feed(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamEpochMatchesBatchVC is the streaming half of the epoch
+// parity gate: a sharded epoch-engine pipeline must report the exact
+// race list — order, attribution, evidence — the batch vector-clock
+// oracle reports on the same bytes.
+func TestStreamEpochMatchesBatchVC(t *testing.T) {
+	for _, key := range []string{"dryad-stdlib", "concrt-msg", "apache-1", "lkrhash"} {
+		for _, seed := range []int64{1, 7} {
+			data := genLog(t, mustBench(t, key), seed, 1)
+			log, err := trace.ReadAll(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents, Evidence: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 3} {
+				for _, piece := range []int{0, 977} {
+					got := runEpochPipeline(t, data, shards, piece, true)
+					if got.NumRaces != want.NumRaces || got.MemOps != want.MemOps || got.SyncOps != want.SyncOps {
+						t.Fatalf("%s seed %d shards %d piece %d: counters diverge: stream-epoch {r %d m %d s %d} batch-vc {r %d m %d s %d}",
+							key, seed, shards, piece, got.NumRaces, got.MemOps, got.SyncOps,
+							want.NumRaces, want.MemOps, want.SyncOps)
+					}
+					if !reflect.DeepEqual(got.Races, want.Races) {
+						t.Fatalf("%s seed %d shards %d piece %d: race lists diverge", key, seed, shards, piece)
+					}
+					if got.Epoch == nil {
+						t.Fatalf("%s seed %d: streaming epoch result missing engine stats", key, seed)
+					}
+					if got.Epoch.Accesses != got.MemOps {
+						t.Fatalf("%s seed %d: shards analyzed %d accesses, dispatched %d",
+							key, seed, got.Epoch.Accesses, got.MemOps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEpochNearMissParity checks the near-miss rows merge to the
+// same table under the epoch engine.
+func TestStreamEpochNearMissParity(t *testing.T) {
+	data := genLog(t, mustBench(t, "concrt-sched"), 3, 1)
+	log, err := trace.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hb.Detect(log, hb.Options{SamplerBit: hb.AllEvents, NearMissMargin: hb.DefaultNearMissMargin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stream.New(stream.Options{
+		Shards:         3,
+		SamplerBit:     hb.AllEvents,
+		Engine:         hb.EngineEpoch,
+		NearMissMargin: hb.DefaultNearMissMargin,
+	})
+	if err := p.Feed(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.NearMisses, want.NearMisses) {
+		t.Fatalf("near-miss rows diverge:\n  stream-epoch: %+v\n  batch-vc:     %+v", got.NearMisses, want.NearMisses)
+	}
+	if !reflect.DeepEqual(got.Races, want.Races) {
+		t.Fatal("race lists diverge")
+	}
+}
+
+// TestStreamEpochSharedDepot checks the shards deduplicate race
+// identities through one shared depot: the interned stack count equals
+// the static race count of the whole pass, not a per-shard sum.
+func TestStreamEpochSharedDepot(t *testing.T) {
+	data := genLog(t, mustBench(t, "dryad-stdlib"), 1, 1)
+	res := runEpochPipeline(t, data, 4, 0, false)
+	if res.NumRaces == 0 {
+		t.Skip("benchmark produced no races at this seed")
+	}
+	statics := make(map[[4]int32]bool)
+	for _, r := range res.Races {
+		a, b := r.PrevPC, r.CurPC
+		if b.Less(a) {
+			a, b = b, a
+		}
+		statics[[4]int32{a.Func, a.Index, b.Func, b.Index}] = true
+	}
+	if res.Epoch.DepotStacks != len(statics) {
+		t.Fatalf("depot holds %d identities, want %d (distinct static pairs)",
+			res.Epoch.DepotStacks, len(statics))
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"literace/internal/hb"
 	"literace/internal/obs"
 	"literace/internal/obs/diag"
+	"literace/internal/shadow"
 	"literace/internal/trace"
 )
 
@@ -74,6 +75,17 @@ type Options struct {
 	// hb.Options.NearMissMargin does; the per-shard accumulators merge at
 	// Finish into the same rows a batch pass produces.
 	NearMissMargin int
+	// Engine selects the per-shard memory-access analysis core:
+	// hb.EngineVC (also the empty string, the default) or
+	// hb.EngineEpoch, which routes every shard's accesses through an
+	// epoch fast-path engine (internal/shadow) sharing one stack depot.
+	// Race sets stay byte-identical either way. Callers validate the
+	// name (hb.ValidEngine); New treats unknown values as the default.
+	Engine string
+	// ShadowMaxCells bounds each shard's shadow-memory table under the
+	// epoch engine; 0 (unbounded) preserves exact parity with the
+	// vector-clock core.
+	ShadowMaxCells int
 }
 
 // DefaultShards is the shard count when Options.Shards is 0.
@@ -133,6 +145,10 @@ type Pipeline struct {
 	opts   Options
 	shards []*shard
 	done   chan struct{}
+
+	// depot is the stack depot the shard epoch engines share; nil under
+	// the vector-clock engine.
+	depot *shadow.Depot
 
 	dec *trace.Stream
 	m   *hb.Merger
@@ -250,6 +266,9 @@ func New(opts Options) *Pipeline {
 			p.opts.OnRace(r)
 		}
 	}
+	if opts.Engine == hb.EngineEpoch {
+		p.depot = shadow.NewDepot()
+	}
 	for i := 0; i < opts.Shards; i++ {
 		s := &shard{
 			idx:        i,
@@ -260,6 +279,9 @@ func New(opts Options) *Pipeline {
 			near:       hb.NewNearAccum(opts.NearMissMargin),
 			evCnt:      opts.Obs.Counter(fmt.Sprintf("%s%d", ShardEventsCounterPrefix, i)),
 			rec:        opts.Diag,
+		}
+		if p.depot != nil {
+			s.attachEpoch(p.depot, opts)
 		}
 		p.shards = append(p.shards, s)
 		go s.run(p.done)
@@ -673,6 +695,22 @@ func (p *Pipeline) Finish() (*Result, error) {
 		}
 		for i, n := range shardEvents {
 			reg.Gauge(fmt.Sprintf("%s%d", ShardUtilGaugePrefix, i)).Set(float64(n) / float64(total))
+		}
+	}
+	if p.depot != nil {
+		agg := shadow.Stats{DepotStacks: p.depot.Len()}
+		for _, s := range p.shards {
+			st := s.eng.Stats()
+			agg.Accesses += st.Accesses
+			agg.FastpathHits += st.FastpathHits
+			agg.Promotions += st.Promotions
+			agg.Evictions += st.Evictions
+			agg.Cells += st.Cells
+		}
+		res.Epoch = &agg
+		if reg := p.opts.Obs; reg != nil {
+			reg.Gauge("shadow.cells").Set(float64(agg.Cells))
+			reg.Gauge("shadow.depot_stacks").Set(float64(agg.DepotStacks))
 		}
 	}
 	p.finRes = res

@@ -8,6 +8,7 @@ import (
 	"literace/internal/lir"
 	"literace/internal/obs"
 	"literace/internal/obs/diag"
+	"literace/internal/shadow"
 )
 
 // memAccess is one sampled memory event as dispatched to a shard: the
@@ -69,6 +70,47 @@ type shard struct {
 	near       *hb.NearAccum        // near-miss accumulator; nil when disabled
 	evCnt      *obs.Counter         // stream.shard_events.<idx>
 	rec        *diag.Recorder       // flight recorder; may be nil
+
+	// Epoch-engine state (Options.Engine == hb.EngineEpoch): eng
+	// replaces the mem map as this shard's access-history store, and
+	// curOrd carries the dispatch ordinal of the access under analysis
+	// into the race callback.
+	eng    *shadow.Engine
+	curOrd uint64
+}
+
+// attachEpoch routes this shard's accesses through an epoch fast-path
+// engine instead of the vector-clock history map. The depot is shared
+// across all shards so race identities deduplicate globally; the obs
+// counters are shared too (atomic increments).
+func (s *shard) attachEpoch(depot *shadow.Depot, opts Options) {
+	so := shadow.Options{
+		MaxCells: opts.ShadowMaxCells,
+		Depot:    depot,
+		Obs:      opts.Obs,
+		OnRace: func(prev shadow.Prev, cur *shadow.Access, sub int) {
+			r := hb.DynamicRace{
+				PrevPC: prev.PC, CurPC: cur.PC,
+				PrevWrite: prev.Write, CurWrite: cur.Write,
+				PrevTID: prev.TID, CurTID: cur.TID,
+				PrevSeq: prev.Seq, CurSeq: cur.Seq,
+				Addr: cur.Addr,
+			}
+			if prev.Ev != nil {
+				r.PrevEvidence = prev.Ev.(*hb.AccessEvidence)
+			}
+			if cur.Ev != nil {
+				r.CurEvidence = cur.Ev.(*hb.AccessEvidence)
+			}
+			s.report(r, s.curOrd, sub)
+		},
+	}
+	if opts.NearMissMargin > 0 {
+		so.OnOrdered = func(prevPC, curPC lir.PC, margin uint64) {
+			s.near.Note(prevPC, curPC, margin)
+		}
+	}
+	s.eng = shadow.NewEngine(so)
 }
 
 func (s *shard) run(done chan<- struct{}) {
@@ -95,6 +137,20 @@ func (s *shard) run(done chan<- struct{}) {
 // the address's last write, with no reads pending, cannot race — the
 // epoch advances without touching the vector-clock snapshot at all.
 func (s *shard) access(a memAccess) {
+	if s.eng != nil {
+		s.curOrd = a.ord
+		switch {
+		case a.ev != nil && a.write:
+			s.eng.WriteEv(a.addr, a.seq, a.tid, a.pc, a.vc, a.ev)
+		case a.ev != nil:
+			s.eng.ReadEv(a.addr, a.seq, a.tid, a.pc, a.vc, a.ev)
+		case a.write:
+			s.eng.Write(a.addr, a.seq, a.tid, a.pc, a.vc)
+		default:
+			s.eng.Read(a.addr, a.seq, a.tid, a.pc, a.vc)
+		}
+		return
+	}
 	st := s.mem[a.addr]
 	if st == nil {
 		st = &addrHist{}
